@@ -1,0 +1,167 @@
+// Command twca-analyze runs the full analysis pipeline on a system
+// description (JSON or DSL, auto-detected): worst-case latency
+// (Theorems 1–2) and deadline miss models (Theorem 3) for every chain
+// with a deadline.
+//
+// Usage:
+//
+//	twca-analyze [-k 1,3,10,100] [-baseline] [-exact] [-lint=false] system.{json,sys}
+//	twca-gen | twca-analyze
+//
+// With no file argument the system is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dsl"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/twca"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "twca-analyze: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("twca-analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ks := fs.String("k", "1,3,10,100", "comma-separated k values for dmm(k)")
+	baseline := fs.Bool("baseline", false, "also run the structure-blind baseline")
+	exact := fs.Bool("exact", false, "use the exact Eq. (3) combination criterion")
+	lint := fs.Bool("lint", true, "print model warnings")
+	explain := fs.String("explain", "", "print the full analysis narrative for the named chain")
+	format := fs.String("format", "ascii", "table output: ascii, markdown or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	if *lint {
+		for _, w := range model.Lint(sys) {
+			fmt.Fprintln(stderr, "warning:", w)
+		}
+	}
+	kvals, err := parseKs(*ks)
+	if err != nil {
+		return err
+	}
+
+	if *explain != "" {
+		c := sys.ChainByName(*explain)
+		if c == nil {
+			return fmt.Errorf("no chain named %q", *explain)
+		}
+		an, err := twca.New(sys, c, twca.Options{ExactCriterion: *exact})
+		if err != nil {
+			return err
+		}
+		k := kvals[len(kvals)-1]
+		if err := an.Explain(stdout, k); err != nil {
+			return err
+		}
+		blame, err := an.Blame(k)
+		if err != nil {
+			return err
+		}
+		for _, o := range sys.OverloadChains() {
+			fmt.Fprintf(stdout, "  without %s: dmm(%d) = %d\n", o.Name, k, blame[o.Name])
+		}
+		return nil
+	}
+
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("TWCA analysis of %s", sys.Name),
+		Headers: append([]string{"chain", "kind", "D", "WCL", "sched"}, dmmHeaders(kvals)...),
+	}
+	for _, c := range sys.RegularChains() {
+		if c.Deadline == 0 {
+			continue
+		}
+		row, err := analyzeRow(sys, c, kvals, twca.Options{ExactCriterion: *exact})
+		if err != nil {
+			tbl.AddRow(c.Name, c.Kind, int64(c.Deadline), "error: "+err.Error())
+			continue
+		}
+		tbl.AddRow(row...)
+		if *baseline {
+			brow, err := analyzeRow(sys, c, kvals, twca.Options{Flat: true})
+			if err == nil {
+				brow[0] = c.Name + " (flat)"
+				tbl.AddRow(brow...)
+			}
+		}
+	}
+	switch *format {
+	case "ascii":
+		return tbl.WriteASCII(stdout)
+	case "markdown":
+		return tbl.WriteMarkdown(stdout)
+	case "csv":
+		return tbl.WriteCSV(stdout)
+	default:
+		return fmt.Errorf("unknown output format %q", *format)
+	}
+}
+
+func load(path string, stdin io.Reader) (*model.System, error) {
+	r := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return dsl.Load(r)
+}
+
+func parseKs(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad k value %q", part)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func dmmHeaders(ks []int64) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = fmt.Sprintf("dmm(%d)", k)
+	}
+	return out
+}
+
+func analyzeRow(sys *model.System, c *model.Chain, ks []int64, opts twca.Options) ([]any, error) {
+	an, err := twca.New(sys, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	row := []any{c.Name, c.Kind, int64(c.Deadline), int64(an.Latency.WCL), an.Latency.Schedulable}
+	for _, k := range ks {
+		r, err := an.DMM(k)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, r.Value)
+	}
+	return row, nil
+}

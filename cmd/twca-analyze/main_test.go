@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/dsl"
+)
+
+func caseStudyFile(t *testing.T, format string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys."+format)
+	sys := casestudy.New()
+	var data string
+	switch format {
+	case "json":
+		b, err := sys.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = string(b)
+	case "sys":
+		text, err := dsl.Format(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = text
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnCaseStudyJSONAndDSL(t *testing.T) {
+	for _, format := range []string{"json", "sys"} {
+		var out, errOut strings.Builder
+		err := run([]string{"-k", "3,10", caseStudyFile(t, format)}, nil, &out, &errOut)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		for _, want := range []string{"sigma_c", "331", "sigma_d", "175", "dmm(3)", "dmm(10)"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("%s output missing %q:\n%s", format, want, out.String())
+			}
+		}
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	text, err := dsl.Format(casestudy.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run(nil, strings.NewReader(text), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "331") {
+		t.Errorf("stdin run missing WCL:\n%s", out.String())
+	}
+}
+
+func TestRunBaselineRows(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-baseline", caseStudyFile(t, "json")}, nil, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sigma_d (flat)") {
+		t.Errorf("baseline row missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "267") {
+		t.Errorf("flat WCL 267 missing:\n%s", out.String())
+	}
+}
+
+func TestRunLintWarnings(t *testing.T) {
+	doc := `system s
+chain c periodic(100) deadline(100) { t prio 1 wcet 10 }
+chain o sporadic(500) overload deadline(50) { u prio 2 wcet 5 }
+`
+	var out, errOut strings.Builder
+	if err := run(nil, strings.NewReader(doc), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "warning:") {
+		t.Errorf("expected lint warning on stderr, got %q", errOut.String())
+	}
+	// And -lint=false silences it.
+	var out2, errOut2 strings.Builder
+	if err := run([]string{"-lint=false"}, strings.NewReader(doc), &out2, &errOut2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errOut2.String(), "warning:") {
+		t.Error("-lint=false still warned")
+	}
+}
+
+func TestRunOutputFormats(t *testing.T) {
+	path := caseStudyFile(t, "json")
+	var md, csv, bad strings.Builder
+	var errOut strings.Builder
+	if err := run([]string{"-format", "markdown", path}, nil, &md, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| chain |") {
+		t.Errorf("markdown output wrong:\n%s", md.String())
+	}
+	if err := run([]string{"-format", "csv", path}, nil, &csv, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "sigma_c,synchronous,200,331") {
+		t.Errorf("csv output wrong:\n%s", csv.String())
+	}
+	if err := run([]string{"-format", "yaml", path}, nil, &bad, &errOut); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-explain", "sigma_c", "-k", "10", caseStudyFile(t, "json")}, nil, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"explanation for chain sigma_c", "dmm(10) = 5", "without sigma_a: dmm(10) = 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Unknown chain errors out.
+	if err := run([]string{"-explain", "nope", caseStudyFile(t, "json")}, nil, &out, &errOut); err == nil {
+		t.Error("unknown explain chain accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"/nonexistent/file"}, nil, &out, &errOut); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-k", "0"}, strings.NewReader("system s\nchain c periodic(10) deadline(10) { t prio 1 wcet 1 }"), &out, &errOut); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run([]string{"-k", "abc"}, strings.NewReader("x"), &out, &errOut); err == nil {
+		t.Error("non-numeric k accepted")
+	}
+	if err := run(nil, strings.NewReader("not a system"), &out, &errOut); err == nil {
+		t.Error("malformed input accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, nil, &out, &errOut); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command twca-casestudy reproduces Experiment 1 of the paper on the
+// Thales case study: Table I (worst-case latencies) and Table II
+// (deadline miss models for σc), plus the combination details discussed
+// in §VI, the DMM curve, the chain-aware vs. structure-blind ablation,
+// and a simulation-vs-analysis validation table.
+//
+// Usage:
+//
+//	twca-casestudy [-maxk 260] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "twca-casestudy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("twca-casestudy", flag.ContinueOnError)
+	maxK := fs.Int64("maxk", 260, "largest k scanned for DMM breakpoints")
+	markdown := fs.Bool("markdown", false, "emit Markdown instead of ASCII tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	write := func(t *report.Table) error {
+		var err error
+		if *markdown {
+			err = t.WriteMarkdown(stdout)
+		} else {
+			err = t.WriteASCII(stdout)
+		}
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(stdout)
+		return err
+	}
+
+	tableI, _, err := experiments.TableI()
+	if err != nil {
+		return err
+	}
+	if err := write(tableI); err != nil {
+		return err
+	}
+
+	tableII, res, err := experiments.TableII(*maxK)
+	if err != nil {
+		return err
+	}
+	if err := write(tableII); err != nil {
+		return err
+	}
+	if err := printCombinations(stdout, res); err != nil {
+		return err
+	}
+
+	// DMM curve chart over the breakpoints.
+	curve := &report.Series{
+		Title:  "dmm_c(k) breakpoints (literal activation models)",
+		XLabel: "k", YLabel: "dmm_c(k)",
+	}
+	for _, bp := range res.Breakpoints {
+		curve.Add(bp.K, bp.Value)
+	}
+	if err := curve.WriteASCII(stdout, 50); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(stdout); err != nil {
+		return err
+	}
+
+	ablation, err := experiments.Ablation(10)
+	if err != nil {
+		return err
+	}
+	if err := write(ablation); err != nil {
+		return err
+	}
+
+	validation, err := experiments.SimValidation(500000, 3)
+	if err != nil {
+		return err
+	}
+	if err := write(validation); err != nil {
+		return err
+	}
+
+	tightness, err := experiments.Tightness(50, 5000)
+	if err != nil {
+		return err
+	}
+	return write(tightness)
+}
+
+func printCombinations(w io.Writer, res *experiments.TableIIResult) error {
+	an := res.Analysis
+	fmt.Fprintf(w, "σc combination analysis (§VI): N=%d, MinSlack=%d, typical schedulable=%v\n",
+		an.Latency.MissesPerWindow, an.MinSlack, an.TypicalSchedulable)
+	for _, c := range an.Combinations {
+		mark := "schedulable"
+		if c.Cost > an.MinSlack {
+			mark = "UNSCHEDULABLE"
+		}
+		fmt.Fprintf(w, "  %-45s cost=%-3d %s\n", c, c.Cost, mark)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCaseStudyReproducesPaperNumbers(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-maxk", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Table I values.
+	for _, want := range []string{"331", "175", "Table I", "Table II"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// §VI combination discussion.
+	if !strings.Contains(text, "UNSCHEDULABLE") || !strings.Contains(text, "cost=50") {
+		t.Error("combination analysis missing")
+	}
+	// Ablation and validation tables.
+	if !strings.Contains(text, "267") {
+		t.Error("flat ablation value missing")
+	}
+	if strings.Contains(text, "false") && !strings.Contains(text, "schedulable") {
+		t.Error("unexpected soundness failure")
+	}
+	// DMM curve chart present.
+	if !strings.Contains(text, "dmm_c(k) breakpoints") {
+		t.Error("DMM curve missing")
+	}
+}
+
+func TestCaseStudyMarkdown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-maxk", "10", "-markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| task chain | WCL |") {
+		t.Errorf("markdown table missing:\n%s", out.String())
+	}
+}
+
+func TestCaseStudyBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

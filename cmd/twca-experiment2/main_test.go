@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperiment2SmallRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "60", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Figure 5", "σc schedulable:", "σd schedulable:", "histogram"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExperiment2Repetitions(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "40", "-reps", "3", "-no-carry-in"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "across 3 repetitions") {
+		t.Errorf("repetition summary missing:\n%s", out.String())
+	}
+}
+
+func TestExperiment2BadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-wat"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

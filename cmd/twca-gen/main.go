@@ -1,0 +1,84 @@
+// Command twca-gen emits random synthetic chain systems, in the style
+// of the paper's "derived synthetic test cases". The output feeds
+// directly into twca-analyze and twca-sim:
+//
+//	twca-gen -chains 4 -util 0.7 -seed 7 | twca-analyze
+//
+// Usage:
+//
+//	twca-gen [-chains 3] [-overload 1] [-min-tasks 2] [-max-tasks 5]
+//	         [-util 0.6] [-async 0.0] [-seed 1] [-format json|dsl]
+//	         [-casestudy-perm]
+//
+// With -casestudy-perm the case-study structure with a random priority
+// permutation is emitted instead (the transformation of Experiment 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/casestudy"
+	"repro/internal/dsl"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "twca-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("twca-gen", flag.ContinueOnError)
+	chains := fs.Int("chains", 3, "number of regular chains")
+	overload := fs.Int("overload", 1, "number of overload chains")
+	minTasks := fs.Int("min-tasks", 2, "minimum tasks per chain")
+	maxTasks := fs.Int("max-tasks", 5, "maximum tasks per chain")
+	util := fs.Float64("util", 0.6, "total utilization of regular chains")
+	async := fs.Float64("async", 0, "probability a regular chain is asynchronous")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	perm := fs.Bool("casestudy-perm", false, "emit the case study with a random priority permutation")
+	format := fs.String("format", "json", "output format: json or dsl")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var sys *model.System
+	var err error
+	if *perm {
+		sys, err = casestudy.WithPriorities(gen.Permutation(rng, 13))
+	} else {
+		sys, err = gen.Random(rng, gen.Params{
+			Chains:         *chains,
+			OverloadChains: *overload,
+			MinTasks:       *minTasks,
+			MaxTasks:       *maxTasks,
+			Utilization:    *util,
+			AsyncFraction:  *async,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		return model.Store(stdout, sys)
+	case "dsl":
+		text, err := dsl.Format(sys)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, text)
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/model"
+)
+
+func TestGenJSONIsLoadable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seed", "3", "-chains", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.Load(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("generated JSON does not load: %v", err)
+	}
+	if len(sys.RegularChains()) != 2 || len(sys.OverloadChains()) != 1 {
+		t.Errorf("unexpected shape: %d regular, %d overload",
+			len(sys.RegularChains()), len(sys.OverloadChains()))
+	}
+}
+
+func TestGenDSLIsParseable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seed", "3", "-format", "dsl"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsl.Parse(out.String()); err != nil {
+		t.Fatalf("generated DSL does not parse: %v\n%s", err, out.String())
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different systems")
+	}
+	var c strings.Builder
+	if err := run([]string{"-seed", "10"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical systems")
+	}
+}
+
+func TestGenCaseStudyPerm(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-casestudy-perm", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.Load(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TaskCount() != 13 {
+		t.Errorf("task count = %d, want 13", sys.TaskCount())
+	}
+}
+
+func TestGenBadFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "yaml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Command twca-sim simulates a system description (JSON or DSL) on the
+// discrete-event SPP simulator and reports per-chain latency and miss
+// statistics, optionally with a textual Gantt chart.
+//
+// Usage:
+//
+//	twca-sim [-horizon 1000000] [-seed 0] [-arrivals dense|random|rare]
+//	         [-exec worst|random] [-gantt 200] system.{json,sys}
+//
+// With no file argument the system is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/curves"
+	"repro/internal/dsl"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "twca-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("twca-sim", flag.ContinueOnError)
+	horizon := fs.Int64("horizon", 1_000_000, "activation horizon")
+	seed := fs.Int64("seed", 0, "RNG seed")
+	arrivals := fs.String("arrivals", "dense", "arrival policy: dense, random, rare")
+	exec := fs.String("exec", "worst", "execution time policy: worst, random")
+	gantt := fs.Int64("gantt", 0, "render a Gantt chart of the first N time units")
+	svg := fs.String("svg", "", "write an SVG Gantt chart of the -gantt window to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Horizon:     curves.Time(*horizon),
+		Seed:        *seed,
+		RecordTrace: *gantt > 0 || *svg != "",
+	}
+	switch *arrivals {
+	case "dense":
+		cfg.Arrivals = sim.Dense
+	case "random":
+		cfg.Arrivals = sim.RandomSpacing
+	case "rare":
+		cfg.Arrivals = sim.Rare
+	default:
+		return fmt.Errorf("unknown arrival policy %q", *arrivals)
+	}
+	switch *exec {
+	case "worst":
+		cfg.Execution = sim.WorstCase
+	case "random":
+		cfg.Execution = sim.RandomExec
+	default:
+		return fmt.Errorf("unknown execution policy %q", *exec)
+	}
+
+	res, err := sim.Run(sys, cfg)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title: fmt.Sprintf("Simulation of %s (horizon %d, %s arrivals, %s execution)",
+			sys.Name, *horizon, *arrivals, *exec),
+		Headers: []string{"chain", "activations", "completions", "max latency",
+			"p99 latency", "misses", "miss ratio", "worst 10-window"},
+	}
+	for _, c := range sys.Chains {
+		st := res.Chains[c.Name]
+		tbl.AddRow(c.Name, st.Activations, st.Completions, int64(st.MaxLatency),
+			int64(st.LatencyPercentile(99)), st.Misses,
+			fmt.Sprintf("%.4f", st.MissRatio()), st.WorstWindowMisses(10))
+	}
+	if err := tbl.WriteASCII(stdout); err != nil {
+		return err
+	}
+	if *gantt > 0 {
+		fmt.Fprintln(stdout)
+		step := *gantt / 100
+		if step < 1 {
+			step = 1
+		}
+		if err := res.Trace.WriteGantt(stdout, curves.Time(*gantt), curves.Time(step)); err != nil {
+			return err
+		}
+	}
+	if *svg != "" {
+		window := *gantt
+		if window <= 0 {
+			window = *horizon
+		}
+		f, err := os.Create(*svg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Trace.WriteSVG(f, curves.Time(window), curves.Time(window/10)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *svg)
+	}
+	return nil
+}
+
+func load(path string, stdin io.Reader) (*model.System, error) {
+	r := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return dsl.Load(r)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/dsl"
+)
+
+func caseStudyText(t *testing.T) string {
+	t.Helper()
+	text, err := dsl.Format(casestudy.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+func TestSimRunBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-horizon", "100000"}, strings.NewReader(caseStudyText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sigma_c", "331", "p99", "miss ratio"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSimRunGantt(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-horizon", "1000", "-gantt", "400"},
+		strings.NewReader(caseStudyText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Errorf("gantt marks missing:\n%s", out.String())
+	}
+}
+
+func TestSimRunPolicies(t *testing.T) {
+	for _, args := range [][]string{
+		{"-arrivals", "random", "-exec", "random", "-seed", "4", "-horizon", "50000"},
+		{"-arrivals", "rare", "-horizon", "50000"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(caseStudyText(t)), &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestSimRunSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.svg")
+	var out strings.Builder
+	err := run([]string{"-horizon", "1000", "-gantt", "400", "-svg", path},
+		strings.NewReader(caseStudyText(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("SVG file content wrong")
+	}
+}
+
+func TestSimRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-arrivals", "never-ever"}, strings.NewReader(caseStudyText(t)), &out); err == nil {
+		t.Error("bad arrival policy accepted")
+	}
+	if err := run([]string{"-exec", "median"}, strings.NewReader(caseStudyText(t)), &out); err == nil {
+		t.Error("bad exec policy accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+		t.Error("malformed system accepted")
+	}
+	if err := run([]string{"/nonexistent"}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyntheticSmallRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cell", "10", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Synthetic campaign", "schedulable", "holistic", "util"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSyntheticBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package curves
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sum is the union of several event streams: its η curves are the sums
+// of the component curves, and its distance functions are derived by
+// pseudo-inversion. Sum is useful to model a chain activated by several
+// independent sources (e.g. a software timer plus an interrupt).
+type Sum struct {
+	Parts []EventModel
+}
+
+// NewSum returns the union of the given event models. It panics if no
+// parts are supplied.
+func NewSum(parts ...EventModel) Sum {
+	if len(parts) == 0 {
+		panic("curves: Sum needs at least one part")
+	}
+	return Sum{Parts: parts}
+}
+
+// EtaPlus implements EventModel.
+func (s Sum) EtaPlus(dt Time) int64 {
+	var n int64
+	for _, p := range s.Parts {
+		n += p.EtaPlus(dt)
+	}
+	return n
+}
+
+// EtaMinus implements EventModel.
+func (s Sum) EtaMinus(dt Time) int64 {
+	var n int64
+	for _, p := range s.Parts {
+		n += p.EtaMinus(dt)
+	}
+	return n
+}
+
+// DeltaMin implements EventModel by pseudo-inverting the summed η+.
+func (s Sum) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	// Hint: the tightest part's distance is an upper bound on the sum's.
+	hint := Infinity
+	for _, p := range s.Parts {
+		hint = MinTime(hint, p.DeltaMin(q))
+	}
+	if hint.IsInf() {
+		hint = 0
+	}
+	return deltaMinFromEtaPlus(s.EtaPlus, q, hint)
+}
+
+// DeltaMax implements EventModel by pseudo-inverting the summed η-:
+// δ+(q) = min{ΔT ≥ 0 : η-(ΔT) ≥ q-1}.
+func (s Sum) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	return deltaMaxFromEtaMinus(s.EtaMinus, q)
+}
+
+// String implements EventModel.
+func (s Sum) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		parts[i] = p.String()
+	}
+	return "sum(" + strings.Join(parts, "+") + ")"
+}
+
+// deltaMaxFromEtaMinus derives δ+(q) = min{ΔT ≥ 0 : η-(ΔT) ≥ q-1} from a
+// non-decreasing η-. Returns Infinity when η- never reaches q-1.
+func deltaMaxFromEtaMinus(eta func(Time) int64, q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	var lo, hi Time = 0, 1
+	for eta(hi) < q-1 {
+		lo = hi
+		if hi > Infinity/2 {
+			return Infinity
+		}
+		hi *= 2
+	}
+	if eta(lo) >= q-1 {
+		return lo
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if eta(mid) < q-1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Amplified models an event stream in which every event of the inner
+// model releases Factor simultaneous events (e.g. one frame arrival
+// activating Factor per-packet instances).
+type Amplified struct {
+	Inner  EventModel
+	Factor int64
+}
+
+// NewAmplified returns m with every event multiplied by factor ≥ 1.
+// It panics if factor < 1.
+func NewAmplified(m EventModel, factor int64) Amplified {
+	if factor < 1 {
+		panic("curves: amplification factor must be ≥ 1")
+	}
+	return Amplified{Inner: m, Factor: factor}
+}
+
+// EtaPlus implements EventModel.
+func (a Amplified) EtaPlus(dt Time) int64 { return a.Inner.EtaPlus(dt) * a.Factor }
+
+// EtaMinus implements EventModel.
+func (a Amplified) EtaMinus(dt Time) int64 { return a.Inner.EtaMinus(dt) * a.Factor }
+
+// DeltaMin implements EventModel: q amplified events need at least
+// ⌈q/Factor⌉ inner events.
+func (a Amplified) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	inner := (q + a.Factor - 1) / a.Factor
+	return a.Inner.DeltaMin(inner)
+}
+
+// DeltaMax implements EventModel: q amplified events are guaranteed
+// complete once ⌈q/Factor⌉ inner events have occurred.
+func (a Amplified) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	inner := (q + a.Factor - 1) / a.Factor
+	return a.Inner.DeltaMax(inner)
+}
+
+// String implements EventModel.
+func (a Amplified) String() string {
+	return fmt.Sprintf("%d×%s", a.Factor, a.Inner)
+}

@@ -1,0 +1,100 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumEta(t *testing.T) {
+	s := NewSum(NewPeriodic(200), NewSporadic(600))
+	if got, want := s.EtaPlus(601), int64(4)+int64(2); got != want {
+		t.Errorf("EtaPlus(601) = %d, want %d", got, want)
+	}
+	// η- only counts guaranteed events: the sporadic part contributes 0.
+	if got, want := s.EtaMinus(400), int64(2); got != want {
+		t.Errorf("EtaMinus(400) = %d, want %d", got, want)
+	}
+}
+
+func TestSumDeltaMinInversion(t *testing.T) {
+	s := NewSum(NewPeriodic(100), NewPeriodic(100))
+	// Two interleaved period-100 streams allow two events at distance 0,
+	// so δ-(3) is the first real gap.
+	if got := s.DeltaMin(2); got != 0 {
+		t.Errorf("DeltaMin(2) = %d, want 0 (simultaneous events)", got)
+	}
+	if got := s.DeltaMin(3); got != 100 {
+		t.Errorf("DeltaMin(3) = %d, want 100", got)
+	}
+	if got := s.DeltaMin(5); got != 200 {
+		t.Errorf("DeltaMin(5) = %d, want 200", got)
+	}
+}
+
+func TestSumDeltaMax(t *testing.T) {
+	s := NewSum(NewPeriodic(100), NewSporadic(50))
+	// Progress comes only from the periodic part: q events are
+	// guaranteed once η-(ΔT) ≥ q-1, i.e. after (q-1)·100.
+	if got := s.DeltaMax(3); got != 200 {
+		t.Errorf("DeltaMax(3) = %d, want 200", got)
+	}
+	onlySporadic := NewSum(NewSporadic(10))
+	if got := onlySporadic.DeltaMax(2); !got.IsInf() {
+		t.Errorf("DeltaMax(2) = %d, want Infinity", got)
+	}
+}
+
+func TestSumValidate(t *testing.T) {
+	s := NewSum(NewPeriodic(200), NewSporadic(600), NewBurst(1000, 3, 10))
+	if err := Validate(s, 5000, 32); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmplified(t *testing.T) {
+	a := NewAmplified(NewPeriodic(100), 3)
+	if got := a.EtaPlus(101); got != 6 {
+		t.Errorf("EtaPlus(101) = %d, want 6", got)
+	}
+	if got := a.DeltaMin(3); got != 0 {
+		t.Errorf("DeltaMin(3) = %d, want 0 (same burst)", got)
+	}
+	if got := a.DeltaMin(4); got != 100 {
+		t.Errorf("DeltaMin(4) = %d, want 100", got)
+	}
+	if got := a.DeltaMax(4); got != 100 {
+		t.Errorf("DeltaMax(4) = %d, want 100", got)
+	}
+	if err := Validate(a, 2000, 32); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmplifiedFactorOneIsIdentity(t *testing.T) {
+	f := func(p uint16, dt uint32, q uint8) bool {
+		period := Time(p%500) + 1
+		inner := NewPeriodic(period)
+		a := NewAmplified(inner, 1)
+		w := Time(dt % 100000)
+		qq := int64(q) + 1
+		return a.EtaPlus(w) == inner.EtaPlus(w) &&
+			a.DeltaMin(qq) == inner.DeltaMin(qq) &&
+			a.DeltaMax(qq) == inner.DeltaMax(qq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumCommutes checks that summing is order-independent.
+func TestSumCommutes(t *testing.T) {
+	f := func(p1, p2 uint16, dt uint32) bool {
+		a := NewPeriodic(Time(p1%400) + 1)
+		b := NewSporadic(Time(p2%400) + 1)
+		w := Time(dt % 50000)
+		return NewSum(a, b).EtaPlus(w) == NewSum(b, a).EtaPlus(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

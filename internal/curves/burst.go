@@ -1,0 +1,61 @@
+package curves
+
+import "fmt"
+
+// Burst is the sporadic-burst event model: events arrive in bursts of up
+// to BurstSize events spaced InnerDistance apart, and bursts are
+// separated so that any BurstSize+1 consecutive events span at least
+// OuterPeriod. It is defined through its minimum-distance function
+//
+//	δ-(q) = ⌊(q-1)/b⌋ · P_out + ((q-1) mod b) · d_in
+//
+// with η+ derived by pseudo-inversion. This is the classic model for
+// interrupt showers and is the canonical "rare but bursty" overload
+// source in the TWCA literature.
+type Burst struct {
+	OuterPeriod   Time
+	BurstSize     int64
+	InnerDistance Time
+}
+
+// NewBurst returns a sporadic-burst event model. burstSize must be ≥ 1
+// and innerDistance·(burstSize-1) should be smaller than outerPeriod for
+// the model to be meaningful; NewBurst panics if burstSize < 1.
+func NewBurst(outerPeriod Time, burstSize int64, innerDistance Time) Burst {
+	if burstSize < 1 {
+		panic("curves: burst size must be ≥ 1")
+	}
+	return Burst{OuterPeriod: outerPeriod, BurstSize: burstSize, InnerDistance: innerDistance}
+}
+
+// EtaPlus implements EventModel.
+func (b Burst) EtaPlus(dt Time) int64 {
+	return etaPlusFromDeltaMin(b.DeltaMin, dt)
+}
+
+// EtaMinus implements EventModel. Like plain sporadic models, bursts may
+// never occur.
+func (b Burst) EtaMinus(dt Time) int64 { return 0 }
+
+// DeltaMin implements EventModel.
+func (b Burst) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	full := (q - 1) / b.BurstSize
+	rem := (q - 1) % b.BurstSize
+	return AddSat(MulSat(b.OuterPeriod, full), MulSat(b.InnerDistance, rem))
+}
+
+// DeltaMax implements EventModel.
+func (b Burst) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	return Infinity
+}
+
+// String implements EventModel.
+func (b Burst) String() string {
+	return fmt.Sprintf("burst(P=%d,b=%d,d=%d)", b.OuterPeriod, b.BurstSize, b.InnerDistance)
+}

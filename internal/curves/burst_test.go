@@ -1,0 +1,72 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBurstDeltaMin(t *testing.T) {
+	// Bursts of 3 events 10 apart, bursts spaced so 4 consecutive events
+	// span at least 1000.
+	m := NewBurst(1000, 3, 10)
+	tests := []struct {
+		q    int64
+		want Time
+	}{
+		{1, 0}, {2, 10}, {3, 20}, {4, 1000}, {5, 1010}, {6, 1020}, {7, 2000},
+	}
+	for _, tt := range tests {
+		if got := m.DeltaMin(tt.q); got != tt.want {
+			t.Errorf("DeltaMin(%d) = %d, want %d", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestBurstEtaPlus(t *testing.T) {
+	m := NewBurst(1000, 3, 10)
+	tests := []struct {
+		dt   Time
+		want int64
+	}{
+		{0, 0},
+		{1, 1},
+		{10, 1},   // second event needs distance ≥ 10, window is half-open
+		{11, 2},   // window longer than δ-(2)
+		{21, 3},   // full burst
+		{1000, 3}, // next burst not yet possible
+		{1001, 4},
+		{2021, 9},
+	}
+	for _, tt := range tests {
+		if got := m.EtaPlus(tt.dt); got != tt.want {
+			t.Errorf("EtaPlus(%d) = %d, want %d", tt.dt, got, tt.want)
+		}
+	}
+}
+
+func TestBurstSizeOneEqualsSporadic(t *testing.T) {
+	f := func(p uint16, dt uint32) bool {
+		period := Time(p%900) + 1
+		b, s := NewBurst(period, 1, 0), NewSporadic(period)
+		w := Time(dt % 50000)
+		return b.EtaPlus(w) == s.EtaPlus(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	if err := Validate(NewBurst(1000, 3, 10), 20000, 40); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBurstPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBurst(…, 0, …) did not panic")
+		}
+	}()
+	NewBurst(1000, 0, 10)
+}

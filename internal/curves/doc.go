@@ -1,0 +1,27 @@
+// Package curves implements the event models used by Compositional
+// Performance Analysis (CPA) and Typical Worst-Case Analysis (TWCA):
+// arrival curves η+/η- and their pseudo-inverse distance functions δ-/δ+.
+//
+// An event model describes how often a task chain may be activated.
+// Following the conventions of the DATE 2017 paper "Bounding Deadline
+// Misses in Weakly-Hard Real-Time Systems with Task Dependencies"
+// (Hammadeh et al.) and the CPA literature it builds on:
+//
+//   - η+(ΔT) is the maximum number of events that can occur in any
+//     half-open time window of length ΔT; η+(0) = 0.
+//   - η-(ΔT) is the minimum number of events in any such window.
+//   - δ-(q) is the minimum distance between the first and the last event
+//     of any q consecutive events; δ-(q) = 0 for q ≤ 1.
+//   - δ+(q) is the maximum such distance, which may be Infinity for
+//     sporadic models with no guaranteed progress.
+//
+// The two representations are pseudo-inverses of each other:
+//
+//	η+(ΔT) = max{ q ≥ 0 : δ-(q) < ΔT }        for ΔT > 0
+//	δ-(q)  = max{ ΔT ≥ 0 : η+(ΔT) ≤ q-1 }     for q ≥ 2
+//
+// All computations are exact integer arithmetic on the Time type; there
+// is no floating point anywhere in the analysis, so results are
+// deterministic and portable. Additions and multiplications saturate at
+// Infinity instead of overflowing.
+package curves

@@ -1,0 +1,50 @@
+package curves
+
+import "testing"
+
+// FuzzPeriodicInvariants checks the core event-model invariants on
+// arbitrary PJd parameters: monotone curves, pseudo-inverse duality and
+// η-/δ+ consistency. Fuzzing explores corners (huge jitter, dmin close
+// to period) that the table-driven tests do not.
+func FuzzPeriodicInvariants(f *testing.F) {
+	f.Add(int64(200), int64(0), int64(0), int64(331), int64(3))
+	f.Add(int64(1), int64(1000), int64(1), int64(5), int64(7))
+	f.Add(int64(700), int64(30), int64(20), int64(100000), int64(40))
+	abs := func(v int64) int64 {
+		if v < 0 {
+			if v == -1<<63 {
+				return 1 // avoid negating MinInt64
+			}
+			return -v
+		}
+		return v
+	}
+	f.Fuzz(func(t *testing.T, p, j, d, dt, q int64) {
+		period := Time(abs(p)%10000) + 1
+		jitter := Time(abs(j) % 100000)
+		dmin := Time(abs(d) % 100)
+		m := NewPeriodicJitter(period, jitter, dmin)
+		w := Time(abs(dt) % 1000000)
+		qq := abs(q)%1000 + 2
+
+		if m.EtaPlus(w) < m.EtaPlus(w-1) {
+			t.Fatalf("%v: η+ not monotone at %d", m, w)
+		}
+		if m.EtaMinus(w) > m.EtaPlus(w) {
+			t.Fatalf("%v: η-(%d) > η+(%d)", m, w, w)
+		}
+		dminQ := m.DeltaMin(qq)
+		if dminQ > m.DeltaMax(qq) {
+			t.Fatalf("%v: δ-(%d) > δ+(%d)", m, qq, qq)
+		}
+		if dminQ < m.DeltaMin(qq-1) {
+			t.Fatalf("%v: δ- not monotone at %d", m, qq)
+		}
+		// Pseudo-inverse duality: qq events fit strictly beyond δ-(qq).
+		if !dminQ.IsInf() && dminQ < 1<<40 {
+			if got := m.EtaPlus(dminQ + 1); got < qq {
+				t.Fatalf("%v: η+(δ-(%d)+1) = %d < %d", m, qq, got, qq)
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package curves
+
+import "fmt"
+
+// Jittered wraps any event model with additional release jitter J, the
+// standard CPA propagation when events traverse a processing stage:
+// each event may be delayed by up to J relative to its nominal time, so
+//
+//	η+(ΔT) = η+_inner(ΔT + J)
+//	δ-(q)  = max(0, δ-_inner(q) − J)
+//	δ+(q)  = δ+_inner(q) + J
+//	η-(ΔT) = η-_inner(ΔT − J)
+//
+// Package holistic uses this to model the activation of a task by its
+// predecessor's completion.
+type Jittered struct {
+	Inner  EventModel
+	Jitter Time
+}
+
+// NewJittered wraps m with extra jitter j ≥ 0; j = 0 returns m itself.
+func NewJittered(m EventModel, j Time) EventModel {
+	if j == 0 {
+		return m
+	}
+	if j < 0 {
+		panic("curves: negative jitter")
+	}
+	// Collapse nested wrappers so long propagation chains stay O(1).
+	if inner, ok := m.(Jittered); ok {
+		return Jittered{Inner: inner.Inner, Jitter: AddSat(inner.Jitter, j)}
+	}
+	return Jittered{Inner: m, Jitter: j}
+}
+
+// EtaPlus implements EventModel.
+func (j Jittered) EtaPlus(dt Time) int64 {
+	if dt <= 0 {
+		return 0
+	}
+	return j.Inner.EtaPlus(AddSat(dt, j.Jitter))
+}
+
+// EtaMinus implements EventModel.
+func (j Jittered) EtaMinus(dt Time) int64 {
+	return j.Inner.EtaMinus(dt - j.Jitter)
+}
+
+// DeltaMin implements EventModel.
+func (j Jittered) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	d := j.Inner.DeltaMin(q)
+	if d.IsInf() {
+		return d
+	}
+	d -= j.Jitter
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DeltaMax implements EventModel.
+func (j Jittered) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	return AddSat(j.Inner.DeltaMax(q), j.Jitter)
+}
+
+// String implements EventModel.
+func (j Jittered) String() string {
+	return fmt.Sprintf("%v+J%d", j.Inner, j.Jitter)
+}

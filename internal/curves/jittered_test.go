@@ -1,0 +1,91 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJitteredBasics(t *testing.T) {
+	m := NewJittered(NewPeriodic(100), 30)
+	if got := m.EtaPlus(1); got != 1 {
+		t.Errorf("EtaPlus(1) = %d, want 1", got)
+	}
+	if got := m.EtaPlus(71); got != 2 {
+		t.Errorf("EtaPlus(71) = %d, want 2 (71+30 > 100)", got)
+	}
+	if got := m.DeltaMin(2); got != 70 {
+		t.Errorf("DeltaMin(2) = %d, want 70", got)
+	}
+	if got := m.DeltaMax(2); got != 130 {
+		t.Errorf("DeltaMax(2) = %d, want 130", got)
+	}
+	if got := m.EtaMinus(130); got != 1 {
+		t.Errorf("EtaMinus(130) = %d, want 1", got)
+	}
+	if err := Validate(m, 2000, 32); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitteredZeroIsIdentity(t *testing.T) {
+	inner := NewPeriodic(100)
+	if got := NewJittered(inner, 0); got != EventModel(inner) {
+		t.Errorf("NewJittered(m, 0) = %v, want the inner model itself", got)
+	}
+}
+
+func TestJitteredCollapsesNesting(t *testing.T) {
+	m := NewJittered(NewJittered(NewPeriodic(100), 10), 20)
+	j, ok := m.(Jittered)
+	if !ok {
+		t.Fatalf("expected Jittered, got %T", m)
+	}
+	if j.Jitter != 30 {
+		t.Errorf("collapsed jitter = %d, want 30", j.Jitter)
+	}
+	if _, nested := j.Inner.(Jittered); nested {
+		t.Error("nesting not collapsed")
+	}
+}
+
+func TestJitteredMatchesPeriodicJitter(t *testing.T) {
+	// Wrapping a strictly periodic model must agree with the native
+	// PJd model at dmin = 0.
+	f := func(p, j uint16, dt uint32, q uint8) bool {
+		period := Time(p%500) + 1
+		jit := Time(j % 1000)
+		a := NewJittered(NewPeriodic(period), jit)
+		b := NewPeriodicJitter(period, jit, 0)
+		w := Time(dt % 100000)
+		qq := int64(q) + 1
+		return a.EtaPlus(w) == b.EtaPlus(w) &&
+			a.DeltaMin(qq) == b.DeltaMin(qq) &&
+			a.DeltaMax(qq) == b.DeltaMax(qq) &&
+			a.EtaMinus(w) == b.EtaMinus(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitteredSporadic(t *testing.T) {
+	m := NewJittered(NewSporadic(600), 1000)
+	if got := m.DeltaMin(2); got != 0 {
+		t.Errorf("DeltaMin(2) = %d, want 0 (jitter exceeds distance)", got)
+	}
+	if got := m.DeltaMax(2); !got.IsInf() {
+		t.Errorf("DeltaMax(2) = %d, want Infinity", got)
+	}
+	if got := m.EtaPlus(1); got != 2 {
+		t.Errorf("EtaPlus(1) = %d, want 2 (ceil(1001/600))", got)
+	}
+}
+
+func TestJitteredNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative jitter did not panic")
+		}
+	}()
+	NewJittered(NewPeriodic(10), -1)
+}

@@ -1,0 +1,177 @@
+package curves
+
+import "fmt"
+
+// EventModel describes the activation pattern of a task chain as an
+// arrival curve pair (η+, η-) together with the pseudo-inverse distance
+// functions (δ-, δ+). Implementations must be consistent:
+//
+//   - η+ and η- are non-decreasing with η+(ΔT) ≥ η-(ΔT) and η+(0) = 0;
+//   - δ- and δ+ are non-decreasing with δ-(q) ≤ δ+(q) and
+//     δ-(q) = δ+(q) = 0 for q ≤ 1;
+//   - η+ and δ- satisfy the pseudo-inverse relation documented in the
+//     package comment.
+//
+// Validate (in this package) spot-checks these invariants for any model.
+type EventModel interface {
+	// EtaPlus returns the maximum number of events in any half-open
+	// window of length dt. EtaPlus(dt) = 0 for dt ≤ 0.
+	EtaPlus(dt Time) int64
+	// EtaMinus returns the minimum number of events in any half-open
+	// window of length dt.
+	EtaMinus(dt Time) int64
+	// DeltaMin returns the minimum distance between the first and the
+	// last of q consecutive events. DeltaMin(q) = 0 for q ≤ 1.
+	DeltaMin(q int64) Time
+	// DeltaMax returns the maximum distance between the first and the
+	// last of q consecutive events, or Infinity if the model gives no
+	// progress guarantee (e.g. sporadic models). DeltaMax(q) = 0 for
+	// q ≤ 1.
+	DeltaMax(q int64) Time
+	// String returns a short human-readable description.
+	String() string
+}
+
+// etaPlusFromDeltaMin derives η+(dt) = max{q ≥ 0 : δ-(q) < dt} from a
+// non-decreasing δ- function by exponential plus binary search. delta
+// must grow without bound for the search to terminate; every event model
+// with a positive long-term inter-arrival distance satisfies this.
+func etaPlusFromDeltaMin(delta func(int64) Time, dt Time) int64 {
+	if dt <= 0 {
+		return 0
+	}
+	// Find an upper bound hi with δ-(hi) ≥ dt.
+	var lo, hi int64 = 1, 2
+	for delta(hi) < dt {
+		lo = hi
+		if hi > 1<<60 {
+			panic("curves: δ- does not reach window length; zero long-term rate?")
+		}
+		hi *= 2
+	}
+	// Invariant: δ-(lo) < dt ≤ δ-(hi). Binary search the boundary.
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if delta(mid) < dt {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// deltaMinFromEtaPlus derives δ-(q) = max{dt ≥ 0 : η+(dt) ≤ q-1} from a
+// non-decreasing η+ function. hint is an optional initial upper bound
+// for the search (pass 0 when unknown).
+func deltaMinFromEtaPlus(eta func(Time) int64, q int64, hint Time) Time {
+	if q <= 1 {
+		return 0
+	}
+	var lo, hi Time = 0, 1
+	if hint > 0 {
+		hi = hint
+	}
+	for eta(hi) <= q-1 {
+		lo = hi
+		if hi > Infinity/2 {
+			return Infinity
+		}
+		hi *= 2
+	}
+	// Invariant: η+(lo) ≤ q-1 < η+(hi).
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if eta(mid) <= q-1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// etaMinusFromDeltaMax derives η-(dt) = min{q ≥ 0 : δ+(q+2) > dt} from a
+// non-decreasing δ+ function (the standard relation from the CPA
+// literature, e.g. Quinton et al., DATE 2012).
+func etaMinusFromDeltaMax(delta func(int64) Time, dt Time) int64 {
+	if dt <= 0 {
+		return 0
+	}
+	if delta(2).IsInf() {
+		return 0
+	}
+	var q int64
+	// Exponential search for the first q with δ+(q+2) > dt.
+	var lo, hi int64 = 0, 1
+	for delta(hi+2) <= dt {
+		lo = hi
+		if hi > 1<<60 {
+			return hi // effectively unbounded rate
+		}
+		hi *= 2
+	}
+	if delta(lo+2) > dt {
+		return lo
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if delta(mid+2) <= dt {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	q = hi
+	return q
+}
+
+// Validate spot-checks the documented EventModel invariants on a sample
+// of windows up to horizon and event counts up to qMax. It returns nil
+// if all checks pass. It is intended for tests and for validating
+// user-supplied models at system-construction time.
+func Validate(m EventModel, horizon Time, qMax int64) error {
+	if m.EtaPlus(0) != 0 {
+		return fmt.Errorf("curves: %v: η+(0) = %d, want 0", m, m.EtaPlus(0))
+	}
+	if d := m.DeltaMin(1); d != 0 {
+		return fmt.Errorf("curves: %v: δ-(1) = %d, want 0", m, d)
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	step := horizon / 64
+	if step < 1 {
+		step = 1
+	}
+	var prevPlus, prevMinus int64
+	for dt := Time(0); dt <= horizon; dt += step {
+		ep, em := m.EtaPlus(dt), m.EtaMinus(dt)
+		if em > ep {
+			return fmt.Errorf("curves: %v: η-(%d)=%d > η+(%d)=%d", m, dt, em, dt, ep)
+		}
+		if ep < prevPlus || em < prevMinus {
+			return fmt.Errorf("curves: %v: arrival curve not monotone at ΔT=%d", m, dt)
+		}
+		prevPlus, prevMinus = ep, em
+	}
+	var prevMin, prevMax Time
+	for q := int64(1); q <= qMax; q++ {
+		dmin, dmax := m.DeltaMin(q), m.DeltaMax(q)
+		if dmin > dmax {
+			return fmt.Errorf("curves: %v: δ-(%d)=%d > δ+(%d)=%d", m, q, dmin, q, dmax)
+		}
+		if dmin < prevMin || dmax < prevMax {
+			return fmt.Errorf("curves: %v: distance function not monotone at q=%d", m, q)
+		}
+		prevMin, prevMax = dmin, dmax
+		// Pseudo-inverse consistency: q events must fit in any window
+		// strictly longer than δ-(q).
+		if !dmin.IsInf() && dmin < horizon {
+			if got := m.EtaPlus(dmin + 1); got < q {
+				return fmt.Errorf("curves: %v: η+(δ-(%d)+1)=%d < %d", m, q, got, q)
+			}
+		}
+	}
+	return nil
+}

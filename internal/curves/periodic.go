@@ -1,0 +1,98 @@
+package curves
+
+import "fmt"
+
+// Periodic is the periodic-with-jitter-and-minimum-distance (PJd) event
+// model: events nominally arrive every Period time units but each may be
+// displaced by up to Jitter, while two consecutive events are always at
+// least DMin apart. Jitter = 0 yields the strictly periodic model;
+// DMin ≤ 1 disables the minimum-distance cap.
+//
+// The standard CPA formulas are used (half-open windows):
+//
+//	η+(ΔT) = min( ⌈(ΔT+J)/P⌉, ⌈ΔT/d⌉ )   for ΔT > 0
+//	η-(ΔT) = ⌊(ΔT-J)/P⌋                   for ΔT > J, else 0
+//	δ-(q)  = max( (q-1)·P - J, (q-1)·d )  for q ≥ 2
+//	δ+(q)  = (q-1)·P + J                  for q ≥ 2
+type Periodic struct {
+	Period Time
+	Jitter Time
+	DMin   Time
+}
+
+// NewPeriodic returns a strictly periodic event model.
+func NewPeriodic(period Time) Periodic {
+	return Periodic{Period: period}
+}
+
+// NewPeriodicJitter returns a periodic event model with release jitter
+// and a minimum inter-arrival distance. dmin ≤ 1 means "no constraint
+// beyond one event at a time". A dmin above the period would contradict
+// the long-run rate (no event trace could satisfy both), so it is
+// clamped to the period; Spec.Model rejects such inputs instead.
+func NewPeriodicJitter(period, jitter, dmin Time) Periodic {
+	if dmin > period {
+		dmin = period
+	}
+	return Periodic{Period: period, Jitter: jitter, DMin: dmin}
+}
+
+// EtaPlus implements EventModel.
+func (p Periodic) EtaPlus(dt Time) int64 {
+	if dt <= 0 {
+		return 0
+	}
+	n := int64(CeilDiv(dt+p.Jitter, p.Period))
+	if p.DMin > 1 {
+		if cap := int64(CeilDiv(dt, p.DMin)); cap < n {
+			n = cap
+		}
+	}
+	return n
+}
+
+// EtaMinus implements EventModel.
+func (p Periodic) EtaMinus(dt Time) int64 {
+	if dt <= p.Jitter {
+		return 0
+	}
+	return int64((dt - p.Jitter) / p.Period)
+}
+
+// DeltaMin implements EventModel.
+func (p Periodic) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	d := MulSat(p.Period, q-1)
+	if !d.IsInf() {
+		d -= p.Jitter
+		if d < 0 {
+			d = 0
+		}
+	}
+	if p.DMin > 1 {
+		d = MaxTime(d, MulSat(p.DMin, q-1))
+	}
+	return d
+}
+
+// DeltaMax implements EventModel.
+func (p Periodic) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	return AddSat(MulSat(p.Period, q-1), p.Jitter)
+}
+
+// String implements EventModel.
+func (p Periodic) String() string {
+	switch {
+	case p.Jitter == 0 && p.DMin <= 1:
+		return fmt.Sprintf("periodic(P=%d)", p.Period)
+	case p.DMin <= 1:
+		return fmt.Sprintf("periodic(P=%d,J=%d)", p.Period, p.Jitter)
+	default:
+		return fmt.Sprintf("periodic(P=%d,J=%d,d=%d)", p.Period, p.Jitter, p.DMin)
+	}
+}

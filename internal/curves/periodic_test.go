@@ -1,0 +1,141 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodicEtaPlus(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Periodic
+		dt   Time
+		want int64
+	}{
+		{"zero window", NewPeriodic(200), 0, 0},
+		{"negative window", NewPeriodic(200), -5, 0},
+		{"tiny window", NewPeriodic(200), 1, 1},
+		{"exactly one period", NewPeriodic(200), 200, 1},
+		{"just over one period", NewPeriodic(200), 201, 2},
+		{"case study eta_d(216)", NewPeriodic(200), 216, 2},
+		{"case study eta_d(331)", NewPeriodic(200), 331, 2},
+		{"case study eta_a(731)", NewPeriodic(700), 731, 2},
+		{"ten periods", NewPeriodic(200), 2000, 10},
+		{"jitter adds events", NewPeriodicJitter(200, 250, 0), 1, 2},
+		{"dmin caps jittered burst", NewPeriodicJitter(200, 1000, 10), 15, 2},
+		{"dmin inactive when large window", NewPeriodicJitter(200, 0, 10), 400, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.EtaPlus(tt.dt); got != tt.want {
+				t.Errorf("%v.EtaPlus(%d) = %d, want %d", tt.m, tt.dt, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPeriodicEtaMinus(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Periodic
+		dt   Time
+		want int64
+	}{
+		{"zero window", NewPeriodic(200), 0, 0},
+		{"below period", NewPeriodic(200), 199, 0},
+		{"exactly period", NewPeriodic(200), 200, 1},
+		{"two periods", NewPeriodic(200), 400, 2},
+		{"jitter delays", NewPeriodicJitter(200, 50, 0), 249, 0},
+		{"jitter boundary", NewPeriodicJitter(200, 50, 0), 250, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.EtaMinus(tt.dt); got != tt.want {
+				t.Errorf("%v.EtaMinus(%d) = %d, want %d", tt.m, tt.dt, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPeriodicDelta(t *testing.T) {
+	m := NewPeriodicJitter(200, 30, 5)
+	if got := m.DeltaMin(1); got != 0 {
+		t.Errorf("DeltaMin(1) = %d, want 0", got)
+	}
+	if got := m.DeltaMin(2); got != 170 {
+		t.Errorf("DeltaMin(2) = %d, want 170", got)
+	}
+	if got := m.DeltaMax(2); got != 230 {
+		t.Errorf("DeltaMax(2) = %d, want 230", got)
+	}
+	// With huge jitter the dmin floor dominates.
+	mj := NewPeriodicJitter(200, 10000, 5)
+	if got := mj.DeltaMin(3); got != 10 {
+		t.Errorf("DeltaMin(3) = %d, want 10 (dmin floor)", got)
+	}
+}
+
+func TestPeriodicDMinClamp(t *testing.T) {
+	// dmin above the period is contradictory (found by fuzzing): the
+	// constructor clamps it so δ-(q) ≤ δ+(q) always holds.
+	m := NewPeriodicJitter(2, 1000, 23)
+	if m.DMin != 2 {
+		t.Errorf("DMin = %d, want clamped to period 2", m.DMin)
+	}
+	if m.DeltaMin(91) > m.DeltaMax(91) {
+		t.Errorf("δ-(91)=%d > δ+(91)=%d after clamp", m.DeltaMin(91), m.DeltaMax(91))
+	}
+	if _, err := (Spec{Type: "periodic", Period: 2, DMin: 23}).Model(); err == nil {
+		t.Error("spec with dmin > period accepted")
+	}
+}
+
+func TestPeriodicValidate(t *testing.T) {
+	models := []EventModel{
+		NewPeriodic(1),
+		NewPeriodic(200),
+		NewPeriodicJitter(200, 30, 5),
+		NewPeriodicJitter(100, 500, 7),
+	}
+	for _, m := range models {
+		if err := Validate(m, 5000, 64); err != nil {
+			t.Errorf("Validate(%v): %v", m, err)
+		}
+	}
+}
+
+// TestPeriodicPseudoInverse checks the fundamental η+/δ- duality on
+// randomized periodic models: q events fit in a window iff the window is
+// strictly longer than δ-(q).
+func TestPeriodicPseudoInverse(t *testing.T) {
+	f := func(p, j, d uint16, q uint8) bool {
+		m := NewPeriodicJitter(Time(p%500)+1, Time(j%300), Time(d%20))
+		qq := int64(q%40) + 2
+		dmin := m.DeltaMin(qq)
+		// q events must fit in any window longer than δ-(q) …
+		if m.EtaPlus(dmin+1) < qq {
+			return false
+		}
+		// … and must not fit in a window of length δ-(q) (when > 0).
+		if dmin > 0 && m.EtaPlus(dmin) >= qq+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPeriodicSubadditivity checks δ-(a+b-1) ≥ δ-(a)+δ-(b) − which must
+// hold for any minimum-distance function (superadditivity over gaps).
+func TestPeriodicSubadditivity(t *testing.T) {
+	f := func(p, j uint16, a, b uint8) bool {
+		m := NewPeriodicJitter(Time(p%500)+1, Time(j%100), 0)
+		qa, qb := int64(a%20)+1, int64(b%20)+1
+		return m.DeltaMin(qa+qb-1) >= m.DeltaMin(qa)+m.DeltaMin(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

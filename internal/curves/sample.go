@@ -1,0 +1,37 @@
+package curves
+
+// EtaSample is one point of a sampled arrival curve.
+type EtaSample struct {
+	Window Time
+	Plus   int64
+	Minus  int64
+}
+
+// SampleEta evaluates η+ and η- on windows 0, step, 2·step, …, horizon,
+// for plotting and for comparing models (e.g. a specification against a
+// trace extracted from simulation).
+func SampleEta(m EventModel, horizon, step Time) []EtaSample {
+	if step <= 0 {
+		step = 1
+	}
+	var out []EtaSample
+	for dt := Time(0); dt <= horizon; dt += step {
+		out = append(out, EtaSample{Window: dt, Plus: m.EtaPlus(dt), Minus: m.EtaMinus(dt)})
+	}
+	return out
+}
+
+// Dominates reports whether a's upper curve is everywhere at least b's
+// on the sampled windows — i.e. a is a safe over-approximation of b for
+// interference purposes (more events in every window).
+func Dominates(a, b EventModel, horizon, step Time) bool {
+	if step <= 0 {
+		step = 1
+	}
+	for dt := Time(1); dt <= horizon; dt += step {
+		if a.EtaPlus(dt) < b.EtaPlus(dt) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+package curves
+
+import "testing"
+
+func TestSampleEta(t *testing.T) {
+	s := SampleEta(NewPeriodic(100), 300, 100)
+	want := []EtaSample{
+		{0, 0, 0}, {100, 1, 1}, {200, 2, 2}, {300, 3, 3},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("samples = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, s[i], want[i])
+		}
+	}
+	if got := SampleEta(NewPeriodic(10), 5, 0); len(got) != 6 {
+		t.Errorf("step 0 should default to 1: %d samples", len(got))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	fast, slow := NewPeriodic(100), NewPeriodic(200)
+	if !Dominates(fast, slow, 10000, 7) {
+		t.Error("period 100 must dominate period 200")
+	}
+	if Dominates(slow, fast, 10000, 7) {
+		t.Error("period 200 cannot dominate period 100")
+	}
+	// A model trivially dominates itself.
+	if !Dominates(fast, fast, 1000, 1) {
+		t.Error("self-domination failed")
+	}
+	// Jitter only adds events: jittered dominates plain.
+	if !Dominates(NewPeriodicJitter(100, 50, 0), fast, 10000, 3) {
+		t.Error("jittered must dominate plain periodic")
+	}
+}

@@ -1,0 +1,83 @@
+package curves
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the JSON-serializable description of an event model, used by
+// the model package to load and store systems. It is a tagged union:
+//
+//	{"type":"periodic","period":200}
+//	{"type":"periodic","period":200,"jitter":40,"dmin":5}
+//	{"type":"sporadic","dmin":600}
+//	{"type":"burst","period":10000,"size":4,"dmin":50}
+type Spec struct {
+	Type   string `json:"type"`
+	Period Time   `json:"period,omitempty"`
+	Jitter Time   `json:"jitter,omitempty"`
+	DMin   Time   `json:"dmin,omitempty"`
+	Size   int64  `json:"size,omitempty"`
+}
+
+// Model instantiates the event model the spec describes.
+func (s Spec) Model() (EventModel, error) {
+	switch s.Type {
+	case "periodic":
+		if s.Period <= 0 {
+			return nil, fmt.Errorf("curves: periodic spec needs period > 0, got %d", s.Period)
+		}
+		if s.Jitter < 0 || s.DMin < 0 {
+			return nil, fmt.Errorf("curves: periodic spec has negative jitter or dmin")
+		}
+		if s.DMin > s.Period {
+			return nil, fmt.Errorf("curves: periodic spec has dmin %d > period %d (contradictory)", s.DMin, s.Period)
+		}
+		return NewPeriodicJitter(s.Period, s.Jitter, s.DMin), nil
+	case "sporadic":
+		if s.DMin <= 0 {
+			return nil, fmt.Errorf("curves: sporadic spec needs dmin > 0, got %d", s.DMin)
+		}
+		return NewSporadic(s.DMin), nil
+	case "burst":
+		if s.Period <= 0 || s.Size < 1 || s.DMin < 0 {
+			return nil, fmt.Errorf("curves: burst spec needs period > 0, size ≥ 1, dmin ≥ 0")
+		}
+		return NewBurst(s.Period, s.Size, s.DMin), nil
+	default:
+		return nil, fmt.Errorf("curves: unknown event model type %q", s.Type)
+	}
+}
+
+// SpecOf returns the serializable spec of a model built by this package,
+// or an error for model types without a JSON form (Trace, Sum, …).
+func SpecOf(m EventModel) (Spec, error) {
+	switch v := m.(type) {
+	case Periodic:
+		return Spec{Type: "periodic", Period: v.Period, Jitter: v.Jitter, DMin: v.DMin}, nil
+	case Sporadic:
+		return Spec{Type: "sporadic", DMin: v.MinDistance}, nil
+	case Burst:
+		return Spec{Type: "burst", Period: v.OuterPeriod, Size: v.BurstSize, DMin: v.InnerDistance}, nil
+	default:
+		return Spec{}, fmt.Errorf("curves: model %T has no JSON spec", m)
+	}
+}
+
+// MarshalModel serializes a model to its JSON spec.
+func MarshalModel(m EventModel) ([]byte, error) {
+	spec, err := SpecOf(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(spec)
+}
+
+// UnmarshalModel parses a JSON spec into an event model.
+func UnmarshalModel(data []byte) (EventModel, error) {
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, err
+	}
+	return spec.Model()
+}

@@ -1,0 +1,59 @@
+package curves
+
+import (
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	models := []EventModel{
+		NewPeriodic(200),
+		NewPeriodicJitter(200, 30, 5),
+		NewSporadic(600),
+		NewBurst(1000, 3, 10),
+	}
+	for _, m := range models {
+		data, err := MarshalModel(m)
+		if err != nil {
+			t.Fatalf("MarshalModel(%v): %v", m, err)
+		}
+		back, err := UnmarshalModel(data)
+		if err != nil {
+			t.Fatalf("UnmarshalModel(%s): %v", data, err)
+		}
+		for _, dt := range []Time{0, 1, 100, 777, 5000} {
+			if back.EtaPlus(dt) != m.EtaPlus(dt) {
+				t.Errorf("%v round-trip changed EtaPlus(%d)", m, dt)
+			}
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []Spec{
+		{Type: "periodic"},                            // missing period
+		{Type: "periodic", Period: -1},                // negative period
+		{Type: "periodic", Period: 10, Jitter: -1},    // negative jitter
+		{Type: "sporadic"},                            // missing dmin
+		{Type: "burst", Period: 100, Size: 0},         // zero burst size
+		{Type: "burst", Period: 0, Size: 2},           // zero period
+		{Type: "banana"},                              // unknown type
+		{Type: "burst", Period: 5, Size: 1, DMin: -3}, // negative dmin
+	}
+	for _, s := range bad {
+		if _, err := s.Model(); err == nil {
+			t.Errorf("Spec %+v: expected error", s)
+		}
+	}
+}
+
+func TestSpecOfUnsupported(t *testing.T) {
+	if _, err := SpecOf(NewSum(NewPeriodic(10))); err == nil {
+		t.Error("SpecOf(Sum) succeeded, want error")
+	}
+}
+
+func TestUnmarshalModelBadJSON(t *testing.T) {
+	if _, err := UnmarshalModel([]byte(`{`)); err == nil {
+		t.Error("UnmarshalModel on malformed JSON succeeded, want error")
+	}
+}

@@ -1,0 +1,52 @@
+package curves
+
+import "fmt"
+
+// Sporadic is the sporadic event model: consecutive events are at least
+// MinDistance apart (MinDistance = δ-(2)), but there is no guarantee
+// that events occur at all. Consequently η- is identically zero and δ+
+// is Infinity. This is the model the paper uses for its overload chains
+// (σa[700], σb[600] in the case study).
+type Sporadic struct {
+	MinDistance Time
+}
+
+// NewSporadic returns a sporadic event model with the given minimum
+// inter-arrival distance.
+func NewSporadic(minDistance Time) Sporadic {
+	return Sporadic{MinDistance: minDistance}
+}
+
+// EtaPlus implements EventModel.
+func (s Sporadic) EtaPlus(dt Time) int64 {
+	if dt <= 0 {
+		return 0
+	}
+	return int64(CeilDiv(dt, s.MinDistance))
+}
+
+// EtaMinus implements EventModel. Sporadic events may never occur, so
+// the lower curve is zero.
+func (s Sporadic) EtaMinus(dt Time) int64 { return 0 }
+
+// DeltaMin implements EventModel.
+func (s Sporadic) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	return MulSat(s.MinDistance, q-1)
+}
+
+// DeltaMax implements EventModel. Sporadic models give no progress
+// guarantee, so any distance beyond a single event is unbounded.
+func (s Sporadic) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	return Infinity
+}
+
+// String implements EventModel.
+func (s Sporadic) String() string {
+	return fmt.Sprintf("sporadic(d=%d)", s.MinDistance)
+}

@@ -1,0 +1,63 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSporadicCurves(t *testing.T) {
+	m := NewSporadic(600)
+	tests := []struct {
+		dt   Time
+		want int64
+	}{
+		{0, 0}, {1, 1}, {600, 1}, {601, 2}, {1200, 2}, {1201, 3},
+	}
+	for _, tt := range tests {
+		if got := m.EtaPlus(tt.dt); got != tt.want {
+			t.Errorf("EtaPlus(%d) = %d, want %d", tt.dt, got, tt.want)
+		}
+	}
+	if got := m.EtaMinus(1 << 40); got != 0 {
+		t.Errorf("EtaMinus = %d, want 0 (no progress guarantee)", got)
+	}
+	if got := m.DeltaMin(4); got != 1800 {
+		t.Errorf("DeltaMin(4) = %d, want 1800", got)
+	}
+	if got := m.DeltaMax(2); !got.IsInf() {
+		t.Errorf("DeltaMax(2) = %d, want Infinity", got)
+	}
+	if got := m.DeltaMax(1); got != 0 {
+		t.Errorf("DeltaMax(1) = %d, want 0", got)
+	}
+}
+
+func TestSporadicValidate(t *testing.T) {
+	for _, d := range []Time{1, 7, 600, 1 << 30} {
+		if err := Validate(NewSporadic(d), 10*d, 32); err != nil {
+			t.Errorf("Validate(sporadic %d): %v", d, err)
+		}
+	}
+}
+
+func TestSporadicMatchesPeriodicUpperCurve(t *testing.T) {
+	// A sporadic model with min distance P has the same η+ and δ- as a
+	// strictly periodic model with period P.
+	f := func(p uint16, dt uint32, q uint8) bool {
+		period := Time(p%1000) + 1
+		s, pm := NewSporadic(period), NewPeriodic(period)
+		w := Time(dt % 100000)
+		qq := int64(q) + 1
+		return s.EtaPlus(w) == pm.EtaPlus(w) && s.DeltaMin(qq) == pm.DeltaMin(qq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSporadicDeltaMinOverflowSaturates(t *testing.T) {
+	m := NewSporadic(Infinity / 2)
+	if got := m.DeltaMin(1 << 20); !got.IsInf() {
+		t.Errorf("DeltaMin overflow = %d, want Infinity", got)
+	}
+}

@@ -1,0 +1,59 @@
+package curves
+
+import "math"
+
+// Time is a point in, or a duration of, discrete model time. The unit is
+// whatever the system description uses (the paper's case study uses
+// unit-less integers). Time is signed so that slack computations can go
+// negative, but event models only ever return non-negative values.
+type Time int64
+
+// Infinity is the saturating "unbounded" time value, returned for example
+// by DeltaMax of sporadic models. All arithmetic helpers in this package
+// treat Infinity as absorbing.
+const Infinity Time = math.MaxInt64
+
+// IsInf reports whether t is the Infinity sentinel.
+func (t Time) IsInf() bool { return t == Infinity }
+
+// AddSat returns a+b, saturating at Infinity. Both operands must be
+// non-negative or the result is unspecified.
+func AddSat(a, b Time) Time {
+	if a.IsInf() || b.IsInf() || a > Infinity-b {
+		return Infinity
+	}
+	return a + b
+}
+
+// MulSat returns a*n, saturating at Infinity. a must be non-negative and
+// n must be ≥ 0.
+func MulSat(a Time, n int64) Time {
+	if n == 0 || a == 0 {
+		return 0
+	}
+	if a.IsInf() || a > Infinity/Time(n) {
+		return Infinity
+	}
+	return a * Time(n)
+}
+
+// CeilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func CeilDiv(a, b Time) Time {
+	return (a + b - 1) / b
+}
+
+// MaxTime returns the larger of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

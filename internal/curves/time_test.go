@@ -1,0 +1,67 @@
+package curves
+
+import "testing"
+
+func TestAddSat(t *testing.T) {
+	tests := []struct {
+		a, b, want Time
+	}{
+		{1, 2, 3},
+		{0, 0, 0},
+		{Infinity, 1, Infinity},
+		{1, Infinity, Infinity},
+		{Infinity - 1, 2, Infinity},
+		{Infinity - 1, 1, Infinity},
+		{Infinity / 2, Infinity / 2, Infinity - 1},
+	}
+	for _, tt := range tests {
+		if got := AddSat(tt.a, tt.b); got != tt.want {
+			t.Errorf("AddSat(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulSat(t *testing.T) {
+	tests := []struct {
+		a    Time
+		n    int64
+		want Time
+	}{
+		{3, 4, 12},
+		{0, 100, 0},
+		{100, 0, 0},
+		{Infinity, 2, Infinity},
+		{Infinity / 2, 3, Infinity},
+		{1, 1 << 62, 1 << 62},
+	}
+	for _, tt := range tests {
+		if got := MulSat(tt.a, tt.n); got != tt.want {
+			t.Errorf("MulSat(%d, %d) = %d, want %d", tt.a, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	tests := []struct {
+		a, b, want Time
+	}{
+		{0, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {10, 5, 2}, {11, 5, 3},
+	}
+	for _, tt := range tests {
+		if got := CeilDiv(tt.a, tt.b); got != tt.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MaxTime(3, 7) != 7 || MaxTime(7, 3) != 7 {
+		t.Error("MaxTime broken")
+	}
+	if MinTime(3, 7) != 3 || MinTime(7, 3) != 3 {
+		t.Error("MinTime broken")
+	}
+	if !Infinity.IsInf() || Time(0).IsInf() {
+		t.Error("IsInf broken")
+	}
+}

@@ -1,0 +1,106 @@
+package curves
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trace is an event model extracted from an observed sequence of event
+// timestamps. δ-(q) and δ+(q) are the tightest distance functions
+// consistent with the trace for q up to the trace length; beyond the
+// trace length the distances are extrapolated with the trace's best
+// long-term rates, which keeps the model conservative for η+ as long as
+// the trace is representative.
+//
+// Traces are how the library ingests measured activation logs (e.g.
+// from the simulator in internal/sim, or from an instrumented target).
+type Trace struct {
+	deltaMin []Time // deltaMin[i] = δ-(i+2): distance of i+2 consecutive events
+	deltaMax []Time
+	n        int
+}
+
+// NewTrace builds a trace-based event model from event timestamps. The
+// timestamps are sorted; at least two events are required. NewTrace
+// returns an error if fewer are supplied.
+func NewTrace(timestamps []Time) (*Trace, error) {
+	if len(timestamps) < 2 {
+		return nil, fmt.Errorf("curves: trace needs ≥ 2 events, got %d", len(timestamps))
+	}
+	ts := append([]Time(nil), timestamps...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	t := &Trace{n: len(ts)}
+	for q := 2; q <= len(ts); q++ {
+		dmin, dmax := Infinity, Time(0)
+		for i := 0; i+q-1 < len(ts); i++ {
+			d := ts[i+q-1] - ts[i]
+			dmin = MinTime(dmin, d)
+			dmax = MaxTime(dmax, d)
+		}
+		t.deltaMin = append(t.deltaMin, dmin)
+		t.deltaMax = append(t.deltaMax, dmax)
+	}
+	return t, nil
+}
+
+// Len returns the number of events in the trace.
+func (t *Trace) Len() int { return t.n }
+
+// EtaPlus implements EventModel.
+func (t *Trace) EtaPlus(dt Time) int64 {
+	return etaPlusFromDeltaMin(t.DeltaMin, dt)
+}
+
+// EtaMinus implements EventModel.
+func (t *Trace) EtaMinus(dt Time) int64 {
+	return etaMinusFromDeltaMax(t.DeltaMax, dt)
+}
+
+// DeltaMin implements EventModel. Beyond the trace length the function
+// is extrapolated additively using the observed span for the full trace,
+// i.e. δ-(q+n-1) ≥ δ-(q) + δ-(n).
+func (t *Trace) DeltaMin(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	if q <= int64(t.n) {
+		return t.deltaMin[q-2]
+	}
+	// Extrapolate: split q-1 inter-event gaps into full trace spans plus
+	// a remainder, charging the minimum observed span for each part.
+	span := t.deltaMin[t.n-2] // span of n events = n-1 gaps
+	gaps := q - 1
+	fullGaps := int64(t.n - 1)
+	full := gaps / fullGaps
+	rem := gaps % fullGaps
+	d := MulSat(span, full)
+	if rem > 0 {
+		d = AddSat(d, t.deltaMin[rem-1])
+	}
+	return d
+}
+
+// DeltaMax implements EventModel, extrapolated like DeltaMin.
+func (t *Trace) DeltaMax(q int64) Time {
+	if q <= 1 {
+		return 0
+	}
+	if q <= int64(t.n) {
+		return t.deltaMax[q-2]
+	}
+	span := t.deltaMax[t.n-2]
+	gaps := q - 1
+	fullGaps := int64(t.n - 1)
+	full := gaps / fullGaps
+	rem := gaps % fullGaps
+	d := MulSat(span, full)
+	if rem > 0 {
+		d = AddSat(d, t.deltaMax[rem-1])
+	}
+	return d
+}
+
+// String implements EventModel.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace(n=%d,δ-(2)=%d)", t.n, t.deltaMin[0])
+}

@@ -1,0 +1,99 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTraceErrors(t *testing.T) {
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("NewTrace(nil) succeeded, want error")
+	}
+	if _, err := NewTrace([]Time{42}); err == nil {
+		t.Error("NewTrace(1 event) succeeded, want error")
+	}
+}
+
+func TestTraceExactDistances(t *testing.T) {
+	tr, err := NewTrace([]Time{0, 100, 150, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		q          int64
+		dmin, dmax Time
+	}{
+		{2, 50, 250},  // closest pair 100..150, widest 150..400
+		{3, 150, 300}, // 0..150 vs 100..400
+		{4, 400, 400},
+	}
+	for _, tt := range tests {
+		if got := tr.DeltaMin(tt.q); got != tt.dmin {
+			t.Errorf("DeltaMin(%d) = %d, want %d", tt.q, got, tt.dmin)
+		}
+		if got := tr.DeltaMax(tt.q); got != tt.dmax {
+			t.Errorf("DeltaMax(%d) = %d, want %d", tt.q, got, tt.dmax)
+		}
+	}
+}
+
+func TestTraceUnsortedInput(t *testing.T) {
+	a, err := NewTrace([]Time{400, 0, 150, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTrace([]Time{0, 100, 150, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := int64(2); q <= 4; q++ {
+		if a.DeltaMin(q) != b.DeltaMin(q) || a.DeltaMax(q) != b.DeltaMax(q) {
+			t.Errorf("q=%d: unsorted trace differs from sorted trace", q)
+		}
+	}
+}
+
+func TestTraceExtrapolation(t *testing.T) {
+	// A perfectly periodic trace must extrapolate periodically.
+	var ts []Time
+	for i := 0; i < 10; i++ {
+		ts = append(ts, Time(i)*100)
+	}
+	tr, err := NewTrace(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPeriodic(100)
+	for q := int64(2); q <= 40; q++ {
+		if got, want := tr.DeltaMin(q), p.DeltaMin(q); got != want {
+			t.Errorf("DeltaMin(%d) = %d, want %d", q, got, want)
+		}
+		if got, want := tr.DeltaMax(q), p.DeltaMax(q); got != want {
+			t.Errorf("DeltaMax(%d) = %d, want %d", q, got, want)
+		}
+	}
+	for _, dt := range []Time{1, 99, 100, 101, 1500, 5000} {
+		if got, want := tr.EtaPlus(dt), p.EtaPlus(dt); got != want {
+			t.Errorf("EtaPlus(%d) = %d, want %d", dt, got, want)
+		}
+	}
+}
+
+func TestTraceOfPeriodicSimulationIsConsistent(t *testing.T) {
+	f := func(p uint8, n uint8) bool {
+		period := Time(p%50) + 1
+		count := int(n%20) + 2
+		var ts []Time
+		for i := 0; i < count; i++ {
+			ts = append(ts, Time(i)*period)
+		}
+		tr, err := NewTrace(ts)
+		if err != nil {
+			return false
+		}
+		return Validate(tr, period*Time(count)*2, int64(count)*2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package curves
+
+import (
+	"strings"
+	"testing"
+)
+
+// brokenModel wraps a valid periodic model and injects one specific
+// defect, to prove Validate catches each class of inconsistency.
+type brokenModel struct {
+	Periodic
+	defect string
+}
+
+func (b brokenModel) EtaPlus(dt Time) int64 {
+	switch b.defect {
+	case "eta-plus-at-zero":
+		return 1
+	case "eta-plus-not-monotone":
+		if dt >= b.Period*2 && dt < b.Period*3 {
+			return 0
+		}
+	case "eta-order":
+		if dt >= b.Period*3 {
+			return 0 // below η- at the same window
+		}
+	case "pseudo-inverse":
+		// Cap both curves at 3 so only the duality check can trip.
+		if v := b.Periodic.EtaPlus(dt); v > 3 {
+			return 3
+		}
+	}
+	return b.Periodic.EtaPlus(dt)
+}
+
+func (b brokenModel) EtaMinus(dt Time) int64 {
+	switch b.defect {
+	case "eta-minus-not-monotone", "eta-plus-not-monotone":
+		// Also drop η- for the η+ defect so the η- ≤ η+ order check
+		// cannot fire before the monotonicity check.
+		if dt >= b.Period*2 && dt < b.Period*3 {
+			return 0
+		}
+	case "pseudo-inverse":
+		if v := b.Periodic.EtaMinus(dt); v > 3 {
+			return 3
+		}
+	}
+	return b.Periodic.EtaMinus(dt)
+}
+
+func (b brokenModel) DeltaMin(q int64) Time {
+	switch b.defect {
+	case "delta-at-one":
+		if q == 1 {
+			return 5
+		}
+	case "delta-order":
+		if q == 3 {
+			return b.Periodic.DeltaMax(3) + 100
+		}
+	case "delta-not-monotone":
+		if q == 4 {
+			return 0
+		}
+	}
+	return b.Periodic.DeltaMin(q)
+}
+
+func (b brokenModel) DeltaMax(q int64) Time {
+	// Bump δ+(3) up so δ+(4) < δ+(3) without violating δ- ≤ δ+.
+	if b.defect == "delta-max-not-monotone" && q == 3 {
+		return b.Periodic.DeltaMax(3) + 500
+	}
+	return b.Periodic.DeltaMax(q)
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	tests := []struct {
+		defect string
+		want   string
+	}{
+		{"eta-plus-at-zero", "η+(0)"},
+		{"eta-plus-not-monotone", "not monotone"},
+		{"eta-order", "η-"},
+		{"pseudo-inverse", "η+(δ-"},
+		{"eta-minus-not-monotone", "not monotone"},
+		{"delta-at-one", "δ-(1)"},
+		{"delta-order", "δ-(3)"},
+		{"delta-not-monotone", "distance function not monotone"},
+		{"delta-max-not-monotone", "not monotone"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.defect, func(t *testing.T) {
+			m := brokenModel{Periodic: NewPeriodic(100), defect: tt.defect}
+			err := Validate(m, 1000, 8)
+			if err == nil {
+				t.Fatal("Validate accepted a broken model")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	// Control: the undamaged wrapper passes.
+	if err := Validate(brokenModel{Periodic: NewPeriodic(100)}, 1000, 8); err != nil {
+		t.Errorf("control model rejected: %v", err)
+	}
+}

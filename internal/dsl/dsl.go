@@ -1,0 +1,132 @@
+// Package dsl implements a compact textual description language for
+// chain systems, friendlier to hand-edit than JSON:
+//
+//	system thales
+//
+//	# comments run to end of line
+//	chain sigma_d periodic(200) deadline(200) {
+//	    tau1d prio 11 wcet 38
+//	    tau2d prio 10 wcet 6
+//	}
+//	chain sigma_a sporadic(700) overload {
+//	    tau1a prio 4 wcet 10
+//	}
+//	chain pipe periodic(100, jitter 20, dmin 5) deadline(100) async {
+//	    s1 prio 2 wcet 10 bcet 5
+//	}
+//
+// Activation clauses: periodic(P), periodic(P, jitter J, dmin D),
+// sporadic(D), burst(P, size N, dmin D). Chain attributes: deadline(D),
+// overload, async (synchronous is the default). Task attributes:
+// prio N (required), wcet N (required), bcet N (optional).
+//
+// Parse errors carry line and column. The printer (Format) emits
+// canonical DSL that parses back to an identical system.
+package dsl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+// Parse reads a system description from src. The returned system is
+// validated.
+func Parse(src string) (*model.System, error) {
+	p := &parser{lex: newLexer(src)}
+	sys, err := p.parseSystem()
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("dsl: %w", err)
+	}
+	return sys, nil
+}
+
+// ParseReader is Parse on an io.Reader.
+func ParseReader(r io.Reader) (*model.System, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data))
+}
+
+// Load reads a system in either format: input whose first
+// non-whitespace byte is '{' is treated as JSON (model.Load), anything
+// else as DSL. The command-line tools use this so both formats work
+// interchangeably.
+func Load(r io.Reader) (*model.System, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return model.Load(strings.NewReader(string(data)))
+		}
+		break
+	}
+	return Parse(string(data))
+}
+
+// Format renders the system in canonical DSL form. Systems whose
+// activation models have no DSL syntax (traces, sums, …) return an
+// error.
+func Format(sys *model.System) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "system %s\n", sys.Name)
+	for _, c := range sys.Chains {
+		act, err := formatActivation(c.Activation)
+		if err != nil {
+			return "", fmt.Errorf("dsl: chain %q: %w", c.Name, err)
+		}
+		sb.WriteString("\nchain " + c.Name + " " + act)
+		if c.Deadline > 0 {
+			fmt.Fprintf(&sb, " deadline(%d)", c.Deadline)
+		}
+		if c.Overload {
+			sb.WriteString(" overload")
+		}
+		if c.Kind == model.Asynchronous {
+			sb.WriteString(" async")
+		}
+		sb.WriteString(" {\n")
+		for _, t := range c.Tasks {
+			fmt.Fprintf(&sb, "    %s prio %d wcet %d", t.Name, t.Priority, t.WCET)
+			if t.BCET > 0 {
+				fmt.Fprintf(&sb, " bcet %d", t.BCET)
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String(), nil
+}
+
+func formatActivation(m curves.EventModel) (string, error) {
+	switch v := m.(type) {
+	case curves.Periodic:
+		switch {
+		case v.Jitter == 0 && v.DMin <= 1:
+			return fmt.Sprintf("periodic(%d)", v.Period), nil
+		case v.DMin <= 1:
+			return fmt.Sprintf("periodic(%d, jitter %d)", v.Period, v.Jitter), nil
+		default:
+			return fmt.Sprintf("periodic(%d, jitter %d, dmin %d)", v.Period, v.Jitter, v.DMin), nil
+		}
+	case curves.Sporadic:
+		return fmt.Sprintf("sporadic(%d)", v.MinDistance), nil
+	case curves.Burst:
+		return fmt.Sprintf("burst(%d, size %d, dmin %d)", v.OuterPeriod, v.BurstSize, v.InnerDistance), nil
+	default:
+		return "", fmt.Errorf("activation %T has no DSL syntax", m)
+	}
+}

@@ -1,0 +1,187 @@
+package dsl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/dsl"
+	"repro/internal/model"
+)
+
+const thalesDSL = `
+system thales
+
+# the paper's Fig. 4 case study
+chain sigma_d periodic(200) deadline(200) {
+    tau1d prio 11 wcet 38
+    tau2d prio 10 wcet 6
+    tau3d prio 9 wcet 27
+    tau4d prio 5 wcet 6
+    tau5d prio 2 wcet 38
+}
+chain sigma_c periodic(200) deadline(200) {
+    tau1c prio 8 wcet 4
+    tau2c prio 7 wcet 6
+    tau3c prio 1 wcet 41
+}
+chain sigma_b sporadic(600) overload {
+    tau1b prio 13 wcet 10
+    tau2b prio 12 wcet 10
+    tau3b prio 6 wcet 10
+}
+chain sigma_a sporadic(700) overload {
+    tau1a prio 4 wcet 10
+    tau2a prio 3 wcet 10
+}
+`
+
+func TestParseCaseStudy(t *testing.T) {
+	sys, err := dsl.Parse(thalesDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := casestudy.New()
+	if sys.TaskCount() != want.TaskCount() || len(sys.Chains) != len(want.Chains) {
+		t.Fatalf("shape mismatch: %d tasks / %d chains", sys.TaskCount(), len(sys.Chains))
+	}
+	for i, wc := range want.Chains {
+		gc := sys.Chains[i]
+		if gc.Name != wc.Name || gc.Kind != wc.Kind || gc.Overload != wc.Overload ||
+			gc.Deadline != wc.Deadline {
+			t.Errorf("chain %d header mismatch: %+v vs %+v", i, gc, wc)
+		}
+		if gc.Activation.String() != wc.Activation.String() {
+			t.Errorf("chain %s activation %v, want %v", gc.Name, gc.Activation, wc.Activation)
+		}
+		for j, wt := range wc.Tasks {
+			if gc.Tasks[j] != wt {
+				t.Errorf("task %s/%d: %+v, want %+v", gc.Name, j, gc.Tasks[j], wt)
+			}
+		}
+	}
+}
+
+func TestParseAllActivationForms(t *testing.T) {
+	src := `
+system forms
+chain a periodic(100, jitter 20, dmin 5) deadline(100) async {
+    t1 prio 1 wcet 10 bcet 3
+}
+chain b burst(1000, size 3, dmin 10) overload {
+    t2 prio 2 wcet 5
+}
+`
+	sys, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.ChainByName("a")
+	if a.Kind != model.Asynchronous {
+		t.Error("async attribute lost")
+	}
+	pj, ok := a.Activation.(curves.Periodic)
+	if !ok || pj.Period != 100 || pj.Jitter != 20 || pj.DMin != 5 {
+		t.Errorf("periodic args = %+v", a.Activation)
+	}
+	if a.Tasks[0].BCET != 3 {
+		t.Errorf("bcet = %d, want 3", a.Tasks[0].BCET)
+	}
+	bu, ok := sys.ChainByName("b").Activation.(curves.Burst)
+	if !ok || bu.OuterPeriod != 1000 || bu.BurstSize != 3 || bu.InnerDistance != 10 {
+		t.Errorf("burst args = %+v", sys.ChainByName("b").Activation)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	systems := []*model.System{casestudy.New(), casestudy.PaperExample()}
+	for _, sys := range systems {
+		text, err := dsl.Format(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := dsl.Parse(text)
+		if err != nil {
+			t.Fatalf("canonical output does not parse: %v\n%s", err, text)
+		}
+		again, err := dsl.Format(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text != again {
+			t.Errorf("format not canonical:\n%s\nvs\n%s", text, again)
+		}
+		if back.TaskCount() != sys.TaskCount() {
+			t.Errorf("round trip changed task count")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "expected"},
+		{"missing system", "chain x periodic(1) { }", `expected "system"`},
+		{"bad char", "system s $", "unexpected character"},
+		{"unknown activation", "system s\nchain c weekly(7) { t prio 1 wcet 1 }", "unknown activation"},
+		{"unknown attribute", "system s\nchain c periodic(10) fancy { t prio 1 wcet 1 }", "unknown chain attribute"},
+		{"missing wcet", "system s\nchain c periodic(10) { t prio 1 }", "needs prio and wcet"},
+		{"unterminated chain", "system s\nchain c periodic(10) { t prio 1 wcet 1", "expected"},
+		{"duplicate arg", "system s\nchain c periodic(10, jitter 1, jitter 2) { t prio 1 wcet 1 }", "duplicate argument"},
+		{"unknown arg", "system s\nchain c periodic(10, color 3) { t prio 1 wcet 1 }", "unknown periodic argument"},
+		{"burst without size", "system s\nchain c burst(10) { t prio 1 wcet 1 }", "burst needs size"},
+		{"validation failure", "system s\nchain c periodic(10) { t prio 1 wcet 0 }", "non-positive WCET"},
+		{"duplicate priority", "system s\nchain c periodic(10) { a prio 1 wcet 1\n b prio 1 wcet 1 }", "priority 1"},
+		{"zero sporadic", "system s\nchain c sporadic(0) { t prio 1 wcet 1 }", "positive"},
+		{"huge number", "system s\nchain c periodic(99999999999999999999) { t prio 1 wcet 1 }", "number too large"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := dsl.Parse(tt.src)
+			if err == nil {
+				t.Fatal("accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := dsl.Parse("system s\nchain c periodic(10) fancy { t prio 1 wcet 1 }")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %v should carry line 2", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "system s # trailing\n# full line\n\n\nchain c periodic(10){t prio 1 wcet 1}#end"
+	sys, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TaskCount() != 1 {
+		t.Errorf("task count = %d", sys.TaskCount())
+	}
+}
+
+func TestFormatUnsupportedActivation(t *testing.T) {
+	b := model.NewBuilder("x")
+	b.Chain("c").Activation(curves.NewSum(curves.NewPeriodic(10))).Task("t", 1, 1)
+	if _, err := dsl.Format(b.MustBuild()); err == nil {
+		t.Error("Format accepted a Sum activation")
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	sys, err := dsl.ParseReader(strings.NewReader(thalesDSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "thales" {
+		t.Errorf("name = %s", sys.Name)
+	}
+}

@@ -1,0 +1,156 @@
+package dsl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind      tokenKind
+	text      string
+	value     int64 // for tokNumber
+	line, col int
+}
+
+// lexer tokenizes DSL input. '#' starts a comment running to the end of
+// the line; whitespace (including newlines) only separates tokens.
+type lexer struct {
+	src       []rune
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("dsl: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r) || r == '-' || r == '.'
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case r == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		var text []rune
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			text = append(text, l.advance())
+		}
+		var v int64
+		for _, d := range text {
+			nv := v*10 + int64(d-'0')
+			if nv < v {
+				return token{}, l.errf(line, col, "number too large")
+			}
+			v = nv
+		}
+		return token{kind: tokNumber, text: string(text), value: v, line: line, col: col}, nil
+	case isIdentStart(r):
+		var text []rune
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			text = append(text, l.advance())
+		}
+		return token{kind: tokIdent, text: string(text), line: line, col: col}, nil
+	default:
+		return token{}, l.errf(line, col, "unexpected character %q", r)
+	}
+}

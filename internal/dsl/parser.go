@@ -1,0 +1,290 @@
+package dsl
+
+import (
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+// parser is a straightforward recursive-descent parser over the lexer's
+// token stream with one token of lookahead.
+type parser struct {
+	lex *lexer
+	tok token
+	got bool
+}
+
+func (p *parser) peek() (token, error) {
+	if !p.got {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.tok, p.got = t, true
+	}
+	return p.tok, nil
+}
+
+func (p *parser) next() (token, error) {
+	t, err := p.peek()
+	p.got = false
+	return t, err
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("dsl: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, p.errf(t, "expected %v, found %v %q", kind, t.kind, t.text)
+	}
+	return t, nil
+}
+
+// expectKeyword consumes the exact identifier kw.
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return p.errf(t, "expected %q, found %q", kw, t.text)
+	}
+	return nil
+}
+
+// number consumes a number token and returns its value.
+func (p *parser) number() (int64, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	return t.value, nil
+}
+
+// parseSystem parses: "system" name chain*.
+func (p *parser) parseSystem() (*model.System, error) {
+	if err := p.expectKeyword("system"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	sys := &model.System{Name: name.text}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return sys, nil
+		}
+		c, err := p.parseChain()
+		if err != nil {
+			return nil, err
+		}
+		sys.Chains = append(sys.Chains, c)
+	}
+}
+
+// parseChain parses: "chain" name activation attr* "{" task* "}".
+func (p *parser) parseChain() (*model.Chain, error) {
+	if err := p.expectKeyword("chain"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &model.Chain{Name: name.text, Kind: model.Synchronous}
+	if c.Activation, err = p.parseActivation(); err != nil {
+		return nil, err
+	}
+	// Attributes until '{'.
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokLBrace {
+			p.got = false
+			break
+		}
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch attr.text {
+		case "deadline":
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			d, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			c.Deadline = curves.Time(d)
+		case "overload":
+			c.Overload = true
+		case "async", "asynchronous":
+			c.Kind = model.Asynchronous
+		case "sync", "synchronous":
+			c.Kind = model.Synchronous
+		default:
+			return nil, p.errf(attr, "unknown chain attribute %q", attr.text)
+		}
+	}
+	// Tasks until '}'.
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokRBrace {
+			p.got = false
+			return c, nil
+		}
+		task, err := p.parseTask()
+		if err != nil {
+			return nil, err
+		}
+		c.Tasks = append(c.Tasks, task)
+	}
+}
+
+// parseActivation parses periodic(…), sporadic(…) or burst(…).
+func (p *parser) parseActivation() (curves.EventModel, error) {
+	kind, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	first, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.parseKeyedArgs()
+	if err != nil {
+		return nil, err
+	}
+	take := func(key string) (int64, bool) {
+		v, ok := args[key]
+		delete(args, key)
+		return v, ok
+	}
+	var m curves.EventModel
+	switch kind.text {
+	case "periodic":
+		jitter, _ := take("jitter")
+		dmin, _ := take("dmin")
+		spec := curves.Spec{Type: "periodic", Period: curves.Time(first),
+			Jitter: curves.Time(jitter), DMin: curves.Time(dmin)}
+		if m, err = spec.Model(); err != nil {
+			return nil, p.errf(kind, "%v", err)
+		}
+	case "sporadic":
+		m = curves.NewSporadic(curves.Time(first))
+		if first <= 0 {
+			return nil, p.errf(kind, "sporadic distance must be positive")
+		}
+	case "burst":
+		size, ok := take("size")
+		if !ok {
+			return nil, p.errf(kind, "burst needs size")
+		}
+		dmin, _ := take("dmin")
+		spec := curves.Spec{Type: "burst", Period: curves.Time(first),
+			Size: size, DMin: curves.Time(dmin)}
+		if m, err = spec.Model(); err != nil {
+			return nil, p.errf(kind, "%v", err)
+		}
+	default:
+		return nil, p.errf(kind, "unknown activation %q", kind.text)
+	}
+	for key := range args {
+		return nil, p.errf(kind, "unknown %s argument %q", kind.text, key)
+	}
+	return m, nil
+}
+
+// parseKeyedArgs parses {"," ident number}* ")" after the positional
+// first argument of an activation.
+func (p *parser) parseKeyedArgs() (map[string]int64, error) {
+	args := make(map[string]int64)
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokRParen:
+			return args, nil
+		case tokComma:
+			key, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := args[key.text]; dup {
+				return nil, p.errf(key, "duplicate argument %q", key.text)
+			}
+			args[key.text] = v
+		default:
+			return nil, p.errf(t, "expected ',' or ')', found %q", t.text)
+		}
+	}
+}
+
+// parseTask parses: name "prio" N "wcet" N ["bcet" N].
+func (p *parser) parseTask() (model.Task, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return model.Task{}, err
+	}
+	task := model.Task{Name: name.text}
+	havePrio, haveWCET := false, false
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return model.Task{}, err
+		}
+		if t.kind != tokIdent || (t.text != "prio" && t.text != "wcet" && t.text != "bcet") {
+			break
+		}
+		p.got = false
+		v, err := p.number()
+		if err != nil {
+			return model.Task{}, err
+		}
+		switch t.text {
+		case "prio":
+			task.Priority = int(v)
+			havePrio = true
+		case "wcet":
+			task.WCET = curves.Time(v)
+			haveWCET = true
+		case "bcet":
+			task.BCET = curves.Time(v)
+		}
+	}
+	if !havePrio || !haveWCET {
+		return model.Task{}, p.errf(name, "task %q needs prio and wcet", name.text)
+	}
+	return task, nil
+}

@@ -1,0 +1,159 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/twca"
+)
+
+func TestTableIDriver(t *testing.T) {
+	tbl, results, err := experiments.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["sigma_c"].WCL != 331 || results["sigma_d"].WCL != 175 {
+		t.Errorf("WCLs = %d/%d, want 331/175",
+			results["sigma_c"].WCL, results["sigma_d"].WCL)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"331", "175", "200"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestTableIIDriver(t *testing.T) {
+	_, res, err := experiments.TableII(260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reproducible paper point: dmm_c(3) = 3.
+	if res.PaperPoints[0].Value != 3 {
+		t.Errorf("dmm_c(3) = %d, want 3", res.PaperPoints[0].Value)
+	}
+	// Literal model: dmm grows monotonically and the breakpoints start
+	// at (1,1),(2,2),(3,3),(7,4),(10,5).
+	if len(res.Breakpoints) < 5 {
+		t.Fatalf("too few breakpoints: %v", res.Breakpoints)
+	}
+	if res.Breakpoints[3].K != 7 || res.Breakpoints[3].Value != 4 {
+		t.Errorf("literal 4th breakpoint = (%d,%d), want (7,4)",
+			res.Breakpoints[3].K, res.Breakpoints[3].Value)
+	}
+	// Rare-overload variant: the dmm=4 breakpoint lands near the
+	// paper's k=76.
+	var rare4 int64
+	for _, bp := range res.RareBreakpoints {
+		if bp.Value == 4 {
+			rare4 = bp.K
+			break
+		}
+	}
+	if rare4 < 60 || rare4 > 90 {
+		t.Errorf("rare-overload dmm=4 breakpoint at k=%d, want ≈76", rare4)
+	}
+}
+
+func TestFigure5SmallRun(t *testing.T) {
+	res, err := experiments.Figure5(100, 1, twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HistC.N() != 100 || res.HistD.N() != 100 {
+		t.Fatalf("histograms have %d/%d entries, want 100", res.HistC.N(), res.HistD.N())
+	}
+	// The paper's headline shape: σc is schedulable in roughly 63% of
+	// assignments, σd in roughly 31%. Allow slack for the small sample.
+	fc := float64(res.SchedulableC) / 100
+	fd := float64(res.SchedulableD) / 100
+	if fc < 0.40 || fc > 0.85 {
+		t.Errorf("σc schedulable fraction = %v, want ≈0.63", fc)
+	}
+	if fd < 0.10 || fd > 0.55 {
+		t.Errorf("σd schedulable fraction = %v, want ≈0.31", fd)
+	}
+	if fc <= fd {
+		t.Errorf("σc (%v) should be schedulable more often than σd (%v)", fc, fd)
+	}
+	tbl := experiments.Figure5Table(res)
+	var sb strings.Builder
+	if err := tbl.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dmm(10)") {
+		t.Error("figure table missing header")
+	}
+}
+
+// TestFigure5Deterministic guards the parallel implementation: the
+// same seed must produce bit-identical aggregates regardless of
+// scheduling.
+func TestFigure5Deterministic(t *testing.T) {
+	a, err := experiments.Figure5(200, 7, twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Figure5(200, 7, twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SchedulableC != b.SchedulableC || a.SchedulableD != b.SchedulableD ||
+		a.BoundedD3 != b.BoundedD3 || a.Failures != b.Failures {
+		t.Fatalf("same seed, different aggregates: %+v vs %+v", a, b)
+	}
+	for v := int64(0); v <= 10; v++ {
+		if a.HistC.Count(v) != b.HistC.Count(v) || a.HistD.Count(v) != b.HistD.Count(v) {
+			t.Fatalf("histograms differ at %d", v)
+		}
+	}
+}
+
+func TestAblationDriver(t *testing.T) {
+	tbl, err := experiments.Ablation(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// σd: aware 175/0 vs flat 267/4.
+	if !strings.Contains(out, "175") || !strings.Contains(out, "267") {
+		t.Errorf("ablation table missing WCL values:\n%s", out)
+	}
+}
+
+func TestSensitivityDriver(t *testing.T) {
+	tbl, err := experiments.Sensitivity([]int{50, 100, 200, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// At 100% the row must match the nominal analysis.
+	if tbl.Rows[1][1] != "331" || tbl.Rows[1][2] != "5" {
+		t.Errorf("100%% row = %v, want WCL 331, dmm 5", tbl.Rows[1])
+	}
+}
+
+func TestSimValidationDriver(t *testing.T) {
+	tbl, err := experiments.SimValidation(100000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "false") {
+		t.Errorf("simulation exceeded an analysis bound:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,87 @@
+package experiments_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestHolisticAblationDriver(t *testing.T) {
+	tbl, err := experiments.HolisticAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		aware, err1 := strconv.Atoi(row[1])
+		hol, err2 := strconv.Atoi(row[2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("non-numeric row: %v", row)
+		}
+		if hol <= aware {
+			t.Errorf("%s: holistic %d should exceed chain-aware %d", row[0], hol, aware)
+		}
+		if !strings.HasSuffix(row[3], "x") {
+			t.Errorf("inflation cell = %q, want a ratio", row[3])
+		}
+	}
+}
+
+func TestTightnessDriver(t *testing.T) {
+	tbl, err := experiments.Tightness(100, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// The bounds are achieved on the case study: gap 0 for both chains.
+	for _, row := range tbl.Rows {
+		if row[4] != "0" {
+			t.Errorf("%s: gap = %s, want 0 (analysis is tight here)", row[0], row[4])
+		}
+	}
+}
+
+func TestCampaignSmall(t *testing.T) {
+	tbl, err := experiments.Campaign(experiments.CampaignParams{
+		SystemsPerCell: 20,
+		Utilizations:   []float64{0.4, 0.8},
+		ChainCounts:    []int{2},
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// Each row's outcome counts must sum to ≤ the cell size, and the
+	// low-utilization cell should prove schedulability at least as
+	// often as the high-utilization one.
+	sched := make([]int, 2)
+	for i, row := range tbl.Rows {
+		var sum int
+		for _, col := range []int{2, 3, 4, 5} {
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				t.Fatalf("row %v col %d not numeric", row, col)
+			}
+			if v < 0 {
+				t.Fatalf("negative count in row %v", row)
+			}
+			sum += v
+		}
+		if sum > 20 {
+			t.Errorf("row %v: outcome counts sum to %d > 20", row, sum)
+		}
+		sched[i], _ = strconv.Atoi(row[2])
+	}
+	if sched[0] < sched[1] {
+		t.Errorf("schedulable at u=0.4 (%d) < at u=0.8 (%d): suspicious", sched[0], sched[1])
+	}
+}

@@ -1,0 +1,161 @@
+// Package gen generates synthetic test systems: random priority
+// permutations of a template (Experiment 2 of the paper) and fully
+// random chain systems in the style of the paper's "derived synthetic
+// test cases", using UUniFast utilization splitting.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+// Permutation returns a uniformly random permutation of 1..n, usable as
+// a priority assignment.
+func Permutation(rng *rand.Rand, n int) []int {
+	perm := rng.Perm(n)
+	for i := range perm {
+		perm[i]++
+	}
+	return perm
+}
+
+// UUniFast splits total utilization u into n unbiased random shares
+// (Bini & Buttazzo's UUniFast algorithm).
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// Params controls Random system generation.
+type Params struct {
+	// Chains is the number of regular chains (default 3).
+	Chains int
+	// OverloadChains is the number of sporadic overload chains
+	// (default 1).
+	OverloadChains int
+	// MinTasks and MaxTasks bound the chain length (defaults 2 and 5).
+	MinTasks, MaxTasks int
+	// Utilization is the total long-term utilization of regular chains
+	// (default 0.6).
+	Utilization float64
+	// Periods is the pool of regular-chain periods (default
+	// {100, 200, 500, 1000}); deadlines equal periods.
+	Periods []curves.Time
+	// OverloadDistance is the minimum inter-arrival distance of
+	// overload chains (default 10× the largest period).
+	OverloadDistance curves.Time
+	// OverloadWCET is the total WCET of each overload chain
+	// (default 10).
+	OverloadWCET curves.Time
+	// AsyncFraction is the probability that a regular chain is
+	// asynchronous (default 0: all synchronous, like the case study).
+	AsyncFraction float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Chains <= 0 {
+		p.Chains = 3
+	}
+	if p.OverloadChains < 0 {
+		p.OverloadChains = 0
+	} else if p.OverloadChains == 0 {
+		p.OverloadChains = 1
+	}
+	if p.MinTasks <= 0 {
+		p.MinTasks = 2
+	}
+	if p.MaxTasks < p.MinTasks {
+		p.MaxTasks = p.MinTasks + 3
+	}
+	if p.Utilization <= 0 {
+		p.Utilization = 0.6
+	}
+	if len(p.Periods) == 0 {
+		p.Periods = []curves.Time{100, 200, 500, 1000}
+	}
+	if p.OverloadDistance <= 0 {
+		var max curves.Time
+		for _, per := range p.Periods {
+			max = curves.MaxTime(max, per)
+		}
+		p.OverloadDistance = 10 * max
+	}
+	if p.OverloadWCET <= 0 {
+		p.OverloadWCET = 10
+	}
+	return p
+}
+
+// Random generates a random system. Task priorities are a random
+// permutation over all tasks; chain WCETs follow UUniFast over the
+// requested utilization and are split randomly across the chain's
+// tasks (each task gets at least 1).
+func Random(rng *rand.Rand, p Params) (*model.System, error) {
+	p = p.withDefaults()
+	b := model.NewBuilder(fmt.Sprintf("synthetic-%d", rng.Int63n(1<<31)))
+
+	lengths := make([]int, 0, p.Chains+p.OverloadChains)
+	total := 0
+	for i := 0; i < p.Chains+p.OverloadChains; i++ {
+		n := p.MinTasks + rng.Intn(p.MaxTasks-p.MinTasks+1)
+		lengths = append(lengths, n)
+		total += n
+	}
+	prios := Permutation(rng, total)
+	next := 0
+
+	utils := UUniFast(rng, p.Chains, p.Utilization)
+	for i := 0; i < p.Chains; i++ {
+		period := p.Periods[rng.Intn(len(p.Periods))]
+		n := lengths[i]
+		wcet := curves.Time(utils[i] * float64(period))
+		if wcet < curves.Time(n) {
+			wcet = curves.Time(n) // every task needs ≥ 1
+		}
+		cb := b.Chain(fmt.Sprintf("chain%d", i)).Periodic(period).Deadline(period)
+		if rng.Float64() < p.AsyncFraction {
+			cb.Asynchronous()
+		}
+		for j, c := range splitWCET(rng, wcet, n) {
+			cb.Task(fmt.Sprintf("c%d.t%d", i, j), prios[next], c)
+			next++
+		}
+	}
+	for i := 0; i < p.OverloadChains; i++ {
+		n := lengths[p.Chains+i]
+		wcet := p.OverloadWCET
+		if wcet < curves.Time(n) {
+			wcet = curves.Time(n)
+		}
+		cb := b.Chain(fmt.Sprintf("over%d", i)).Sporadic(p.OverloadDistance).Overload()
+		for j, c := range splitWCET(rng, wcet, n) {
+			cb.Task(fmt.Sprintf("o%d.t%d", i, j), prios[next], c)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// splitWCET splits total into n positive parts, uniformly at random.
+func splitWCET(rng *rand.Rand, total curves.Time, n int) []curves.Time {
+	parts := make([]curves.Time, n)
+	for i := range parts {
+		parts[i] = 1
+	}
+	rest := total - curves.Time(n)
+	for j := curves.Time(0); j < rest; j++ {
+		parts[rng.Intn(n)]++
+	}
+	return parts
+}

@@ -1,0 +1,187 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func TestPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		p := gen.Permutation(rng, 13)
+		seen := make(map[int]bool)
+		for _, v := range p {
+			if v < 1 || v > 13 || seen[v] {
+				t.Fatalf("not a permutation of 1..13: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestUUniFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		us := gen.UUniFast(rng, 5, 0.7)
+		var sum float64
+		for _, u := range us {
+			if u < 0 {
+				t.Fatalf("negative share: %v", us)
+			}
+			sum += u
+		}
+		if sum < 0.699 || sum > 0.701 {
+			t.Fatalf("shares sum to %v, want 0.7: %v", sum, us)
+		}
+	}
+}
+
+func TestRandomSystemsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		sys, err := gen.Random(rng, gen.Params{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid system: %v", trial, err)
+		}
+		if len(sys.OverloadChains()) != 1 {
+			t.Fatalf("trial %d: %d overload chains, want 1", trial, len(sys.OverloadChains()))
+		}
+	}
+}
+
+func TestRandomRespectsParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := gen.Params{
+		Chains:           4,
+		OverloadChains:   2,
+		MinTasks:         3,
+		MaxTasks:         3,
+		Utilization:      0.5,
+		Periods:          []curves.Time{300},
+		OverloadDistance: 9999,
+		OverloadWCET:     12,
+		AsyncFraction:    1.0,
+	}
+	sys, err := gen.Random(rng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.RegularChains()); got != 4 {
+		t.Errorf("regular chains = %d, want 4", got)
+	}
+	if got := len(sys.OverloadChains()); got != 2 {
+		t.Errorf("overload chains = %d, want 2", got)
+	}
+	for _, c := range sys.Chains {
+		if c.Len() != 3 {
+			t.Errorf("%s: %d tasks, want 3", c.Name, c.Len())
+		}
+		if c.Overload {
+			sp := c.Activation.(curves.Sporadic)
+			if sp.MinDistance != 9999 {
+				t.Errorf("%s: distance %d, want 9999", c.Name, sp.MinDistance)
+			}
+			if got := c.TotalWCET(); got != 12 {
+				t.Errorf("%s: WCET %d, want 12", c.Name, got)
+			}
+		} else {
+			if c.Kind != model.Asynchronous {
+				t.Errorf("%s: want asynchronous (AsyncFraction=1)", c.Name)
+			}
+			if c.Deadline != 300 {
+				t.Errorf("%s: deadline %d, want 300", c.Name, c.Deadline)
+			}
+		}
+	}
+}
+
+func TestRandomUtilizationRoughlyMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys, err := gen.Random(rng, gen.Params{Chains: 5, Utilization: 0.5, Periods: []curves.Time{1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demand float64
+	for _, c := range sys.RegularChains() {
+		demand += float64(c.TotalWCET()) / 1000
+	}
+	// Rounding and the ≥1-per-task floor allow some slack.
+	if demand < 0.3 || demand > 0.7 {
+		t.Errorf("generated utilization %v, want ≈0.5", demand)
+	}
+}
+
+func TestSearchPrioritiesFindsSchedulableCaseStudy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	res, err := gen.SearchPriorities(rng, 13, 10, 200, casestudy.WithPriorities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System == nil {
+		t.Fatal("no system found")
+	}
+	// Experiment 2 shows many assignments are fully schedulable, so a
+	// 200-trial search should find a perfect one.
+	if res.Score != 0 {
+		t.Errorf("best score = %d over %d trials, want 0", res.Score, res.Trials)
+	}
+	// Early exit: fewer trials than the budget.
+	if res.Trials == 200 {
+		t.Logf("search used the full budget (score %d)", res.Score)
+	}
+}
+
+func TestHillClimbImprovesNominal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Nominal case-study priorities in WithPriorities task order.
+	start := []int{11, 10, 9, 5, 2, 8, 7, 1, 13, 12, 6, 4, 3}
+	res, err := gen.HillClimb(rng, start, 10, 200, casestudy.WithPriorities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score > 5 {
+		t.Errorf("hill climb worsened the nominal score: %d > 5", res.Score)
+	}
+	if res.Trials < 2 {
+		t.Errorf("trials = %d, expected some exploration", res.Trials)
+	}
+	// Experiment 2 says schedulable assignments are common; a 200-swap
+	// climb from nominal should find one.
+	if res.Score != 0 {
+		t.Logf("hill climb plateaued at score %d after %d trials", res.Score, res.Trials)
+	}
+}
+
+func TestScoreDivergingSystemFailsFast(t *testing.T) {
+	// Utilization > 1: the bounded analysis must bail out quickly and
+	// charge the worst case instead of grinding a slow fixed point.
+	b := model.NewBuilder("over")
+	b.Chain("x").Periodic(100).Deadline(100).Task("t1", 2, 80)
+	b.Chain("y").Periodic(100).Deadline(100).Task("t2", 1, 80)
+	sys := b.MustBuild()
+	start := time.Now()
+	// The high-priority chain x is unaffected (dmm 0); the low-priority
+	// chain y diverges and is charged the full k.
+	if got := gen.Score(sys, 10); got != 10 {
+		t.Errorf("Score = %d, want 10 (diverging chain charged k)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Score took %v on a diverging system; the bound is not effective", elapsed)
+	}
+}
+
+func TestScoreOfNominalCaseStudy(t *testing.T) {
+	// The nominal assignment has dmm_c(10) = 5 and dmm_d(10) = 0.
+	if got := gen.Score(casestudy.New(), 10); got != 5 {
+		t.Errorf("Score = %d, want 5", got)
+	}
+}

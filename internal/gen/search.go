@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/twca"
+)
+
+// SearchResult is the best assignment found by SearchPriorities.
+type SearchResult struct {
+	System *model.System
+	// Score is the summed dmm(K) over all deadline chains; lower is
+	// better. Chains whose analysis fails contribute K each.
+	Score int64
+	// Trials is the number of assignments evaluated.
+	Trials int
+}
+
+// SearchPriorities performs random-restart search over priority
+// permutations of the template system, minimizing the summed dmm(k)
+// over all deadline-bearing regular chains. It is motivated directly by
+// Experiment 2: the paper observes that the priority assignment decides
+// both schedulability and DMM quality, so a designer wants the
+// assignment minimizing guaranteed misses.
+//
+// applyPerm must return a copy of the template with the permutation
+// applied (e.g. casestudy.WithPriorities). trials bounds the search.
+func SearchPriorities(rng *rand.Rand, taskCount int, k int64, trials int,
+	applyPerm func([]int) (*model.System, error)) (SearchResult, error) {
+
+	best := SearchResult{Score: -1}
+	for i := 0; i < trials; i++ {
+		sys, err := applyPerm(Permutation(rng, taskCount))
+		if err != nil {
+			return SearchResult{}, err
+		}
+		best.Trials++
+		score := Score(sys, k)
+		if best.Score < 0 || score < best.Score {
+			best.Score = score
+			best.System = sys
+		}
+		if best.Score == 0 {
+			break
+		}
+	}
+	return best, nil
+}
+
+// HillClimb refines a priority assignment by repeated pairwise swaps:
+// starting from start (a permutation of 1..taskCount), it tries random
+// swaps and keeps those that do not worsen the summed dmm(k) score,
+// stopping after `patience` consecutive non-improving swaps or when the
+// score reaches 0. It complements SearchPriorities: random restart
+// explores, hill climbing exploits.
+func HillClimb(rng *rand.Rand, start []int, k int64, patience int,
+	applyPerm func([]int) (*model.System, error)) (SearchResult, error) {
+
+	cur := append([]int(nil), start...)
+	sys, err := applyPerm(cur)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	best := SearchResult{System: sys, Score: Score(sys, k), Trials: 1}
+	bad := 0
+	for bad < patience && best.Score > 0 {
+		i, j := rng.Intn(len(cur)), rng.Intn(len(cur))
+		if i == j {
+			continue
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		cand, err := applyPerm(cur)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		best.Trials++
+		if score := Score(cand, k); score <= best.Score {
+			if score < best.Score {
+				bad = 0
+			} else {
+				bad++
+			}
+			best.Score = score
+			best.System = cand
+			continue
+		}
+		// Revert the worsening swap.
+		cur[i], cur[j] = cur[j], cur[i]
+		bad++
+	}
+	return best, nil
+}
+
+// Score sums dmm(k) over all regular chains with deadlines; analysis
+// failures (divergence, blow-ups) are charged the maximum k per chain.
+// The underlying analysis is bounded (MaxQ 256, horizon 2^24) so that
+// near-overload systems — whose fixed points converge very slowly —
+// fail fast and score worst-case instead of stalling a search loop.
+func Score(sys *model.System, k int64) int64 {
+	opts := twca.Options{Latency: latency.Options{MaxQ: 256, Horizon: 1 << 24}}
+	var score int64
+	for _, c := range sys.RegularChains() {
+		if c.Deadline == 0 {
+			continue
+		}
+		an, err := twca.New(sys, c, opts)
+		if err != nil {
+			score += k
+			continue
+		}
+		r, err := an.DMM(k)
+		if err != nil {
+			score += k
+			continue
+		}
+		score += r.Value
+	}
+	return score
+}

@@ -1,0 +1,182 @@
+// Package holistic implements the classic task-level latency analysis
+// for asynchronous task chains: per-task worst-case response times with
+// output-jitter propagation (Tindell-style holistic analysis, the
+// standard Compositional Performance Analysis decomposition predating
+// the chain-level busy-window analysis of Schlatow & Ernst that the
+// paper's §IV builds on).
+//
+// Every task is treated as an independent SPP task whose activation is
+// the chain's activation model widened by the accumulated response-time
+// jitter of its predecessors; the end-to-end latency is bounded by the
+// sum of per-task response times. The decomposition is sound for
+// asynchronous chains but much more pessimistic than §IV, because each
+// stage is charged the full worst-case interference independently —
+// quantifying that gap is the point of keeping this baseline around
+// (bench BenchmarkAblationHolistic).
+//
+// Synchronous chains are rejected: their instances block each other at
+// the header, which per-task response times do not cover (the paper's
+// busy-window formulation handles this; a per-task decomposition does
+// not).
+package holistic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/model"
+)
+
+// ErrSynchronousChain is returned for synchronous target chains, whose
+// header blocking a per-task decomposition cannot bound.
+var ErrSynchronousChain = errors.New("holistic: synchronous chains are not supported by per-task decomposition")
+
+// Result holds the holistic analysis of one chain.
+type Result struct {
+	Chain *model.Chain
+	// Response[i] is the worst-case response time of the chain's i-th
+	// task, measured from that task's activation.
+	Response []curves.Time
+	// Jitter[i] is the activation jitter propagated into task i.
+	Jitter []curves.Time
+	// WCL is the end-to-end latency bound Σ Response[i].
+	WCL curves.Time
+	// Rounds is the number of jitter-propagation rounds until fixpoint.
+	Rounds int
+}
+
+// task is the flattened task-level view of the system.
+type task struct {
+	model.Task
+	chain      *model.Chain
+	indexInCh  int
+	resource   string
+	activation curves.EventModel // chain activation + propagated jitter
+}
+
+// Analyze bounds the end-to-end latency of the named chain by holistic
+// per-task response-time analysis on a single shared processor. All
+// chains in the system are decomposed into independent tasks; jitter
+// propagation iterates to a global fixed point. For multi-resource
+// systems use AnalyzeMapped.
+func Analyze(sys *model.System, target *model.Chain, opts latency.Options) (*Result, error) {
+	return analyze(sys, target, nil, opts)
+}
+
+func analyze(sys *model.System, target *model.Chain, mapping Mapping, opts latency.Options) (*Result, error) {
+	if target.Kind != model.Asynchronous && !target.Overload {
+		return nil, fmt.Errorf("holistic: chain %q: %w", target.Name, ErrSynchronousChain)
+	}
+	opts = opts.WithDefaults()
+
+	var tasks []*task
+	byChain := make(map[*model.Chain][]*task)
+	for _, c := range sys.Chains {
+		for i := range c.Tasks {
+			t := &task{
+				Task:       c.Tasks[i],
+				chain:      c,
+				indexInCh:  i,
+				resource:   mapping.Resource(c.Tasks[i].Name),
+				activation: c.Activation,
+			}
+			tasks = append(tasks, t)
+			byChain[c] = append(byChain[c], t)
+		}
+	}
+
+	jitters := make(map[*task]curves.Time)
+	responses := make(map[*task]curves.Time)
+	rounds := 0
+	converged := false
+	for ; rounds < 64; rounds++ {
+		changed := false
+		// Response times under current jitters.
+		for _, t := range tasks {
+			r, err := responseTime(t, tasks, opts)
+			if err != nil {
+				return nil, fmt.Errorf("holistic: task %q: %w", t.Name, err)
+			}
+			if r != responses[t] {
+				responses[t] = r
+				changed = true
+			}
+		}
+		// Propagate output jitter along every chain.
+		for _, c := range sys.Chains {
+			var j curves.Time
+			for _, t := range byChain[c] {
+				if j != jitters[t] {
+					jitters[t] = j
+					t.activation = curves.NewJittered(c.Activation, j)
+					changed = true
+				}
+				// Output jitter adds this stage's response-time spread
+				// (best case is BCET with no interference).
+				j = curves.AddSat(j, responses[t]-t.BCET)
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("holistic: jitter propagation did not converge in %d rounds: %w",
+			rounds, latency.ErrDiverged)
+	}
+
+	res := &Result{Chain: target, Rounds: rounds}
+	for _, t := range byChain[target] {
+		res.Response = append(res.Response, responses[t])
+		res.Jitter = append(res.Jitter, jitters[t])
+		res.WCL = curves.AddSat(res.WCL, responses[t])
+	}
+	return res, nil
+}
+
+// responseTime runs a q-event busy-window response-time analysis for
+// one task against all higher-priority tasks in the system.
+func responseTime(t *task, all []*task, opts latency.Options) (curves.Time, error) {
+	var worst, prev curves.Time
+	for q := int64(1); ; q++ {
+		if q > opts.MaxQ {
+			return 0, fmt.Errorf("no busy-window end below q=%d: %w", opts.MaxQ, latency.ErrKExceeded)
+		}
+		// Warm start from B(q−1): the fixed point is monotone in q.
+		w, err := busyTime(t, all, q, prev, opts)
+		if err != nil {
+			return 0, err
+		}
+		prev = w
+		if r := w - t.activation.DeltaMin(q); r > worst {
+			worst = r
+		}
+		if w <= t.activation.DeltaMin(q+1) {
+			return worst, nil
+		}
+	}
+}
+
+func busyTime(t *task, all []*task, q int64, start curves.Time, opts latency.Options) (curves.Time, error) {
+	w := start
+	for i := 0; i < opts.MaxIterations; i++ {
+		next := curves.MulSat(t.WCET, q)
+		for _, o := range all {
+			if o == t || o.Priority < t.Priority || o.resource != t.resource {
+				continue
+			}
+			next = curves.AddSat(next, curves.MulSat(o.WCET, o.activation.EtaPlus(w)))
+		}
+		if next == w {
+			return w, nil
+		}
+		if next > opts.Horizon || next.IsInf() {
+			return 0, fmt.Errorf("busy window exceeds horizon %d: %w", opts.Horizon, latency.ErrDiverged)
+		}
+		w = next
+	}
+	return 0, fmt.Errorf("no convergence in %d iterations: %w", opts.MaxIterations, latency.ErrDiverged)
+}

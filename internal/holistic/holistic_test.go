@@ -1,0 +1,141 @@
+package holistic_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/holistic"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// asyncCaseStudy returns the Thales case study with the regular chains
+// switched to asynchronous semantics (holistic analysis only supports
+// those).
+func asyncCaseStudy() *model.System {
+	sys := casestudy.New().Clone()
+	for _, c := range sys.Chains {
+		if !c.Overload {
+			c.Kind = model.Asynchronous
+		}
+	}
+	return sys
+}
+
+func TestRejectsSynchronousChains(t *testing.T) {
+	sys := casestudy.New()
+	_, err := holistic.Analyze(sys, sys.ChainByName("sigma_c"), latency.Options{})
+	if !errors.Is(err, holistic.ErrSynchronousChain) {
+		t.Errorf("err = %v, want ErrSynchronousChain", err)
+	}
+}
+
+func TestSingleTaskMatchesBusyWindow(t *testing.T) {
+	// For a single-task chain the holistic decomposition and the §IV
+	// busy-window analysis coincide.
+	b := model.NewBuilder("one")
+	b.Chain("x").Asynchronous().Periodic(100).Deadline(100).Task("t", 1, 30)
+	b.Chain("hp").Asynchronous().Periodic(50).Task("h", 2, 10)
+	sys := b.MustBuild()
+	h, err := holistic.Analyze(sys, sys.ChainByName("x"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := latency.Analyze(sys, sys.ChainByName("x"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WCL != l.WCL {
+		t.Errorf("holistic WCL = %d, busy-window WCL = %d, want equal", h.WCL, l.WCL)
+	}
+	// Hand value: w = 30 + η_h(w)·10 → 50; η_h(50) = 1? w0=30 → 30+10=40
+	// → η_h(40)=1 → 40. R = 40.
+	if h.WCL != 40 {
+		t.Errorf("WCL = %d, want 40", h.WCL)
+	}
+}
+
+// TestHolisticIsMorePessimistic quantifies the gap the paper's chain
+// analysis closes: on the (asynchronous) case study, per-task
+// decomposition inflates the latency bound of both chains.
+func TestHolisticIsMorePessimistic(t *testing.T) {
+	sys := asyncCaseStudy()
+	for _, name := range []string{"sigma_c", "sigma_d"} {
+		h, err := holistic.Analyze(sys, sys.ChainByName(name), latency.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		l, err := latency.Analyze(sys, sys.ChainByName(name), latency.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.WCL < l.WCL {
+			t.Errorf("%s: holistic WCL %d < chain busy-window WCL %d — unexpected on this workload",
+				name, h.WCL, l.WCL)
+		}
+		t.Logf("%s: chain-aware WCL = %d, holistic WCL = %d (responses %v)",
+			name, l.WCL, h.WCL, h.Response)
+	}
+}
+
+// TestHolisticSoundAgainstSimulation: the holistic bound must cover
+// every simulated latency of the asynchronous case study.
+func TestHolisticSoundAgainstSimulation(t *testing.T) {
+	sys := asyncCaseStudy()
+	bounds := map[string]int64{}
+	for _, name := range []string{"sigma_c", "sigma_d"} {
+		h, err := holistic.Analyze(sys, sys.ChainByName(name), latency.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds[name] = int64(h.WCL)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := sim.Config{Horizon: 200_000, Seed: seed}
+		if seed > 0 {
+			cfg.Arrivals = sim.RandomSpacing
+			cfg.Execution = sim.RandomExec
+		}
+		res, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, bound := range bounds {
+			if got := int64(res.Chains[name].MaxLatency); got > bound {
+				t.Errorf("seed %d: %s observed %d > holistic bound %d", seed, name, got, bound)
+			}
+		}
+	}
+}
+
+func TestJitterPropagationMonotone(t *testing.T) {
+	sys := asyncCaseStudy()
+	h, err := holistic.Analyze(sys, sys.ChainByName("sigma_d"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Jitter) != 5 || h.Jitter[0] != 0 {
+		t.Fatalf("jitters = %v, want 5 entries starting at 0", h.Jitter)
+	}
+	for i := 1; i < len(h.Jitter); i++ {
+		if h.Jitter[i] < h.Jitter[i-1] {
+			t.Errorf("jitter not monotone along the chain: %v", h.Jitter)
+		}
+	}
+	if h.Rounds < 1 {
+		t.Errorf("rounds = %d, want ≥ 1", h.Rounds)
+	}
+}
+
+func TestHolisticDivergenceDetected(t *testing.T) {
+	b := model.NewBuilder("over")
+	b.Chain("x").Asynchronous().Periodic(100).Deadline(100).Task("t", 1, 60)
+	b.Chain("hp").Asynchronous().Periodic(100).Task("h", 2, 60)
+	sys := b.MustBuild()
+	_, err := holistic.Analyze(sys, sys.ChainByName("x"), latency.Options{Horizon: 1 << 20})
+	if !errors.Is(err, latency.ErrDiverged) && !errors.Is(err, latency.ErrKExceeded) {
+		t.Errorf("err = %v, want ErrDiverged or ErrKExceeded", err)
+	}
+}

@@ -1,0 +1,80 @@
+package ilp
+
+import "fmt"
+
+// MaximizeDP solves single-constraint instances (one row, optional
+// variable bounds) by bounded-knapsack dynamic programming over the
+// row's budget. It is an independent algorithm used to cross-check the
+// branch-and-bound solver in tests, and it is asymptotically better
+// when the budget is small and variables are many.
+//
+// It returns an error for problems with more or fewer than one row, or
+// with a variable that is unbounded in both the row and VarBounds while
+// carrying positive objective weight.
+func MaximizeDP(p Problem) (Solution, error) {
+	if err := p.validate(); err != nil {
+		return Solution{}, err
+	}
+	if len(p.Rows) != 1 {
+		return Solution{}, fmt.Errorf("ilp: MaximizeDP needs exactly 1 row, got %d", len(p.Rows))
+	}
+	row := p.Rows[0]
+	budget := row.Bound
+	n := len(p.Objective)
+
+	// best[w] = max objective using total row weight exactly ≤ w,
+	// choice[w][j] reconstructed via parent pointers per item step.
+	best := make([]int64, budget+1)
+	take := make([][]int64, n) // take[j][w] = copies of j taken at dp step j
+	for j := 0; j < n; j++ {
+		cap := int64(-1)
+		if p.VarBounds != nil && p.VarBounds[j] >= 0 {
+			cap = p.VarBounds[j]
+		}
+		w := row.Coeffs[j]
+		if w == 0 {
+			if p.Objective[j] > 0 && cap < 0 {
+				return Solution{}, fmt.Errorf("ilp: variable %d: %w", j, ErrUnbounded)
+			}
+			// Zero-weight items contribute cap·c for free.
+			take[j] = nil
+			continue
+		}
+		if cap < 0 || cap > budget/w {
+			cap = budget / w
+		}
+		next := make([]int64, budget+1)
+		taken := make([]int64, budget+1)
+		for b := int64(0); b <= budget; b++ {
+			next[b] = best[b]
+			for k := int64(1); k <= cap && k*w <= b; k++ {
+				if v := best[b-k*w] + k*p.Objective[j]; v > next[b] {
+					next[b] = v
+					taken[b] = k
+				}
+			}
+		}
+		best = next
+		take[j] = taken
+	}
+
+	sol := Solution{X: make([]int64, n), Value: best[budget]}
+	// Reconstruct weighted choices backwards.
+	b := budget
+	for j := n - 1; j >= 0; j-- {
+		if take[j] == nil {
+			continue
+		}
+		k := take[j][b]
+		sol.X[j] = k
+		b -= k * row.Coeffs[j]
+	}
+	// Zero-weight items at their cap (free objective).
+	for j := 0; j < n; j++ {
+		if row.Coeffs[j] == 0 && p.Objective[j] > 0 {
+			sol.X[j] = p.VarBounds[j]
+			sol.Value += p.VarBounds[j] * p.Objective[j]
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,101 @@
+package ilp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMaximizeDPBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+		want int64
+	}{
+		{
+			"unbounded knapsack",
+			Problem{Objective: []int64{60, 100, 120}, Rows: []Row{{Coeffs: []int64{10, 20, 30}, Bound: 50}}},
+			300,
+		},
+		{
+			"zero-one knapsack",
+			Problem{
+				Objective: []int64{60, 100, 120},
+				Rows:      []Row{{Coeffs: []int64{10, 20, 30}, Bound: 50}},
+				VarBounds: []int64{1, 1, 1},
+			},
+			220,
+		},
+		{
+			"free zero-weight item",
+			Problem{
+				Objective: []int64{5, 1},
+				Rows:      []Row{{Coeffs: []int64{0, 1}, Bound: 3}},
+				VarBounds: []int64{2, -1},
+			},
+			13,
+		},
+		{
+			"zero budget",
+			Problem{Objective: []int64{7}, Rows: []Row{{Coeffs: []int64{3}, Bound: 0}}},
+			0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MaximizeDP(tt.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Value != tt.want {
+				t.Errorf("Value = %d (x=%v), want %d", got.Value, got.X, tt.want)
+			}
+			checkFeasible(t, tt.p, got)
+		})
+	}
+}
+
+func TestMaximizeDPErrors(t *testing.T) {
+	if _, err := MaximizeDP(Problem{Objective: []int64{1}}); err == nil {
+		t.Error("zero rows accepted")
+	}
+	two := Problem{Objective: []int64{1}, Rows: []Row{
+		{Coeffs: []int64{1}, Bound: 1}, {Coeffs: []int64{1}, Bound: 1},
+	}}
+	if _, err := MaximizeDP(two); err == nil {
+		t.Error("two rows accepted")
+	}
+	unb := Problem{Objective: []int64{1}, Rows: []Row{{Coeffs: []int64{0}, Bound: 5}}}
+	if _, err := MaximizeDP(unb); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+// TestDPAgreesWithBranchAndBound cross-checks the two independent
+// algorithms on random single-row instances.
+func TestDPAgreesWithBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(5)
+		p := Problem{VarBounds: make([]int64, n)}
+		row := Row{Bound: int64(rng.Intn(25))}
+		for j := 0; j < n; j++ {
+			p.Objective = append(p.Objective, int64(rng.Intn(8)))
+			row.Coeffs = append(row.Coeffs, int64(rng.Intn(5)))
+			p.VarBounds[j] = int64(rng.Intn(6))
+		}
+		p.Rows = []Row{row}
+		dp, err := MaximizeDP(p)
+		if err != nil {
+			t.Fatalf("trial %d: dp: %v (problem %+v)", trial, err, p)
+		}
+		bb, err := Maximize(p)
+		if err != nil {
+			t.Fatalf("trial %d: b&b: %v", trial, err)
+		}
+		if dp.Value != bb.Value {
+			t.Fatalf("trial %d: DP=%d B&B=%d (problem %+v)", trial, dp.Value, bb.Value, p)
+		}
+		checkFeasible(t, p, dp)
+	}
+}

@@ -1,0 +1,268 @@
+// Package latency implements the worst-case latency analysis of §IV of
+// the paper: the q-event busy time B_b(q) of Theorem 1, the busy-window
+// bound K_b and worst-case latency WCL_b of Theorem 2, and the
+// per-busy-window deadline miss count N_b of Lemma 3.
+//
+// The analysis revisits Schlatow & Ernst's task-chain latency analysis
+// (RTAS 2016) in the multiple-event busy-window style of Quinton et al.
+// (DATE 2012): a fixed point over the demand a window of q chain
+// instances can generate, with interference from other chains classified
+// by the segment structure of package segments.
+package latency
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// ErrDiverged is wrapped by errors returned when a busy-window fixed
+// point exceeds the configured horizon, i.e. the priority level is
+// overloaded and busy windows need not close.
+var ErrDiverged = errors.New("busy window diverged")
+
+// ErrKExceeded is wrapped by errors returned when no q ≤ MaxQ satisfies
+// the busy-window termination test of Theorem 2.
+var ErrKExceeded = errors.New("busy-window event bound exceeded MaxQ")
+
+// Options tunes the analysis. The zero value picks sensible defaults.
+type Options struct {
+	// MaxQ bounds the K_b search of Theorem 2 (default 4096).
+	MaxQ int64
+	// Horizon bounds busy-window lengths; a fixed point exceeding it
+	// reports ErrDiverged (default 1<<40).
+	Horizon curves.Time
+	// MaxIterations bounds fixed-point iterations per q (default 1<<20).
+	MaxIterations int
+	// ExcludeOverload abstracts all overload chains away, yielding the
+	// analysis of the typical system (used in §VI to establish that the
+	// case study is schedulable when neither σa nor σb is activated).
+	ExcludeOverload bool
+	// Trace, when non-nil, receives a line per fixed-point step and per
+	// busy-window probe — the diagnostic to read when a bound surprises
+	// you or an analysis diverges.
+	Trace io.Writer
+}
+
+// WithDefaults returns o with unset fields replaced by the documented
+// defaults. Exported for sibling analysis packages that reuse the
+// fixed-point parameters.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
+func (o Options) withDefaults() Options {
+	if o.MaxQ <= 0 {
+		o.MaxQ = 4096
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 1 << 40
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1 << 20
+	}
+	return o
+}
+
+// Result is the outcome of analyzing one target chain.
+type Result struct {
+	Chain *model.Chain
+	// K is the maximum number of activations in a σb-busy-window
+	// (Theorem 2).
+	K int64
+	// BusyTimes[q-1] = B_b(q) for q in [1, K].
+	BusyTimes []curves.Time
+	// WCL is the worst-case latency max_q B(q) - δ-(q) (Theorem 2).
+	WCL curves.Time
+	// CriticalQ is the q attaining WCL.
+	CriticalQ int64
+	// MissesPerWindow is N_b of Lemma 3: how many of the K instances in
+	// one busy window can miss the deadline. It is 0 when the chain has
+	// no deadline.
+	MissesPerWindow int64
+	// Schedulable reports WCL ≤ Deadline; it is true for chains without
+	// a deadline.
+	Schedulable bool
+	// BCL is the best-case latency: the chain runs its BCETs without
+	// any interference. Together with WCL it bounds the chain's output
+	// jitter (WCL − BCL), the quantity downstream consumers of the
+	// chain's results need for their own event models.
+	BCL curves.Time
+}
+
+// OutputJitter returns the latency spread WCL − BCL.
+func (r *Result) OutputJitter() curves.Time { return r.WCL - r.BCL }
+
+// effectiveKind returns the chain kind used by the analysis: overload
+// chains are treated as synchronous, which the paper argues is without
+// loss of generality because at most one activation of an overload
+// chain falls into any busy window (§V).
+func effectiveKind(c *model.Chain) model.Kind {
+	if c.Overload {
+		return model.Synchronous
+	}
+	return c.Kind
+}
+
+// Demand returns the right-hand side of Theorem 1's Equation (1)
+// evaluated at window length w: the maximum processor demand that
+// competes with q instances of the target chain inside a window of
+// length w. The busy time B_b(q) is the least fixed point w = Demand(w).
+//
+// With excludeOverload, overload chains are dropped from the
+// arbitrarily-interfering and deferred-synchronous terms — which, since
+// overload chains are normalized to synchronous, removes them entirely.
+// This is exactly the L_b(q) shape of Equation (4) when w is fixed to
+// δ-_b(q) + D_b.
+func Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time {
+	b := info.B
+	// Line 1: the q computations themselves.
+	d := curves.MulSat(b.TotalWCET(), q)
+	// Line 2: self-interference of additional activations, asynchronous
+	// target chains only.
+	if effectiveKind(b) == model.Asynchronous {
+		if extra := b.Activation.EtaPlus(w) - q; extra > 0 {
+			d = curves.AddSat(d, curves.MulSat(info.SelfHeader().Cost(), extra))
+		}
+	}
+	// Line 3: arbitrarily interfering chains.
+	for _, a := range info.Interfering {
+		if excludeOverload && a.Overload {
+			continue
+		}
+		d = curves.AddSat(d, curves.MulSat(a.TotalWCET(), a.Activation.EtaPlus(w)))
+	}
+	for _, a := range info.Deferred {
+		if effectiveKind(a) == model.Asynchronous {
+			// Line 4: deferred asynchronous chains — arbitrarily many
+			// backlogged instances may execute the header segment, plus
+			// one instance per further segment.
+			d = curves.AddSat(d, curves.MulSat(info.HeaderSegment(a).Cost(), a.Activation.EtaPlus(w)))
+			for _, s := range info.Segments(a) {
+				d = curves.AddSat(d, s.Cost())
+			}
+		} else {
+			// Line 5: deferred synchronous chains — one instance, one
+			// (critical) segment.
+			if excludeOverload && a.Overload {
+				continue
+			}
+			d = curves.AddSat(d, info.CriticalSegment(a).Cost())
+		}
+	}
+	return d
+}
+
+// BusyTime computes B_b(q) of Theorem 1 as the least fixed point of
+// Demand, or an ErrDiverged error.
+func BusyTime(info *segments.Info, q int64, opts Options) (curves.Time, error) {
+	return busyTimeFrom(info, q, 0, opts)
+}
+
+// busyTimeFrom is BusyTime with a warm start: Kleene iteration may
+// begin at any point known to be ≤ the least fixed point, and B(q−1)
+// always qualifies because Demand is monotone in q. Starting from the
+// previous busy time turns the per-q quadratic restart cost into a
+// single pass — essential for high-utilization systems whose fixed
+// points advance in small steps.
+func busyTimeFrom(info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, error) {
+	opts = opts.withDefaults()
+	w := start
+	for i := 0; i < opts.MaxIterations; i++ {
+		next := Demand(info, q, w, opts.ExcludeOverload)
+		if opts.Trace != nil {
+			fmt.Fprintf(opts.Trace, "latency: %s B(%d) iteration %d: %d → %d\n",
+				info.B.Name, q, i, w, next)
+		}
+		if next == w {
+			return w, nil
+		}
+		if next > opts.Horizon || next.IsInf() {
+			return 0, fmt.Errorf("latency: %s: B(%d) exceeds horizon %d: %w",
+				info.B.Name, q, opts.Horizon, ErrDiverged)
+		}
+		w = next
+	}
+	return 0, fmt.Errorf("latency: %s: B(%d) did not converge in %d iterations: %w",
+		info.B.Name, q, opts.MaxIterations, ErrDiverged)
+}
+
+// Analyze runs the full §IV analysis for target chain b of sys.
+func Analyze(sys *model.System, b *model.Chain, opts Options) (*Result, error) {
+	return AnalyzeInfo(segments.Analyze(sys, b), opts)
+}
+
+// AnalyzeInfo is Analyze on a precomputed segment structure, which may
+// also be the structure-blind segments.AnalyzeFlat baseline.
+func AnalyzeInfo(info *segments.Info, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	b := info.B
+	res := &Result{Chain: b, WCL: -1}
+	for _, t := range b.Tasks {
+		res.BCL += t.BCET
+	}
+	var prev curves.Time
+	for q := int64(1); ; q++ {
+		if q > opts.MaxQ {
+			return nil, fmt.Errorf("latency: %s: no busy-window end below q=%d: %w",
+				b.Name, opts.MaxQ, ErrKExceeded)
+		}
+		bq, err := busyTimeFrom(info, q, prev, opts)
+		if err != nil {
+			return nil, err
+		}
+		prev = bq
+		res.BusyTimes = append(res.BusyTimes, bq)
+		if opts.Trace != nil {
+			fmt.Fprintf(opts.Trace, "latency: %s q=%d: B=%d δ-=%d latency=%d (next δ-=%d)\n",
+				b.Name, q, bq, b.Activation.DeltaMin(q), bq-b.Activation.DeltaMin(q),
+				b.Activation.DeltaMin(q+1))
+		}
+		if lat := bq - b.Activation.DeltaMin(q); lat > res.WCL {
+			res.WCL = lat
+			res.CriticalQ = q
+		}
+		// Theorem 2: the busy window surely ends before the (q+1)-th
+		// activation can arrive.
+		if next := b.Activation.DeltaMin(q + 1); bq <= next {
+			res.K = q
+			break
+		}
+	}
+	if b.Deadline > 0 {
+		for q := int64(1); q <= res.K; q++ {
+			if res.BusyTimes[q-1]-b.Activation.DeltaMin(q) > b.Deadline {
+				res.MissesPerWindow++
+			}
+		}
+		res.Schedulable = res.WCL <= b.Deadline
+	} else {
+		res.Schedulable = true
+	}
+	return res, nil
+}
+
+// AnalyzeAll analyzes every chain of the system that has a deadline,
+// returning results keyed by chain name. Chains whose analysis diverges
+// yield an entry in errs instead.
+func AnalyzeAll(sys *model.System, opts Options) (map[string]*Result, map[string]error) {
+	results := make(map[string]*Result)
+	errs := make(map[string]error)
+	for _, c := range sys.Chains {
+		if c.Deadline == 0 {
+			continue
+		}
+		r, err := Analyze(sys, c, opts)
+		if err != nil {
+			errs[c.Name] = err
+			continue
+		}
+		results[c.Name] = r
+	}
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return results, errs
+}

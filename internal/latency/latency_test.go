@@ -1,0 +1,296 @@
+package latency_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// TestTableI reproduces Table I of the paper: the worst-case latencies
+// of σc and σd in the Thales case study.
+//
+//	chain | WCL | D
+//	σc    | 331 | 200   (unschedulable)
+//	σd    | 175 | 200   (schedulable)
+func TestTableI(t *testing.T) {
+	sys := casestudy.New()
+	tests := []struct {
+		chain       string
+		wcl         curves.Time
+		schedulable bool
+	}{
+		{"sigma_c", 331, false},
+		{"sigma_d", 175, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.chain, func(t *testing.T) {
+			res, err := latency.Analyze(sys, sys.ChainByName(tt.chain), latency.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WCL != tt.wcl {
+				t.Errorf("WCL = %d, want %d", res.WCL, tt.wcl)
+			}
+			if res.Schedulable != tt.schedulable {
+				t.Errorf("Schedulable = %v, want %v", res.Schedulable, tt.schedulable)
+			}
+		})
+	}
+}
+
+// TestCaseStudyBusyWindowDetails pins the intermediate quantities of the
+// §VI analysis that the DMM computation relies on.
+func TestCaseStudyBusyWindowDetails(t *testing.T) {
+	sys := casestudy.New()
+	c := sys.ChainByName("sigma_c")
+	res, err := latency.Analyze(sys, c, latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Errorf("K_c = %d, want 2", res.K)
+	}
+	if res.BusyTimes[0] != 331 || res.BusyTimes[1] != 382 {
+		t.Errorf("B_c = %v, want [331 382]", res.BusyTimes)
+	}
+	if res.CriticalQ != 1 {
+		t.Errorf("critical q = %d, want 1", res.CriticalQ)
+	}
+	if res.MissesPerWindow != 1 {
+		t.Errorf("N_c = %d, want 1", res.MissesPerWindow)
+	}
+
+	d := sys.ChainByName("sigma_d")
+	resD, err := latency.Analyze(sys, d, latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resD.K != 1 {
+		t.Errorf("K_d = %d, want 1", resD.K)
+	}
+	if resD.MissesPerWindow != 0 {
+		t.Errorf("N_d = %d, want 0", resD.MissesPerWindow)
+	}
+}
+
+// TestTypicalSystemSchedulable reproduces the second §VI analysis: with
+// all overload chains abstracted away the system is schedulable.
+func TestTypicalSystemSchedulable(t *testing.T) {
+	sys := casestudy.New()
+	opts := latency.Options{ExcludeOverload: true}
+	for _, name := range []string{"sigma_c", "sigma_d"} {
+		res, err := latency.Analyze(sys, sys.ChainByName(name), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			t.Errorf("%s: typical system unschedulable (WCL=%d)", name, res.WCL)
+		}
+	}
+	// And specifically WCL_c drops from 331 to 166 (51 + 115).
+	res, err := latency.Analyze(sys, sys.ChainByName("sigma_c"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCL != 166 {
+		t.Errorf("typical WCL_c = %d, want 166", res.WCL)
+	}
+}
+
+// TestAsynchronousCaseStudyVariant documents why the case-study chains
+// must be synchronous: the asynchronous reading of σc inflates WCL_d to
+// 185 and contradicts Table I (see DESIGN.md §3).
+func TestAsynchronousCaseStudyVariant(t *testing.T) {
+	sys := casestudy.New().Clone()
+	sys.ChainByName("sigma_c").Kind = model.Asynchronous
+	res, err := latency.Analyze(sys, sys.ChainByName("sigma_d"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCL != 185 {
+		t.Errorf("async-σc WCL_d = %d, want 185", res.WCL)
+	}
+}
+
+// TestAsynchronousSelfInterference checks Theorem 1's second component:
+// an asynchronous target chain suffers header-segment interference from
+// its own backlogged activations.
+func TestAsynchronousSelfInterference(t *testing.T) {
+	b := model.NewBuilder("self")
+	b.Chain("x").Asynchronous().Periodic(100).Deadline(1000).
+		Task("x1", 2, 60). // header subchain: lowest-priority task is x2
+		Task("x2", 1, 60)
+	sys := b.MustBuild()
+	x := sys.ChainByName("x")
+	info := segments.Analyze(sys, x)
+	// In a window of length w=250, η+ = 3 activations: demand for q=1 is
+	// C + (3-1)·C_header = 120 + 2·60 = 240.
+	if got := latency.Demand(info, 1, 250, false); got != 240 {
+		t.Errorf("Demand(q=1, w=250) = %d, want 240", got)
+	}
+	// The synchronous variant has no self term.
+	sys2 := sys.Clone()
+	sys2.ChainByName("x").Kind = model.Synchronous
+	info2 := segments.Analyze(sys2, sys2.ChainByName("x"))
+	if got := latency.Demand(info2, 1, 250, false); got != 120 {
+		t.Errorf("sync Demand(q=1, w=250) = %d, want 120", got)
+	}
+}
+
+// TestDeferredAsynchronousInterference checks Theorem 1's fourth
+// component: header segment charged per activation plus one instance of
+// every segment.
+func TestDeferredAsynchronousInterference(t *testing.T) {
+	b := model.NewBuilder("defasync")
+	// Chain a: (a1 high, a2 low, a3 high) w.r.t. b — deferred (a2 below
+	// all of b). Header segment w.r.t. b = (a1). Segments: wrap merges
+	// (a3, a1): {(a3,a1)}.
+	b.Chain("a").Asynchronous().Periodic(100).
+		Task("a1", 10, 7).
+		Task("a2", 1, 100).
+		Task("a3", 11, 13)
+	b.Chain("b").Periodic(1000).Deadline(1000).
+		Task("b1", 5, 10).
+		Task("b2", 4, 10)
+	sys := b.MustBuild()
+	tgt := sys.ChainByName("b")
+	info := segments.Analyze(sys, tgt)
+	a := sys.ChainByName("a")
+	if !info.IsDeferred(a) {
+		t.Fatal("a must be deferred by b")
+	}
+	// Window w=150: η+_a = 2. Demand(q=1) = C_b + 2·C_header + ΣC_s
+	//   = 20 + 2·7 + (13+7) = 54.
+	if got := latency.Demand(info, 1, 150, false); got != 54 {
+		t.Errorf("Demand = %d, want 54", got)
+	}
+}
+
+func TestDivergenceDetected(t *testing.T) {
+	b := model.NewBuilder("overload")
+	b.Chain("hog").Periodic(100).Task("h", 2, 150)
+	b.Chain("victim").Periodic(1000).Deadline(1000).Task("v", 1, 10)
+	sys := b.MustBuild()
+	_, err := latency.Analyze(sys, sys.ChainByName("victim"), latency.Options{Horizon: 1 << 20})
+	if !errors.Is(err, latency.ErrDiverged) {
+		t.Errorf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestKExceeded(t *testing.T) {
+	// Utilization exactly above 1 for the chain itself: every busy
+	// window grows without the per-q fixed point diverging.
+	b := model.NewBuilder("kx")
+	b.Chain("x").Periodic(100).Deadline(100).Task("t", 1, 101)
+	sys := b.MustBuild()
+	_, err := latency.Analyze(sys, sys.ChainByName("x"), latency.Options{MaxQ: 64})
+	if !errors.Is(err, latency.ErrKExceeded) {
+		t.Errorf("err = %v, want ErrKExceeded", err)
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	sys := casestudy.New()
+	results, errs := latency.AnalyzeAll(sys, latency.Options{})
+	if errs != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (only chains with deadlines)", len(results))
+	}
+	if results["sigma_c"].WCL != 331 || results["sigma_d"].WCL != 175 {
+		t.Error("AnalyzeAll disagrees with Analyze")
+	}
+}
+
+func TestAnalyzeAllReportsErrors(t *testing.T) {
+	b := model.NewBuilder("mix")
+	b.Chain("hog").Periodic(100).Task("h", 2, 150)
+	b.Chain("victim").Periodic(1000).Deadline(1000).Task("v", 1, 10)
+	sys := b.MustBuild()
+	_, errs := latency.AnalyzeAll(sys, latency.Options{Horizon: 1 << 20})
+	if errs == nil || errs["victim"] == nil {
+		t.Fatalf("errs = %v, want divergence for victim", errs)
+	}
+}
+
+// TestBusyTimeMonotoneInQ: B(q) must be non-decreasing in q.
+func TestBusyTimeMonotoneInQ(t *testing.T) {
+	sys := casestudy.New()
+	info := segments.Analyze(sys, sys.ChainByName("sigma_c"))
+	var prev curves.Time
+	for q := int64(1); q <= 8; q++ {
+		bq, err := latency.BusyTime(info, q, latency.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bq < prev {
+			t.Errorf("B(%d) = %d < B(%d) = %d", q, bq, q-1, prev)
+		}
+		prev = bq
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	sys := casestudy.New()
+	var sb strings.Builder
+	_, err := latency.Analyze(sys, sys.ChainByName("sigma_c"), latency.Options{Trace: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"B(1) iteration", "→ 331", "q=1: B=331", "q=2: B=382"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBCLAndOutputJitter(t *testing.T) {
+	b := model.NewBuilder("bcl")
+	b.Chain("x").Periodic(100).Deadline(100).
+		TaskBounds("x1", 2, 5, 10).
+		TaskBounds("x2", 1, 7, 20)
+	sys := b.MustBuild()
+	res, err := latency.Analyze(sys, sys.ChainByName("x"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BCL != 12 {
+		t.Errorf("BCL = %d, want 12 (5+7)", res.BCL)
+	}
+	if res.WCL != 30 {
+		t.Errorf("WCL = %d, want 30", res.WCL)
+	}
+	if res.OutputJitter() != 18 {
+		t.Errorf("OutputJitter = %d, want 18", res.OutputJitter())
+	}
+	// BCET defaults to 0 → BCL 0 on the case study.
+	cs := casestudy.New()
+	rc, err := latency.Analyze(cs, cs.ChainByName("sigma_c"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.BCL != 0 || rc.OutputJitter() != 331 {
+		t.Errorf("case study BCL/jitter = %d/%d, want 0/331", rc.BCL, rc.OutputJitter())
+	}
+}
+
+// TestNoDeadlineChainSchedulable: chains without deadline are trivially
+// "schedulable" and have no miss count.
+func TestNoDeadlineChain(t *testing.T) {
+	sys := casestudy.New()
+	res, err := latency.Analyze(sys, sys.ChainByName("sigma_a"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || res.MissesPerWindow != 0 {
+		t.Errorf("no-deadline chain: Schedulable=%v N=%d", res.Schedulable, res.MissesPerWindow)
+	}
+}

@@ -1,0 +1,192 @@
+// Package minplus implements finite-horizon (min,+) calculus on
+// integer staircase curves — the Real-Time Calculus view of the arrival
+// curves the paper's event models induce (reference [7], Moy &
+// Altisen). It provides:
+//
+//   - Curve: a cumulative function over windows 0..H sampled from an
+//     event model (α(Δ) = η+(Δ) scaled by execution demand) or a
+//     resource (β(Δ) = capacity);
+//   - min-plus convolution and deconvolution;
+//   - the classic delay bound (maximum horizontal deviation between a
+//     demand curve α and a service curve β) and backlog bound (maximum
+//     vertical deviation).
+//
+// All computations are exact within the horizon; callers must choose a
+// horizon at least as long as the longest busy window of interest
+// (latency.Result.BusyTimes gives that). The package is an independent
+// formulation used to cross-check the busy-window analysis on simple
+// configurations (see the tests) and as a substrate for curve-based
+// reasoning the paper's references assume.
+package minplus
+
+import (
+	"fmt"
+
+	"repro/internal/curves"
+)
+
+// Curve is a non-decreasing integer function on windows 0..H (indexed
+// by time), the finite-horizon representation of an RTC curve.
+type Curve struct {
+	// Values[t] is the curve at window length t; len(Values) = H+1.
+	Values []int64
+}
+
+// Horizon returns H.
+func (c Curve) Horizon() curves.Time { return curves.Time(len(c.Values) - 1) }
+
+// At returns the curve at window t, clamping to the horizon.
+func (c Curve) At(t curves.Time) int64 {
+	if t < 0 {
+		return 0
+	}
+	if int(t) >= len(c.Values) {
+		return c.Values[len(c.Values)-1]
+	}
+	return c.Values[t]
+}
+
+// FromEventModel samples the demand curve α(Δ) = η+(Δ)·cost of an
+// event model over 0..horizon: the maximum work requested in any
+// window.
+func FromEventModel(m curves.EventModel, cost curves.Time, horizon curves.Time) Curve {
+	vals := make([]int64, horizon+1)
+	for t := curves.Time(0); t <= horizon; t++ {
+		vals[t] = m.EtaPlus(t) * int64(cost)
+	}
+	return Curve{Values: vals}
+}
+
+// FullService returns the service curve of a dedicated unit-speed
+// processor: β(Δ) = Δ.
+func FullService(horizon curves.Time) Curve {
+	vals := make([]int64, horizon+1)
+	for t := range vals {
+		vals[t] = int64(t)
+	}
+	return Curve{Values: vals}
+}
+
+// Add returns the pointwise sum (aggregate demand of independent
+// streams).
+func Add(a, b Curve) (Curve, error) {
+	if len(a.Values) != len(b.Values) {
+		return Curve{}, fmt.Errorf("minplus: horizon mismatch %d vs %d", len(a.Values)-1, len(b.Values)-1)
+	}
+	vals := make([]int64, len(a.Values))
+	for i := range vals {
+		vals[i] = a.Values[i] + b.Values[i]
+	}
+	return Curve{Values: vals}, nil
+}
+
+// Convolve returns the min-plus convolution
+// (a ⊗ b)(Δ) = min_{0≤s≤Δ} a(s) + b(Δ−s).
+func Convolve(a, b Curve) (Curve, error) {
+	if len(a.Values) != len(b.Values) {
+		return Curve{}, fmt.Errorf("minplus: horizon mismatch %d vs %d", len(a.Values)-1, len(b.Values)-1)
+	}
+	n := len(a.Values)
+	vals := make([]int64, n)
+	for d := 0; d < n; d++ {
+		best := a.Values[0] + b.Values[d]
+		for s := 1; s <= d; s++ {
+			if v := a.Values[s] + b.Values[d-s]; v < best {
+				best = v
+			}
+		}
+		vals[d] = best
+	}
+	return Curve{Values: vals}, nil
+}
+
+// Deconvolve returns the min-plus deconvolution
+// (a ⊘ b)(Δ) = max_{0≤u≤H−Δ} a(Δ+u) − b(u), the output arrival curve
+// of a stream with input a served by b.
+func Deconvolve(a, b Curve) (Curve, error) {
+	if len(a.Values) != len(b.Values) {
+		return Curve{}, fmt.Errorf("minplus: horizon mismatch %d vs %d", len(a.Values)-1, len(b.Values)-1)
+	}
+	n := len(a.Values)
+	vals := make([]int64, n)
+	for d := 0; d < n; d++ {
+		best := a.Values[d] - b.Values[0]
+		for u := 1; u < n-d; u++ {
+			if v := a.Values[d+u] - b.Values[u]; v > best {
+				best = v
+			}
+		}
+		vals[d] = best
+	}
+	return Curve{Values: vals}, nil
+}
+
+// RemainingService returns the service left by a higher-priority
+// demand α on a service β: β'(Δ) = max(0, β(Δ) − α(Δ)), the standard
+// SPP remaining-service bound (sup-based refinements exist; this is
+// the simple sound form for non-decreasing curves).
+func RemainingService(beta, alpha Curve) (Curve, error) {
+	if len(beta.Values) != len(alpha.Values) {
+		return Curve{}, fmt.Errorf("minplus: horizon mismatch %d vs %d", len(beta.Values)-1, len(alpha.Values)-1)
+	}
+	vals := make([]int64, len(beta.Values))
+	for i := range vals {
+		v := beta.Values[i] - alpha.Values[i]
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return Curve{Values: vals}, nil
+}
+
+// Delay returns the maximum horizontal deviation between demand a and
+// service b — the classic RTC delay bound: the largest time a unit of
+// demand waits until the service curve has caught up.
+//
+// The half-open window convention (η+(0) = 0, so a step a(s) > a(s−1)
+// represents an arrival as early as time s−1) makes the bound directly
+// comparable to response times: for a lone periodic task the result is
+// exactly its WCET. Delay returns an error when the service never
+// covers the demand within the horizon (the bound would be unsound,
+// not just large).
+func Delay(a, b Curve) (curves.Time, error) {
+	if len(a.Values) != len(b.Values) {
+		return 0, fmt.Errorf("minplus: horizon mismatch %d vs %d", len(a.Values)-1, len(b.Values)-1)
+	}
+	n := len(a.Values)
+	var worst curves.Time
+	for s := 1; s < n; s++ {
+		if a.Values[s] == a.Values[s-1] {
+			continue // no new arrival in (s−1, s]
+		}
+		demand := a.Values[s]
+		// Earliest t with b(t) ≥ demand; the arrival was at s−1.
+		t := s
+		for t < n && b.Values[t] < demand {
+			t++
+		}
+		if t == n {
+			return 0, fmt.Errorf("minplus: service does not cover demand within horizon %d", n-1)
+		}
+		if d := curves.Time(t - (s - 1)); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Backlog returns the maximum vertical deviation max_Δ a(Δ) − b(Δ):
+// the largest amount of pending demand.
+func Backlog(a, b Curve) (int64, error) {
+	if len(a.Values) != len(b.Values) {
+		return 0, fmt.Errorf("minplus: horizon mismatch %d vs %d", len(a.Values)-1, len(b.Values)-1)
+	}
+	var worst int64
+	for i := range a.Values {
+		if d := a.Values[i] - b.Values[i]; d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/curves"
+)
+
+// Builder assembles a System with a fluent API and defers validation to
+// Build, so construction code stays free of error handling:
+//
+//	b := model.NewBuilder("example")
+//	b.Chain("sigma_c").Periodic(200).Deadline(200).
+//		Task("c1", 8, 4).Task("c2", 7, 6).Task("c3", 1, 41)
+//	b.Chain("sigma_a").Sporadic(700).Overload().
+//		Task("a1", 4, 10).Task("a2", 3, 10)
+//	sys, err := b.Build()
+type Builder struct {
+	sys  System
+	errs []error
+}
+
+// NewBuilder returns a builder for a system with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{sys: System{Name: name}}
+}
+
+// Chain starts a new chain. Chains are synchronous by default, matching
+// the paper's case study.
+func (b *Builder) Chain(name string) *ChainBuilder {
+	c := &Chain{Name: name, Kind: Synchronous}
+	b.sys.Chains = append(b.sys.Chains, c)
+	return &ChainBuilder{b: b, c: c}
+}
+
+// Build validates and returns the assembled system.
+func (b *Builder) Build() (*System, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	sys := b.sys.Clone()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// MustBuild is Build for static systems known to be valid; it panics on
+// error.
+func (b *Builder) MustBuild() *System {
+	sys, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// ChainBuilder configures one chain of a Builder.
+type ChainBuilder struct {
+	b *Builder
+	c *Chain
+}
+
+// Synchronous marks the chain synchronous (the default).
+func (cb *ChainBuilder) Synchronous() *ChainBuilder {
+	cb.c.Kind = Synchronous
+	return cb
+}
+
+// Asynchronous marks the chain asynchronous.
+func (cb *ChainBuilder) Asynchronous() *ChainBuilder {
+	cb.c.Kind = Asynchronous
+	return cb
+}
+
+// Overload adds the chain to C_over.
+func (cb *ChainBuilder) Overload() *ChainBuilder {
+	cb.c.Overload = true
+	return cb
+}
+
+// Deadline sets the relative end-to-end deadline.
+func (cb *ChainBuilder) Deadline(d curves.Time) *ChainBuilder {
+	cb.c.Deadline = d
+	return cb
+}
+
+// Periodic sets a strictly periodic activation model.
+func (cb *ChainBuilder) Periodic(period curves.Time) *ChainBuilder {
+	return cb.Activation(curves.NewPeriodic(period))
+}
+
+// Sporadic sets a sporadic activation model with the given minimum
+// inter-arrival distance.
+func (cb *ChainBuilder) Sporadic(minDistance curves.Time) *ChainBuilder {
+	return cb.Activation(curves.NewSporadic(minDistance))
+}
+
+// Activation sets an arbitrary activation model.
+func (cb *ChainBuilder) Activation(m curves.EventModel) *ChainBuilder {
+	cb.c.Activation = m
+	return cb
+}
+
+// Task appends a task with the given priority and WCET (BCET 0).
+func (cb *ChainBuilder) Task(name string, priority int, wcet curves.Time) *ChainBuilder {
+	cb.c.Tasks = append(cb.c.Tasks, Task{Name: name, Priority: priority, WCET: wcet})
+	return cb
+}
+
+// TaskBounds appends a task with explicit BCET and WCET bounds.
+func (cb *ChainBuilder) TaskBounds(name string, priority int, bcet, wcet curves.Time) *ChainBuilder {
+	if bcet > wcet {
+		cb.b.errs = append(cb.b.errs,
+			fmt.Errorf("model: task %q: BCET %d > WCET %d", name, bcet, wcet))
+	}
+	cb.c.Tasks = append(cb.c.Tasks, Task{Name: name, Priority: priority, WCET: wcet, BCET: bcet})
+	return cb
+}

@@ -1,0 +1,24 @@
+// Package model defines the system model of the DATE 2017 paper
+// "Bounding Deadline Misses in Weakly-Hard Real-Time Systems with Task
+// Dependencies" (Hammadeh et al.): uniprocessor systems scheduled by
+// Static Priority Preemptive (SPP) whose workload consists of disjoint
+// task chains.
+//
+// A Task has a unique static priority and a worst-case execution time
+// bound. A Chain is a finite sequence of distinct tasks that activate
+// each other; it carries an activation model (an arrival curve from
+// package curves), an optional end-to-end deadline, a synchronization
+// kind, and an overload flag:
+//
+//   - Synchronous chains process a new activation only after the
+//     previous chain instance finished.
+//   - Asynchronous chains process activations independently, so
+//     instances of the same chain may pipeline and preempt each other.
+//   - Overload chains are the rarely-activated chains (interrupt
+//     service routines, recovery chains, …) that cause the transient
+//     overload TWCA reasons about.
+//
+// A System is a set of chains sharing one processor. Validate checks
+// the structural assumptions the analyses rely on (unique priorities,
+// tasks belonging to exactly one chain, positive execution times).
+package model

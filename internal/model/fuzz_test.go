@@ -1,0 +1,45 @@
+package model_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/model"
+)
+
+// FuzzSystemJSON checks that arbitrary input never panics the decoder,
+// and that any accepted document yields a valid system that survives a
+// marshal/unmarshal round trip.
+func FuzzSystemJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := model.Store(&buf, casestudy.New()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","chains":[]}`))
+	f.Add([]byte(`{"name":"x","chains":[{"name":"c","activation":{"type":"periodic","period":1},"tasks":[{"name":"t","priority":1,"wcet":1}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s model.System
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted system fails validation: %v", err)
+		}
+		out, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("accepted system fails to marshal: %v", err)
+		}
+		var again model.System
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.TaskCount() != s.TaskCount() || len(again.Chains) != len(s.Chains) {
+			t.Fatal("round trip changed the system shape")
+		}
+	})
+}

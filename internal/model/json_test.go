@@ -1,0 +1,107 @@
+package model_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys := casestudy.New()
+	var buf bytes.Buffer
+	if err := model.Store(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != sys.Name || len(back.Chains) != len(sys.Chains) {
+		t.Fatalf("round trip changed shape: %v vs %v", back, sys)
+	}
+	for i, c := range sys.Chains {
+		bc := back.Chains[i]
+		if !reflect.DeepEqual(c.Tasks, bc.Tasks) {
+			t.Errorf("chain %s tasks changed: %v vs %v", c.Name, bc.Tasks, c.Tasks)
+		}
+		if bc.Kind != c.Kind || bc.Overload != c.Overload || bc.Deadline != c.Deadline {
+			t.Errorf("chain %s attributes changed", c.Name)
+		}
+		if bc.Activation.String() != c.Activation.String() {
+			t.Errorf("chain %s activation changed: %v vs %v", c.Name, bc.Activation, c.Activation)
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			"unknown kind",
+			`{"name":"x","chains":[{"name":"c","kind":"magic","activation":{"type":"periodic","period":10},"tasks":[{"name":"t","priority":1,"wcet":1}]}]}`,
+			"unknown kind",
+		},
+		{
+			"bad activation",
+			`{"name":"x","chains":[{"name":"c","activation":{"type":"nope"},"tasks":[{"name":"t","priority":1,"wcet":1}]}]}`,
+			"unknown event model",
+		},
+		{
+			"fails validation",
+			`{"name":"x","chains":[{"name":"c","activation":{"type":"periodic","period":10},"tasks":[{"name":"t","priority":1,"wcet":0}]}]}`,
+			"non-positive WCET",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var s model.System
+			err := json.Unmarshal([]byte(tt.doc), &s)
+			if err == nil {
+				t.Fatal("Unmarshal accepted invalid document")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestMarshalUnsupportedActivation(t *testing.T) {
+	b := model.NewBuilder("x")
+	b.Chain("c").Activation(curves.NewSum(curves.NewPeriodic(10))).Task("t", 1, 1)
+	sys := b.MustBuild()
+	if _, err := json.Marshal(sys); err == nil {
+		t.Error("Marshal accepted a Sum activation (no JSON spec)")
+	}
+}
+
+func TestLoadMalformed(t *testing.T) {
+	if _, err := model.Load(strings.NewReader("{")); err == nil {
+		t.Error("Load accepted malformed JSON")
+	}
+}
+
+func TestKindRoundTripAsynchronous(t *testing.T) {
+	b := model.NewBuilder("x")
+	b.Chain("c").Asynchronous().Periodic(10).Task("t", 1, 1)
+	var buf bytes.Buffer
+	if err := model.Store(&buf, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Chains[0].Kind != model.Asynchronous {
+		t.Error("asynchronous kind lost in round trip")
+	}
+}

@@ -1,0 +1,59 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/curves"
+)
+
+// Lint reports non-fatal design smells that Validate deliberately
+// accepts but that usually indicate a modelling mistake. It returns one
+// human-readable warning per finding, in deterministic order.
+//
+// Checks:
+//
+//   - total worst-case utilization ≥ 1 (latency analyses will diverge);
+//   - a regular (non-overload) chain without a deadline — it will be
+//     skipped by DMM analyses;
+//   - an overload chain with a deadline — TWCA targets regular chains;
+//   - an asynchronous overload chain — the analyses normalize overload
+//     chains to synchronous (§V of the paper), so the flag is ignored;
+//   - a chain whose deadline is smaller than its total WCET — it can
+//     never meet the deadline, even alone on the processor;
+//   - a system with overload chains but no deadline to protect.
+func Lint(s *System) []string {
+	var warns []string
+	const horizon curves.Time = 1 << 20
+	demand, window := s.Utilization(horizon)
+	if demand >= window {
+		warns = append(warns, fmt.Sprintf(
+			"total worst-case utilization %d/%d ≥ 1: busy-window analyses will diverge", demand, window))
+	}
+	deadlines := 0
+	for _, c := range s.Chains {
+		switch {
+		case c.Overload && c.Deadline > 0:
+			warns = append(warns, fmt.Sprintf(
+				"overload chain %q has a deadline; TWCA computes DMMs for regular chains only", c.Name))
+		case !c.Overload && c.Deadline == 0:
+			warns = append(warns, fmt.Sprintf(
+				"regular chain %q has no deadline and will be skipped by DMM analyses", c.Name))
+		}
+		if c.Overload && c.Kind == Asynchronous {
+			warns = append(warns, fmt.Sprintf(
+				"overload chain %q is asynchronous; analyses treat overload chains as synchronous (§V)", c.Name))
+		}
+		if c.Deadline > 0 {
+			deadlines++
+			if c.TotalWCET() > c.Deadline {
+				warns = append(warns, fmt.Sprintf(
+					"chain %q cannot meet its deadline even in isolation (ΣC = %d > D = %d)",
+					c.Name, c.TotalWCET(), c.Deadline))
+			}
+		}
+	}
+	if len(s.OverloadChains()) > 0 && deadlines == 0 {
+		warns = append(warns, "system declares overload chains but no chain has a deadline to protect")
+	}
+	return warns
+}

@@ -1,0 +1,76 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/model"
+)
+
+func TestLintCleanSystem(t *testing.T) {
+	if warns := model.Lint(casestudy.New()); len(warns) != 0 {
+		t.Errorf("case study should lint clean, got %v", warns)
+	}
+}
+
+func lintContains(warns []string, substr string) bool {
+	for _, w := range warns {
+		if strings.Contains(w, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintFindings(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*model.System)
+		want string
+	}{
+		{
+			"overutilized",
+			func(s *model.System) { s.Chains[0].Tasks[0].WCET = 500 },
+			"utilization",
+		},
+		{
+			"regular chain without deadline",
+			func(s *model.System) { s.ChainByName("sigma_c").Deadline = 0 },
+			"no deadline",
+		},
+		{
+			"overload chain with deadline",
+			func(s *model.System) { s.ChainByName("sigma_a").Deadline = 100 },
+			"overload chain",
+		},
+		{
+			"async overload chain",
+			func(s *model.System) { s.ChainByName("sigma_b").Kind = model.Asynchronous },
+			"asynchronous",
+		},
+		{
+			"impossible deadline",
+			func(s *model.System) { s.ChainByName("sigma_d").Deadline = 50 },
+			"isolation",
+		},
+		{
+			"nothing to protect",
+			func(s *model.System) {
+				s.ChainByName("sigma_c").Deadline = 0
+				s.ChainByName("sigma_d").Deadline = 0
+			},
+			"no chain has a deadline",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sys := casestudy.New().Clone()
+			tt.mut(sys)
+			warns := model.Lint(sys)
+			if !lintContains(warns, tt.want) {
+				t.Errorf("warnings %v do not mention %q", warns, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Package paths implements the extension sketched in footnote 1 of the
+// paper: systems with forks and joins (but no cycles) can be analyzed
+// by defining paths — sequences of distinct task chains — and composing
+// the per-chain guarantees.
+//
+// The composition is conservative:
+//
+//   - the worst-case latency of a path bounds by the sum of the
+//     per-chain worst-case latencies (each chain's analysis already
+//     accounts for all interference it can suffer);
+//   - an end-to-end path deadline split into per-chain budgets D_i with
+//     ΣD_i ≤ D turns per-chain DMMs into a path DMM by the union bound:
+//     a path instance meets D whenever every stage meets its budget, so
+//     dmm_path(k) ≤ Σ_i dmm_i(k) (clamped to k).
+//
+// The stage chains are assumed to share the activation rate of the
+// path (each stage is triggered once per path instance), which is the
+// natural reading of "sequences of distinct task chains".
+package paths
+
+import (
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/twca"
+)
+
+// Path is a sequence of distinct chains of one system, e.g. the two
+// branches of a fork joined by a tail chain.
+type Path struct {
+	Name   string
+	System *model.System
+	Chains []*model.Chain
+	// Deadline is the end-to-end path deadline; per-stage budgets are
+	// the stages' own deadlines, which must sum to at most Deadline for
+	// DMM composition (checked by Validate).
+	Deadline curves.Time
+}
+
+// New assembles a path from chain names.
+func New(sys *model.System, name string, deadline curves.Time, chainNames ...string) (*Path, error) {
+	p := &Path{Name: name, System: sys, Deadline: deadline}
+	seen := map[string]bool{}
+	for _, cn := range chainNames {
+		c := sys.ChainByName(cn)
+		if c == nil {
+			return nil, fmt.Errorf("paths: no chain %q", cn)
+		}
+		if seen[cn] {
+			return nil, fmt.Errorf("paths: chain %q appears twice", cn)
+		}
+		seen[cn] = true
+		p.Chains = append(p.Chains, c)
+	}
+	if len(p.Chains) == 0 {
+		return nil, fmt.Errorf("paths: path %q has no chains", name)
+	}
+	return p, nil
+}
+
+// Validate checks that the per-stage deadline budgets cover the path
+// deadline (ΣD_i ≤ D) and that every stage has a budget.
+func (p *Path) Validate() error {
+	var sum curves.Time
+	for _, c := range p.Chains {
+		if c.Deadline <= 0 {
+			return fmt.Errorf("paths: stage %q has no deadline budget", c.Name)
+		}
+		sum += c.Deadline
+	}
+	if p.Deadline > 0 && sum > p.Deadline {
+		return fmt.Errorf("paths: stage budgets sum to %d > path deadline %d", sum, p.Deadline)
+	}
+	return nil
+}
+
+// WCL bounds the end-to-end worst-case latency of the path by summing
+// per-stage worst-case latencies.
+func (p *Path) WCL(opts latency.Options) (curves.Time, error) {
+	var sum curves.Time
+	for _, c := range p.Chains {
+		r, err := latency.Analyze(p.System, c, opts)
+		if err != nil {
+			return 0, fmt.Errorf("paths: stage %q: %w", c.Name, err)
+		}
+		sum = curves.AddSat(sum, r.WCL)
+	}
+	return sum, nil
+}
+
+// DMM bounds the number of path instances out of k consecutive ones
+// that can exceed their stage budgets, by the union bound over stages.
+func (p *Path) DMM(k int64, opts twca.Options) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, c := range p.Chains {
+		an, err := twca.New(p.System, c, opts)
+		if err != nil {
+			return 0, fmt.Errorf("paths: stage %q: %w", c.Name, err)
+		}
+		r, err := an.DMM(k)
+		if err != nil {
+			return 0, err
+		}
+		sum += r.Value
+		if sum >= k {
+			return k, nil
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,92 @@
+package paths_test
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/latency"
+	"repro/internal/paths"
+	"repro/internal/twca"
+)
+
+func TestNewValidation(t *testing.T) {
+	sys := casestudy.New()
+	if _, err := paths.New(sys, "p", 400, "sigma_c", "nope"); err == nil {
+		t.Error("unknown chain accepted")
+	}
+	if _, err := paths.New(sys, "p", 400, "sigma_c", "sigma_c"); err == nil {
+		t.Error("duplicate chain accepted")
+	}
+	if _, err := paths.New(sys, "p", 400); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestPathWCLIsSumOfStages(t *testing.T) {
+	sys := casestudy.New()
+	p, err := paths.New(sys, "cd", 400, "sigma_c", "sigma_d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcl, err := p.WCL(latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcl != 331+175 {
+		t.Errorf("path WCL = %d, want 506", wcl)
+	}
+}
+
+func TestPathDMMUnionBound(t *testing.T) {
+	sys := casestudy.New()
+	p, err := paths.New(sys, "cd", 400, "sigma_c", "sigma_d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dmm_c(10) = 5, dmm_d(10) = 0 → path dmm = 5.
+	d, err := p.DMM(10, twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("path dmm(10) = %d, want 5", d)
+	}
+}
+
+func TestPathDMMClampsAtK(t *testing.T) {
+	sys := casestudy.New()
+	p, err := paths.New(sys, "cd", 400, "sigma_c", "sigma_d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.DMM(2, twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("path dmm(2) = %d, want 2 (clamped)", d)
+	}
+}
+
+func TestValidateBudgets(t *testing.T) {
+	sys := casestudy.New()
+	// Budgets 200+200 exceed a 300 path deadline.
+	p, err := paths.New(sys, "tight", 300, "sigma_c", "sigma_d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("over-committed budgets accepted")
+	}
+	// A stage without a deadline budget is rejected.
+	p2, err := paths.New(sys, "nodl", 1000, "sigma_c", "sigma_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err == nil {
+		t.Error("stage without budget accepted")
+	}
+	if _, err := p2.DMM(5, twca.Options{}); err == nil {
+		t.Error("DMM on invalid path accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Package report renders experiment results as ASCII, Markdown and CSV
+// tables, in the style the paper's tables use.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple rectangular table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// WriteASCII renders the table with box-drawing separators.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := t.widths()
+	line := func(l, m, r string) string {
+		parts := make([]string, len(widths))
+		for i, wd := range widths {
+			parts[i] = strings.Repeat("─", wd+2)
+		}
+		return l + strings.Join(parts, m) + r
+	}
+	row := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf(" %-*s ", wd, c)
+		}
+		return "│" + strings.Join(parts, "│") + "│"
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	sb.WriteString(line("┌", "┬", "┐") + "\n")
+	sb.WriteString(row(t.Headers) + "\n")
+	sb.WriteString(line("├", "┼", "┤") + "\n")
+	for _, r := range t.Rows {
+		sb.WriteString(row(r) + "\n")
+	}
+	sb.WriteString(line("└", "┴", "┘") + "\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteMarkdown renders the table as GitHub-flavored Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("### " + t.Title + "\n\n")
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range t.Rows {
+		sb.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (RFC-4180 quoting for cells that
+// need it).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		sb.WriteString(strings.Join(parts, ",") + "\n")
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,86 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func sample() *report.Table {
+	t := &report.Table{
+		Title:   "Table I",
+		Headers: []string{"task chain", "WCL", "D"},
+	}
+	t.AddRow("sigma_c", 331, 200)
+	t.AddRow("sigma_d", 175, 200)
+	return t
+}
+
+func TestASCII(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "sigma_c", "331", "│", "┌", "└"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len([]rune(lines[1]))
+	for i, l := range lines[1:] {
+		if len([]rune(l)) != width {
+			t.Errorf("line %d has width %d, want %d:\n%s", i, len([]rune(l)), width, out)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| task chain | WCL | D |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "### Table I") {
+		t.Errorf("markdown title missing:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &report.Table{Headers: []string{"a", "b"}}
+	tb.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header row wrong:\n%s", out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := &report.Table{Headers: []string{"x", "y"}}
+	tb.Rows = append(tb.Rows, []string{"only-one"})
+	var sb strings.Builder
+	if err := tb.WriteASCII(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Error("short row dropped")
+	}
+}

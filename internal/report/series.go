@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one (x, y) sample of a step series.
+type Point struct {
+	X, Y int64
+}
+
+// Series is an integer step function, e.g. a DMM curve dmm(k) over k.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y int64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// WriteASCII renders the series as a horizontal-bar step chart: one row
+// per sample, bar length proportional to Y. Intended for monotone
+// curves like DMMs; width is the maximum bar width in characters.
+func (s *Series) WriteASCII(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 50
+	}
+	var maxY int64
+	for _, p := range s.Points {
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		sb.WriteString(s.Title + "\n")
+	}
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(&sb, "%s → %s\n", s.XLabel, s.YLabel)
+	}
+	for _, p := range s.Points {
+		bar := 0
+		if maxY > 0 {
+			bar = int(p.Y * int64(width) / maxY)
+		}
+		fmt.Fprintf(&sb, "%8d | %-*s %d\n", p.X, width, strings.Repeat("▆", bar), p.Y)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the series as two-column CSV.
+func (s *Series) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	x, y := s.XLabel, s.YLabel
+	if x == "" {
+		x = "x"
+	}
+	if y == "" {
+		y = "y"
+	}
+	fmt.Fprintf(&sb, "%s,%s\n", x, y)
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%d,%d\n", p.X, p.Y)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

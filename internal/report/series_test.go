@@ -1,0 +1,67 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestSeriesASCII(t *testing.T) {
+	s := &report.Series{Title: "dmm curve", XLabel: "k", YLabel: "dmm(k)"}
+	s.Add(1, 1)
+	s.Add(3, 3)
+	s.Add(10, 5)
+	var sb strings.Builder
+	if err := s.WriteASCII(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dmm curve", "k → dmm(k)", "▆", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("lines = %d, want 5 (title + labels + 3 rows)", len(lines))
+	}
+	// The max row gets the full bar width.
+	if !strings.Contains(lines[4], strings.Repeat("▆", 20)) {
+		t.Errorf("max row not full width:\n%s", out)
+	}
+}
+
+func TestSeriesZeroValues(t *testing.T) {
+	s := &report.Series{}
+	s.Add(1, 0)
+	var sb strings.Builder
+	if err := s.WriteASCII(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 |") {
+		t.Errorf("zero series misrendered: %q", sb.String())
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := &report.Series{XLabel: "k", YLabel: "dmm"}
+	s.Add(3, 3)
+	s.Add(76, 4)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "k,dmm\n3,3\n76,4\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+	// Default labels.
+	var sb2 strings.Builder
+	if err := (&report.Series{}).WriteCSV(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != "x,y\n" {
+		t.Errorf("default CSV header = %q", sb2.String())
+	}
+}

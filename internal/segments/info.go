@@ -1,0 +1,123 @@
+package segments
+
+import "repro/internal/model"
+
+// Info caches the complete segment structure of a system relative to one
+// target chain b: the Def. 2 classification and, per interfering chain,
+// its segments, header segment and active segments. The latency and
+// TWCA analyses both consume this.
+type Info struct {
+	// Target is the chain b the structure is relative to.
+	Target *model.System
+
+	B *model.Chain
+	// Interfering lists the chains arbitrarily interfering with B
+	// (IC(b)), in system order, excluding B itself.
+	Interfering []*model.Chain
+	// Deferred lists the chains deferred by B (DC(b)), in system order.
+	Deferred []*model.Chain
+
+	segs    map[*model.Chain][]Segment
+	active  map[*model.Chain][]Segment
+	header  map[*model.Chain]Segment
+	crit    map[*model.Chain]Segment
+	selfHdr Segment
+}
+
+// Analyze computes the Info of system sys relative to target chain b,
+// which must be a chain of sys.
+func Analyze(sys *model.System, b *model.Chain) *Info {
+	info := &Info{
+		Target:  sys,
+		B:       b,
+		segs:    make(map[*model.Chain][]Segment),
+		active:  make(map[*model.Chain][]Segment),
+		header:  make(map[*model.Chain]Segment),
+		crit:    make(map[*model.Chain]Segment),
+		selfHdr: HeaderSubchain(b),
+	}
+	for _, a := range sys.Chains {
+		if a == b {
+			continue
+		}
+		if Deferred(a, b) {
+			info.Deferred = append(info.Deferred, a)
+		} else {
+			info.Interfering = append(info.Interfering, a)
+		}
+		info.segs[a] = Of(a, b)
+		info.active[a] = Active(a, b)
+		info.header[a] = HeaderSegment(a, b)
+		info.crit[a] = Critical(a, b)
+	}
+	return info
+}
+
+// AnalyzeFlat computes a structure-blind variant of Analyze: every
+// other chain is treated as arbitrarily interfering with b, and its
+// only segment (and active segment) is the whole chain. This is the
+// abstraction classic TWCA for independent tasks (ECRTS 2015) has to
+// use — it cannot exploit priorities inside chains — and serves as the
+// ablation baseline quantifying the value of the paper's segment
+// machinery. It is sound but (often much) more pessimistic.
+func AnalyzeFlat(sys *model.System, b *model.Chain) *Info {
+	info := &Info{
+		Target:  sys,
+		B:       b,
+		segs:    make(map[*model.Chain][]Segment),
+		active:  make(map[*model.Chain][]Segment),
+		header:  make(map[*model.Chain]Segment),
+		crit:    make(map[*model.Chain]Segment),
+		selfHdr: wholeChain(b), // conservative: no structure known
+	}
+	for _, a := range sys.Chains {
+		if a == b {
+			continue
+		}
+		info.Interfering = append(info.Interfering, a)
+		whole := wholeChain(a)
+		info.segs[a] = []Segment{whole}
+		info.active[a] = []Segment{whole}
+		info.header[a] = whole
+		info.crit[a] = whole
+	}
+	return info
+}
+
+// wholeChain returns the segment covering all of c, with Parent 0 so it
+// acts as its own enclosing segment in combination constraints.
+func wholeChain(c *model.Chain) Segment {
+	all := make([]int, c.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return Segment{Chain: c, Indices: all, Parent: 0}
+}
+
+// Segments returns the segments of a w.r.t. the target (Def. 3).
+func (in *Info) Segments(a *model.Chain) []Segment { return in.segs[a] }
+
+// ActiveSegments returns the active segments of a w.r.t. the target
+// (Def. 8).
+func (in *Info) ActiveSegments(a *model.Chain) []Segment { return in.active[a] }
+
+// HeaderSegment returns s_header_{a,target} (Def. 5).
+func (in *Info) HeaderSegment(a *model.Chain) Segment { return in.header[a] }
+
+// CriticalSegment returns the critical segment of a w.r.t. the target
+// (Def. 4).
+func (in *Info) CriticalSegment(a *model.Chain) Segment { return in.crit[a] }
+
+// SelfHeader returns s_header_b of Def. 5 for the target chain itself,
+// used by Theorem 1 for asynchronous self-interference.
+func (in *Info) SelfHeader() Segment { return in.selfHdr }
+
+// IsDeferred reports the Def. 2 classification of a w.r.t. the target.
+func (in *Info) IsDeferred(a *model.Chain) bool {
+	for _, c := range in.Deferred {
+		if c == a {
+			return true
+		}
+	}
+	return false
+}

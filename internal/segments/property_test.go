@@ -1,0 +1,149 @@
+package segments_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/curves"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// randomPair builds a random two-chain system for property testing.
+func randomPair(rng *rand.Rand) (*model.System, *model.Chain, *model.Chain) {
+	na, nb := 1+rng.Intn(6), 1+rng.Intn(4)
+	prios := gen.Permutation(rng, na+nb)
+	b := model.NewBuilder("prop")
+	cb := b.Chain("a").Periodic(curves.Time(100 + rng.Intn(900)))
+	for i := 0; i < na; i++ {
+		cb.Task(taskName("a", i), prios[i], curves.Time(1+rng.Intn(50)))
+	}
+	cb2 := b.Chain("b").Periodic(curves.Time(100 + rng.Intn(900))).Deadline(1000)
+	for i := 0; i < nb; i++ {
+		cb2.Task(taskName("b", i), prios[na+i], curves.Time(1+rng.Intn(50)))
+	}
+	sys := b.MustBuild()
+	return sys, sys.ChainByName("a"), sys.ChainByName("b")
+}
+
+func taskName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// TestSegmentProperties checks the structural invariants of Defs 2-8 on
+// random chain pairs.
+func TestSegmentProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		sys, a, b := randomPair(rng)
+		_ = sys
+		minB := b.LowestPriority()
+		segs := segments.Of(a, b)
+		active := segments.Active(a, b)
+
+		// 1. Segments cover exactly the tasks outranking all of b, each
+		//    exactly once.
+		covered := map[int]int{}
+		for _, s := range segs {
+			for _, i := range s.Indices {
+				covered[i]++
+			}
+		}
+		for i, task := range a.Tasks {
+			want := 0
+			if task.Priority > minB {
+				want = 1
+			}
+			if covered[i] != want {
+				t.Fatalf("trial %d: task %d covered %d times, want %d (segs %v)",
+					trial, i, covered[i], want, segs)
+			}
+		}
+
+		// 2. Deferred ⟺ some task does not qualify ⟺ coverage < n_a.
+		if segments.Deferred(a, b) != (len(covered) < a.Len()) {
+			t.Fatalf("trial %d: deferral classification inconsistent", trial)
+		}
+
+		// 3. Active segments partition the segments: same total tasks,
+		//    same total cost, valid parent links, contiguous content.
+		var segCost, activeCost curves.Time
+		segTasks, activeTasks := 0, 0
+		for _, s := range segs {
+			segCost += s.Cost()
+			segTasks += len(s.Indices)
+		}
+		for _, s := range active {
+			activeCost += s.Cost()
+			activeTasks += len(s.Indices)
+			if s.Parent < 0 || s.Parent >= len(segs) {
+				t.Fatalf("trial %d: active segment parent %d out of range", trial, s.Parent)
+			}
+			if s.Empty() {
+				t.Fatalf("trial %d: empty active segment", trial)
+			}
+		}
+		if segCost != activeCost || segTasks != activeTasks {
+			t.Fatalf("trial %d: active segments do not partition segments (%d/%d vs %d/%d)",
+				trial, segTasks, segCost, activeTasks, activeCost)
+		}
+
+		// 4. Def. 8: within an active segment every task but the first
+		//    outranks b's tail.
+		tail := b.Tail().Priority
+		for _, s := range active {
+			for k, i := range s.Indices {
+				if k == 0 {
+					continue
+				}
+				if a.Tasks[i].Priority <= tail {
+					t.Fatalf("trial %d: active segment %v violates Def. 8", trial, s)
+				}
+			}
+		}
+
+		// 5. Critical segment is a segment of maximum cost.
+		crit := segments.Critical(a, b)
+		var maxCost curves.Time
+		for _, s := range segs {
+			if s.Cost() > maxCost {
+				maxCost = s.Cost()
+			}
+		}
+		if crit.Cost() != maxCost {
+			t.Fatalf("trial %d: critical cost %d, want %d", trial, crit.Cost(), maxCost)
+		}
+
+		// 6. Header segment is a (possibly empty) prefix of qualifying
+		//    tasks.
+		hdr := segments.HeaderSegment(a, b)
+		for k, i := range hdr.Indices {
+			if i != k {
+				t.Fatalf("trial %d: header segment %v is not a prefix", trial, hdr)
+			}
+			if a.Tasks[i].Priority < minB {
+				t.Fatalf("trial %d: header segment contains dominated task", trial)
+			}
+		}
+	}
+}
+
+// TestSegmentDeterminism: repeated computation yields identical
+// structures.
+func TestSegmentDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		_, a, b := randomPair(rng)
+		first := segments.Of(a, b)
+		again := segments.Of(a, b)
+		if len(first) != len(again) {
+			t.Fatal("nondeterministic segment count")
+		}
+		for i := range first {
+			if first[i].Key() != again[i].Key() {
+				t.Fatal("nondeterministic segment order")
+			}
+		}
+	}
+}

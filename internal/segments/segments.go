@@ -1,0 +1,230 @@
+// Package segments implements the chain-structure machinery of §IV of
+// the paper: the classification of interfering chains (Def. 2), segments
+// (Def. 3), critical segments (Def. 4), header segments (Def. 5) and
+// active segments (Def. 8).
+//
+// All functions take an interfering chain a and a target chain b and
+// answer questions of the form "which parts of a can delay b, and how do
+// they map onto σb-busy-windows".
+package segments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+// Segment is a subchain of an interfering chain, identified by task
+// positions in execution order. Per Def. 3 a segment may wrap around the
+// end of the chain (identifiers modulo n_a), conservatively spanning two
+// chain instances; Wraps reports that case.
+type Segment struct {
+	Chain *model.Chain
+	// Indices are positions into Chain.Tasks in execution order.
+	Indices []int
+	// Wraps is true if the segment crosses from the last task back to
+	// the first (two consecutive chain instances).
+	Wraps bool
+	// Parent is the index of the enclosing segment in Of(a, b) when this
+	// Segment was produced by Active; otherwise it is -1.
+	Parent int
+}
+
+// Cost returns ΣC over the segment's tasks (C_s in the paper).
+func (s Segment) Cost() curves.Time {
+	var sum curves.Time
+	for _, i := range s.Indices {
+		sum += s.Chain.Tasks[i].WCET
+	}
+	return sum
+}
+
+// Empty reports whether the segment contains no tasks.
+func (s Segment) Empty() bool { return len(s.Indices) == 0 }
+
+// Tasks returns the segment's tasks in execution order.
+func (s Segment) Tasks() []model.Task {
+	out := make([]model.Task, len(s.Indices))
+	for k, i := range s.Indices {
+		out[k] = s.Chain.Tasks[i]
+	}
+	return out
+}
+
+// String renders the segment like the paper: (τ1a,τ2a).
+func (s Segment) String() string {
+	if s.Empty() {
+		return "()"
+	}
+	names := make([]string, len(s.Indices))
+	for k, i := range s.Indices {
+		names[k] = s.Chain.Tasks[i].Name
+	}
+	return "(" + strings.Join(names, ",") + ")"
+}
+
+// Key returns a stable identity for the segment within its system,
+// usable as a map key.
+func (s Segment) Key() string {
+	return fmt.Sprintf("%s:%v", s.Chain.Name, s.Indices)
+}
+
+// Deferred reports whether chain a is deferred by chain b (Def. 2):
+// some task of a has lower priority than all tasks of b. Otherwise a is
+// said to arbitrarily interfere with b.
+func Deferred(a, b *model.Chain) bool {
+	min := b.LowestPriority()
+	for _, t := range a.Tasks {
+		if t.Priority < min {
+			return true
+		}
+	}
+	return false
+}
+
+// Of returns the segments of a w.r.t. b (Def. 3): the maximal subchains
+// of a consisting of tasks with priority higher than the lowest priority
+// in b, read modulo n_a. If every task of a qualifies (a arbitrarily
+// interferes with b), the whole chain is the single segment.
+func Of(a, b *model.Chain) []Segment {
+	min := b.LowestPriority()
+	n := a.Len()
+	qual := make([]bool, n)
+	allQual := true
+	for i, t := range a.Tasks {
+		qual[i] = t.Priority > min
+		allQual = allQual && qual[i]
+	}
+	if allQual {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return []Segment{{Chain: a, Indices: all, Parent: -1}}
+	}
+	var segs []Segment
+	// Walk the circle starting after a non-qualifying task so maximal
+	// runs are found intact, including the wrap-around run.
+	start := -1
+	for i := 0; i < n; i++ {
+		if !qual[i] {
+			start = i
+			break
+		}
+	}
+	var cur []int
+	for k := 1; k <= n; k++ {
+		i := (start + k) % n
+		if qual[i] {
+			cur = append(cur, i)
+			continue
+		}
+		if len(cur) > 0 {
+			segs = append(segs, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: -1})
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		segs = append(segs, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: -1})
+	}
+	return canonicalOrder(segs)
+}
+
+// wraps reports whether the index run crosses the chain boundary.
+func wraps(run []int) bool {
+	for k := 1; k < len(run); k++ {
+		if run[k] < run[k-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalOrder sorts segments by their first task position so results
+// are deterministic regardless of walk order.
+func canonicalOrder(segs []Segment) []Segment {
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].Indices[0] < segs[j-1].Indices[0]; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	return segs
+}
+
+// Critical returns the segment of a w.r.t. b with maximum total
+// execution time (Def. 4). It returns a zero-value empty Segment if a
+// has no segments w.r.t. b (no task of a outranks all of b).
+func Critical(a, b *model.Chain) Segment {
+	var best Segment
+	var bestCost curves.Time = -1
+	for _, s := range Of(a, b) {
+		if c := s.Cost(); c > bestCost {
+			best, bestCost = s, c
+		}
+	}
+	if bestCost < 0 {
+		return Segment{Chain: a, Parent: -1}
+	}
+	return best
+}
+
+// HeaderSubchain returns s_header_a of Def. 5: the prefix (τ1 … τi)
+// where i+1 is the position of the lowest-priority task of a. The
+// segment is empty when the first task already has the lowest priority.
+func HeaderSubchain(a *model.Chain) Segment {
+	lowest := 0
+	for i, t := range a.Tasks {
+		if t.Priority < a.Tasks[lowest].Priority {
+			lowest = i
+		}
+	}
+	idx := make([]int, 0, lowest)
+	for i := 0; i < lowest; i++ {
+		idx = append(idx, i)
+	}
+	return Segment{Chain: a, Indices: idx, Parent: -1}
+}
+
+// HeaderSegment returns s_header_{a,b} of Def. 5 for a chain a deferred
+// by b: the prefix of a up to (excluding) the first task with lower
+// priority than all tasks of b. For a chain that is not deferred by b
+// the prefix is the entire chain.
+func HeaderSegment(a, b *model.Chain) Segment {
+	min := b.LowestPriority()
+	var idx []int
+	for i, t := range a.Tasks {
+		if t.Priority < min {
+			break
+		}
+		idx = append(idx, i)
+	}
+	return Segment{Chain: a, Indices: idx, Parent: -1}
+}
+
+// Active returns the active segments of a w.r.t. b (Def. 8): the
+// partition of every segment into maximal subchains whose tasks — except
+// the first — have priority higher than b's tail task. Lemma 2
+// guarantees each active segment executes within a single
+// σb-busy-window. Parent links each active segment to its enclosing
+// segment, which Def. 9 needs to constrain combinations.
+func Active(a, b *model.Chain) []Segment {
+	tail := b.Tail().Priority
+	var out []Segment
+	for parent, seg := range Of(a, b) {
+		var cur []int
+		for k, i := range seg.Indices {
+			if k == 0 || a.Tasks[i].Priority > tail {
+				cur = append(cur, i)
+				continue
+			}
+			out = append(out, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: parent})
+			cur = []int{i}
+		}
+		if len(cur) > 0 {
+			out = append(out, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: parent})
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package segments_test
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// TestPaperExampleSegments reproduces the examples under Def. 3 and
+// Def. 8: chain σa of Fig. 1 has segments (τ1a,τ2a,τ3a) and (τ5a)
+// w.r.t. σb, and active segments (τ1a,τ2a), (τ3a), (τ5a).
+func TestPaperExampleSegments(t *testing.T) {
+	sys := casestudy.PaperExample()
+	a, b := sys.ChainByName("sigma_a"), sys.ChainByName("sigma_b")
+
+	if !segments.Deferred(a, b) {
+		t.Fatal("σa must be deferred by σb (τ4a has priority 2 < 3)")
+	}
+	if segments.Deferred(b, a) {
+		t.Fatal("σb must arbitrarily interfere with σa")
+	}
+
+	segs := segments.Of(a, b)
+	if len(segs) != 2 {
+		t.Fatalf("σa has %d segments w.r.t. σb, want 2: %v", len(segs), segs)
+	}
+	if got := segs[0].String(); got != "(tau1a,tau2a,tau3a)" {
+		t.Errorf("segment 0 = %s, want (tau1a,tau2a,tau3a)", got)
+	}
+	if got := segs[1].String(); got != "(tau5a)" {
+		t.Errorf("segment 1 = %s, want (tau5a)", got)
+	}
+
+	active := segments.Active(a, b)
+	want := []string{"(tau1a,tau2a)", "(tau3a)", "(tau5a)"}
+	if len(active) != len(want) {
+		t.Fatalf("σa has %d active segments, want %d: %v", len(active), len(want), active)
+	}
+	for i, w := range want {
+		if got := active[i].String(); got != w {
+			t.Errorf("active segment %d = %s, want %s", i, got, w)
+		}
+	}
+	// Parent links: the first two active segments belong to segment 0.
+	if active[0].Parent != 0 || active[1].Parent != 0 || active[2].Parent != 1 {
+		t.Errorf("active segment parents = %d,%d,%d, want 0,0,1",
+			active[0].Parent, active[1].Parent, active[2].Parent)
+	}
+}
+
+// TestCaseStudySegments checks the §VI discussion: both overload chains
+// arbitrarily interfere with σc and form exactly one segment which is
+// also an active segment.
+func TestCaseStudySegments(t *testing.T) {
+	sys := casestudy.New()
+	c := sys.ChainByName("sigma_c")
+	for _, name := range []string{"sigma_a", "sigma_b"} {
+		a := sys.ChainByName(name)
+		if segments.Deferred(a, c) {
+			t.Errorf("%s must arbitrarily interfere with σc", name)
+		}
+		segs := segments.Of(a, c)
+		if len(segs) != 1 || len(segs[0].Indices) != a.Len() {
+			t.Errorf("%s: want one whole-chain segment, got %v", name, segs)
+		}
+		active := segments.Active(a, c)
+		if len(active) != 1 || len(active[0].Indices) != a.Len() {
+			t.Errorf("%s: want one whole-chain active segment, got %v", name, active)
+		}
+	}
+}
+
+// TestCaseStudyDeferral checks σc w.r.t. σd: τ3c (priority 1) is below
+// everything in σd, so σc is deferred with single segment (τ1c,τ2c) of
+// cost 10 — the value that makes WCL_d = 175 in Table I.
+func TestCaseStudyDeferral(t *testing.T) {
+	sys := casestudy.New()
+	c, d := sys.ChainByName("sigma_c"), sys.ChainByName("sigma_d")
+	if !segments.Deferred(c, d) {
+		t.Fatal("σc must be deferred by σd")
+	}
+	crit := segments.Critical(c, d)
+	if got := crit.String(); got != "(tau1c,tau2c)" {
+		t.Errorf("critical segment = %s, want (tau1c,tau2c)", got)
+	}
+	if got := crit.Cost(); got != 10 {
+		t.Errorf("critical segment cost = %d, want 10", got)
+	}
+	// σd w.r.t. σc: every task of σd outranks τ3c (priority 1), so σd
+	// arbitrarily interferes with σc.
+	if segments.Deferred(d, c) {
+		t.Error("σd must arbitrarily interfere with σc")
+	}
+}
+
+func TestHeaderSubchain(t *testing.T) {
+	sys := casestudy.New()
+	d := sys.ChainByName("sigma_d")
+	hdr := segments.HeaderSubchain(d)
+	if got := hdr.String(); got != "(tau1d,tau2d,tau3d,tau4d)" {
+		t.Errorf("s_header_d = %s", got)
+	}
+	c := sys.ChainByName("sigma_c")
+	if got := segments.HeaderSubchain(c).String(); got != "(tau1c,tau2c)" {
+		t.Errorf("s_header_c = %s", got)
+	}
+	// First task lowest → empty header.
+	b := model.NewBuilder("x")
+	b.Chain("r").Periodic(10).Task("r1", 1, 1).Task("r2", 2, 1)
+	rsys := b.MustBuild()
+	if hdr := segments.HeaderSubchain(rsys.Chains[0]); !hdr.Empty() {
+		t.Errorf("header of lowest-first chain = %s, want empty", hdr)
+	}
+}
+
+func TestHeaderSegment(t *testing.T) {
+	sys := casestudy.New()
+	c, d := sys.ChainByName("sigma_c"), sys.ChainByName("sigma_d")
+	// σc deferred by σd: header stops before τ3c (priority 1 < 2).
+	if got := segments.HeaderSegment(c, d).String(); got != "(tau1c,tau2c)" {
+		t.Errorf("s_header_{c,d} = %s, want (tau1c,tau2c)", got)
+	}
+	// σd w.r.t. σc is not deferred: header is the whole chain.
+	if got := len(segments.HeaderSegment(d, c).Indices); got != d.Len() {
+		t.Errorf("s_header_{d,c} has %d tasks, want %d", got, d.Len())
+	}
+}
+
+// TestWraparound exercises the modulo-n_a convention of Def. 3 with a
+// chain whose qualifying tasks cross the boundary.
+func TestWraparound(t *testing.T) {
+	b := model.NewBuilder("wrap")
+	b.Chain("a").Periodic(100).
+		Task("a1", 10, 1). // qualifies
+		Task("a2", 1, 1).  // below σb
+		Task("a3", 11, 2). // qualifies
+		Task("a4", 12, 3)  // qualifies
+	b.Chain("b").Periodic(100).
+		Task("b1", 5, 1).
+		Task("b2", 4, 1)
+	sys := b.MustBuild()
+	a, tgt := sys.ChainByName("a"), sys.ChainByName("b")
+	segs := segments.Of(a, tgt)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 wrap-around segment, got %v", segs)
+	}
+	if !segs[0].Wraps {
+		t.Error("segment should report Wraps")
+	}
+	if got := segs[0].String(); got != "(tau:a3,tau:a4,tau:a1)" && got != "(a3,a4,a1)" {
+		if got != "(a3,a4,a1)" {
+			t.Errorf("wrap segment = %s, want (a3,a4,a1)", got)
+		}
+	}
+	if got := segs[0].Cost(); got != 6 {
+		t.Errorf("wrap segment cost = %d, want 6", got)
+	}
+}
+
+func TestAllTasksQualifyNoWrapDuplication(t *testing.T) {
+	b := model.NewBuilder("all")
+	b.Chain("a").Periodic(100).Task("a1", 10, 1).Task("a2", 11, 1)
+	b.Chain("b").Periodic(100).Task("b1", 1, 1)
+	sys := b.MustBuild()
+	segs := segments.Of(sys.ChainByName("a"), sys.ChainByName("b"))
+	if len(segs) != 1 || len(segs[0].Indices) != 2 || segs[0].Wraps {
+		t.Errorf("arbitrarily interfering chain: want single whole-chain segment, got %v", segs)
+	}
+}
+
+func TestCriticalPicksMaxCost(t *testing.T) {
+	b := model.NewBuilder("crit")
+	b.Chain("a").Periodic(100).
+		Task("a1", 10, 5).
+		Task("a2", 1, 1). // splits segments
+		Task("a3", 11, 9).
+		Task("a4", 2, 1) // splits segments, prevents wrap-around merge
+	b.Chain("b").Periodic(100).Task("b1", 5, 1).Task("b2", 4, 1)
+	sys := b.MustBuild()
+	crit := segments.Critical(sys.ChainByName("a"), sys.ChainByName("b"))
+	if got := crit.Cost(); got != 9 {
+		t.Errorf("critical cost = %d, want 9", got)
+	}
+	if got := crit.String(); got != "(a3)" {
+		t.Errorf("critical segment = %s, want (a3)", got)
+	}
+}
+
+func TestCriticalOfNonInterferingChainIsEmpty(t *testing.T) {
+	b := model.NewBuilder("none")
+	b.Chain("a").Periodic(100).Task("a1", 1, 5).Task("a2", 2, 5)
+	b.Chain("b").Periodic(100).Task("b1", 10, 1).Task("b2", 11, 1)
+	sys := b.MustBuild()
+	crit := segments.Critical(sys.ChainByName("a"), sys.ChainByName("b"))
+	if !crit.Empty() || crit.Cost() != 0 {
+		t.Errorf("critical of fully-dominated chain = %v, want empty", crit)
+	}
+	if got := crit.String(); got != "()" {
+		t.Errorf("empty segment String = %q, want ()", got)
+	}
+}
+
+func TestInfoClassification(t *testing.T) {
+	sys := casestudy.New()
+	c := sys.ChainByName("sigma_c")
+	info := segments.Analyze(sys, c)
+	if len(info.Interfering) != 3 {
+		t.Errorf("IC(c) has %d chains, want 3 (σd, σb, σa)", len(info.Interfering))
+	}
+	if len(info.Deferred) != 0 {
+		t.Errorf("DC(c) has %d chains, want 0", len(info.Deferred))
+	}
+	d := sys.ChainByName("sigma_d")
+	infoD := segments.Analyze(sys, d)
+	if len(infoD.Deferred) != 1 || infoD.Deferred[0] != c {
+		t.Errorf("DC(d) = %v, want [σc]", infoD.Deferred)
+	}
+	if !infoD.IsDeferred(c) {
+		t.Error("IsDeferred(σc) = false, want true")
+	}
+	if infoD.IsDeferred(sys.ChainByName("sigma_a")) {
+		t.Error("IsDeferred(σa) = true, want false")
+	}
+	if got := infoD.CriticalSegment(c).Cost(); got != 10 {
+		t.Errorf("cached critical segment cost = %d, want 10", got)
+	}
+	if got := infoD.SelfHeader().String(); got != "(tau1d,tau2d,tau3d,tau4d)" {
+		t.Errorf("SelfHeader = %s", got)
+	}
+	if got := len(infoD.ActiveSegments(c)); got != 1 {
+		t.Errorf("active segments of σc w.r.t. σd = %d, want 1", got)
+	}
+	if got := infoD.HeaderSegment(c).String(); got != "(tau1c,tau2c)" {
+		t.Errorf("cached header segment = %s", got)
+	}
+	if got := len(infoD.Segments(c)); got != 1 {
+		t.Errorf("cached segments of σc = %d, want 1", got)
+	}
+}
+
+func TestSegmentTasksAndKey(t *testing.T) {
+	sys := casestudy.PaperExample()
+	a, b := sys.ChainByName("sigma_a"), sys.ChainByName("sigma_b")
+	seg := segments.Of(a, b)[0]
+	tasks := seg.Tasks()
+	if len(tasks) != 3 || tasks[0].Name != "tau1a" {
+		t.Errorf("Tasks() = %v", tasks)
+	}
+	if seg.Key() != "sigma_a:[0 1 2]" {
+		t.Errorf("Key() = %q", seg.Key())
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/curves"
+)
+
+// ArrivalPolicy selects how concrete activation times are generated
+// from a chain's event model.
+type ArrivalPolicy int
+
+const (
+	// Dense releases events as early as the model allows: the q-th
+	// event at δ-(q). For periodic models this is the critical-instant
+	// pattern with phase 0; for sporadic models it is the maximal-rate
+	// pattern. This is the adversarial default used to stress analysis
+	// bounds.
+	Dense ArrivalPolicy = iota
+	// RandomSpacing draws a random legal pattern: a random phase and,
+	// per event, a random gap at least the model's minimum distance.
+	RandomSpacing
+	// Rare produces sparse activations: every gap is three times the
+	// minimum distance plus a random slack. Use for overload chains to
+	// emulate their "rarely activated" nature.
+	Rare
+	// Never produces no activations at all (the typical system without
+	// its overload chains).
+	Never
+)
+
+// GenerateArrivals produces all activation times in [0, horizon)
+// following the policy. The result is strictly increasing except that
+// models permitting simultaneous events (δ-(q) plateaus) may repeat
+// times under Dense.
+func GenerateArrivals(m curves.EventModel, policy ArrivalPolicy, horizon curves.Time, rng *rand.Rand) []curves.Time {
+	switch policy {
+	case Never:
+		return nil
+	case Dense:
+		var out []curves.Time
+		for q := int64(1); ; q++ {
+			t := m.DeltaMin(q)
+			if t >= horizon {
+				break
+			}
+			out = append(out, t)
+		}
+		return out
+	case RandomSpacing, Rare:
+		minGap := m.DeltaMin(2)
+		if minGap <= 0 {
+			minGap = 1
+		}
+		var out []curves.Time
+		t := curves.Time(rng.Int63n(int64(minGap)))
+		for t < horizon {
+			out = append(out, t)
+			gap := minGap
+			if policy == Rare {
+				gap = 3 * minGap
+			}
+			gap += curves.Time(rng.Int63n(int64(minGap) + 1))
+			t += gap
+		}
+		return out
+	default:
+		panic("sim: unknown arrival policy")
+	}
+}
+
+// ExecPolicy selects how job execution times are drawn from the task's
+// [BCET, WCET] interval.
+type ExecPolicy int
+
+const (
+	// WorstCase always charges the full WCET (the adversarial default).
+	WorstCase ExecPolicy = iota
+	// RandomExec draws uniformly from [BCET, WCET].
+	RandomExec
+)
+
+func execTime(bcet, wcet curves.Time, policy ExecPolicy, rng *rand.Rand) curves.Time {
+	switch policy {
+	case WorstCase:
+		return wcet
+	case RandomExec:
+		if wcet <= bcet {
+			return wcet
+		}
+		return bcet + curves.Time(rng.Int63n(int64(wcet-bcet)+1))
+	default:
+		panic("sim: unknown execution policy")
+	}
+}

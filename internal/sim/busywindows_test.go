@@ -1,0 +1,100 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestBusyWindowsReconstruction checks the merge logic on a hand-made
+// scenario: activations every 10, chain needs 25 (sync) — all work
+// forms one backlogged busy window.
+func TestBusyWindowsReconstruction(t *testing.T) {
+	b := builderQueue(t)
+	res, err := sim.Run(b, sim.Config{Horizon: 50, RecordArrivals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.Chains["x"].BusyWindows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v, want 1 merged window", ws)
+	}
+	w := ws[0]
+	if w.Start != 0 || w.End != 125 || w.Activations != 5 {
+		t.Errorf("window = %+v, want [0,125) with 5 activations", w)
+	}
+	if w.Length() != 125 {
+		t.Errorf("Length = %d", w.Length())
+	}
+}
+
+// TestBusyWindowsValidateTheorems validates Theorems 1 and 2 at busy
+// window granularity on the case study: every empirical window obeys
+// Activations ≤ K, Length ≤ B(Activations) and Misses ≤ N.
+func TestBusyWindowsValidateTheorems(t *testing.T) {
+	sys := casestudy.New()
+	for _, name := range []string{"sigma_c", "sigma_d"} {
+		an, err := latency.Analyze(sys, sys.ChainByName(name), latency.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			cfg := sim.Config{Horizon: 200_000, Seed: seed, RecordArrivals: true}
+			if seed > 0 {
+				cfg.Arrivals = sim.RandomSpacing
+				cfg.Execution = sim.RandomExec
+			}
+			res, err := sim.Run(sys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := res.Chains[name].BusyWindows()
+			if len(ws) == 0 {
+				t.Fatalf("%s: no busy windows reconstructed", name)
+			}
+			sawK := int64(0)
+			for _, w := range ws {
+				if w.Activations > an.K {
+					t.Errorf("%s seed %d: window with %d activations > K = %d",
+						name, seed, w.Activations, an.K)
+					continue
+				}
+				if w.Activations > sawK {
+					sawK = w.Activations
+				}
+				if bound := an.BusyTimes[w.Activations-1]; w.Length() > bound {
+					t.Errorf("%s seed %d: window length %d > B(%d) = %d",
+						name, seed, w.Length(), w.Activations, bound)
+				}
+				if w.Misses > an.MissesPerWindow {
+					t.Errorf("%s seed %d: window with %d misses > N = %d",
+						name, seed, w.Misses, an.MissesPerWindow)
+				}
+			}
+			if seed == 0 && name == "sigma_c" && sawK != an.K {
+				t.Errorf("dense run reached K = %d, want %d (bound should be achieved)", sawK, an.K)
+			}
+		}
+	}
+}
+
+func TestBusyWindowsRequireRecording(t *testing.T) {
+	sys := casestudy.New()
+	res, err := sim.Run(sys, sim.Config{Horizon: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := res.Chains["sigma_c"].BusyWindows(); ws != nil {
+		t.Error("BusyWindows without RecordArrivals should be nil")
+	}
+}
+
+func builderQueue(t *testing.T) *model.System {
+	t.Helper()
+	b := model.NewBuilder("queue")
+	b.Chain("x").Synchronous().Periodic(10).Deadline(1000).Task("t", 1, 25)
+	return b.MustBuild()
+}

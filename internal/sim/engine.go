@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Horizon stops activation generation at this time; jobs released
+	// before it are drained to completion (default 1 << 20).
+	Horizon curves.Time
+	// Seed makes stochastic policies reproducible.
+	Seed int64
+	// Arrivals is the default arrival policy (Dense if unset).
+	Arrivals ArrivalPolicy
+	// ArrivalsFor overrides the policy per chain name.
+	ArrivalsFor map[string]ArrivalPolicy
+	// OffsetsFor shifts every activation of the named chain by a fixed
+	// phase. Use with Dense arrivals to explore arrival phasings
+	// exhaustively (see ExhaustivePhasings).
+	OffsetsFor map[string]curves.Time
+	// RecordArrivals keeps the activation timestamps per chain so the
+	// run can be turned back into a trace-based event model
+	// (curves.NewTrace).
+	RecordArrivals bool
+	// RecordResponses keeps per-task worst-case response times
+	// (release of the task instance to its completion).
+	RecordResponses bool
+	// Execution is the job execution time policy (WorstCase if unset).
+	Execution ExecPolicy
+	// RecordTrace keeps per-slice execution history for Gantt output.
+	RecordTrace bool
+	// AbortOnMiss switches from the paper's deadline-agnostic scheduler
+	// (instances always run to completion) to a variant that cancels an
+	// instance once its end-to-end deadline has passed: the running job
+	// is stopped at the deadline instant and queued jobs of expired
+	// instances are discarded when they surface. Cancelled instances
+	// count as misses and as ChainStats.Aborts. TWCA assumes the
+	// deadline-agnostic scheduler; this variant exists to explore how
+	// much load shedding changes the picture.
+	AbortOnMiss bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Horizon <= 0 {
+		c.Horizon = 1 << 20
+	}
+	return c
+}
+
+func (c Config) policyFor(name string) ArrivalPolicy {
+	if p, ok := c.ArrivalsFor[name]; ok {
+		return p
+	}
+	return c.Arrivals
+}
+
+// Result holds the outcome of a run.
+type Result struct {
+	// Chains maps chain names to their statistics.
+	Chains map[string]*ChainStats
+	// TaskResponses maps task names to the worst observed response time
+	// (job release to job completion); populated when
+	// Config.RecordResponses is set.
+	TaskResponses map[string]curves.Time
+	// Trace is non-nil when Config.RecordTrace was set.
+	Trace *Trace
+	// End is the time the last job finished.
+	End curves.Time
+}
+
+// job is one released task instance.
+type job struct {
+	inst      *instance
+	taskIdx   int
+	remaining curves.Time
+	priority  int
+	seq       int64
+	release   curves.Time
+}
+
+// instance is one end-to-end chain instance.
+type instance struct {
+	state      *chainState
+	activation curves.Time
+	// deadline is the absolute abort time under Config.AbortOnMiss
+	// (0 = none).
+	deadline curves.Time
+}
+
+type chainState struct {
+	chain    *model.Chain
+	arrivals []curves.Time
+	nextArr  int
+	pending  []curves.Time // sync chains: queued activations
+	inFlight bool
+	stats    *ChainStats
+}
+
+// readyQueue orders jobs by descending priority, FIFO within equal
+// priority (which only occurs for jobs of the same task, as system
+// priorities are unique).
+type readyQueue []*job
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(*job)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// engine is the simulation state.
+type engine struct {
+	cfg       Config
+	rng       *rand.Rand
+	chains    []*chainState
+	ready     readyQueue
+	seq       int64
+	trace     *Trace
+	t         curves.Time
+	responses map[string]curves.Time
+}
+
+// Run simulates the system under the given configuration. The system
+// must be valid (unique priorities are load-bearing for determinism).
+func Run(sys *model.System, cfg Config) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	e := &engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.RecordTrace {
+		e.trace = &Trace{}
+	}
+	if cfg.RecordResponses {
+		e.responses = make(map[string]curves.Time)
+	}
+	res := &Result{Chains: make(map[string]*ChainStats)}
+	for _, c := range sys.Chains {
+		arrivals := GenerateArrivals(c.Activation, cfg.policyFor(c.Name), cfg.Horizon, e.rng)
+		if off := cfg.OffsetsFor[c.Name]; off != 0 {
+			shifted := make([]curves.Time, len(arrivals))
+			for i, a := range arrivals {
+				shifted[i] = a + off
+			}
+			arrivals = shifted
+		}
+		st := &chainState{
+			chain:    c,
+			arrivals: arrivals,
+			stats:    &ChainStats{Chain: c.Name},
+		}
+		if cfg.RecordArrivals {
+			st.stats.Arrivals = append([]curves.Time(nil), arrivals...)
+		}
+		e.chains = append(e.chains, st)
+		res.Chains[c.Name] = st.stats
+	}
+	e.loop()
+	res.Trace = e.trace
+	res.TaskResponses = e.responses
+	res.End = e.t
+	return res, nil
+}
+
+// nextArrival returns the earliest pending activation time, or
+// Infinity.
+func (e *engine) nextArrival() curves.Time {
+	next := curves.Infinity
+	for _, st := range e.chains {
+		if st.nextArr < len(st.arrivals) && st.arrivals[st.nextArr] < next {
+			next = st.arrivals[st.nextArr]
+		}
+	}
+	return next
+}
+
+// processArrivals activates every chain whose next arrival is ≤ now.
+func (e *engine) processArrivals(now curves.Time) {
+	for _, st := range e.chains {
+		for st.nextArr < len(st.arrivals) && st.arrivals[st.nextArr] <= now {
+			at := st.arrivals[st.nextArr]
+			st.nextArr++
+			st.stats.Activations++
+			if st.chain.Kind == model.Synchronous && st.inFlight {
+				st.pending = append(st.pending, at)
+				continue
+			}
+			e.startInstance(st, at)
+		}
+	}
+}
+
+// startInstance releases the header job of a new chain instance whose
+// activation time is at.
+func (e *engine) startInstance(st *chainState, at curves.Time) {
+	st.inFlight = true
+	inst := &instance{state: st, activation: at}
+	if e.cfg.AbortOnMiss && st.chain.Deadline > 0 {
+		inst.deadline = at + st.chain.Deadline
+	}
+	e.release(inst, 0)
+}
+
+// release pushes the job for task idx of inst into the ready queue.
+func (e *engine) release(inst *instance, idx int) {
+	task := inst.state.chain.Tasks[idx]
+	e.seq++
+	heap.Push(&e.ready, &job{
+		inst:      inst,
+		taskIdx:   idx,
+		remaining: execTime(task.BCET, task.WCET, e.cfg.Execution, e.rng),
+		priority:  task.Priority,
+		seq:       e.seq,
+		release:   e.t,
+	})
+}
+
+// complete handles the end of job j at the current time.
+func (e *engine) complete(j *job) {
+	st := j.inst.state
+	if e.responses != nil {
+		name := st.chain.Tasks[j.taskIdx].Name
+		if r := e.t - j.release; r > e.responses[name] {
+			e.responses[name] = r
+		}
+	}
+	if j.taskIdx+1 < st.chain.Len() {
+		e.release(j.inst, j.taskIdx+1)
+		return
+	}
+	// End-to-end completion.
+	lat := e.t - j.inst.activation
+	st.stats.record(lat, st.chain.Deadline)
+	if st.chain.Kind == model.Synchronous {
+		st.inFlight = false
+		if len(st.pending) > 0 {
+			at := st.pending[0]
+			st.pending = st.pending[1:]
+			e.startInstance(st, at)
+		}
+	}
+}
+
+// abort cancels the remaining execution of j's instance at the current
+// time: the miss is recorded and, for synchronous chains, the next
+// pending activation is started.
+func (e *engine) abort(j *job) {
+	st := j.inst.state
+	st.stats.Misses++
+	st.stats.Aborts++
+	st.stats.MissPattern = append(st.stats.MissPattern, true)
+	if st.chain.Kind == model.Synchronous {
+		st.inFlight = false
+		if len(st.pending) > 0 {
+			at := st.pending[0]
+			st.pending = st.pending[1:]
+			e.startInstance(st, at)
+		}
+	}
+}
+
+// loop is the main event loop: run the highest-priority job until the
+// next arrival or its completion, whichever comes first.
+func (e *engine) loop() {
+	for {
+		next := e.nextArrival()
+		if len(e.ready) == 0 {
+			if next.IsInf() {
+				return
+			}
+			if next > e.t {
+				e.t = next
+			}
+			e.processArrivals(e.t)
+			continue
+		}
+		j := e.ready[0]
+		if j.inst.deadline > 0 && e.t >= j.inst.deadline {
+			// The instance expired while queued (or exactly now).
+			heap.Pop(&e.ready)
+			e.abort(j)
+			continue
+		}
+		if j.inst.deadline > 0 && j.inst.deadline < e.t+j.remaining {
+			// The running instance will expire before it finishes: run
+			// to the deadline instant, then cancel.
+			if !next.IsInf() && next < j.inst.deadline {
+				e.record(j, e.t, next)
+				j.remaining -= next - e.t
+				e.t = next
+				e.processArrivals(e.t)
+				continue
+			}
+			e.record(j, e.t, j.inst.deadline)
+			j.remaining -= j.inst.deadline - e.t
+			e.t = j.inst.deadline
+			heap.Pop(&e.ready)
+			e.abort(j)
+			e.processArrivals(e.t)
+			continue
+		}
+		if !next.IsInf() && next < e.t+j.remaining {
+			// Run until the arrival, then re-evaluate (preemption).
+			e.record(j, e.t, next)
+			j.remaining -= next - e.t
+			e.t = next
+			e.processArrivals(e.t)
+			continue
+		}
+		// The job finishes before anything else happens.
+		end := e.t + j.remaining
+		e.record(j, e.t, end)
+		e.t = end
+		heap.Pop(&e.ready)
+		e.complete(j)
+		e.processArrivals(e.t)
+	}
+}
+
+// record appends an execution slice to the trace, merging adjacent
+// slices of the same job.
+func (e *engine) record(j *job, from, to curves.Time) {
+	if e.trace == nil || from == to {
+		return
+	}
+	task := j.inst.state.chain.Tasks[j.taskIdx]
+	e.trace.append(Slice{Task: task.Name, Chain: j.inst.state.chain.Name, From: from, To: to})
+}

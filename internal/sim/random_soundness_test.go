@@ -1,0 +1,85 @@
+package sim_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/twca"
+)
+
+// TestRandomSystemsSoundness is the repository's strongest validation:
+// across randomly generated systems, the simulator must never observe a
+// latency above the analytic WCL nor more misses in a k-window than
+// dmm(k) — under adversarial and randomized simulation policies alike.
+// Systems whose analysis legitimately diverges are skipped.
+func TestRandomSystemsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	analyzed, skipped := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		params := gen.Params{
+			Chains:         1 + rng.Intn(3),
+			OverloadChains: 1 + rng.Intn(2),
+			Utilization:    0.3 + rng.Float64()*0.4,
+			AsyncFraction:  0.3,
+		}
+		sys, err := gen.Random(rng, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range sys.RegularChains() {
+			an, err := twca.New(sys, c, twca.Options{})
+			if err != nil {
+				if errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded) {
+					skipped++
+					continue
+				}
+				t.Fatalf("trial %d %s: %v", trial, c.Name, err)
+			}
+			analyzed++
+			checkChainSoundness(t, sys, c, an, int64(trial))
+		}
+	}
+	if analyzed < 20 {
+		t.Fatalf("only %d chains analyzed (%d skipped) — generator parameters too aggressive",
+			analyzed, skipped)
+	}
+	t.Logf("validated %d chains (%d diverged and were skipped)", analyzed, skipped)
+}
+
+func checkChainSoundness(t *testing.T, sys *model.System, c *model.Chain, an *twca.Analysis, seed int64) {
+	t.Helper()
+	dmm := map[int64]int64{}
+	for _, k := range []int64{1, 5, 20} {
+		r, err := an.DMM(k)
+		if err != nil {
+			t.Fatalf("%s: dmm(%d): %v", c.Name, k, err)
+		}
+		dmm[k] = r.Value
+	}
+	cfgs := []sim.Config{
+		{Horizon: 50_000, Seed: seed},
+		{Horizon: 50_000, Seed: seed, Arrivals: sim.RandomSpacing, Execution: sim.RandomExec},
+	}
+	for i, cfg := range cfgs {
+		res, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Chains[c.Name]
+		if got := st.MaxLatency; got > an.Latency.WCL {
+			t.Errorf("cfg %d %s: observed latency %d > WCL %d\nsystem: %v",
+				i, c.Name, got, an.Latency.WCL, sys.Chains)
+		}
+		for k, bound := range dmm {
+			if got := st.WorstWindowMisses(int(k)); got > bound {
+				t.Errorf("cfg %d %s: %d misses in a %d-window > dmm = %d\nsystem: %v",
+					i, c.Name, got, k, bound, sys.Chains)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/curves"
+)
+
+// ChainStats accumulates per-chain observations of one run.
+type ChainStats struct {
+	Chain string
+	// Activations counts processed activations (including queued ones).
+	Activations int64
+	// Completions counts finished end-to-end instances.
+	Completions int64
+	// Misses counts instances whose latency exceeded the deadline,
+	// including instances cancelled under Config.AbortOnMiss (0 for
+	// chains without deadline).
+	Misses int64
+	// Aborts counts instances cancelled by Config.AbortOnMiss.
+	Aborts int64
+	// MaxLatency is the largest observed end-to-end latency.
+	MaxLatency curves.Time
+	// Latencies holds every observed latency in completion order (which
+	// equals activation order under SPP chain semantics).
+	Latencies []curves.Time
+	// MissPattern marks, per completed instance, whether it missed.
+	MissPattern []bool
+	// Arrivals holds the activation timestamps when
+	// Config.RecordArrivals was set, suitable for curves.NewTrace.
+	Arrivals []curves.Time
+}
+
+func (s *ChainStats) record(lat curves.Time, deadline curves.Time) {
+	s.Completions++
+	s.Latencies = append(s.Latencies, lat)
+	if lat > s.MaxLatency {
+		s.MaxLatency = lat
+	}
+	miss := deadline > 0 && lat > deadline
+	if miss {
+		s.Misses++
+	}
+	s.MissPattern = append(s.MissPattern, miss)
+}
+
+// WorstWindowMisses returns the maximum number of deadline misses in
+// any window of k consecutive completed instances — the empirical lower
+// bound on dmm(k). If fewer than k instances completed, it returns the
+// total miss count.
+func (s *ChainStats) WorstWindowMisses(k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	if int64(k) >= s.Completions {
+		return s.Misses
+	}
+	var cur, worst int64
+	for i, miss := range s.MissPattern {
+		if miss {
+			cur++
+		}
+		if i >= k && s.MissPattern[i-k] {
+			cur--
+		}
+		if cur > worst {
+			worst = cur
+		}
+	}
+	return worst
+}
+
+// MissRatio returns misses / completions, or 0 for no completions.
+func (s *ChainStats) MissRatio() float64 {
+	if s.Completions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Completions)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p ≤ 100) of the
+// observed end-to-end latencies using the nearest-rank method, or 0
+// when nothing completed.
+func (s *ChainStats) LatencyPercentile(p float64) curves.Time {
+	if len(s.Latencies) == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]curves.Time(nil), s.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// LatencyHistogram buckets the observed latencies into bucketWidth-wide
+// bins keyed by the bin's lower bound.
+func (s *ChainStats) LatencyHistogram(bucketWidth curves.Time) map[curves.Time]int64 {
+	if bucketWidth <= 0 {
+		bucketWidth = 1
+	}
+	out := make(map[curves.Time]int64)
+	for _, l := range s.Latencies {
+		out[(l/bucketWidth)*bucketWidth]++
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/curves"
+)
+
+// WriteSVG renders the trace as a self-contained SVG Gantt chart: one
+// lane per task (grouped and colored by chain), time on the x-axis up
+// to `until`, with a light grid every `grid` time units. The output is
+// deterministic for a given trace.
+func (tr *Trace) WriteSVG(w io.Writer, until, grid curves.Time) error {
+	const (
+		laneHeight = 22
+		laneGap    = 4
+		leftMargin = 110
+		topMargin  = 24
+		width      = 900
+	)
+	if until <= 0 {
+		until = 1
+	}
+	// Collect tasks in first-seen order grouped per chain.
+	type lane struct {
+		task, chain string
+	}
+	var lanes []lane
+	seen := map[string]int{}
+	for _, s := range tr.Slices {
+		if s.From >= until {
+			continue
+		}
+		if _, ok := seen[s.Task]; !ok {
+			seen[s.Task] = len(lanes)
+			lanes = append(lanes, lane{task: s.Task, chain: s.Chain})
+		}
+	}
+	sort.SliceStable(lanes, func(i, j int) bool {
+		if lanes[i].chain != lanes[j].chain {
+			return lanes[i].chain < lanes[j].chain
+		}
+		return seen[lanes[i].task] < seen[lanes[j].task]
+	})
+	order := map[string]int{}
+	for i, l := range lanes {
+		order[l.task] = i
+	}
+	// Stable chain → color assignment.
+	palette := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948"}
+	chainColor := map[string]string{}
+	for _, l := range lanes {
+		if _, ok := chainColor[l.chain]; !ok {
+			chainColor[l.chain] = palette[len(chainColor)%len(palette)]
+		}
+	}
+
+	height := topMargin + len(lanes)*(laneHeight+laneGap) + 28
+	scale := float64(width-leftMargin-10) / float64(until)
+	x := func(t curves.Time) float64 { return float64(leftMargin) + float64(t)*scale }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Grid.
+	if grid > 0 {
+		for t := curves.Time(0); t <= until; t += grid {
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+				x(t), topMargin, x(t), height-24)
+			fmt.Fprintf(w, `<text x="%.1f" y="%d" fill="#888" text-anchor="middle">%d</text>`+"\n",
+				x(t), height-8, t)
+		}
+	}
+	// Lanes and slices.
+	for i, l := range lanes {
+		y := topMargin + i*(laneHeight+laneGap)
+		fmt.Fprintf(w, `<text x="%d" y="%d" fill="#333" text-anchor="end">%s</text>`+"\n",
+			leftMargin-6, y+laneHeight-7, l.task)
+		for _, s := range tr.Slices {
+			if s.Task != l.task || s.From >= until {
+				continue
+			}
+			to := curves.MinTime(s.To, until)
+			fmt.Fprintf(w, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s [%d,%d)</title></rect>`+"\n",
+				x(s.From), y, x(to)-x(s.From), laneHeight, chainColor[s.Chain], s.Task, s.From, s.To)
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/sim"
+)
+
+func TestWriteSVG(t *testing.T) {
+	sys := casestudy.New()
+	res, err := sim.Run(sys, sim.Config{Horizon: 800, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Trace.WriteSVG(&sb, 400, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	for _, want := range []string{"tau1b", "tau3c", "<rect", "<title>", `text-anchor="middle">100<`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Tasks of the same chain share a color; different chains differ.
+	colorOf := func(task string) string {
+		i := strings.Index(out, "<title>"+task+" ")
+		if i < 0 {
+			t.Fatalf("task %s not in SVG", task)
+		}
+		pre := out[:i]
+		j := strings.LastIndex(pre, `fill="#`)
+		return pre[j+6 : j+13]
+	}
+	if colorOf("tau1c") != colorOf("tau2c") {
+		t.Error("tasks of one chain got different colors")
+	}
+	if colorOf("tau1c") == colorOf("tau1d") {
+		t.Error("different chains share a color")
+	}
+}
+
+func TestWriteSVGDeterministic(t *testing.T) {
+	sys := casestudy.New()
+	res, err := sim.Run(sys, sim.Config{Horizon: 500, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := res.Trace.WriteSVG(&a, 300, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.WriteSVG(&b, 300, 50); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("SVG output is nondeterministic")
+	}
+}
+
+func TestWriteSVGEmptyTrace(t *testing.T) {
+	var sb strings.Builder
+	tr := &sim.Trace{}
+	if err := tr.WriteSVG(&sb, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("empty trace should still produce a document")
+	}
+}

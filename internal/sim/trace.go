@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/curves"
+)
+
+// Slice is one contiguous execution interval of a task.
+type Slice struct {
+	Task  string
+	Chain string
+	From  curves.Time
+	To    curves.Time
+}
+
+// Trace is the execution history of a run.
+type Trace struct {
+	Slices []Slice
+}
+
+// append adds a slice, merging it with the previous one when the same
+// task continues without a gap.
+func (tr *Trace) append(s Slice) {
+	if n := len(tr.Slices); n > 0 {
+		last := &tr.Slices[n-1]
+		if last.Task == s.Task && last.To == s.From {
+			last.To = s.To
+			return
+		}
+	}
+	tr.Slices = append(tr.Slices, s)
+}
+
+// Busy returns the total processor busy time recorded.
+func (tr *Trace) Busy() curves.Time {
+	var sum curves.Time
+	for _, s := range tr.Slices {
+		sum += s.To - s.From
+	}
+	return sum
+}
+
+// WriteGantt renders a textual Gantt chart of the first `until` time
+// units: one row per task, one column per `step` time units. '#' marks
+// execution.
+func (tr *Trace) WriteGantt(w io.Writer, until, step curves.Time) error {
+	if step <= 0 {
+		step = 1
+	}
+	tasks := map[string][]Slice{}
+	var names []string
+	for _, s := range tr.Slices {
+		if s.From >= until {
+			continue
+		}
+		if _, ok := tasks[s.Task]; !ok {
+			names = append(names, s.Task)
+		}
+		tasks[s.Task] = append(tasks[s.Task], s)
+	}
+	sort.Strings(names)
+	width := int(until / step)
+	for _, name := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range tasks[name] {
+			from := int(s.From / step)
+			to := int((s.To + step - 1) / step)
+			for i := from; i < to && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-8s |%s|\n", name, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-8s  0%s%d\n", "", strings.Repeat(" ", max(0, width-len(fmt.Sprint(until)))), until)
+	return err
+}

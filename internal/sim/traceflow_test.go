@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/sim"
+)
+
+// TestTraceModelWorkflow exercises the measurement-based workflow: run
+// the system with randomized overload arrivals, extract trace-based
+// event models from the recorded activations, re-analyze with those
+// models, and check the refined bound is (a) no larger than the
+// specification bound and (b) still sound for that same run.
+func TestTraceModelWorkflow(t *testing.T) {
+	sys := casestudy.New()
+	res, err := sim.Run(sys, sim.Config{
+		Horizon:        300_000,
+		Seed:           5,
+		ArrivalsFor:    map[string]sim.ArrivalPolicy{"sigma_a": sim.Rare, "sigma_b": sim.Rare},
+		RecordArrivals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorded rare arrivals are sparser than the sporadic spec, so
+	// their trace model must be dominated by the spec everywhere.
+	refined := sys.Clone()
+	for _, name := range []string{"sigma_a", "sigma_b"} {
+		arr := res.Chains[name].Arrivals
+		if len(arr) < 2 {
+			t.Fatalf("%s: only %d recorded arrivals", name, len(arr))
+		}
+		tr, err := curves.NewTrace(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := sys.ChainByName(name).Activation
+		for _, dt := range []curves.Time{1, 500, 5000, 50_000} {
+			if tr.EtaPlus(dt) > spec.EtaPlus(dt) {
+				t.Errorf("%s: trace η+(%d)=%d exceeds spec η+=%d",
+					name, dt, tr.EtaPlus(dt), spec.EtaPlus(dt))
+			}
+		}
+		refined.ChainByName(name).Activation = tr
+	}
+
+	for _, name := range []string{"sigma_c", "sigma_d"} {
+		specRes, err := latency.Analyze(sys, sys.ChainByName(name), latency.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traceRes, err := latency.Analyze(refined, refined.ChainByName(name), latency.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traceRes.WCL > specRes.WCL {
+			t.Errorf("%s: trace-refined WCL %d exceeds spec WCL %d",
+				name, traceRes.WCL, specRes.WCL)
+		}
+		// The refined bound must still cover the run it was derived
+		// from (the regular chains used their dense spec arrivals).
+		if got := res.Chains[name].MaxLatency; got > traceRes.WCL {
+			t.Errorf("%s: observed %d exceeds trace-refined bound %d",
+				name, got, traceRes.WCL)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses need: integer histograms and descriptive summaries.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of integer-valued observations.
+type Histogram struct {
+	counts map[int64]int64
+	n      int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int64]int64)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	h.counts[v]++
+	h.n++
+}
+
+// Count returns how often v was observed.
+func (h *Histogram) Count(v int64) int64 { return h.counts[v] }
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Values returns the observed values in ascending order.
+func (h *Histogram) Values() []int64 {
+	out := make([]int64, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountAtMost returns how many observations were ≤ v.
+func (h *Histogram) CountAtMost(v int64) int64 {
+	var sum int64
+	for val, c := range h.counts {
+		if val <= v {
+			sum += c
+		}
+	}
+	return sum
+}
+
+// Render draws a textual bar chart, one row per observed value, scaled
+// to width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for _, v := range h.Values() {
+		c := h.counts[v]
+		bar := 0
+		if max > 0 {
+			bar = int(c * int64(width) / max)
+		}
+		fmt.Fprintf(&sb, "%6d | %-*s %d\n", v, width, strings.Repeat("█", bar), c)
+	}
+	return sb.String()
+}
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Median         float64
+}
+
+// Summarize computes a Summary of xs (empty input yields the zero
+// Summary).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}

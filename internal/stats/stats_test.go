@@ -1,0 +1,57 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHistogram(t *testing.T) {
+	h := stats.NewHistogram()
+	for _, v := range []int64{0, 0, 0, 3, 3, 10} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d, want 6", h.N())
+	}
+	if h.Count(0) != 3 || h.Count(3) != 2 || h.Count(10) != 1 || h.Count(7) != 0 {
+		t.Error("counts wrong")
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 0 || vals[1] != 3 || vals[2] != 10 {
+		t.Errorf("Values = %v, want [0 3 10]", vals)
+	}
+	if h.CountAtMost(3) != 5 {
+		t.Errorf("CountAtMost(3) = %d, want 5", h.CountAtMost(3))
+	}
+	if h.CountAtMost(-1) != 0 {
+		t.Errorf("CountAtMost(-1) = %d, want 0", h.CountAtMost(-1))
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "10") {
+		t.Errorf("Render output unexpected:\n%s", out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h := stats.NewHistogram()
+	if out := h.Render(0); out != "" {
+		t.Errorf("empty histogram rendered %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	odd := stats.Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median)
+	}
+	empty := stats.Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

@@ -1,0 +1,111 @@
+package twca_test
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/twca"
+)
+
+// asyncCaseStudy switches the regular chains to asynchronous semantics.
+func asyncCaseStudy() *model.System {
+	sys := casestudy.New().Clone()
+	for _, c := range sys.Chains {
+		if !c.Overload {
+			c.Kind = model.Asynchronous
+		}
+	}
+	return sys
+}
+
+// TestAsyncTargetAnalysis: TWCA handles asynchronous target chains —
+// Theorem 1's second component (self-interference through the header
+// subchain) enters both B and L.
+func TestAsyncTargetAnalysis(t *testing.T) {
+	sys := asyncCaseStudy()
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Async σc adds self header (τ1c,τ2c cost 10) whenever backlogged:
+	// WCL grows from 331 to 341.
+	if an.Latency.WCL != 341 {
+		t.Errorf("async WCL_c = %d, want 341", an.Latency.WCL)
+	}
+	if !an.TypicalSchedulable {
+		t.Error("async σc should still be typically schedulable")
+	}
+	r, err := an.DMM(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value < 1 || r.Value > 10 {
+		t.Errorf("async dmm_c(10) = %d out of range", r.Value)
+	}
+}
+
+// TestAsyncDMMSoundAgainstSimulation: the async-variant DMM must cover
+// simulated miss windows.
+func TestAsyncDMMSoundAgainstSimulation(t *testing.T) {
+	sys := asyncCaseStudy()
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := sim.Config{Horizon: 200_000, Seed: seed}
+		if seed > 0 {
+			cfg.Arrivals = sim.RandomSpacing
+		}
+		res, err := sim.Run(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Chains["sigma_c"]
+		if got := st.MaxLatency; got > an.Latency.WCL {
+			t.Errorf("seed %d: observed %d > async WCL %d", seed, got, an.Latency.WCL)
+		}
+		for _, k := range []int64{1, 5, 10, 50} {
+			r, err := an.DMM(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := st.WorstWindowMisses(int(k)); got > r.Value {
+				t.Errorf("seed %d: %d misses in %d-window > dmm %d", seed, got, k, r.Value)
+			}
+		}
+	}
+}
+
+// TestAsyncVsSyncDMM: synchronous semantics never yield a looser bound
+// than asynchronous on the same structure (less self-interference).
+func TestAsyncVsSyncDMM(t *testing.T) {
+	syncSys := casestudy.New()
+	asyncSys := asyncCaseStudy()
+	for _, name := range []string{"sigma_c", "sigma_d"} {
+		s, err := twca.New(syncSys, syncSys.ChainByName(name), twca.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := twca.New(asyncSys, asyncSys.ChainByName(name), twca.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Latency.WCL > a.Latency.WCL {
+			t.Errorf("%s: sync WCL %d > async WCL %d", name, s.Latency.WCL, a.Latency.WCL)
+		}
+		rs, err := s.DMM(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := a.DMM(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Value > ra.Value {
+			t.Errorf("%s: sync dmm %d > async dmm %d", name, rs.Value, ra.Value)
+		}
+	}
+}

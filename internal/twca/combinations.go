@@ -1,0 +1,116 @@
+package twca
+
+import (
+	"strings"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// Combination is a set of active segments of overload chains (Def. 9)
+// that could execute together within one σb-busy-window.
+type Combination struct {
+	// Parts holds the active segments, grouped in overload-chain order.
+	Parts []segments.Segment
+	// Cost is the summed execution cost Σ C_s of the parts.
+	Cost curves.Time
+}
+
+// Contains reports whether the combination includes the active segment
+// with the given key.
+func (c Combination) Contains(key string) bool {
+	for _, s := range c.Parts {
+		if s.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the combination in the paper's set notation, e.g.
+// {(tau1a,tau2a),(tau1b,tau2b,tau3b)}.
+func (c Combination) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, s := range c.Parts {
+		parts[i] = s.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// chainOptions returns the valid per-chain selections of active
+// segments for overload chain a: the empty selection, plus every
+// non-empty subset of active segments that share the same parent
+// segment. Active segments from different segments of the same chain
+// cannot co-occur in one busy window (Lemma 1), so they never appear in
+// the same selection.
+func chainOptions(active []segments.Segment) [][]segments.Segment {
+	options := [][]segments.Segment{nil} // the empty selection
+	byParent := make(map[int][]segments.Segment)
+	var parents []int
+	for _, s := range active {
+		if _, seen := byParent[s.Parent]; !seen {
+			parents = append(parents, s.Parent)
+		}
+		byParent[s.Parent] = append(byParent[s.Parent], s)
+	}
+	for _, p := range parents {
+		group := byParent[p]
+		// All non-empty subsets of the group, in deterministic order.
+		for mask := 1; mask < 1<<len(group); mask++ {
+			var sel []segments.Segment
+			for i := range group {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, group[i])
+				}
+			}
+			options = append(options, sel)
+		}
+	}
+	return options
+}
+
+// enumerateCombinations builds every non-empty combination of active
+// segments across the overload chains, as the cartesian product of the
+// per-chain selections. limit guards against exponential blow-up; when
+// exceeded, the bool result is false.
+func enumerateCombinations(info *segments.Info, overload []*model.Chain, limit int) ([]Combination, bool) {
+	perChain := make([][][]segments.Segment, len(overload))
+	total := 1
+	for i, a := range overload {
+		perChain[i] = chainOptions(info.ActiveSegments(a))
+		if total > limit/len(perChain[i]) {
+			return nil, false
+		}
+		total *= len(perChain[i])
+	}
+	if total > limit {
+		return nil, false
+	}
+	combos := make([]Combination, 0, total-1)
+	idx := make([]int, len(overload))
+	for {
+		var c Combination
+		for i := range overload {
+			for _, s := range perChain[i][idx[i]] {
+				c.Parts = append(c.Parts, s)
+				c.Cost += s.Cost()
+			}
+		}
+		if len(c.Parts) > 0 {
+			combos = append(combos, c)
+		}
+		// Advance the mixed-radix counter.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(perChain[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return combos, true
+		}
+	}
+}

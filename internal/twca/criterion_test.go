@@ -1,0 +1,115 @@
+package twca_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/twca"
+)
+
+// TestExactCriterionCaseStudy: on the nominal case study both criteria
+// agree (U = {c̄3}), so the DMM is unchanged.
+func TestExactCriterionCaseStudy(t *testing.T) {
+	sys := casestudy.New()
+	exact, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{ExactCriterion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Unschedulable) != 1 {
+		t.Fatalf("exact |U| = %d, want 1", len(exact.Unschedulable))
+	}
+	r, err := exact.DMM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 3 {
+		t.Errorf("exact dmm_c(3) = %d, want 3", r.Value)
+	}
+}
+
+// TestExactCriterionIsTighter constructs a system where the sufficient
+// criterion over-approximates: the overload hits a busy window whose
+// actual fixed point still meets the deadline, but whose Eq. (5) window
+// η-evaluation admits an extra interfering activation.
+func TestExactCriterionIsTighter(t *testing.T) {
+	// Victim: C=10, P=1000, D=160. Interferer mid: P=150, C=30.
+	// Overload irqA (C=95) and irqB (C=130), both sporadic 10000.
+	//
+	// Eq. (5): L(1) = 10 + η_mid(0+160)·30 = 10 + 2·30 = 70, so the
+	// slack is 90 and ALL THREE combinations ({A}: 95, {B}: 130,
+	// {A,B}: 225) are classified unschedulable — Eq. (5) widens the
+	// window to the full deadline and charges two mid activations.
+	//
+	// Eq. (3): B^{A}(1) = 10 + 30 + 95 = 135 ≤ 160 (only one mid fits
+	// in 135) → {A} is actually schedulable. {B}: 10+30+130 = 170 →
+	// η_mid(170) = 2 → 200 > 160 → unschedulable, likewise {A,B}.
+	//
+	// Full Thm-1 analysis: B(1) = 295 > 160 → N = 1, K = 1. With
+	// Ω_A = Ω_B = 2, the sufficient ILP packs x_{A}+x_{B}+x_{AB} = 4
+	// while the exact ILP packs only x_{B}+x_{AB} = 2.
+	b := model.NewBuilder("tight")
+	b.Chain("victim").Periodic(1000).Deadline(160).Task("v", 1, 10)
+	b.Chain("mid").Periodic(150).Task("m", 2, 30)
+	b.Chain("irqA").Sporadic(10000).Overload().Task("a", 3, 95)
+	b.Chain("irqB").Sporadic(10000).Overload().Task("bb", 4, 130)
+	sys := b.MustBuild()
+	exact, err := twca.New(sys, sys.ChainByName("victim"), twca.Options{ExactCriterion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suff, err := twca.New(sys, sys.ChainByName("victim"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suff.Unschedulable) != 3 {
+		t.Fatalf("sufficient criterion |U| = %d, want 3: %v", len(suff.Unschedulable), suff.Unschedulable)
+	}
+	if len(exact.Unschedulable) != 2 {
+		t.Fatalf("exact criterion |U| = %d, want 2: %v", len(exact.Unschedulable), exact.Unschedulable)
+	}
+	rs, err := suff.DMM(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := exact.DMM(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Value != 4 {
+		t.Errorf("sufficient dmm(10) = %d, want 4", rs.Value)
+	}
+	if re.Value != 2 {
+		t.Errorf("exact dmm(10) = %d, want 2", re.Value)
+	}
+}
+
+// TestExactNeverLooser: across random systems the exact criterion's
+// DMM never exceeds the sufficient criterion's.
+func TestExactNeverLooser(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		sys, err := gen.Random(rng, gen.Params{Chains: 2, OverloadChains: 2, Utilization: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range sys.RegularChains() {
+			suff, err1 := twca.New(sys, c, twca.Options{})
+			exact, err2 := twca.New(sys, c, twca.Options{ExactCriterion: true})
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			rs, err1 := suff.DMM(10)
+			re, err2 := exact.DMM(10)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if re.Value > rs.Value {
+				t.Errorf("trial %d %s: exact dmm %d > sufficient %d",
+					trial, c.Name, re.Value, rs.Value)
+			}
+		}
+	}
+}

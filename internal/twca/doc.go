@@ -1,0 +1,28 @@
+// Package twca implements Typical Worst-Case Analysis for task chains —
+// the core contribution (§V) of the DATE 2017 paper "Bounding Deadline
+// Misses in Weakly-Hard Real-Time Systems with Task Dependencies".
+//
+// Given a uniprocessor SPP system whose chains include rarely-activated
+// overload chains, the analysis computes a deadline miss model (DMM) for
+// a target chain σb: a function dmm_b(k) bounding how many of any k
+// consecutive activations of σb can miss their end-to-end deadline.
+//
+// The computation follows the paper:
+//
+//  1. The busy-window analysis of §IV (package latency) yields K_b, the
+//     worst-case latency WCL_b, and N_b — the number of instances per
+//     σb-busy-window that can miss (Lemma 3).
+//  2. Combinations (Def. 9) are sets of active segments of overload
+//     chains, restricted so that two active segments of the same chain
+//     belong to the same segment (Lemma 1/2 — otherwise they cannot hit
+//     the same busy window).
+//  3. A combination is unschedulable if its total execution cost pushes
+//     some q-instance beyond the deadline; Eq. (4)/(5) reduce this to
+//     comparing the combination cost against the minimum slack
+//     min_q (δ-_b(q) + D_b − L_b(q)).
+//  4. Ω^a_b (Lemma 4) caps how many activations of overload chain σa can
+//     impact the k-sequence.
+//  5. The DMM is the optimum of the multidimensional knapsack of
+//     Theorem 3, solved exactly by package ilp, and finally clamped to k
+//     (no more than k misses in k activations).
+package twca

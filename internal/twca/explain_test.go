@@ -1,0 +1,77 @@
+package twca_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/twca"
+)
+
+func TestExplainCaseStudy(t *testing.T) {
+	a := analyzeC(t)
+	var sb strings.Builder
+	if err := a.Explain(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wants := []string{
+		"explanation for chain sigma_c",
+		"arbitrarily interfering",
+		"active segments of overload chains",
+		"(tau1a,tau2a)",
+		"K=2, WCL=331, N=1",
+		"minimum slack: 34",
+		"3 total, 1 unschedulable",
+		"UNSCHEDULABLE",
+		"dmm(10) = 5",
+		"Ω^sigma_a = 5",
+		"at most 5 of any 10",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("explanation missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestExplainDeferredStructure(t *testing.T) {
+	sys := casestudy.New()
+	a, err := twca.New(sys, sys.ChainByName("sigma_d"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := a.Explain(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "deferred") || !strings.Contains(out, "← critical") {
+		t.Errorf("deferred structure missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(schedulable)") {
+		t.Errorf("trivial verdict missing:\n%s", out)
+	}
+}
+
+// TestBlame: removing σb alone (cost 30) leaves only the σa combination
+// (cost 20 ≤ slack 34) → dmm drops to 0; same for σa. Either overload
+// chain alone is harmless — the miss needs both.
+func TestBlame(t *testing.T) {
+	a := analyzeC(t)
+	blame, err := a.Blame(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blame["sigma_a"] != 0 || blame["sigma_b"] != 0 {
+		t.Errorf("blame = %v, want both 0 (each chain alone is schedulable)", blame)
+	}
+	// Sanity: with both present the dmm is 5.
+	r, err := a.DMM(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 5 {
+		t.Errorf("dmm with both = %d, want 5", r.Value)
+	}
+}

@@ -1,0 +1,307 @@
+package twca
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/ilp"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// ErrTooManyCombinations is returned when the combination space exceeds
+// Options.MaxCombinations. The paper notes U can be too large to
+// construct statically; for such systems raise the limit or reduce the
+// number of overload chains.
+var ErrTooManyCombinations = errors.New("twca: combination space exceeds limit")
+
+// ErrNoDeadline is returned when the target chain has no end-to-end
+// deadline, so "deadline miss" is undefined for it.
+var ErrNoDeadline = errors.New("twca: target chain has no deadline")
+
+// Options tunes the TWCA computation.
+type Options struct {
+	// Latency configures the underlying busy-window analysis. Its
+	// ExcludeOverload field is managed internally and ignored here.
+	Latency latency.Options
+	// MaxCombinations bounds the enumerated combination space
+	// (default 1 << 16).
+	MaxCombinations int
+	// Flat switches to the structure-blind segment view of classic
+	// independent-task TWCA (see Baseline).
+	Flat bool
+	// ExactCriterion uses the per-combination busy-window fixed point
+	// of Equation (3) to classify combinations instead of the cheaper
+	// sufficient slack criterion of Equation (5). The exact criterion
+	// never classifies more combinations as unschedulable, so the
+	// resulting DMMs are at most as large. See criterion.go.
+	ExactCriterion bool
+	// NoCarryIn drops the "+1" carry-in activation from Ω^a_b
+	// (Lemma 4). The published lemma charges one extra activation of
+	// every overload chain that may have arrived before the k-sequence;
+	// the paper's reported Figure 5 numbers are only consistent with
+	// this term omitted (our dmm mass sits exactly one above theirs
+	// otherwise — see EXPERIMENTS.md). Defaults to false, i.e. the
+	// lemma as published.
+	NoCarryIn bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCombinations <= 0 {
+		o.MaxCombinations = 1 << 16
+	}
+	o.Latency.ExcludeOverload = false
+	return o
+}
+
+// Analysis holds everything TWCA derives about one target chain. Build
+// it once with New, then query DMM for any k.
+type Analysis struct {
+	Sys    *model.System
+	Target *model.Chain
+	// Latency is the §IV analysis with full overload interference.
+	Latency *latency.Result
+	// L holds L_b(q) of Eq. (4) for q in [1, K]: the busy time excluding
+	// overload contributions, evaluated in the window δ-_b(q) + D_b.
+	L []curves.Time
+	// MinSlack is min_q (δ-_b(q) + D_b − L_b(q)): the largest overload
+	// cost any busy window tolerates without missing a deadline. A
+	// combination is unschedulable iff its cost exceeds MinSlack
+	// (Eq. (5)).
+	MinSlack curves.Time
+	// TypicalSchedulable reports whether the system meets all deadlines
+	// when no overload chain is activated (MinSlack ≥ 0).
+	TypicalSchedulable bool
+	// Combinations is the full combination space (Def. 9) and
+	// Unschedulable its subset U used by the ILP.
+	Combinations  []Combination
+	Unschedulable []Combination
+
+	info     *segments.Info
+	overload []*model.Chain
+	opts     Options
+}
+
+// New runs the §IV busy-window analysis and the §V combination analysis
+// for target chain b of sys, which must have a deadline. b itself must
+// not be an overload chain.
+func New(sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
+	opts = opts.withDefaults()
+	if b.Deadline <= 0 {
+		return nil, fmt.Errorf("twca: chain %q: %w", b.Name, ErrNoDeadline)
+	}
+	if b.Overload {
+		return nil, fmt.Errorf("twca: chain %q is an overload chain; DMMs target regular chains", b.Name)
+	}
+	info := segments.Analyze(sys, b)
+	if opts.Flat {
+		info = segments.AnalyzeFlat(sys, b)
+	}
+	lat, err := latency.AnalyzeInfo(info, opts.Latency)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Sys:      sys,
+		Target:   b,
+		Latency:  lat,
+		info:     info,
+		overload: sys.OverloadChains(),
+		opts:     opts,
+		MinSlack: curves.Infinity,
+	}
+	for q := int64(1); q <= lat.K; q++ {
+		window := curves.AddSat(b.Activation.DeltaMin(q), b.Deadline)
+		lq := latency.Demand(info, q, window, true)
+		a.L = append(a.L, lq)
+		if slack := window - lq; slack < a.MinSlack {
+			a.MinSlack = slack
+		}
+	}
+	a.TypicalSchedulable = a.MinSlack >= 0
+	combos, ok := enumerateCombinations(info, a.overload, opts.MaxCombinations)
+	if !ok {
+		return nil, fmt.Errorf("twca: chain %q: %w (limit %d)", b.Name, ErrTooManyCombinations, opts.MaxCombinations)
+	}
+	a.Combinations = combos
+	for _, c := range combos {
+		if c.Cost <= a.MinSlack {
+			continue // Eq. (5): provably schedulable
+		}
+		if opts.ExactCriterion && a.TypicalSchedulable {
+			unsched, err := a.exactUnschedulable(c)
+			if err != nil {
+				return nil, err
+			}
+			if !unsched {
+				continue // Eq. (3): the fixed point stays within the deadline
+			}
+		}
+		a.Unschedulable = append(a.Unschedulable, c)
+	}
+	return a, nil
+}
+
+// Omega returns Ω^a_b of Lemma 4 for overload chain a and a k-sequence
+// of the target: η+_a(δ+_b(k) + WCL_b) + 1. When the target's δ+ is
+// unbounded (sporadic activation) the result saturates and callers
+// should rely on the k-clamp.
+func (a *Analysis) Omega(over *model.Chain, k int64) int64 {
+	span := curves.AddSat(a.Target.Activation.DeltaMax(k), a.Latency.WCL)
+	if span.IsInf() {
+		return int64(1<<62 - 1)
+	}
+	omega := over.Activation.EtaPlus(span)
+	if !a.opts.NoCarryIn {
+		omega++
+	}
+	return omega
+}
+
+// DMMResult carries dmm_b(k) along with the quantities that produced
+// it, for reporting and debugging.
+type DMMResult struct {
+	K     int64
+	Value int64
+	// Omega maps overload chain names to their Ω^a_b capacity.
+	Omega map[string]int64
+	// ILPNodes is the number of branch-and-bound nodes explored (0 when
+	// the ILP was skipped because the answer was trivial).
+	ILPNodes int64
+	// Exact reports whether the knapsack was solved to optimality. When
+	// false (node cap hit on a huge combination space), Value is the
+	// sound relaxation bound instead of the exact optimum — still a
+	// valid DMM, just possibly pessimistic.
+	Exact bool
+	// Trivial explains a shortcut: "schedulable" (no busy window can
+	// miss), "no-unschedulable-combination", or "typical-unschedulable"
+	// (even without overload some deadline is missed, so all k may
+	// miss). Empty when the ILP ran.
+	Trivial string
+}
+
+// DMM computes dmm_b(k), the maximum number of deadline misses in any
+// window of k consecutive activations of the target chain (Theorem 3).
+func (a *Analysis) DMM(k int64) (DMMResult, error) {
+	if k <= 0 {
+		return DMMResult{}, fmt.Errorf("twca: dmm(%d): k must be positive", k)
+	}
+	res := DMMResult{K: k, Omega: make(map[string]int64)}
+	for _, over := range a.overload {
+		res.Omega[over.Name] = a.Omega(over, k)
+	}
+	res.Exact = true
+	switch {
+	case !a.TypicalSchedulable:
+		// The deadline can be missed without any overload: the analysis
+		// can promise nothing better than "all k".
+		res.Value = k
+		res.Trivial = "typical-unschedulable"
+		return res, nil
+	case a.Latency.MissesPerWindow == 0:
+		res.Value = 0
+		res.Trivial = "schedulable"
+		return res, nil
+	case len(a.Unschedulable) == 0:
+		res.Value = 0
+		res.Trivial = "no-unschedulable-combination"
+		return res, nil
+	}
+	// Assemble Theorem 3's knapsack: one variable per unschedulable
+	// combination, one capacity row per active segment of each overload
+	// chain. Capacities are clamped to k — a combination cannot hit more
+	// busy windows than there are activations in the k-sequence.
+	prob := ilp.Problem{}
+	for range a.Unschedulable {
+		prob.Objective = append(prob.Objective, a.Latency.MissesPerWindow)
+	}
+	for _, over := range a.overload {
+		omega := res.Omega[over.Name]
+		if omega > k {
+			omega = k
+		}
+		for _, s := range a.info.ActiveSegments(over) {
+			row := ilp.Row{Bound: omega}
+			key := s.Key()
+			for _, c := range a.Unschedulable {
+				if c.Contains(key) {
+					row.Coeffs = append(row.Coeffs, 1)
+				} else {
+					row.Coeffs = append(row.Coeffs, 0)
+				}
+			}
+			prob.Rows = append(prob.Rows, row)
+		}
+	}
+	sol, err := ilp.Maximize(prob)
+	if err != nil {
+		return DMMResult{}, fmt.Errorf("twca: dmm(%d): %w", k, err)
+	}
+	res.ILPNodes = sol.Nodes
+	res.Exact = sol.Exact
+	// Bound, not Value: when the search was truncated the relaxation
+	// bound is the sound choice (Value would under-count misses).
+	res.Value = sol.Bound
+	if res.Value > k {
+		res.Value = k
+	}
+	return res, nil
+}
+
+// DMMWindow bounds the number of deadline misses of the target chain
+// in any time interval of length dt: at most η+_b(dt) activations fall
+// into such an interval, so dmm(η+_b(dt)) bounds their misses. This is
+// the form requirements are often stated in ("at most one miss per
+// second") before being translated to activation counts.
+func (a *Analysis) DMMWindow(dt curves.Time) (DMMResult, error) {
+	k := a.Target.Activation.EtaPlus(dt)
+	if k <= 0 {
+		return DMMResult{K: 0, Omega: map[string]int64{}}, nil
+	}
+	return a.DMM(k)
+}
+
+// Curve evaluates the DMM at each k in ks.
+func (a *Analysis) Curve(ks []int64) ([]DMMResult, error) {
+	out := make([]DMMResult, 0, len(ks))
+	for _, k := range ks {
+		r, err := a.DMM(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Breakpoints scans k in [1, maxK] and returns the first k at which the
+// DMM attains each new value — the representation the paper's Table II
+// uses (dmm_c(3)=3, dmm_c(76)=4, …).
+func (a *Analysis) Breakpoints(maxK int64) ([]DMMResult, error) {
+	var out []DMMResult
+	last := int64(-1)
+	for k := int64(1); k <= maxK; k++ {
+		r, err := a.DMM(k)
+		if err != nil {
+			return nil, err
+		}
+		if r.Value != last {
+			out = append(out, r)
+			last = r.Value
+		}
+	}
+	return out, nil
+}
+
+// WeaklyHard reports whether the target chain satisfies the weakly-hard
+// (m, k) constraint "at most m misses in any k consecutive executions"
+// under this analysis, i.e. dmm(k) ≤ m.
+func (a *Analysis) WeaklyHard(m, k int64) (bool, error) {
+	r, err := a.DMM(k)
+	if err != nil {
+		return false, err
+	}
+	return r.Value <= m, nil
+}

@@ -1,0 +1,115 @@
+// Package weaklyhard layers classic weakly-hard constraint reasoning
+// (Bernat, Burns & Llamosí, IEEE ToC 2001) on top of the deadline miss
+// models computed by package twca. A weakly-hard constraint (m, k)
+// demands "at most m deadline misses in any k consecutive executions";
+// a DMM bounds exactly that quantity, so dmm(k) ≤ m certifies the
+// constraint.
+package weaklyhard
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/twca"
+)
+
+// Constraint is an (m, k) weakly-hard requirement: at most M misses in
+// any window of K consecutive executions.
+type Constraint struct {
+	M int64
+	K int64
+}
+
+// Valid reports whether the constraint is well-formed (0 ≤ M < K,
+// K ≥ 1). M = K would be vacuous and M > K meaningless.
+func (c Constraint) Valid() bool {
+	return c.K >= 1 && c.M >= 0 && c.M < c.K
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("(%d,%d)", c.M, c.K)
+}
+
+// Verify checks the constraint against the analysis: it holds if
+// dmm(K) ≤ M. The analysis is conservative, so "true" is a guarantee
+// while "false" only means the analysis cannot prove the constraint.
+func Verify(an *twca.Analysis, c Constraint) (bool, error) {
+	if !c.Valid() {
+		return false, fmt.Errorf("weaklyhard: invalid constraint %v", c)
+	}
+	r, err := an.DMM(c.K)
+	if err != nil {
+		return false, err
+	}
+	return r.Value <= c.M, nil
+}
+
+// VerifyAll evaluates several constraints, returning the verdict per
+// constraint in input order.
+func VerifyAll(an *twca.Analysis, cs []Constraint) ([]bool, error) {
+	out := make([]bool, len(cs))
+	for i, c := range cs {
+		ok, err := Verify(an, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ok
+	}
+	return out, nil
+}
+
+// TightestM returns the smallest m such that (m, k) is guaranteed —
+// which is exactly dmm(k).
+func TightestM(an *twca.Analysis, k int64) (int64, error) {
+	r, err := an.DMM(k)
+	if err != nil {
+		return 0, err
+	}
+	return r.Value, nil
+}
+
+// LargestK returns the largest k ≤ maxK such that (m, k) is guaranteed,
+// or 0 if none is. dmm is non-decreasing in k, so binary search applies.
+func LargestK(an *twca.Analysis, m int64, maxK int64) (int64, error) {
+	lo, hi := int64(0), maxK // invariant: (m, lo) holds (vacuously for 0)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		r, err := an.DMM(mid)
+		if err != nil {
+			return 0, err
+		}
+		if r.Value <= m {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// Observed checks the constraint against a simulation run: true if no
+// K-window of completed instances had more than M misses. A violation
+// here disproves the constraint empirically (and, if the analysis
+// verified it, indicates an unsound bound).
+func Observed(st *sim.ChainStats, c Constraint) bool {
+	return st.WorstWindowMisses(int(c.K)) <= c.M
+}
+
+// MaxConsecutiveMisses bounds the longest run of back-to-back deadline
+// misses: the largest c ≤ maxC with dmm(c) = c. Runs of consecutive
+// misses matter for control stability (a plant tolerates scattered
+// misses far better than a blackout). dmm is non-decreasing and
+// dmm(c) = c implies dmm(c') = c' is possible for all c' < c, so a
+// linear scan from 1 terminates at the first c with dmm(c) < c.
+func MaxConsecutiveMisses(an *twca.Analysis, maxC int64) (int64, error) {
+	for c := int64(1); c <= maxC; c++ {
+		r, err := an.DMM(c)
+		if err != nil {
+			return 0, err
+		}
+		if r.Value < c {
+			return c - 1, nil
+		}
+	}
+	return maxC, nil
+}

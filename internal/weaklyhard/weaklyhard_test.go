@@ -1,0 +1,146 @@
+package weaklyhard_test
+
+import (
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/sim"
+	"repro/internal/twca"
+	"repro/internal/weaklyhard"
+)
+
+func analysis(t *testing.T, chain string) *twca.Analysis {
+	t.Helper()
+	sys := casestudy.New()
+	an, err := twca.New(sys, sys.ChainByName(chain), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestConstraintValidity(t *testing.T) {
+	tests := []struct {
+		c    weaklyhard.Constraint
+		want bool
+	}{
+		{weaklyhard.Constraint{M: 0, K: 1}, true},
+		{weaklyhard.Constraint{M: 2, K: 10}, true},
+		{weaklyhard.Constraint{M: 10, K: 10}, false},
+		{weaklyhard.Constraint{M: -1, K: 5}, false},
+		{weaklyhard.Constraint{M: 0, K: 0}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Valid(); got != tt.want {
+			t.Errorf("%v.Valid() = %v, want %v", tt.c, got, tt.want)
+		}
+	}
+	if s := (weaklyhard.Constraint{M: 2, K: 10}).String(); s != "(2,10)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestVerifyCaseStudy(t *testing.T) {
+	an := analysis(t, "sigma_c")
+	// dmm_c(10) = 5: (5,10) holds, (4,10) does not.
+	ok, err := weaklyhard.Verify(an, weaklyhard.Constraint{M: 5, K: 10})
+	if err != nil || !ok {
+		t.Errorf("(5,10): ok=%v err=%v, want guaranteed", ok, err)
+	}
+	ok, err = weaklyhard.Verify(an, weaklyhard.Constraint{M: 4, K: 10})
+	if err != nil || ok {
+		t.Errorf("(4,10): ok=%v err=%v, want not provable", ok, err)
+	}
+	if _, err := weaklyhard.Verify(an, weaklyhard.Constraint{M: 5, K: 5}); err == nil {
+		t.Error("invalid constraint accepted")
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	an := analysis(t, "sigma_c")
+	got, err := weaklyhard.VerifyAll(an, []weaklyhard.Constraint{
+		{M: 5, K: 10}, {M: 0, K: 1}, {M: 3, K: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true} // dmm(1)=1 > 0; dmm(4)=3 ≤ 3
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("constraint %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTightestM(t *testing.T) {
+	an := analysis(t, "sigma_c")
+	m, err := weaklyhard.TightestM(an, 10)
+	if err != nil || m != 5 {
+		t.Errorf("TightestM(10) = %d, want 5", m)
+	}
+	anD := analysis(t, "sigma_d")
+	m, err = weaklyhard.TightestM(anD, 10)
+	if err != nil || m != 0 {
+		t.Errorf("TightestM_d(10) = %d, want 0 (schedulable)", m)
+	}
+}
+
+func TestLargestK(t *testing.T) {
+	an := analysis(t, "sigma_c")
+	// dmm: 1,2,3,3,3,3,4,… → largest k with dmm ≤ 3 is 6.
+	k, err := weaklyhard.LargestK(an, 3, 100)
+	if err != nil || k != 6 {
+		t.Errorf("LargestK(m=3) = %d, want 6", k)
+	}
+	// m=0 can never be guaranteed for σc (dmm(1)=1).
+	k, err = weaklyhard.LargestK(an, 0, 100)
+	if err != nil || k != 0 {
+		t.Errorf("LargestK(m=0) = %d, want 0", k)
+	}
+}
+
+func TestMaxConsecutiveMisses(t *testing.T) {
+	// σc: dmm = 1,2,3,3,… → the analysis cannot exclude 3 consecutive
+	// misses but guarantees a 4th window instance survives.
+	an := analysis(t, "sigma_c")
+	c, err := weaklyhard.MaxConsecutiveMisses(an, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 {
+		t.Errorf("MaxConsecutiveMisses = %d, want 3", c)
+	}
+	// σd never misses.
+	anD := analysis(t, "sigma_d")
+	c, err = weaklyhard.MaxConsecutiveMisses(anD, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("σd MaxConsecutiveMisses = %d, want 0", c)
+	}
+	// The cap is honored.
+	c, err = weaklyhard.MaxConsecutiveMisses(an, 2)
+	if err != nil || c != 2 {
+		t.Errorf("capped = %d (%v), want 2", c, err)
+	}
+}
+
+func TestObservedAgainstSimulation(t *testing.T) {
+	sys := casestudy.New()
+	res, err := sim.Run(sys, sim.Config{Horizon: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis(t, "sigma_c")
+	for _, k := range []int64{3, 10, 50} {
+		m, err := weaklyhard.TightestM(an, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := weaklyhard.Constraint{M: m, K: k}
+		if !weaklyhard.Observed(res.Chains["sigma_c"], c) {
+			t.Errorf("simulation violated verified constraint %v", c)
+		}
+	}
+}

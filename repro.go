@@ -1,0 +1,200 @@
+// Package repro is a Go implementation of Typical Worst-Case Analysis
+// (TWCA) for task chains — a reproduction of Hammadeh, Ernst, Quinton,
+// Henia, Rioux, "Bounding Deadline Misses in Weakly-Hard Real-Time
+// Systems with Task Dependencies", DATE 2017.
+//
+// The library analyzes uniprocessor Static Priority Preemptive (SPP)
+// systems whose workload consists of task chains and computes:
+//
+//   - worst-case end-to-end latencies (WCL) per chain, via the
+//     busy-window analysis of §IV of the paper;
+//   - deadline miss models dmm(k) per chain — the weakly-hard guarantee
+//     "at most dmm(k) of any k consecutive executions miss their
+//     deadline" — via the combination/ILP analysis of §V;
+//   - empirical validation through a cycle-accurate discrete-event
+//     simulator of the same execution semantics.
+//
+// # Quick start
+//
+//	b := repro.NewBuilder("example")
+//	b.Chain("video").Periodic(200).Deadline(200).
+//		Task("decode", 8, 4).Task("scale", 7, 6).Task("emit", 1, 41)
+//	b.Chain("irq").Sporadic(700).Overload().
+//		Task("isr", 4, 10).Task("dsr", 3, 10)
+//	sys, err := b.Build()
+//	...
+//	an, err := repro.AnalyzeDMM(sys, "video", repro.Options{})
+//	r, err := an.DMM(10) // bound on misses out of 10 activations
+//
+// This root package is a thin facade over the implementation packages
+// in internal/ (curves, model, segments, latency, ilp, twca, sim); see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's tables and figures.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/dsl"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/twca"
+	"repro/internal/weaklyhard"
+)
+
+// Core model types, re-exported from the implementation packages.
+type (
+	// Time is a point in or duration of discrete model time.
+	Time = curves.Time
+	// EventModel is an activation pattern (arrival curves η± and
+	// distance functions δ±).
+	EventModel = curves.EventModel
+	// Task is one task of a chain: a unique priority plus execution
+	// time bounds.
+	Task = model.Task
+	// Chain is a task chain σ with an activation model, a kind and an
+	// optional end-to-end deadline.
+	Chain = model.Chain
+	// System is a set of chains sharing one SPP processor.
+	System = model.System
+	// Builder assembles systems fluently; see NewBuilder.
+	Builder = model.Builder
+)
+
+// Analysis types.
+type (
+	// LatencyOptions tunes the §IV busy-window analysis.
+	LatencyOptions = latency.Options
+	// LatencyResult is the outcome of AnalyzeLatency: K, B(q), WCL, N.
+	LatencyResult = latency.Result
+	// Options tunes TWCA (AnalyzeDMM).
+	Options = twca.Options
+	// Analysis is a prepared TWCA of one target chain; query DMM(k),
+	// Curve, Breakpoints or WeaklyHard on it.
+	Analysis = twca.Analysis
+	// DMMResult is one dmm(k) evaluation with its Ω capacities.
+	DMMResult = twca.DMMResult
+	// Combination is a set of overload active segments (Def. 9).
+	Combination = twca.Combination
+)
+
+// Simulation types.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult holds per-chain simulation statistics.
+	SimResult = sim.Result
+	// ChainStats is the per-chain outcome of a simulation.
+	ChainStats = sim.ChainStats
+)
+
+// Chain kinds.
+const (
+	Synchronous  = model.Synchronous
+	Asynchronous = model.Asynchronous
+)
+
+// Simulation policies.
+const (
+	Dense         = sim.Dense
+	RandomSpacing = sim.RandomSpacing
+	Rare          = sim.Rare
+	Never         = sim.Never
+	WorstCase     = sim.WorstCase
+	RandomExec    = sim.RandomExec
+)
+
+// NewBuilder starts a fluent system description.
+func NewBuilder(name string) *Builder { return model.NewBuilder(name) }
+
+// Periodic returns a strictly periodic event model.
+func Periodic(period Time) EventModel { return curves.NewPeriodic(period) }
+
+// PeriodicJitter returns a periodic event model with release jitter and
+// a minimum inter-arrival distance.
+func PeriodicJitter(period, jitter, dmin Time) EventModel {
+	return curves.NewPeriodicJitter(period, jitter, dmin)
+}
+
+// Sporadic returns a sporadic event model with minimum distance d.
+func Sporadic(d Time) EventModel { return curves.NewSporadic(d) }
+
+// Burst returns a sporadic-burst event model.
+func Burst(outer Time, size int64, inner Time) EventModel {
+	return curves.NewBurst(outer, size, inner)
+}
+
+// AnalyzeLatency computes the worst-case end-to-end latency of the
+// named chain (Theorems 1 and 2 of the paper).
+func AnalyzeLatency(sys *System, chain string, opts LatencyOptions) (*LatencyResult, error) {
+	c := sys.ChainByName(chain)
+	if c == nil {
+		return nil, errNoChain(chain)
+	}
+	return latency.Analyze(sys, c, opts)
+}
+
+// AnalyzeDMM prepares the deadline-miss-model analysis of the named
+// chain (Theorem 3). Use the returned Analysis to evaluate dmm at any
+// k.
+func AnalyzeDMM(sys *System, chain string, opts Options) (*Analysis, error) {
+	c := sys.ChainByName(chain)
+	if c == nil {
+		return nil, errNoChain(chain)
+	}
+	return twca.New(sys, c, opts)
+}
+
+// AnalyzeDMMBaseline is AnalyzeDMM with the structure-blind abstraction
+// of classic independent-task TWCA, for comparison.
+func AnalyzeDMMBaseline(sys *System, chain string, opts Options) (*Analysis, error) {
+	return twca.Baseline(sys, chain, opts)
+}
+
+// Simulate runs the discrete-event simulator.
+func Simulate(sys *System, cfg SimConfig) (*SimResult, error) { return sim.Run(sys, cfg) }
+
+// SimulateMapped runs the multi-resource simulator with the given
+// task-to-resource mapping.
+func SimulateMapped(sys *System, mapping map[string]string, cfg SimConfig) (*SimResult, error) {
+	return sim.RunMapped(sys, mapping, cfg)
+}
+
+// CaseStudy returns the paper's Thales case study (Fig. 4).
+func CaseStudy() *System { return casestudy.New() }
+
+// Constraint is a weakly-hard (m, k) requirement: at most M misses in
+// any K consecutive executions.
+type Constraint = weaklyhard.Constraint
+
+// Verify checks a weakly-hard constraint against a prepared analysis.
+func Verify(an *Analysis, c Constraint) (bool, error) { return weaklyhard.Verify(an, c) }
+
+// MaxConsecutiveMisses bounds the longest run of back-to-back misses
+// the analysis cannot exclude (searching up to maxC).
+func MaxConsecutiveMisses(an *Analysis, maxC int64) (int64, error) {
+	return weaklyhard.MaxConsecutiveMisses(an, maxC)
+}
+
+// Lint reports non-fatal design smells in a system description.
+func Lint(sys *System) []string { return model.Lint(sys) }
+
+// ParseDSL reads a system from its textual DSL form (see internal/dsl
+// for the grammar).
+func ParseDSL(src string) (*System, error) { return dsl.Parse(src) }
+
+// FormatDSL renders a system in canonical DSL form.
+func FormatDSL(sys *System) (string, error) { return dsl.Format(sys) }
+
+// LoadSystem reads a JSON system description.
+func LoadSystem(r io.Reader) (*System, error) { return model.Load(r) }
+
+// StoreSystem writes a system as JSON.
+func StoreSystem(w io.Writer, sys *System) error { return model.Store(w, sys) }
+
+type errNoChain string
+
+func (e errNoChain) Error() string { return "repro: no chain named " + string(e) }
