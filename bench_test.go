@@ -45,7 +45,7 @@ func BenchmarkTableII(b *testing.B) {
 // scale by 300 for the total cost).
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(100, int64(i+1), twca.Options{}); err != nil {
+		if _, err := experiments.Figure5(100, int64(i+1), twca.Options{}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +55,7 @@ func BenchmarkFigure5(b *testing.B) {
 // the paper's reported histogram.
 func BenchmarkFigure5NoCarryIn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(100, int64(i+1), twca.Options{NoCarryIn: true}); err != nil {
+		if _, err := experiments.Figure5(100, int64(i+1), twca.Options{NoCarryIn: true}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +65,7 @@ func BenchmarkFigure5NoCarryIn(b *testing.B) {
 // structure-blind comparison table (DESIGN.md X-ABL).
 func BenchmarkAblationBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Ablation(10); err != nil {
+		if _, err := experiments.Ablation(10, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,6 +162,60 @@ func BenchmarkDMMQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBreakpointsSweep measures the full dmm breakpoint scan of
+// σc up to k = 260, with and without the capacity-vector memo cache —
+// the cache collapses the sweep's ~260 ILP solves into a handful.
+func BenchmarkBreakpointsSweep(b *testing.B) {
+	sys := repro.CaseStudy()
+	c := sys.ChainByName("sigma_c")
+	for name, opts := range map[string]twca.Options{
+		"cached":  {},
+		"nocache": {NoCache: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				an, err := twca.New(sys, c, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := an.Breakpoints(260); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCombinationContains measures combination membership tests —
+// the innermost loop of the Theorem 3 constraint-matrix construction,
+// now a single-word bit test.
+func BenchmarkCombinationContains(b *testing.B) {
+	sys := repro.CaseStudy()
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := segments.Analyze(sys, sys.ChainByName("sigma_c"))
+	var active []segments.Segment
+	for _, o := range sys.OverloadChains() {
+		active = append(active, info.ActiveSegments(o)...)
+	}
+	if len(an.Combinations) == 0 || len(active) == 0 {
+		b.Fatal("no combinations or active segments")
+	}
+	b.ReportAllocs()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		c := an.Combinations[i%len(an.Combinations)]
+		s := active[i%len(active)]
+		if c.Contains(s.Index) {
+			hits++
+		}
+	}
+	_ = hits
 }
 
 // BenchmarkSyntheticAnalysis measures generation + full scoring of a

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -42,6 +43,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	lint := fs.Bool("lint", true, "print model warnings")
 	explain := fs.String("explain", "", "print the full analysis narrative for the named chain")
 	format := fs.String("format", "ascii", "table output: ascii, markdown or csv")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"analysis worker pool size (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,19 +90,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Title:   fmt.Sprintf("TWCA analysis of %s", sys.Name),
 		Headers: append([]string{"chain", "kind", "D", "WCL", "sched"}, dmmHeaders(kvals)...),
 	}
+	// Construct every chain's analysis on the worker pool, then query
+	// the DMM points serially (cheap once the analysis exists) and emit
+	// rows in system order so the table is identical for any pool size.
+	analyses, errs := twca.AnalyzeAll(sys, twca.Options{ExactCriterion: *exact}, *par)
+	var flat map[string]*twca.Analysis
+	if *baseline {
+		flat, _ = twca.AnalyzeAll(sys, twca.Options{Flat: true}, *par)
+	}
 	for _, c := range sys.RegularChains() {
 		if c.Deadline == 0 {
 			continue
 		}
-		row, err := analyzeRow(sys, c, kvals, twca.Options{ExactCriterion: *exact})
+		if err := errs[c.Name]; err != nil {
+			tbl.AddRow(c.Name, c.Kind, int64(c.Deadline), "error: "+err.Error())
+			continue
+		}
+		row, err := dmmRow(analyses[c.Name], c, kvals)
 		if err != nil {
 			tbl.AddRow(c.Name, c.Kind, int64(c.Deadline), "error: "+err.Error())
 			continue
 		}
 		tbl.AddRow(row...)
-		if *baseline {
-			brow, err := analyzeRow(sys, c, kvals, twca.Options{Flat: true})
-			if err == nil {
+		if fan := flat[c.Name]; fan != nil {
+			if brow, err := dmmRow(fan, c, kvals); err == nil {
 				brow[0] = c.Name + " (flat)"
 				tbl.AddRow(brow...)
 			}
@@ -150,11 +164,7 @@ func dmmHeaders(ks []int64) []string {
 	return out
 }
 
-func analyzeRow(sys *model.System, c *model.Chain, ks []int64, opts twca.Options) ([]any, error) {
-	an, err := twca.New(sys, c, opts)
-	if err != nil {
-		return nil, err
-	}
+func dmmRow(an *twca.Analysis, c *model.Chain, ks []int64) ([]any, error) {
 	row := []any{c.Name, c.Kind, int64(c.Deadline), int64(an.Latency.WCL), an.Latency.Schedulable}
 	for _, k := range ks {
 		r, err := an.DMM(k)

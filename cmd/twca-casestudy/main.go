@@ -83,7 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	ablation, err := experiments.Ablation(10)
+	ablation, err := experiments.Ablation(10, 0)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -34,6 +35,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	noCarryIn := fs.Bool("no-carry-in", false,
 		"drop the +1 carry-in from Ω (matches the paper's reported histogram)")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"analysis worker pool size (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,7 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	opts := twca.Options{NoCarryIn: *noCarryIn}
 	var schedC, schedD []float64
 	for rep := 0; rep < *reps; rep++ {
-		res, err := experiments.Figure5(*n, *seed+int64(rep), opts)
+		res, err := experiments.Figure5(*n, *seed+int64(rep), opts, *par)
 		if err != nil {
 			return err
 		}

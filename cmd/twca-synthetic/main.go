@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -31,6 +32,8 @@ func run(args []string, stdout io.Writer) error {
 	cell := fs.Int("cell", 100, "systems per (utilization, chains) cell")
 	k := fs.Int64("k", 10, "dmm window size")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"analysis worker pool size (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		SystemsPerCell: *cell,
 		K:              *k,
 		Seed:           *seed,
+		Workers:        *par,
 	})
 	if err != nil {
 		return err

@@ -5,6 +5,9 @@
 package casestudy
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/curves"
 	"repro/internal/model"
 )
@@ -55,7 +58,12 @@ func New() *model.System {
 // perm must have exactly 13 entries; values are used as-is and should be
 // distinct (Validate will reject duplicates).
 func WithPriorities(perm []int) (*model.System, error) {
-	sys := New().Clone()
+	// Experiment 2 calls this thousands of times; clone a shared
+	// immutable base instead of re-running the builder (and its full
+	// validation) per call. Clone deep-copies the task slices the
+	// priorities are written into; activation models are immutable and
+	// shared.
+	sys := withPrioritiesBase().Clone()
 	i := 0
 	for _, c := range sys.Chains {
 		for j := range c.Tasks {
@@ -63,11 +71,27 @@ func WithPriorities(perm []int) (*model.System, error) {
 			i++
 		}
 	}
-	if err := sys.Validate(); err != nil {
-		return nil, err
+	// The base system is valid and only priorities changed, so the only
+	// possible new defect is a duplicate priority. The quadratic scan is
+	// 78 comparisons and saves the full map-building Validate on the
+	// (hot) happy path; on a duplicate, Validate supplies its canonical
+	// error.
+	for i := range perm {
+		for j := i + 1; j < len(perm); j++ {
+			if perm[i] == perm[j] {
+				if err := sys.Validate(); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("casestudy: duplicate priority %d in permutation", perm[i])
+			}
+		}
 	}
 	return sys, nil
 }
+
+// withPrioritiesBase returns the shared pristine case study cloned by
+// WithPriorities, built once.
+var withPrioritiesBase = sync.OnceValue(New)
 
 // TaskOrder is the task order used by WithPriorities.
 var TaskOrder = []string{

@@ -7,14 +7,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/casestudy"
 	"repro/internal/curves"
 	"repro/internal/gen"
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/twca"
@@ -24,7 +23,7 @@ import (
 // latencies of σc and σd (paper: 331 and 175 against D = 200).
 func TableI() (*report.Table, map[string]*latency.Result, error) {
 	sys := casestudy.New()
-	results, errs := latency.AnalyzeAll(sys, latency.Options{})
+	results, errs := latency.AnalyzeAll(sys, latency.Options{}, 0)
 	if errs != nil {
 		return nil, nil, fmt.Errorf("experiments: table I: %v", errs)
 	}
@@ -116,8 +115,10 @@ type Figure5Result struct {
 // case-study structure (the paper uses n = 1000), computing dmm(10) for
 // σc and σd under the given TWCA options (pass twca.Options{NoCarryIn:
 // true} to match the paper's reported histogram mass; see
-// EXPERIMENTS.md).
-func Figure5(n int, seed int64, opts twca.Options) (*Figure5Result, error) {
+// EXPERIMENTS.md). workers sizes the analysis pool (≤ 0 selects
+// runtime.GOMAXPROCS(0)); the output is byte-identical for every
+// worker count.
+func Figure5(n int, seed int64, opts twca.Options, workers int) (*Figure5Result, error) {
 	// Draw all permutations up front (single RNG, deterministic), then
 	// analyze them on a worker pool: the analyses are independent, and
 	// results are aggregated in input order, so the outcome is
@@ -131,41 +132,22 @@ func Figure5(n int, seed int64, opts twca.Options) (*Figure5Result, error) {
 	type cell struct {
 		dc, dd   int64
 		failures int64
-		err      error
 	}
 	cells := make([]cell, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if err := parallel.ForEach(workers, n, func(i int) error {
+		sys, err := casestudy.WithPriorities(perms[i])
+		if err != nil {
+			return err
+		}
+		cells[i].dc = dmm10(sys, "sigma_c", opts, &cells[i].failures)
+		cells[i].dd = dmm10(sys, "sigma_d", opts, &cells[i].failures)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				sys, err := casestudy.WithPriorities(perms[i])
-				if err != nil {
-					cells[i].err = err
-					continue
-				}
-				cells[i].dc = dmm10(sys, "sigma_c", opts, &cells[i].failures)
-				cells[i].dd = dmm10(sys, "sigma_d", opts, &cells[i].failures)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 
 	res := &Figure5Result{N: n, HistC: stats.NewHistogram(), HistD: stats.NewHistogram()}
 	for _, c := range cells {
-		if c.err != nil {
-			return nil, c.err
-		}
 		res.Failures += c.failures
 		res.HistC.Add(c.dc)
 		res.HistD.Add(c.dd)
@@ -217,31 +199,41 @@ func Figure5Table(res *Figure5Result) *report.Table {
 }
 
 // Ablation compares chain-aware TWCA against the structure-blind flat
-// baseline (classic independent-task TWCA) on the case study.
-func Ablation(k int64) (*report.Table, error) {
+// baseline (classic independent-task TWCA) on the case study. The four
+// (chain, abstraction) analyses run on a pool of the given width (≤ 0
+// selects runtime.GOMAXPROCS(0)); rows are assembled in chain order, so
+// the table is byte-identical for every worker count.
+func Ablation(k int64, workers int) (*report.Table, error) {
 	sys := casestudy.New()
+	names := []string{"sigma_c", "sigma_d"}
+	type cell struct {
+		wcl curves.Time
+		dmm int64
+	}
+	// Jobs 2i and 2i+1 are chain i's chain-aware and flat analyses.
+	cells, err := parallel.Map(workers, 2*len(names), func(j int) (cell, error) {
+		name := names[j/2]
+		opts := twca.Options{Flat: j%2 == 1}
+		an, err := twca.New(sys, sys.ChainByName(name), opts)
+		if err != nil {
+			return cell{}, err
+		}
+		r, err := an.DMM(k)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{wcl: an.Latency.WCL, dmm: r.Value}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	tbl := &report.Table{
 		Title:   fmt.Sprintf("Ablation — chain-aware vs. structure-blind TWCA (k=%d)", k),
 		Headers: []string{"chain", "WCL aware", "WCL flat", fmt.Sprintf("dmm(%d) aware", k), fmt.Sprintf("dmm(%d) flat", k)},
 	}
-	for _, name := range []string{"sigma_c", "sigma_d"} {
-		aware, err := twca.New(sys, sys.ChainByName(name), twca.Options{})
-		if err != nil {
-			return nil, err
-		}
-		flat, err := twca.Baseline(sys, name, twca.Options{})
-		if err != nil {
-			return nil, err
-		}
-		ra, err := aware.DMM(k)
-		if err != nil {
-			return nil, err
-		}
-		rf, err := flat.DMM(k)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(name, int64(aware.Latency.WCL), int64(flat.Latency.WCL), ra.Value, rf.Value)
+	for i, name := range names {
+		aware, flat := cells[2*i], cells[2*i+1]
+		tbl.AddRow(name, int64(aware.wcl), int64(flat.wcl), aware.dmm, flat.dmm)
 	}
 	return tbl, nil
 }

@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestTableIIDriver(t *testing.T) {
 }
 
 func TestFigure5SmallRun(t *testing.T) {
-	res, err := experiments.Figure5(100, 1, twca.Options{})
+	res, err := experiments.Figure5(100, 1, twca.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,30 +93,33 @@ func TestFigure5SmallRun(t *testing.T) {
 }
 
 // TestFigure5Deterministic guards the parallel implementation: the
-// same seed must produce bit-identical aggregates regardless of
-// scheduling.
+// same seed must produce byte-identical rendered output for every
+// worker-pool width, including the serial inline path (workers = 1).
 func TestFigure5Deterministic(t *testing.T) {
-	a, err := experiments.Figure5(200, 7, twca.Options{})
-	if err != nil {
-		t.Fatal(err)
+	render := func(workers int) string {
+		t.Helper()
+		res, err := experiments.Figure5(200, 7, twca.Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := experiments.Figure5Table(res).WriteASCII(&sb); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "sched=%d/%d bounded=%d failures=%d\n",
+			res.SchedulableC, res.SchedulableD, res.BoundedD3, res.Failures)
+		return sb.String()
 	}
-	b, err := experiments.Figure5(200, 7, twca.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.SchedulableC != b.SchedulableC || a.SchedulableD != b.SchedulableD ||
-		a.BoundedD3 != b.BoundedD3 || a.Failures != b.Failures {
-		t.Fatalf("same seed, different aggregates: %+v vs %+v", a, b)
-	}
-	for v := int64(0); v <= 10; v++ {
-		if a.HistC.Count(v) != b.HistC.Count(v) || a.HistD.Count(v) != b.HistD.Count(v) {
-			t.Fatalf("histograms differ at %d", v)
+	serial := render(1)
+	for _, workers := range []int{0, 2, 8} {
+		if got := render(workers); got != serial {
+			t.Fatalf("workers=%d output differs from serial:\n%s\nvs\n%s", workers, got, serial)
 		}
 	}
 }
 
 func TestAblationDriver(t *testing.T) {
-	tbl, err := experiments.Ablation(10)
+	tbl, err := experiments.Ablation(10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,6 +131,22 @@ func TestAblationDriver(t *testing.T) {
 	// σd: aware 175/0 vs flat 267/4.
 	if !strings.Contains(out, "175") || !strings.Contains(out, "267") {
 		t.Errorf("ablation table missing WCL values:\n%s", out)
+	}
+
+	// Parallel determinism: the rendered table must be byte-identical
+	// for every pool width.
+	for _, workers := range []int{1, 8} {
+		ptbl, err := experiments.Ablation(10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pb strings.Builder
+		if err := ptbl.WriteASCII(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if pb.String() != out {
+			t.Errorf("workers=%d ablation differs:\n%s\nvs\n%s", workers, pb.String(), out)
+		}
 	}
 }
 

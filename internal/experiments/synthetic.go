@@ -10,6 +10,7 @@ import (
 	"repro/internal/holistic"
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/twca"
@@ -57,6 +58,10 @@ type CampaignParams struct {
 	// K for dmm (default 10).
 	K    int64
 	Seed int64
+	// Workers sizes the per-cell analysis pool (≤ 0 selects
+	// runtime.GOMAXPROCS(0)). Generation stays serial on one RNG, so
+	// the campaign outcome is byte-identical for every worker count.
+	Workers int
 }
 
 func (p CampaignParams) withDefaults() CampaignParams {
@@ -90,9 +95,12 @@ func Campaign(p CampaignParams) (*report.Table, error) {
 	}
 	for _, u := range p.Utilizations {
 		for _, nc := range p.ChainCounts {
-			var schedulable, useful, degenerate, diverged int
-			var dmms []float64
-			for i := 0; i < p.SystemsPerCell; i++ {
+			// Generate the whole cell serially on the shared RNG (so the
+			// stream of draws matches the serial sweep exactly), then
+			// analyze the independent systems on the worker pool and
+			// aggregate in generation order.
+			systems := make([]*model.System, p.SystemsPerCell)
+			for i := range systems {
 				sys, err := gen.Random(rng, gen.Params{
 					Chains:         nc,
 					OverloadChains: 1 + rng.Intn(2),
@@ -101,32 +109,50 @@ func Campaign(p CampaignParams) (*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
+				systems[i] = sys
+			}
+			type outcome struct {
+				diverged bool
+				value    int64
+			}
+			outcomes, err := parallel.Map(p.Workers, len(systems), func(i int) (outcome, error) {
 				// Score the lowest-priority deadline chain — the most
 				// exposed one. Bounded analysis effort: near-overload
 				// systems fail fast into the "diverged" bucket instead
 				// of stalling the sweep.
-				target := mostExposed(sys)
-				an, err := twca.New(sys, target, twca.Options{
+				target := mostExposed(systems[i])
+				an, err := twca.New(systems[i], target, twca.Options{
 					Latency: latency.Options{MaxQ: 256, Horizon: 1 << 24},
 				})
 				if err != nil {
 					if errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded) {
-						diverged++
-						continue
+						return outcome{diverged: true}, nil
 					}
-					return nil, err
+					return outcome{}, err
 				}
 				r, err := an.DMM(p.K)
 				if err != nil {
-					return nil, err
+					return outcome{}, err
 				}
-				dmms = append(dmms, float64(r.Value))
+				return outcome{value: r.Value}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var schedulable, useful, degenerate, diverged int
+			var dmms []float64
+			for _, o := range outcomes {
+				if o.diverged {
+					diverged++
+					continue
+				}
+				dmms = append(dmms, float64(o.value))
 				switch {
-				case r.Value == 0:
+				case o.value == 0:
 					schedulable++
-				case r.Value <= p.K/2:
+				case o.value <= p.K/2:
 					useful++
-				case r.Value >= p.K:
+				case o.value >= p.K:
 					degenerate++
 				}
 			}

@@ -150,15 +150,23 @@ func Maximize(p Problem) (Solution, error) {
 		maxNodes = 100_000
 	}
 	s := &solver{p: &p, order: order, best: -1, maxNodes: maxNodes}
-	// Precompute row coverage so the bound is O(vars) per node.
+	// Precompute the sparse column view: per variable, the rows that
+	// constrain it and their coefficients. TWCA's Theorem-3 matrices
+	// are 0/1 and sparse, so iterating only the covering rows makes the
+	// per-node cap and budget updates proportional to the column's
+	// support instead of the full row count, and lets branching mutate
+	// the budget vector in place (apply/undo) instead of copying it.
+	s.varRows = make([][]int32, n)
+	s.varCoeffs = make([][]int64, n)
 	s.covered = make([]bool, n)
 	for j := 0; j < n; j++ {
-		for _, r := range p.Rows {
+		for i, r := range p.Rows {
 			if r.Coeffs[j] > 0 {
-				s.covered[j] = true
-				break
+				s.varRows[j] = append(s.varRows[j], int32(i))
+				s.varCoeffs[j] = append(s.varCoeffs[j], r.Coeffs[j])
 			}
 		}
+		s.covered[j] = len(s.varRows[j]) > 0
 	}
 	x := make([]int64, n)
 	s.branch(0, 0, rem, x)
@@ -182,6 +190,26 @@ type solver struct {
 	maxNodes  int64
 	truncated bool
 	covered   []bool
+	varRows   [][]int32 // per variable: indices of rows with coeff > 0
+	varCoeffs [][]int64 // per variable: the matching coefficients
+}
+
+// capOf returns the largest feasible value of variable j given the
+// remaining row budgets, or -1 if unbounded — Problem.cap restricted to
+// the sparse column view.
+func (s *solver) capOf(j int, rem []int64) int64 {
+	bound := int64(-1)
+	if s.p.VarBounds != nil && s.p.VarBounds[j] >= 0 {
+		bound = s.p.VarBounds[j]
+	}
+	coeffs := s.varCoeffs[j]
+	for t, i := range s.varRows[j] {
+		c := rem[i] / coeffs[t]
+		if bound < 0 || c < bound {
+			bound = c
+		}
+	}
+	return bound
 }
 
 // optimistic returns an upper bound on the objective achievable for the
@@ -203,7 +231,7 @@ func (s *solver) optimistic(k int, rem []int64) int64 {
 		if c == 0 {
 			continue
 		}
-		cap := s.p.cap(j, rem)
+		cap := s.capOf(j, rem)
 		if cap < 0 {
 			return math.MaxInt64 // unreachable after the Maximize pre-check
 		}
@@ -247,29 +275,27 @@ func (s *solver) branch(k int, value int64, rem []int64, x []int64) {
 		return
 	}
 	j := s.order[k]
-	cap := s.p.cap(j, rem)
+	cap := s.capOf(j, rem)
 	if cap < 0 {
 		// Unbounded variable with zero objective weight (the pre-check
 		// rejects positive weights): raising it can only consume budget,
 		// so pinning it to zero is optimal.
 		cap = 0
 	}
-	childRem := make([]int64, len(rem))
+	// Every v ≤ cap is feasible by construction of capOf, so the budget
+	// vector is updated in place on the sparse column and restored after
+	// each child — no per-node allocation.
+	rows, coeffs := s.varRows[j], s.varCoeffs[j]
 	for v := cap; v >= 0; v-- {
-		feasible := true
-		for i, r := range s.p.Rows {
-			childRem[i] = rem[i] - r.Coeffs[j]*v
-			if childRem[i] < 0 {
-				feasible = false
-				break
-			}
-		}
-		if !feasible {
-			continue
+		for t, i := range rows {
+			rem[i] -= coeffs[t] * v
 		}
 		x[j] = v
-		s.branch(k+1, value+s.p.Objective[j]*v, childRem, x)
+		s.branch(k+1, value+s.p.Objective[j]*v, rem, x)
 		x[j] = 0
+		for t, i := range rows {
+			rem[i] += coeffs[t] * v
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/curves"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/segments"
 )
 
@@ -244,22 +245,38 @@ func AnalyzeInfo(info *segments.Info, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// AnalyzeAll analyzes every chain of the system that has a deadline,
+// AnalyzeAll analyzes every chain of the system that has a deadline on
+// a worker pool of the given width (≤ 0 selects runtime.GOMAXPROCS(0)),
 // returning results keyed by chain name. Chains whose analysis diverges
-// yield an entry in errs instead.
-func AnalyzeAll(sys *model.System, opts Options) (map[string]*Result, map[string]error) {
+// yield an entry in errs instead. The per-chain analyses are
+// independent, so the outcome is identical to the serial loop for any
+// worker count.
+func AnalyzeAll(sys *model.System, opts Options, workers int) (map[string]*Result, map[string]error) {
+	if opts.Trace != nil {
+		// Interleaved trace lines from concurrent chains would be
+		// useless; tracing implies the serial order.
+		workers = 1
+	}
+	var targets []*model.Chain
+	for _, c := range sys.Chains {
+		if c.Deadline != 0 {
+			targets = append(targets, c)
+		}
+	}
+	perChain := make([]*Result, len(targets))
+	failures := make([]error, len(targets))
+	parallel.ForEach(workers, len(targets), func(i int) error {
+		perChain[i], failures[i] = Analyze(sys, targets[i], opts)
+		return nil
+	})
 	results := make(map[string]*Result)
 	errs := make(map[string]error)
-	for _, c := range sys.Chains {
-		if c.Deadline == 0 {
+	for i, c := range targets {
+		if failures[i] != nil {
+			errs[c.Name] = failures[i]
 			continue
 		}
-		r, err := Analyze(sys, c, opts)
-		if err != nil {
-			errs[c.Name] = err
-			continue
-		}
-		results[c.Name] = r
+		results[c.Name] = perChain[i]
 	}
 	if len(errs) == 0 {
 		errs = nil

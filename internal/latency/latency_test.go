@@ -197,7 +197,7 @@ func TestKExceeded(t *testing.T) {
 
 func TestAnalyzeAll(t *testing.T) {
 	sys := casestudy.New()
-	results, errs := latency.AnalyzeAll(sys, latency.Options{})
+	results, errs := latency.AnalyzeAll(sys, latency.Options{}, 0)
 	if errs != nil {
 		t.Fatalf("unexpected errors: %v", errs)
 	}
@@ -214,7 +214,7 @@ func TestAnalyzeAllReportsErrors(t *testing.T) {
 	b.Chain("hog").Periodic(100).Task("h", 2, 150)
 	b.Chain("victim").Periodic(1000).Deadline(1000).Task("v", 1, 10)
 	sys := b.MustBuild()
-	_, errs := latency.AnalyzeAll(sys, latency.Options{Horizon: 1 << 20})
+	_, errs := latency.AnalyzeAll(sys, latency.Options{Horizon: 1 << 20}, 0)
 	if errs == nil || errs["victim"] == nil {
 		t.Fatalf("errs = %v, want divergence for victim", errs)
 	}

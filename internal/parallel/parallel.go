@@ -1,0 +1,94 @@
+// Package parallel provides the bounded worker pool shared by the
+// analysis drivers (experiments, latency.AnalyzeAll, twca.AnalyzeAll
+// and the cmd/ tools' -parallel flags).
+//
+// The pool has two properties the callers rely on:
+//
+//   - Deterministic result ordering: work items are identified by their
+//     index, results are written into index-addressed slots, and error
+//     selection is by lowest index — so the outcome of a run is
+//     byte-identical regardless of worker count or goroutine
+//     scheduling. Parallel analysis must reproduce the serial analysis
+//     bit for bit.
+//   - First-error propagation: when several items fail, the error
+//     reported is the one the equivalent serial loop would have hit
+//     first (lowest index), not whichever goroutine lost the race.
+//
+// Workers ≤ 0 selects runtime.GOMAXPROCS(0). Workers == 1 runs the
+// items inline on the calling goroutine with no synchronization at all,
+// so "-parallel 1" is exactly the serial program.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// concurrent goroutines and returns the error of the smallest failing
+// index, or nil. Unlike errgroup-style helpers it does not cancel
+// in-flight work on error: analyses are pure functions and finishing
+// them keeps result slots deterministic.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers concurrent
+// goroutines and returns the results in index order. On error the
+// semantics match ForEach: all items still run, and the error returned
+// is the one with the smallest index.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

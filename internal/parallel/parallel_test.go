@@ -1,0 +1,80 @@
+package parallel_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		err := parallel.ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := parallel.ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachFirstError: the reported error must be the lowest-index
+// failure, exactly what a serial loop would return, regardless of
+// scheduling.
+func TestForEachFirstError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := parallel.ForEach(workers, 50, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := parallel.Map(workers, 20, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := parallel.Map(4, 10, func(i int) (int, error) {
+		if i >= 5 {
+			return 0, fmt.Errorf("item %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "item 5" {
+		t.Fatalf("err = %v, want item 5", err)
+	}
+}

@@ -2,10 +2,26 @@ package segments
 
 import "repro/internal/model"
 
+// chainView caches everything Info derives about one interfering chain,
+// so building an Info costs a single map insertion per chain instead of
+// four.
+type chainView struct {
+	segs   []Segment
+	active []Segment
+	header Segment
+	crit   Segment
+}
+
 // Info caches the complete segment structure of a system relative to one
 // target chain b: the Def. 2 classification and, per interfering chain,
 // its segments, header segment and active segments. The latency and
 // TWCA analyses both consume this.
+//
+// Info additionally assigns every active segment a dense index in
+// [0, NumActive()), in system order: segments returned by
+// ActiveSegments carry their ordinal in Segment.Index. The TWCA
+// combination machinery uses these ordinals as bit positions, turning
+// set-membership tests into single bit tests.
 type Info struct {
 	// Target is the chain b the structure is relative to.
 	Target *model.System
@@ -17,11 +33,9 @@ type Info struct {
 	// Deferred lists the chains deferred by B (DC(b)), in system order.
 	Deferred []*model.Chain
 
-	segs    map[*model.Chain][]Segment
-	active  map[*model.Chain][]Segment
-	header  map[*model.Chain]Segment
-	crit    map[*model.Chain]Segment
-	selfHdr Segment
+	views     map[*model.Chain]*chainView
+	selfHdr   Segment
+	numActive int
 }
 
 // Analyze computes the Info of system sys relative to target chain b,
@@ -30,10 +44,7 @@ func Analyze(sys *model.System, b *model.Chain) *Info {
 	info := &Info{
 		Target:  sys,
 		B:       b,
-		segs:    make(map[*model.Chain][]Segment),
-		active:  make(map[*model.Chain][]Segment),
-		header:  make(map[*model.Chain]Segment),
-		crit:    make(map[*model.Chain]Segment),
+		views:   make(map[*model.Chain]*chainView, len(sys.Chains)-1),
 		selfHdr: HeaderSubchain(b),
 	}
 	for _, a := range sys.Chains {
@@ -45,10 +56,13 @@ func Analyze(sys *model.System, b *model.Chain) *Info {
 		} else {
 			info.Interfering = append(info.Interfering, a)
 		}
-		info.segs[a] = Of(a, b)
-		info.active[a] = Active(a, b)
-		info.header[a] = HeaderSegment(a, b)
-		info.crit[a] = Critical(a, b)
+		segs := Of(a, b)
+		info.views[a] = &chainView{
+			segs:   segs,
+			active: info.indexActive(activeFrom(a, b, segs)),
+			header: HeaderSegment(a, b),
+			crit:   criticalFrom(a, segs),
+		}
 	}
 	return info
 }
@@ -64,10 +78,7 @@ func AnalyzeFlat(sys *model.System, b *model.Chain) *Info {
 	info := &Info{
 		Target:  sys,
 		B:       b,
-		segs:    make(map[*model.Chain][]Segment),
-		active:  make(map[*model.Chain][]Segment),
-		header:  make(map[*model.Chain]Segment),
-		crit:    make(map[*model.Chain]Segment),
+		views:   make(map[*model.Chain]*chainView, len(sys.Chains)-1),
 		selfHdr: wholeChain(b), // conservative: no structure known
 	}
 	for _, a := range sys.Chains {
@@ -76,12 +87,24 @@ func AnalyzeFlat(sys *model.System, b *model.Chain) *Info {
 		}
 		info.Interfering = append(info.Interfering, a)
 		whole := wholeChain(a)
-		info.segs[a] = []Segment{whole}
-		info.active[a] = []Segment{whole}
-		info.header[a] = whole
-		info.crit[a] = whole
+		info.views[a] = &chainView{
+			segs:   []Segment{whole},
+			active: info.indexActive([]Segment{whole}),
+			header: whole,
+			crit:   whole,
+		}
 	}
 	return info
+}
+
+// indexActive assigns the next dense ordinals to the active segments of
+// one chain, in their canonical order.
+func (in *Info) indexActive(active []Segment) []Segment {
+	for i := range active {
+		active[i].Index = in.numActive
+		in.numActive++
+	}
+	return active
 }
 
 // wholeChain returns the segment covering all of c, with Parent 0 so it
@@ -91,26 +114,30 @@ func wholeChain(c *model.Chain) Segment {
 	for i := range all {
 		all[i] = i
 	}
-	return Segment{Chain: c, Indices: all, Parent: 0}
+	return Segment{Chain: c, Indices: all, Parent: 0, Index: -1}
 }
 
 // Segments returns the segments of a w.r.t. the target (Def. 3).
-func (in *Info) Segments(a *model.Chain) []Segment { return in.segs[a] }
+func (in *Info) Segments(a *model.Chain) []Segment { return in.views[a].segs }
 
 // ActiveSegments returns the active segments of a w.r.t. the target
-// (Def. 8).
-func (in *Info) ActiveSegments(a *model.Chain) []Segment { return in.active[a] }
+// (Def. 8). Each carries its dense ordinal in Segment.Index.
+func (in *Info) ActiveSegments(a *model.Chain) []Segment { return in.views[a].active }
 
 // HeaderSegment returns s_header_{a,target} (Def. 5).
-func (in *Info) HeaderSegment(a *model.Chain) Segment { return in.header[a] }
+func (in *Info) HeaderSegment(a *model.Chain) Segment { return in.views[a].header }
 
 // CriticalSegment returns the critical segment of a w.r.t. the target
 // (Def. 4).
-func (in *Info) CriticalSegment(a *model.Chain) Segment { return in.crit[a] }
+func (in *Info) CriticalSegment(a *model.Chain) Segment { return in.views[a].crit }
 
 // SelfHeader returns s_header_b of Def. 5 for the target chain itself,
 // used by Theorem 1 for asynchronous self-interference.
 func (in *Info) SelfHeader() Segment { return in.selfHdr }
+
+// NumActive returns the total number of active segments across all
+// chains — one more than the largest Segment.Index handed out.
+func (in *Info) NumActive() int { return in.numActive }
 
 // IsDeferred reports the Def. 2 classification of a w.r.t. the target.
 func (in *Info) IsDeferred(a *model.Chain) bool {

@@ -30,6 +30,10 @@ type Segment struct {
 	// Parent is the index of the enclosing segment in Of(a, b) when this
 	// Segment was produced by Active; otherwise it is -1.
 	Parent int
+	// Index is the dense active-segment ordinal assigned by
+	// segments.Analyze / AnalyzeFlat (see Info.ActiveSegments); -1 for
+	// segments not obtained through an Info.
+	Index int
 }
 
 // Cost returns ΣC over the segment's tasks (C_s in the paper).
@@ -91,44 +95,49 @@ func Deferred(a, b *model.Chain) bool {
 func Of(a, b *model.Chain) []Segment {
 	min := b.LowestPriority()
 	n := a.Len()
-	qual := make([]bool, n)
-	allQual := true
+	// One counting pass: how many tasks qualify, and where the first
+	// non-qualifying task sits (the walk anchor).
+	nq, start := 0, -1
 	for i, t := range a.Tasks {
-		qual[i] = t.Priority > min
-		allQual = allQual && qual[i]
+		if t.Priority > min {
+			nq++
+		} else if start < 0 {
+			start = i
+		}
 	}
-	if allQual {
+	if nq == n {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		return []Segment{{Chain: a, Indices: all, Parent: -1}}
+		return []Segment{{Chain: a, Indices: all, Parent: -1, Index: -1}}
 	}
-	var segs []Segment
+	if nq == 0 {
+		return nil
+	}
 	// Walk the circle starting after a non-qualifying task so maximal
-	// runs are found intact, including the wrap-around run.
-	start := -1
-	for i := 0; i < n; i++ {
-		if !qual[i] {
-			start = i
-			break
+	// runs are found intact, including the wrap-around run. All index
+	// runs share one exactly-sized backing array; each segment keeps a
+	// capacity-clipped subslice of it.
+	backing := make([]int, 0, nq)
+	var segs []Segment
+	runStart := 0
+	flush := func() {
+		if len(backing) > runStart {
+			cur := backing[runStart:len(backing):len(backing)]
+			segs = append(segs, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: -1, Index: -1})
+			runStart = len(backing)
 		}
 	}
-	var cur []int
 	for k := 1; k <= n; k++ {
 		i := (start + k) % n
-		if qual[i] {
-			cur = append(cur, i)
+		if a.Tasks[i].Priority > min {
+			backing = append(backing, i)
 			continue
 		}
-		if len(cur) > 0 {
-			segs = append(segs, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: -1})
-			cur = nil
-		}
+		flush()
 	}
-	if len(cur) > 0 {
-		segs = append(segs, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: -1})
-	}
+	flush()
 	return canonicalOrder(segs)
 }
 
@@ -157,15 +166,21 @@ func canonicalOrder(segs []Segment) []Segment {
 // execution time (Def. 4). It returns a zero-value empty Segment if a
 // has no segments w.r.t. b (no task of a outranks all of b).
 func Critical(a, b *model.Chain) Segment {
+	return criticalFrom(a, Of(a, b))
+}
+
+// criticalFrom is Critical over precomputed segments, letting Info
+// reuse one Of computation for segments, critical and active views.
+func criticalFrom(a *model.Chain, segs []Segment) Segment {
 	var best Segment
 	var bestCost curves.Time = -1
-	for _, s := range Of(a, b) {
+	for _, s := range segs {
 		if c := s.Cost(); c > bestCost {
 			best, bestCost = s, c
 		}
 	}
 	if bestCost < 0 {
-		return Segment{Chain: a, Parent: -1}
+		return Segment{Chain: a, Parent: -1, Index: -1}
 	}
 	return best
 }
@@ -184,7 +199,7 @@ func HeaderSubchain(a *model.Chain) Segment {
 	for i := 0; i < lowest; i++ {
 		idx = append(idx, i)
 	}
-	return Segment{Chain: a, Indices: idx, Parent: -1}
+	return Segment{Chain: a, Indices: idx, Parent: -1, Index: -1}
 }
 
 // HeaderSegment returns s_header_{a,b} of Def. 5 for a chain a deferred
@@ -200,7 +215,7 @@ func HeaderSegment(a, b *model.Chain) Segment {
 		}
 		idx = append(idx, i)
 	}
-	return Segment{Chain: a, Indices: idx, Parent: -1}
+	return Segment{Chain: a, Indices: idx, Parent: -1, Index: -1}
 }
 
 // Active returns the active segments of a w.r.t. b (Def. 8): the
@@ -210,21 +225,30 @@ func HeaderSegment(a, b *model.Chain) Segment {
 // σb-busy-window. Parent links each active segment to its enclosing
 // segment, which Def. 9 needs to constrain combinations.
 func Active(a, b *model.Chain) []Segment {
+	return activeFrom(a, b, Of(a, b))
+}
+
+// activeFrom is Active over precomputed segments (see criticalFrom).
+// Active segments are contiguous index runs within their parent, so
+// they alias the parent's Indices backing instead of copying it.
+func activeFrom(a, b *model.Chain, segs []Segment) []Segment {
 	tail := b.Tail().Priority
 	var out []Segment
-	for parent, seg := range Of(a, b) {
-		var cur []int
-		for k, i := range seg.Indices {
-			if k == 0 || a.Tasks[i].Priority > tail {
-				cur = append(cur, i)
+	for parent, seg := range segs {
+		if len(seg.Indices) == 0 {
+			continue
+		}
+		lo := 0
+		for k := 1; k < len(seg.Indices); k++ {
+			if a.Tasks[seg.Indices[k]].Priority > tail {
 				continue
 			}
-			out = append(out, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: parent})
-			cur = []int{i}
+			cur := seg.Indices[lo:k:k]
+			out = append(out, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: parent, Index: -1})
+			lo = k
 		}
-		if len(cur) > 0 {
-			out = append(out, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: parent})
-		}
+		cur := seg.Indices[lo:]
+		out = append(out, Segment{Chain: a, Indices: cur, Wraps: wraps(cur), Parent: parent, Index: -1})
 	}
 	return out
 }

@@ -8,6 +8,47 @@ import (
 	"repro/internal/segments"
 )
 
+// maxGroupBits bounds the number of active segments per parent segment
+// that chainOptions can enumerate subsets of: the subset counter is an
+// int-width bitmask, so larger groups would silently wrap. Groups past
+// this size take the ErrTooManyCombinations path instead (2^62 subsets
+// exceed any realistic MaxCombinations anyway).
+const maxGroupBits = 62
+
+// Mask is a bitset over the dense active-segment ordinals of a
+// segments.Info (Segment.Index). Combinations use it to answer
+// membership queries in one bit test instead of a key-string scan.
+type Mask []uint64
+
+// newMask returns an all-zero mask wide enough for n ordinals.
+func newMask(n int) Mask { return make(Mask, (n+63)/64) }
+
+// set sets bit i.
+func (m Mask) set(i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (m Mask) Test(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Equal reports whether two masks of the same width carry the same bits.
+func (m Mask) Equal(o Mask) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// or merges o into m.
+func (m Mask) or(o Mask) {
+	for i := range o {
+		m[i] |= o[i]
+	}
+}
+
 // Combination is a set of active segments of overload chains (Def. 9)
 // that could execute together within one σb-busy-window.
 type Combination struct {
@@ -15,18 +56,16 @@ type Combination struct {
 	Parts []segments.Segment
 	// Cost is the summed execution cost Σ C_s of the parts.
 	Cost curves.Time
+	// Mask has bit s.Index set for every part s: the dense
+	// active-segment bitset relative to the segments.Info the
+	// combination was enumerated from.
+	Mask Mask
 }
 
 // Contains reports whether the combination includes the active segment
-// with the given key.
-func (c Combination) Contains(key string) bool {
-	for _, s := range c.Parts {
-		if s.Key() == key {
-			return true
-		}
-	}
-	return false
-}
+// with the given dense ordinal (Segment.Index). It is a single bit
+// test; the Theorem-3 constraint matrix build does |U|·rows of these.
+func (c Combination) Contains(index int) bool { return c.Mask.Test(index) }
 
 // String renders the combination in the paper's set notation, e.g.
 // {(tau1a,tau2a),(tau1b,tau2b,tau3b)}.
@@ -43,22 +82,32 @@ func (c Combination) String() string {
 // non-empty subset of active segments that share the same parent
 // segment. Active segments from different segments of the same chain
 // cannot co-occur in one busy window (Lemma 1), so they never appear in
-// the same selection.
-func chainOptions(active []segments.Segment) [][]segments.Segment {
+// the same selection. The bool result is false when a parent group
+// exceeds maxGroupBits or the selection count alone exceeds limit —
+// both cases where the combination space is hopeless and callers
+// should fail with ErrTooManyCombinations instead of wrapping a shift
+// or grinding through an astronomical loop.
+func chainOptions(active []segments.Segment, limit int) ([][]segments.Segment, bool) {
 	options := [][]segments.Segment{nil} // the empty selection
-	byParent := make(map[int][]segments.Segment)
-	var parents []int
-	for _, s := range active {
-		if _, seen := byParent[s.Parent]; !seen {
-			parents = append(parents, s.Parent)
+	// Active segments arrive grouped by parent (segments.Active emits
+	// them in parent order), so the groups are the maximal runs of equal
+	// Parent — no map needed.
+	for lo := 0; lo < len(active); {
+		hi := lo + 1
+		for hi < len(active) && active[hi].Parent == active[lo].Parent {
+			hi++
 		}
-		byParent[s.Parent] = append(byParent[s.Parent], s)
-	}
-	for _, p := range parents {
-		group := byParent[p]
+		group := active[lo:hi]
+		lo = hi
+		if len(group) > maxGroupBits {
+			return nil, false
+		}
+		if len(options)-1 > limit-(1<<len(group)-1) {
+			return nil, false
+		}
 		// All non-empty subsets of the group, in deterministic order.
 		for mask := 1; mask < 1<<len(group); mask++ {
-			var sel []segments.Segment
+			sel := make([]segments.Segment, 0, popcount(mask))
 			for i := range group {
 				if mask&(1<<i) != 0 {
 					sel = append(sel, group[i])
@@ -67,37 +116,79 @@ func chainOptions(active []segments.Segment) [][]segments.Segment {
 			options = append(options, sel)
 		}
 	}
-	return options
+	return options, true
+}
+
+// popcount returns the number of set bits in a non-negative int.
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
 }
 
 // enumerateCombinations builds every non-empty combination of active
 // segments across the overload chains, as the cartesian product of the
 // per-chain selections. limit guards against exponential blow-up; when
-// exceeded, the bool result is false.
+// exceeded, the bool result is false. Per-selection cost and mask are
+// precomputed once, so the cartesian product is pure appends, adds and
+// word-ORs.
 func enumerateCombinations(info *segments.Info, overload []*model.Chain, limit int) ([]Combination, bool) {
-	perChain := make([][][]segments.Segment, len(overload))
+	words := len(newMask(info.NumActive()))
+	type option struct {
+		parts []segments.Segment
+		cost  curves.Time
+		mask  Mask
+	}
+	perChain := make([][]option, len(overload))
 	total := 1
 	for i, a := range overload {
-		perChain[i] = chainOptions(info.ActiveSegments(a))
-		if total > limit/len(perChain[i]) {
+		sels, ok := chainOptions(info.ActiveSegments(a), limit)
+		if !ok {
 			return nil, false
 		}
-		total *= len(perChain[i])
+		if total > limit/len(sels) {
+			return nil, false
+		}
+		total *= len(sels)
+		opts := make([]option, len(sels))
+		// One mask backing for the whole chain's options.
+		optMasks := make(Mask, len(sels)*words)
+		for j, sel := range sels {
+			o := option{parts: sel, mask: optMasks[j*words : (j+1)*words]}
+			for _, s := range sel {
+				o.cost += s.Cost()
+				o.mask.set(s.Index)
+			}
+			opts[j] = o
+		}
+		perChain[i] = opts
 	}
 	if total > limit {
 		return nil, false
 	}
 	combos := make([]Combination, 0, total-1)
+	// One backing array for all masks: total-1 combinations, words words
+	// each.
+	backing := make(Mask, (total-1)*words)
 	idx := make([]int, len(overload))
 	for {
-		var c Combination
+		nparts := 0
 		for i := range overload {
-			for _, s := range perChain[i][idx[i]] {
-				c.Parts = append(c.Parts, s)
-				c.Cost += s.Cost()
-			}
+			nparts += len(perChain[i][idx[i]].parts)
 		}
-		if len(c.Parts) > 0 {
+		if nparts > 0 {
+			c := Combination{
+				Parts: make([]segments.Segment, 0, nparts),
+				Mask:  backing[len(combos)*words : (len(combos)+1)*words],
+			}
+			for i := range overload {
+				o := &perChain[i][idx[i]]
+				c.Parts = append(c.Parts, o.parts...)
+				c.Cost += o.cost
+				c.Mask.or(o.mask)
+			}
 			combos = append(combos, c)
 		}
 		// Advance the mixed-radix counter.

@@ -105,17 +105,9 @@ func (a *Analysis) isUnschedulable(c Combination) bool {
 	return false
 }
 
-func sameCombination(x, y Combination) bool {
-	if len(x.Parts) != len(y.Parts) {
-		return false
-	}
-	for i := range x.Parts {
-		if x.Parts[i].Key() != y.Parts[i].Key() {
-			return false
-		}
-	}
-	return true
-}
+// sameCombination compares two combinations of the same Analysis by
+// their active-segment bitmasks.
+func sameCombination(x, y Combination) bool { return x.Mask.Equal(y.Mask) }
 
 // Blame ranks the overload chains by how much removing each one alone
 // improves the DMM at k — the "which interrupt do I need to tame"

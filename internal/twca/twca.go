@@ -3,11 +3,15 @@ package twca
 import (
 	"errors"
 	"fmt"
+	"math"
+	"strconv"
+	"sync"
 
 	"repro/internal/curves"
 	"repro/internal/ilp"
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/segments"
 )
 
@@ -20,6 +24,12 @@ var ErrTooManyCombinations = errors.New("twca: combination space exceeds limit")
 // ErrNoDeadline is returned when the target chain has no end-to-end
 // deadline, so "deadline miss" is undefined for it.
 var ErrNoDeadline = errors.New("twca: target chain has no deadline")
+
+// OmegaUnbounded is the Ω^a_b value reported when the target's δ+ is
+// unbounded (sporadic activation): arbitrarily many overload
+// activations can fall into the k-sequence span, and only the k-clamp
+// in DMM keeps the capacities finite.
+const OmegaUnbounded = math.MaxInt64
 
 // Options tunes the TWCA computation.
 type Options struct {
@@ -46,6 +56,12 @@ type Options struct {
 	// otherwise — see EXPERIMENTS.md). Defaults to false, i.e. the
 	// lemma as published.
 	NoCarryIn bool
+	// NoCache disables the memoized DMM sweep cache, forcing every
+	// DMM call to assemble and solve its knapsack from scratch. The
+	// results are identical either way (the cache equivalence tests and
+	// BenchmarkBreakpointsSweep pin this); the switch exists for those
+	// tests and for before/after measurements.
+	NoCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -57,7 +73,9 @@ func (o Options) withDefaults() Options {
 }
 
 // Analysis holds everything TWCA derives about one target chain. Build
-// it once with New, then query DMM for any k.
+// it once with New, then query DMM for any k — concurrent queries are
+// safe, and repeated sweeps (Curve, Breakpoints) reuse memoized
+// knapsack solutions.
 type Analysis struct {
 	Sys    *model.System
 	Target *model.Chain
@@ -82,6 +100,29 @@ type Analysis struct {
 	info     *segments.Info
 	overload []*model.Chain
 	opts     Options
+
+	// rows is the Theorem-3 constraint matrix template, built once: one
+	// row per active segment of each overload chain (in that order),
+	// with 0/1 coefficients over Unschedulable. Only the capacity
+	// bounds vary with k, so DMM reuses these coefficient slices across
+	// every solve.
+	rows      []ilp.Row
+	rowChain  []*model.Chain // rows[i] belongs to this overload chain
+	objective []int64
+
+	mu     sync.Mutex
+	cache  []dmmCacheEntry
+	byKey  map[string]int
+	keyBuf []byte // scratch for boundsKey, guarded by mu
+}
+
+// dmmCacheEntry memoizes one knapsack solve: the capacity vector it was
+// solved under, the solution, and the per-row capacity usage of the
+// optimal assignment (for the saturation shortcut, see solveCached).
+type dmmCacheEntry struct {
+	bounds []int64
+	sol    ilp.Solution
+	usage  []int64
 }
 
 // New runs the §IV busy-window analysis and the §V combination analysis
@@ -141,20 +182,51 @@ func New(sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
 		}
 		a.Unschedulable = append(a.Unschedulable, c)
 	}
+	a.buildProblemTemplate()
 	return a, nil
+}
+
+// buildProblemTemplate assembles the k-independent part of Theorem 3's
+// knapsack: one variable per unschedulable combination, one capacity
+// row per active segment of each overload chain, with the 0/1
+// coefficient matrix answered by the combinations' bitmasks. Only the
+// row bounds (the clamped Ω capacities) change with k, so DMM shares
+// these coefficient slices across every solve.
+func (a *Analysis) buildProblemTemplate() {
+	if len(a.Unschedulable) == 0 {
+		return
+	}
+	a.objective = make([]int64, len(a.Unschedulable))
+	for j := range a.objective {
+		a.objective[j] = a.Latency.MissesPerWindow
+	}
+	for _, over := range a.overload {
+		for _, s := range a.info.ActiveSegments(over) {
+			coeffs := make([]int64, len(a.Unschedulable))
+			for j, c := range a.Unschedulable {
+				if c.Contains(s.Index) {
+					coeffs[j] = 1
+				}
+			}
+			a.rows = append(a.rows, ilp.Row{Coeffs: coeffs})
+			a.rowChain = append(a.rowChain, over)
+		}
+	}
+	a.byKey = make(map[string]int)
 }
 
 // Omega returns Ω^a_b of Lemma 4 for overload chain a and a k-sequence
 // of the target: η+_a(δ+_b(k) + WCL_b) + 1. When the target's δ+ is
-// unbounded (sporadic activation) the result saturates and callers
-// should rely on the k-clamp.
+// unbounded (sporadic activation) the result is OmegaUnbounded and
+// callers should rely on the k-clamp. The carry-in "+1" saturates
+// rather than overflowing when η+ itself is at the integer ceiling.
 func (a *Analysis) Omega(over *model.Chain, k int64) int64 {
 	span := curves.AddSat(a.Target.Activation.DeltaMax(k), a.Latency.WCL)
 	if span.IsInf() {
-		return int64(1<<62 - 1)
+		return OmegaUnbounded
 	}
 	omega := over.Activation.EtaPlus(span)
-	if !a.opts.NoCarryIn {
+	if !a.opts.NoCarryIn && omega < math.MaxInt64 {
 		omega++
 	}
 	return omega
@@ -168,7 +240,8 @@ type DMMResult struct {
 	// Omega maps overload chain names to their Ω^a_b capacity.
 	Omega map[string]int64
 	// ILPNodes is the number of branch-and-bound nodes explored (0 when
-	// the ILP was skipped because the answer was trivial).
+	// the ILP was skipped because the answer was trivial, or when a
+	// memoized solution answered the query).
 	ILPNodes int64
 	// Exact reports whether the knapsack was solved to optimality. When
 	// false (node cap hit on a huge combination space), Value is the
@@ -176,19 +249,21 @@ type DMMResult struct {
 	// valid DMM, just possibly pessimistic.
 	Exact bool
 	// Trivial explains a shortcut: "schedulable" (no busy window can
-	// miss), "no-unschedulable-combination", or "typical-unschedulable"
+	// miss), "no-unschedulable-combination", "typical-unschedulable"
 	// (even without overload some deadline is missed, so all k may
-	// miss). Empty when the ILP ran.
+	// miss), or "no-activations" (a DMMWindow interval too short to
+	// contain any activation). Empty when the ILP ran.
 	Trivial string
 }
 
 // DMM computes dmm_b(k), the maximum number of deadline misses in any
 // window of k consecutive activations of the target chain (Theorem 3).
+// It is safe for concurrent use.
 func (a *Analysis) DMM(k int64) (DMMResult, error) {
 	if k <= 0 {
 		return DMMResult{}, fmt.Errorf("twca: dmm(%d): k must be positive", k)
 	}
-	res := DMMResult{K: k, Omega: make(map[string]int64)}
+	res := DMMResult{K: k, Omega: make(map[string]int64, len(a.overload))}
 	for _, over := range a.overload {
 		res.Omega[over.Name] = a.Omega(over, k)
 	}
@@ -209,33 +284,18 @@ func (a *Analysis) DMM(k int64) (DMMResult, error) {
 		res.Trivial = "no-unschedulable-combination"
 		return res, nil
 	}
-	// Assemble Theorem 3's knapsack: one variable per unschedulable
-	// combination, one capacity row per active segment of each overload
-	// chain. Capacities are clamped to k — a combination cannot hit more
-	// busy windows than there are activations in the k-sequence.
-	prob := ilp.Problem{}
-	for range a.Unschedulable {
-		prob.Objective = append(prob.Objective, a.Latency.MissesPerWindow)
-	}
-	for _, over := range a.overload {
+	// Theorem 3's knapsack differs between k's only in the capacity
+	// vector: Ω per row, clamped to k because a combination cannot hit
+	// more busy windows than there are activations in the k-sequence.
+	bounds := make([]int64, len(a.rows))
+	for i, over := range a.rowChain {
 		omega := res.Omega[over.Name]
 		if omega > k {
 			omega = k
 		}
-		for _, s := range a.info.ActiveSegments(over) {
-			row := ilp.Row{Bound: omega}
-			key := s.Key()
-			for _, c := range a.Unschedulable {
-				if c.Contains(key) {
-					row.Coeffs = append(row.Coeffs, 1)
-				} else {
-					row.Coeffs = append(row.Coeffs, 0)
-				}
-			}
-			prob.Rows = append(prob.Rows, row)
-		}
+		bounds[i] = omega
 	}
-	sol, err := ilp.Maximize(prob)
+	sol, err := a.solveCached(bounds)
 	if err != nil {
 		return DMMResult{}, fmt.Errorf("twca: dmm(%d): %w", k, err)
 	}
@@ -250,17 +310,126 @@ func (a *Analysis) DMM(k int64) (DMMResult, error) {
 	return res, nil
 }
 
+// solveCached returns the knapsack solution for the given capacity
+// vector, memoizing results per Analysis. Two shortcuts make DMM sweeps
+// (Curve, Breakpoints) cheap:
+//
+//   - Exact-key reuse: the capacity vector fully determines the
+//     problem, and Ω changes only at activation-curve steps, so a sweep
+//     over k produces long runs of identical vectors.
+//   - Saturation dominance: capacities are monotone in k. If a cached
+//     exact solve under capacities b' ≥ b (elementwise) has an optimal
+//     assignment whose per-row usage fits under b, that assignment is
+//     feasible for b, and since value(b) ≤ value(b') it is optimal for
+//     b too. Once the sweep's optimum stops being capacity-limited,
+//     every further k is answered without solving.
+//
+// Both paths return the identical Value/Bound/Exact a fresh solve
+// would; Options.NoCache forces fresh solves for the equivalence tests.
+func (a *Analysis) solveCached(bounds []int64) (ilp.Solution, error) {
+	if a.opts.NoCache {
+		return a.solve(bounds)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.keyBuf = boundsKey(a.keyBuf[:0], bounds)
+	// string(a.keyBuf) in the lookup does not allocate (the compiler's
+	// map-lookup special case); a durable string is built only on store.
+	if i, ok := a.byKey[string(a.keyBuf)]; ok {
+		return a.cache[i].sol, nil
+	}
+	for _, e := range a.cache {
+		if !e.sol.Exact {
+			continue
+		}
+		dominates := true
+		for i := range bounds {
+			if e.bounds[i] < bounds[i] || e.usage[i] > bounds[i] {
+				dominates = false
+				break
+			}
+		}
+		if dominates {
+			return e.sol, nil
+		}
+	}
+	sol, err := a.solve(bounds)
+	if err != nil {
+		return ilp.Solution{}, err
+	}
+	usage := make([]int64, len(a.rows))
+	for i, r := range a.rows {
+		for j, x := range sol.X {
+			usage[i] += r.Coeffs[j] * x
+		}
+	}
+	a.byKey[string(a.keyBuf)] = len(a.cache)
+	a.cache = append(a.cache, dmmCacheEntry{bounds: bounds, sol: sol, usage: usage})
+	return sol, nil
+}
+
+// solve runs one fresh knapsack solve under the given capacity vector.
+func (a *Analysis) solve(bounds []int64) (ilp.Solution, error) {
+	rows := make([]ilp.Row, len(a.rows))
+	for i, r := range a.rows {
+		rows[i] = ilp.Row{Coeffs: r.Coeffs, Bound: bounds[i]}
+	}
+	return ilp.Maximize(ilp.Problem{Objective: a.objective, Rows: rows})
+}
+
+// boundsKey appends the capacity vector's map-key encoding to buf.
+func boundsKey(buf []byte, bounds []int64) []byte {
+	for _, b := range bounds {
+		buf = strconv.AppendInt(buf, b, 10)
+		buf = append(buf, ',')
+	}
+	return buf
+}
+
 // DMMWindow bounds the number of deadline misses of the target chain
 // in any time interval of length dt: at most η+_b(dt) activations fall
 // into such an interval, so dmm(η+_b(dt)) bounds their misses. This is
 // the form requirements are often stated in ("at most one miss per
-// second") before being translated to activation counts.
+// second") before being translated to activation counts. An interval
+// too short to contain any activation trivially bounds the misses by
+// zero (Exact, Trivial "no-activations").
 func (a *Analysis) DMMWindow(dt curves.Time) (DMMResult, error) {
 	k := a.Target.Activation.EtaPlus(dt)
 	if k <= 0 {
-		return DMMResult{K: 0, Omega: map[string]int64{}}, nil
+		return DMMResult{K: 0, Omega: map[string]int64{}, Exact: true, Trivial: "no-activations"}, nil
 	}
 	return a.DMM(k)
+}
+
+// dmmValue is DMM without result assembly: no Omega map, no DMMResult.
+// Breakpoints scans thousands of k with it and only materializes full
+// results (via DMM, which re-answers from the cache) at value changes.
+func (a *Analysis) dmmValue(k int64) (int64, error) {
+	switch {
+	case !a.TypicalSchedulable:
+		return k, nil
+	case a.Latency.MissesPerWindow == 0:
+		return 0, nil
+	case len(a.Unschedulable) == 0:
+		return 0, nil
+	}
+	bounds := make([]int64, len(a.rows))
+	for i, over := range a.rowChain {
+		omega := a.Omega(over, k)
+		if omega > k {
+			omega = k
+		}
+		bounds[i] = omega
+	}
+	sol, err := a.solveCached(bounds)
+	if err != nil {
+		return 0, fmt.Errorf("twca: dmm(%d): %w", k, err)
+	}
+	v := sol.Bound
+	if v > k {
+		v = k
+	}
+	return v, nil
 }
 
 // Curve evaluates the DMM at each k in ks.
@@ -278,19 +447,32 @@ func (a *Analysis) Curve(ks []int64) ([]DMMResult, error) {
 
 // Breakpoints scans k in [1, maxK] and returns the first k at which the
 // DMM attains each new value — the representation the paper's Table II
-// uses (dmm_c(3)=3, dmm_c(76)=4, …).
+// uses (dmm_c(3)=3, dmm_c(76)=4, …). The scan warms the memo cache
+// with the maxK solve first: its capacities dominate every smaller k's,
+// so the ascending sweep degenerates to a handful of ILP solves (the
+// k-regimes whose optimum is still capacity-limited) plus cache hits.
 func (a *Analysis) Breakpoints(maxK int64) ([]DMMResult, error) {
+	if !a.opts.NoCache && maxK > 1 {
+		if _, err := a.DMM(maxK); err != nil {
+			return nil, err
+		}
+	}
 	var out []DMMResult
 	last := int64(-1)
 	for k := int64(1); k <= maxK; k++ {
-		r, err := a.DMM(k)
+		v, err := a.dmmValue(k)
 		if err != nil {
 			return nil, err
 		}
-		if r.Value != last {
-			out = append(out, r)
-			last = r.Value
+		if v == last {
+			continue
 		}
+		r, err := a.DMM(k) // full result, answered from the cache
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		last = r.Value
 	}
 	return out, nil
 }
@@ -304,4 +486,45 @@ func (a *Analysis) WeaklyHard(m, k int64) (bool, error) {
 		return false, err
 	}
 	return r.Value <= m, nil
+}
+
+// AnalyzeAll runs New for every regular chain of sys that has a
+// deadline, on a worker pool of the given width (≤ 0 selects
+// runtime.GOMAXPROCS(0)), returning analyses keyed by chain name.
+// Chains whose analysis fails yield an entry in errs instead. The
+// result is identical to the serial loop for any worker count.
+func AnalyzeAll(sys *model.System, opts Options, workers int) (map[string]*Analysis, map[string]error) {
+	if opts.Latency.Trace != nil {
+		workers = 1 // interleaved trace output would be useless
+	}
+	var targets []*model.Chain
+	for _, c := range sys.RegularChains() {
+		if c.Deadline > 0 {
+			targets = append(targets, c)
+		}
+	}
+	analyses := make([]*Analysis, len(targets))
+	failures := make([]error, len(targets))
+	parallel.ForEach(workers, len(targets), func(i int) error {
+		an, err := New(sys, targets[i], opts)
+		if err != nil {
+			failures[i] = err
+			return nil
+		}
+		analyses[i] = an
+		return nil
+	})
+	results := make(map[string]*Analysis)
+	errs := make(map[string]error)
+	for i, c := range targets {
+		if failures[i] != nil {
+			errs[c.Name] = failures[i]
+			continue
+		}
+		results[c.Name] = analyses[i]
+	}
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return results, errs
 }
