@@ -1,0 +1,24 @@
+# Build and verification entry points. `make verify` is the gate every
+# change must pass (ROADMAP.md): compile, vet, and the full test suite
+# under the race detector.
+
+GO ?= go
+
+.PHONY: build test verify bench serve
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...
+
+serve:
+	$(GO) run ./cmd/twca-serve

@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	twca-analyze [-k 1,3,10,100] [-baseline] [-exact] [-lint=false] system.{json,sys}
+//	twca-analyze [-k 1,3,10,100] [-baseline] [-exact] [-json] [-lint=false] system.{json,sys}
 //	twca-gen | twca-analyze
+//
+// -json replaces the table with the versioned JSON report defined by
+// internal/schema — the same wire format twca-serve speaks.
 //
 // With no file argument the system is read from stdin.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/schema"
 	"repro/internal/twca"
 )
 
@@ -43,6 +49,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	lint := fs.Bool("lint", true, "print model warnings")
 	explain := fs.String("explain", "", "print the full analysis narrative for the named chain")
 	format := fs.String("format", "ascii", "table output: ascii, markdown or csv")
+	jsonOut := fs.Bool("json", false,
+		"emit the versioned JSON report (the twca-serve wire schema) instead of a table")
 	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"analysis worker pool size (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +92,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "  without %s: dmm(%d) = %d\n", o.Name, k, blame[o.Name])
 		}
 		return nil
+	}
+
+	if *jsonOut {
+		rep, err := schema.FromSystem(context.Background(), sys,
+			twca.Options{ExactCriterion: *exact}, kvals, 0)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, err = stdout.Write(data)
+		return err
 	}
 
 	tbl := &report.Table{

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +10,8 @@ import (
 
 	"repro/internal/casestudy"
 	"repro/internal/dsl"
+	"repro/internal/schema"
+	"repro/internal/twca"
 )
 
 func caseStudyFile(t *testing.T, format string) string {
@@ -136,6 +140,37 @@ func TestRunExplain(t *testing.T) {
 	// Unknown chain errors out.
 	if err := run([]string{"-explain", "nope", caseStudyFile(t, "json")}, nil, &out, &errOut); err == nil {
 		t.Error("unknown explain chain accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-json", "-k", "1,3,10,100", caseStudyFile(t, "json")}, nil, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep schema.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.SchemaVersion != schema.Version {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, schema.Version)
+	}
+	if len(rep.SystemHash) != 64 {
+		t.Errorf("system_hash = %q, want 64 hex chars", rep.SystemHash)
+	}
+	// The CLI must speak exactly the wire schema twca-serve speaks.
+	want, err := schema.FromSystem(context.Background(), casestudy.New(),
+		twca.Options{}, []int64{1, 3, 10, 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSuffix(out.String(), "\n"); got != string(wantJSON) {
+		t.Errorf("-json output diverges from schema.FromSystem:\ngot:\n%s\nwant:\n%s", got, wantJSON)
 	}
 }
 

@@ -1,0 +1,112 @@
+// Command twca-serve runs the TWCA analysis service: a long-running
+// HTTP/JSON daemon that accepts system descriptions (native JSON or the
+// DSL), runs the latency / deadline-miss-model / weakly-hard analyses
+// and answers dmm(k) and breakpoint-sweep queries over a versioned API.
+//
+// Usage:
+//
+//	twca-serve [-addr :8443] [-cache 128] [-inflight 0] [-timeout 30s] [-pprof]
+//
+// Endpoints (see docs/SERVICE.md for the full reference and a worked
+// curl session):
+//
+//	POST /v1/analyze/dmm      deadline miss model of one chain
+//	POST /v1/analyze/latency  worst-case end-to-end latency of one chain
+//	POST /v1/verify           weakly-hard (m, k) constraints
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text exposition
+//
+// Identical concurrent queries are coalesced into one analysis, and
+// completed analyses are kept in a content-addressed LRU, so a repeat
+// query is answered in microseconds. SIGINT/SIGTERM drain gracefully:
+// in-flight analyses are canceled cooperatively, then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "twca-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the daemon; factored out of main for testability. It
+// returns once the listener is closed and in-flight requests are done.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("twca-serve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8443", "listen address")
+	cacheSize := fs.Int("cache", 128, "retained analysis artifacts (LRU)")
+	inflight := fs.Int("inflight", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis deadline")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc, err := service.New(service.Config{
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxInflight:    *inflight,
+		EnablePprof:    *pprofFlag,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	// Catch shutdown signals before announcing the listener, so a SIGINT
+	// arriving at any point after "listening on" drains gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "twca-serve listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "twca-serve shutting down")
+	// Cancel in-flight analyses first (they stop at the next cooperative
+	// check and their requests complete with the cancellation mapping),
+	// then drain the HTTP layer.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -11,6 +11,7 @@
 package latency
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,22 @@ type Options struct {
 // defaults. Exported for sibling analysis packages that reuse the
 // fixed-point parameters.
 func (o Options) WithDefaults() Options { return o.withDefaults() }
+
+// Validate rejects nonsensical option values with a descriptive error.
+// Zero values are fine (they select the documented defaults); negative
+// values are the contradictions this catches.
+func (o Options) Validate() error {
+	if o.MaxQ < 0 {
+		return fmt.Errorf("latency: options: MaxQ %d is negative (0 selects the default 4096)", o.MaxQ)
+	}
+	if o.Horizon < 0 {
+		return fmt.Errorf("latency: options: Horizon %d is negative (0 selects the default 1<<40)", o.Horizon)
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("latency: options: MaxIterations %d is negative (0 selects the default 1<<20)", o.MaxIterations)
+	}
+	return nil
+}
 
 func (o Options) withDefaults() Options {
 	if o.MaxQ <= 0 {
@@ -159,8 +176,14 @@ func Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) c
 // BusyTime computes B_b(q) of Theorem 1 as the least fixed point of
 // Demand, or an ErrDiverged error.
 func BusyTime(info *segments.Info, q int64, opts Options) (curves.Time, error) {
-	return busyTimeFrom(info, q, 0, opts)
+	return busyTimeFrom(context.Background(), info, q, 0, opts)
 }
+
+// cancelCheckEvery is how many fixed-point iterations run between
+// cooperative cancellation checks. Realistic systems converge in a
+// handful of iterations; the check exists for near-divergent fixed
+// points that crawl toward the horizon in small steps.
+const cancelCheckEvery = 1024
 
 // busyTimeFrom is BusyTime with a warm start: Kleene iteration may
 // begin at any point known to be ≤ the least fixed point, and B(q−1)
@@ -168,10 +191,15 @@ func BusyTime(info *segments.Info, q int64, opts Options) (curves.Time, error) {
 // previous busy time turns the per-q quadratic restart cost into a
 // single pass — essential for high-utilization systems whose fixed
 // points advance in small steps.
-func busyTimeFrom(info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, error) {
+func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, error) {
 	opts = opts.withDefaults()
 	w := start
 	for i := 0; i < opts.MaxIterations; i++ {
+		if i%cancelCheckEvery == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("latency: %s: B(%d) canceled: %w", info.B.Name, q, err)
+			}
+		}
 		next := Demand(info, q, w, opts.ExcludeOverload)
 		if opts.Trace != nil {
 			fmt.Fprintf(opts.Trace, "latency: %s B(%d) iteration %d: %d → %d\n",
@@ -195,9 +223,22 @@ func Analyze(sys *model.System, b *model.Chain, opts Options) (*Result, error) {
 	return AnalyzeInfo(segments.Analyze(sys, b), opts)
 }
 
+// AnalyzeCtx is Analyze with cooperative cancellation: the busy-window
+// search checks ctx between activations q and inside long fixed-point
+// iterations, returning an error wrapping ctx.Err() when the context is
+// done.
+func AnalyzeCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options) (*Result, error) {
+	return AnalyzeInfoCtx(ctx, segments.Analyze(sys, b), opts)
+}
+
 // AnalyzeInfo is Analyze on a precomputed segment structure, which may
 // also be the structure-blind segments.AnalyzeFlat baseline.
 func AnalyzeInfo(info *segments.Info, opts Options) (*Result, error) {
+	return AnalyzeInfoCtx(context.Background(), info, opts)
+}
+
+// AnalyzeInfoCtx is AnalyzeInfo with cooperative cancellation.
+func AnalyzeInfoCtx(ctx context.Context, info *segments.Info, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	b := info.B
 	res := &Result{Chain: b, WCL: -1}
@@ -206,11 +247,14 @@ func AnalyzeInfo(info *segments.Info, opts Options) (*Result, error) {
 	}
 	var prev curves.Time
 	for q := int64(1); ; q++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("latency: %s: canceled at q=%d: %w", b.Name, q, err)
+		}
 		if q > opts.MaxQ {
 			return nil, fmt.Errorf("latency: %s: no busy-window end below q=%d: %w",
 				b.Name, opts.MaxQ, ErrKExceeded)
 		}
-		bq, err := busyTimeFrom(info, q, prev, opts)
+		bq, err := busyTimeFrom(ctx, info, q, prev, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -252,6 +296,13 @@ func AnalyzeInfo(info *segments.Info, opts Options) (*Result, error) {
 // independent, so the outcome is identical to the serial loop for any
 // worker count.
 func AnalyzeAll(sys *model.System, opts Options, workers int) (map[string]*Result, map[string]error) {
+	return AnalyzeAllCtx(context.Background(), sys, opts, workers)
+}
+
+// AnalyzeAllCtx is AnalyzeAll with cooperative cancellation; chains
+// whose analysis is cut short by ctx yield an errs entry wrapping
+// ctx.Err().
+func AnalyzeAllCtx(ctx context.Context, sys *model.System, opts Options, workers int) (map[string]*Result, map[string]error) {
 	if opts.Trace != nil {
 		// Interleaved trace lines from concurrent chains would be
 		// useless; tracing implies the serial order.
@@ -266,7 +317,7 @@ func AnalyzeAll(sys *model.System, opts Options, workers int) (map[string]*Resul
 	perChain := make([]*Result, len(targets))
 	failures := make([]error, len(targets))
 	parallel.ForEach(workers, len(targets), func(i int) error {
-		perChain[i], failures[i] = Analyze(sys, targets[i], opts)
+		perChain[i], failures[i] = AnalyzeCtx(ctx, sys, targets[i], opts)
 		return nil
 	})
 	results := make(map[string]*Result)

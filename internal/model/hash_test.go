@@ -1,0 +1,43 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/model"
+)
+
+func TestCanonicalHashStableAndContentAddressed(t *testing.T) {
+	sys := casestudy.New()
+	h1, err := model.CanonicalHash(sys)
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	if len(h1) != 64 || strings.ToLower(h1) != h1 {
+		t.Fatalf("CanonicalHash = %q, want 64 lowercase hex chars", h1)
+	}
+	h2, err := model.CanonicalHash(sys)
+	if err != nil {
+		t.Fatalf("CanonicalHash (repeat): %v", err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash not stable: %q vs %q", h1, h2)
+	}
+	clone, err := model.CanonicalHash(sys.Clone())
+	if err != nil {
+		t.Fatalf("CanonicalHash(clone): %v", err)
+	}
+	if clone != h1 {
+		t.Errorf("clone hashes differently: %q vs %q", clone, h1)
+	}
+	mutated := sys.Clone()
+	mutated.Chains[0].Tasks[0].WCET++
+	h3, err := model.CanonicalHash(mutated)
+	if err != nil {
+		t.Fatalf("CanonicalHash(mutated): %v", err)
+	}
+	if h3 == h1 {
+		t.Error("WCET change did not change the hash")
+	}
+}

@@ -20,6 +20,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,43 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	return nil
 }
+
+// Gate is a counting semaphore bounding how many expensive operations
+// run concurrently — the admission control the analysis service puts in
+// front of the worker-pool-driven analyses so that a burst of requests
+// degrades into queueing instead of an unbounded goroutine and memory
+// pile-up. The zero Gate is not usable; construct with NewGate.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a Gate admitting at most n concurrent holders
+// (n ≤ 0 selects runtime.GOMAXPROCS(0)).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning
+// ctx.Err() in the latter case. Every successful Acquire must be paired
+// with exactly one Release.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (g *Gate) Release() { <-g.slots }
+
+// InUse reports how many slots are currently held (a point-in-time
+// snapshot, for metrics).
+func (g *Gate) InUse() int { return len(g.slots) }
 
 // Map runs fn(i) for every i in [0, n) on at most workers concurrent
 // goroutines and returns the results in index order. On error the

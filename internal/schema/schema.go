@@ -1,0 +1,202 @@
+// Package schema defines the stable, versioned JSON wire format for
+// analysis results, shared by the twca-serve HTTP responses and the
+// twca-analyze -json output. The types here are the public contract:
+// key names never change meaning within a schema version, new fields
+// are only added (never repurposed), and any breaking change bumps
+// Version. A golden-file test pins the exact serialization.
+//
+// Deliberately absent from the wire format: quantities that depend on
+// solver-internal state rather than on the input system, such as
+// branch-and-bound node counts — a response answered from a warm memo
+// cache must be byte-identical to a cold one.
+package schema
+
+import (
+	"context"
+
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/twca"
+)
+
+// Version is the current schema_version stamped into every document.
+const Version = 1
+
+// DMMPoint is one dmm(k) evaluation.
+type DMMPoint struct {
+	K int64 `json:"k"`
+	// DMM is the bound: at most this many of any K consecutive
+	// executions miss their deadline.
+	DMM int64 `json:"dmm"`
+	// Exact is false when the solver hit its node cap and DMM is the
+	// (still sound) relaxation bound.
+	Exact bool `json:"exact"`
+	// Trivial names the shortcut that answered the query without an ILP
+	// solve ("schedulable", "typical-unschedulable", ...); empty when
+	// the ILP ran.
+	Trivial string `json:"trivial,omitempty"`
+	// Omega maps overload chain names to their Ω^a_b capacity of
+	// Lemma 4. The value 9223372036854775807 (math.MaxInt64) means
+	// "unbounded" (sporadic target activation).
+	Omega map[string]int64 `json:"omega,omitempty"`
+}
+
+// Latency is the wire form of a §IV worst-case latency analysis.
+type Latency struct {
+	SchemaVersion   int     `json:"schema_version"`
+	Chain           string  `json:"chain"`
+	K               int64   `json:"busy_window_k"`
+	BusyTimes       []int64 `json:"busy_times"`
+	WCL             int64   `json:"wcl"`
+	BCL             int64   `json:"bcl"`
+	OutputJitter    int64   `json:"output_jitter"`
+	CriticalQ       int64   `json:"critical_q"`
+	MissesPerWindow int64   `json:"misses_per_window"`
+	Schedulable     bool    `json:"schedulable"`
+}
+
+// Analysis is the wire form of a §V deadline-miss-model analysis of one
+// chain, with the dmm(k) evaluations the caller asked for.
+type Analysis struct {
+	SchemaVersion      int    `json:"schema_version"`
+	Chain              string `json:"chain"`
+	Deadline           int64  `json:"deadline"`
+	WCL                int64  `json:"wcl"`
+	Schedulable        bool   `json:"schedulable"`
+	TypicalSchedulable bool   `json:"typical_schedulable"`
+	// MinSlack is min_q (δ-(q) + D − L(q)); 9223372036854775807 means
+	// no busy window constrains it.
+	MinSlack      int64 `json:"min_slack"`
+	Combinations  int   `json:"combinations"`
+	Unschedulable int   `json:"unschedulable_combinations"`
+	// DMM holds the dmm(k) points requested explicitly; Breakpoints the
+	// first k attaining each new value in a sweep (Table II form).
+	DMM         []DMMPoint `json:"dmm,omitempty"`
+	Breakpoints []DMMPoint `json:"breakpoints,omitempty"`
+	// Error is set instead of the analysis fields when this chain's
+	// analysis failed (multi-chain reports analyze chains
+	// independently).
+	Error string `json:"error,omitempty"`
+}
+
+// Report is a whole-system document: one Analysis per chain with a
+// deadline, in system order, plus the content hash that identifies the
+// input.
+type Report struct {
+	SchemaVersion int        `json:"schema_version"`
+	System        string     `json:"system"`
+	SystemHash    string     `json:"system_hash,omitempty"`
+	Chains        []Analysis `json:"chains"`
+}
+
+// FromDMM converts one DMM evaluation.
+func FromDMM(r twca.DMMResult) DMMPoint {
+	return DMMPoint{K: r.K, DMM: r.Value, Exact: r.Exact, Trivial: r.Trivial, Omega: r.Omega}
+}
+
+// FromLatency converts a latency result.
+func FromLatency(r *latency.Result) Latency {
+	out := Latency{
+		SchemaVersion:   Version,
+		Chain:           r.Chain.Name,
+		K:               r.K,
+		WCL:             int64(r.WCL),
+		BCL:             int64(r.BCL),
+		OutputJitter:    int64(r.OutputJitter()),
+		CriticalQ:       r.CriticalQ,
+		MissesPerWindow: r.MissesPerWindow,
+		Schedulable:     r.Schedulable,
+	}
+	out.BusyTimes = make([]int64, len(r.BusyTimes))
+	for i, b := range r.BusyTimes {
+		out.BusyTimes[i] = int64(b)
+	}
+	return out
+}
+
+// Stats carries solver-effort counters observed while a document was
+// built. They are deliberately not part of the wire format (cache
+// warmth must be invisible in responses); the analysis service feeds
+// them into /metrics instead.
+type Stats struct {
+	// ILPNodes is the total number of branch-and-bound nodes explored
+	// by the dmm evaluations behind the document (0 when every query
+	// was answered trivially or from the memo cache).
+	ILPNodes int64
+}
+
+// FromAnalysis converts a prepared TWCA analysis, evaluating dmm(k) at
+// each requested k and, when breakpointsMaxK > 0, sweeping breakpoints
+// up to it. The context governs those evaluations.
+func FromAnalysis(ctx context.Context, an *twca.Analysis, ks []int64, breakpointsMaxK int64) (Analysis, error) {
+	doc, _, err := FromAnalysisStats(ctx, an, ks, breakpointsMaxK)
+	return doc, err
+}
+
+// FromAnalysisStats is FromAnalysis, additionally reporting the solver
+// effort spent answering the queries.
+func FromAnalysisStats(ctx context.Context, an *twca.Analysis, ks []int64, breakpointsMaxK int64) (Analysis, Stats, error) {
+	out := Analysis{
+		SchemaVersion:      Version,
+		Chain:              an.Target.Name,
+		Deadline:           int64(an.Target.Deadline),
+		WCL:                int64(an.Latency.WCL),
+		Schedulable:        an.Latency.Schedulable,
+		TypicalSchedulable: an.TypicalSchedulable,
+		MinSlack:           int64(an.MinSlack),
+		Combinations:       len(an.Combinations),
+		Unschedulable:      len(an.Unschedulable),
+	}
+	var st Stats
+	for _, k := range ks {
+		r, err := an.DMMCtx(ctx, k)
+		if err != nil {
+			return Analysis{}, st, err
+		}
+		st.ILPNodes += r.ILPNodes
+		out.DMM = append(out.DMM, FromDMM(r))
+	}
+	if breakpointsMaxK > 0 {
+		bps, err := an.BreakpointsCtx(ctx, breakpointsMaxK)
+		if err != nil {
+			return Analysis{}, st, err
+		}
+		for _, r := range bps {
+			st.ILPNodes += r.ILPNodes
+			out.Breakpoints = append(out.Breakpoints, FromDMM(r))
+		}
+	}
+	return out, st, nil
+}
+
+// FromSystem builds a whole-system Report: every regular chain with a
+// deadline is analyzed (serially, in system order) and converted.
+// Per-chain analysis failures become Error entries rather than failing
+// the report, matching the twca-analyze table behavior.
+func FromSystem(ctx context.Context, sys *model.System, opts twca.Options, ks []int64, breakpointsMaxK int64) (Report, error) {
+	rep := Report{SchemaVersion: Version, System: sys.Name}
+	if h, err := model.CanonicalHash(sys); err == nil {
+		rep.SystemHash = h
+	}
+	for _, c := range sys.RegularChains() {
+		if c.Deadline == 0 {
+			continue
+		}
+		an, err := twca.NewCtx(ctx, sys, c, opts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Report{}, err // cancellation fails the report, not the chain
+			}
+			rep.Chains = append(rep.Chains, Analysis{
+				SchemaVersion: Version, Chain: c.Name, Deadline: int64(c.Deadline), Error: err.Error(),
+			})
+			continue
+		}
+		doc, err := FromAnalysis(ctx, an, ks, breakpointsMaxK)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Chains = append(rep.Chains, doc)
+	}
+	return rep, nil
+}

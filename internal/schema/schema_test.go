@@ -1,0 +1,106 @@
+package schema_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/latency"
+	"repro/internal/schema"
+	"repro/internal/twca"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got (marshaled with two-space indentation and a
+// trailing newline, the format both twca-serve and twca-analyze -json
+// emit) against testdata/<name>.golden.json.
+func golden(t *testing.T, name string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("%s: wire format drifted from golden file.\n"+
+			"If the change is intentional, bump schema.Version and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			name, data, want)
+	}
+}
+
+func TestGoldenWireFormat(t *testing.T) {
+	sys := casestudy.New()
+
+	lat, err := latency.Analyze(sys, sys.ChainByName("sigma_d"), latency.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "latency_sigma_d", schema.FromLatency(lat))
+
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := schema.FromAnalysis(context.Background(), an, []int64{1, 3, 10, 100}, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "analysis_sigma_c", doc)
+
+	rep, err := schema.FromSystem(context.Background(), sys, twca.Options{}, []int64{1, 3, 10, 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report_thales", rep)
+}
+
+// TestCacheWarmthInvisible pins the property the service cache relies
+// on: a document produced from a freshly built analysis equals one
+// produced from an analysis whose memo cache is already warm.
+func TestCacheWarmthInvisible(t *testing.T) {
+	sys := casestudy.New()
+	cold, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Breakpoints(260); err != nil { // prime the memo cache
+		t.Fatal(err)
+	}
+	ks := []int64{1, 3, 10, 100}
+	docCold, err := schema.FromAnalysis(context.Background(), cold, ks, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docWarm, err := schema.FromAnalysis(context.Background(), warm, ks, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(docCold)
+	b, _ := json.Marshal(docWarm)
+	if !bytes.Equal(a, b) {
+		t.Errorf("cache warmth leaked into the wire format:\ncold: %s\nwarm: %s", a, b)
+	}
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache outcome labels, reported per response and counted in /metrics.
+const (
+	cacheHit       = "hit"       // answered from a completed, retained analysis
+	cacheMiss      = "miss"      // this request ran the analysis
+	cacheCoalesced = "coalesced" // piggybacked on an identical in-flight analysis
+)
+
+// cache is a content-addressed store of completed analysis artifacts
+// with single-flight request coalescing: N concurrent requests for the
+// same key cost one analysis, and completed analyses are retained in an
+// LRU so repeat queries skip the analysis entirely.
+//
+// Keys are derived from the canonical system hash plus the analysis
+// kind, target chain and option fingerprint (see cacheKey in
+// handlers.go), so a key fully determines the artifact and cached
+// values can be shared between arbitrary clients.
+type cache struct {
+	// base is the lifecycle context analyses run under: a flight must
+	// not die with the first requester (coalesced followers still want
+	// the result) but must die with the server.
+	base context.Context
+
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress analysis shared by all requests that
+// arrived while it ran. waiters counts the requests still interested;
+// when the last one gives up, the flight's context is canceled so the
+// analysis stops burning CPU for nobody.
+type flight struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+}
+
+func newCache(base context.Context, maxEntries int) *cache {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	return &cache{
+		base:    base,
+		max:     maxEntries,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// do returns the artifact for key, computing it with fn at most once
+// per concurrent batch of identical requests. The second result is the
+// cache outcome (cacheHit, cacheMiss or cacheCoalesced). fn runs under
+// a context that outlives any single requester but is canceled when
+// every interested requester has gone or the server shuts down;
+// errored computations are never cached.
+func (c *cache) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, string, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(lruEntry).val
+		c.mu.Unlock()
+		return val, cacheHit, nil
+	}
+	if f, ok := c.flights[key]; ok && f.ctx.Err() == nil {
+		f.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, f, cacheCoalesced)
+	}
+	// Leader: start the flight. A dead flight under the same key (all
+	// of its waiters canceled) is simply replaced; its goroutine only
+	// deletes the map entry if it still owns it.
+	fctx, cancel := context.WithCancel(c.base)
+	f := &flight{ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	go func() {
+		val, err := fn(fctx)
+		c.mu.Lock()
+		f.val, f.err = val, err
+		if c.flights[key] == f {
+			delete(c.flights, key)
+		}
+		if err == nil {
+			c.addLocked(key, val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return c.wait(ctx, f, cacheMiss)
+}
+
+// wait blocks until the flight completes or the requester's own context
+// is done. A requester abandoning the flight decrements the interest
+// count; the last one out cancels the analysis.
+func (c *cache) wait(ctx context.Context, f *flight, state string) (any, string, error) {
+	select {
+	case <-f.done:
+		return f.val, state, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, state, ctx.Err()
+	}
+}
+
+// addLocked inserts a completed artifact, evicting the least recently
+// used entry beyond capacity. Caller holds c.mu.
+func (c *cache) addLocked(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = lruEntry{key: key, val: val}
+		return
+	}
+	c.items[key] = c.ll.PushFront(lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(lruEntry).key)
+	}
+}
+
+// len reports the number of retained artifacts.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheCoalescing floods one key with concurrent requests against a
+// gated fn: exactly one execution, one miss, and everyone else
+// piggybacks on it.
+func TestCacheCoalescing(t *testing.T) {
+	c := newCache(context.Background(), 8)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return "artifact", nil
+	}
+
+	const n = 16
+	states := make([]string, n)
+	vals := make([]any, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], states[0], _ = c.do(context.Background(), "k", fn)
+	}()
+	<-started // leader is inside fn; everyone else must coalesce
+	wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			vals[i], states[i], _ = c.do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Give the followers a moment to reach the flight, then finish it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	misses := 0
+	for i, st := range states {
+		if vals[i] != "artifact" {
+			t.Errorf("request %d got %v", i, vals[i])
+		}
+		switch st {
+		case cacheMiss:
+			misses++
+		case cacheCoalesced, cacheHit:
+		default:
+			t.Errorf("request %d state %q", i, st)
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d misses, want exactly 1", misses)
+	}
+	// And the artifact is now retained: a late request is a pure hit.
+	v, st, err := c.do(context.Background(), "k", fn)
+	if err != nil || v != "artifact" || st != cacheHit {
+		t.Errorf("late request = (%v, %q, %v), want (artifact, hit, nil)", v, st, err)
+	}
+}
+
+// TestCacheAbandonmentCancelsFlight verifies the refcount: when every
+// requester gives up, the in-flight analysis context is canceled so the
+// computation can stop mid-way.
+func TestCacheAbandonmentCancelsFlight(t *testing.T) {
+	c := newCache(context.Background(), 8)
+	flightCanceled := make(chan struct{})
+	started := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // the analysis observing cooperative cancellation
+		close(flightCanceled)
+		return nil, fmt.Errorf("canceled after %w", ctx.Err())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(ctx, "k", fn)
+		errc <- err
+	}()
+	<-started
+	cancel() // the only requester walks away
+
+	select {
+	case <-flightCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context never canceled after last requester left")
+	}
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("requester error = %v, want context.Canceled", err)
+	}
+
+	// The errored flight must not be cached and must not poison the key:
+	// a fresh request recomputes.
+	v, st, err := c.do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || v != "fresh" || st != cacheMiss {
+		t.Errorf("post-cancel request = (%v, %q, %v), want (fresh, miss, nil)", v, st, err)
+	}
+}
+
+// TestCacheErrorsNotCached: a failing computation is reported to its
+// waiters but never enters the LRU.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newCache(context.Background(), 8)
+	boom := errors.New("boom")
+	calls := 0
+	fn := func(ctx context.Context) (any, error) { calls++; return nil, boom }
+	if _, _, err := c.do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("second err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if c.len() != 0 {
+		t.Errorf("cache holds %d entries, want 0", c.len())
+	}
+}
+
+// TestCacheLRUEviction: capacity is enforced and eviction is
+// least-recently-used.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(context.Background(), 2)
+	mk := func(v string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) { return v, nil }
+	}
+	c.do(context.Background(), "a", mk("A"))
+	c.do(context.Background(), "b", mk("B"))
+	c.do(context.Background(), "a", mk("A2")) // touch a: b becomes LRU
+	c.do(context.Background(), "c", mk("C"))  // evicts b
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	if v, st, _ := c.do(context.Background(), "a", mk("A3")); st != cacheHit || v != "A" {
+		t.Errorf("a = (%v, %q), want retained (A, hit)", v, st)
+	}
+	if _, st, _ := c.do(context.Background(), "b", mk("B2")); st != cacheMiss {
+		t.Errorf("b state %q, want miss (evicted)", st)
+	}
+}
+
+// TestCacheServerShutdown: the base context dying cancels in-flight
+// computations.
+func TestCacheServerShutdown(t *testing.T) {
+	base, stop := context.WithCancel(context.Background())
+	c := newCache(base, 8)
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(context.Background(), "k", func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		errc <- err
+	}()
+	<-started
+	stop()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not release the waiter")
+	}
+}

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/schema"
+)
+
+// StatusClientClosedRequest is the (nginx-convention) status reported
+// when the client went away before the analysis finished. No client
+// sees it — it exists for the request log and /metrics.
+const StatusClientClosedRequest = 499
+
+func errNegative(field string, v int64) error {
+	return fmt.Errorf("%w: service config: %s %d is negative", repro.ErrInvalidOptions, field, v)
+}
+
+// reqOptions is the wire form of the analysis options, a strict subset
+// of repro.Options/LatencyOptions with snake_case keys. Zero values
+// select the library defaults.
+type reqOptions struct {
+	MaxCombinations int   `json:"max_combinations,omitempty"`
+	ExactCriterion  bool  `json:"exact_criterion,omitempty"`
+	Flat            bool  `json:"flat,omitempty"`
+	NoCarryIn       bool  `json:"no_carry_in,omitempty"`
+	MaxQ            int64 `json:"max_q,omitempty"`
+	Horizon         int64 `json:"horizon,omitempty"`
+	MaxIterations   int   `json:"max_iterations,omitempty"`
+}
+
+func (o reqOptions) latency() repro.LatencyOptions {
+	return repro.LatencyOptions{
+		MaxQ:          o.MaxQ,
+		Horizon:       repro.Time(o.Horizon),
+		MaxIterations: o.MaxIterations,
+	}
+}
+
+func (o reqOptions) twca() repro.Options {
+	return repro.Options{
+		MaxCombinations: o.MaxCombinations,
+		ExactCriterion:  o.ExactCriterion,
+		Flat:            o.Flat,
+		NoCarryIn:       o.NoCarryIn,
+		Latency:         o.latency(),
+	}
+}
+
+// fingerprint is the options part of the cache key. The struct has no
+// reference fields, so %+v is a stable, total rendering.
+func (o reqOptions) fingerprint() string { return fmt.Sprintf("%+v", o) }
+
+// analyzeRequest is the common request envelope: a system in exactly
+// one of the two formats, a target chain, and options.
+type analyzeRequest struct {
+	// System is a native JSON system document (the model package
+	// schema, as in examples/data/thales.json).
+	System json.RawMessage `json:"system,omitempty"`
+	// SystemDSL is the textual DSL form (internal/dsl grammar).
+	SystemDSL string `json:"system_dsl,omitempty"`
+	Chain     string `json:"chain"`
+	// K lists the dmm(k) points to evaluate (DMM endpoint; default
+	// 1,10,100).
+	K []int64 `json:"k,omitempty"`
+	// BreakpointsMaxK, when > 0, additionally sweeps dmm breakpoints in
+	// [1, BreakpointsMaxK] (the paper's Table II representation).
+	BreakpointsMaxK int64 `json:"breakpoints_max_k,omitempty"`
+	// Constraints are the weakly-hard (m, k) requirements to verify
+	// (verify endpoint only).
+	Constraints []wireConstraint `json:"constraints,omitempty"`
+	Options     reqOptions       `json:"options"`
+}
+
+type wireConstraint struct {
+	M int64 `json:"m"`
+	K int64 `json:"k"`
+}
+
+// system materializes the request's system description and its
+// canonical content hash.
+func (req *analyzeRequest) system() (*repro.System, string, error) {
+	var sys *repro.System
+	switch {
+	case len(req.System) > 0 && req.SystemDSL != "":
+		return nil, "", fmt.Errorf("request has both system and system_dsl")
+	case len(req.System) > 0:
+		var s repro.System
+		if err := json.Unmarshal(req.System, &s); err != nil {
+			return nil, "", fmt.Errorf("bad system: %w", err)
+		}
+		sys = &s
+	case req.SystemDSL != "":
+		s, err := repro.ParseDSL(req.SystemDSL)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad system_dsl: %w", err)
+		}
+		sys = s
+	default:
+		return nil, "", fmt.Errorf("request needs a system or system_dsl")
+	}
+	hash, err := repro.CanonicalHash(sys)
+	if err != nil {
+		return nil, "", fmt.Errorf("system not hashable: %w", err)
+	}
+	return sys, hash, nil
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
+	// Kind is the facade sentinel class the error matched, e.g.
+	// "no_chain", "unschedulable" — programmatic without string
+	// matching on Error.
+	Kind string `json:"kind,omitempty"`
+}
+
+// classify maps a facade error to its HTTP status and sentinel name.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, repro.ErrNoChain):
+		return http.StatusNotFound, "no_chain"
+	case errors.Is(err, repro.ErrInvalidOptions):
+		return http.StatusBadRequest, "invalid_options"
+	case errors.Is(err, repro.ErrNoDeadline):
+		return http.StatusUnprocessableEntity, "no_deadline"
+	case errors.Is(err, repro.ErrTooManyCombinations):
+		return http.StatusUnprocessableEntity, "too_many_combinations"
+	case errors.Is(err, repro.ErrUnschedulable):
+		return http.StatusUnprocessableEntity, "unschedulable"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, repro.ErrCanceled) || errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "canceled"
+	}
+	return http.StatusInternalServerError, ""
+}
+
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// fail renders err and accounts the request. Decode/parse failures
+// (wrapped in badRequestError) are 400 regardless of their cause.
+func (s *Server) fail(w http.ResponseWriter, endpoint string, err error) {
+	status, kind := classify(err)
+	var bad badRequestError
+	if errors.As(err, &bad) {
+		status, kind = http.StatusBadRequest, "bad_request"
+	}
+	s.met.request(endpoint, status)
+	s.writeJSON(w, status, errorResponse{SchemaVersion: schema.Version, Error: err.Error(), Kind: kind})
+}
+
+// decode reads the request body into req with the configured size cap.
+// Unknown fields are rejected: silently ignoring a typo like
+// "max_combination" would analyze with defaults and report a wrong
+// answer as a right one.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *analyzeRequest) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return badRequestError{fmt.Errorf("bad request body: %w", err)}
+	}
+	return nil
+}
+
+// dmmArtifact returns the prepared DMM analysis for the request's
+// (system, chain, options), from cache, an in-flight twin, or a fresh
+// gate-admitted analysis.
+func (s *Server) dmmArtifact(ctx context.Context, req *analyzeRequest, sys *repro.System, hash string) (*repro.Analysis, string, error) {
+	key := "dmm|" + hash + "|" + req.Chain + "|" + req.Options.fingerprint()
+	opts := req.Options.twca()
+	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+		if err := s.gate.Acquire(fctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.Release()
+		t0 := time.Now()
+		an, err := repro.AnalyzeDMMCtx(fctx, sys, req.Chain, opts)
+		s.met.observeAnalysis("dmm", time.Since(t0))
+		return an, err
+	})
+	s.met.cacheOutcome(state)
+	if err != nil {
+		return nil, state, err
+	}
+	return val.(*repro.Analysis), state, nil
+}
+
+// dmmResponse is schema.Analysis plus service envelope fields.
+type dmmResponse struct {
+	schema.Analysis
+	SystemHash string  `json:"system_hash"`
+	Cache      string  `json:"cache"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleDMM(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req analyzeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "dmm", err)
+		return
+	}
+	sys, hash, err := req.system()
+	if err != nil {
+		s.fail(w, "dmm", badRequestError{err})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	an, state, err := s.dmmArtifact(ctx, &req, sys, hash)
+	if err != nil {
+		s.fail(w, "dmm", err)
+		return
+	}
+	ks := req.K
+	if len(ks) == 0 && req.BreakpointsMaxK == 0 {
+		ks = []int64{1, 10, 100}
+	}
+	doc, stats, err := schema.FromAnalysisStats(ctx, an, ks, req.BreakpointsMaxK)
+	if err != nil {
+		s.fail(w, "dmm", err)
+		return
+	}
+	s.met.addILPNodes(stats.ILPNodes)
+	s.met.request("dmm", http.StatusOK)
+	s.writeJSON(w, http.StatusOK, dmmResponse{
+		Analysis:   doc,
+		SystemHash: hash,
+		Cache:      state,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+type latencyResponse struct {
+	schema.Latency
+	SystemHash string  `json:"system_hash"`
+	Cache      string  `json:"cache"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req analyzeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "latency", err)
+		return
+	}
+	sys, hash, err := req.system()
+	if err != nil {
+		s.fail(w, "latency", badRequestError{err})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	key := "latency|" + hash + "|" + req.Chain + "|" + req.Options.fingerprint()
+	opts := req.Options.latency()
+	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+		if err := s.gate.Acquire(fctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.Release()
+		t0 := time.Now()
+		res, err := repro.AnalyzeLatencyCtx(fctx, sys, req.Chain, opts)
+		s.met.observeAnalysis("latency", time.Since(t0))
+		return res, err
+	})
+	s.met.cacheOutcome(state)
+	if err != nil {
+		s.fail(w, "latency", err)
+		return
+	}
+	s.met.request("latency", http.StatusOK)
+	s.writeJSON(w, http.StatusOK, latencyResponse{
+		Latency:    schema.FromLatency(val.(*repro.LatencyResult)),
+		SystemHash: hash,
+		Cache:      state,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+type verifyResponse struct {
+	SchemaVersion int            `json:"schema_version"`
+	Chain         string         `json:"chain"`
+	Results       []verifyResult `json:"results"`
+	SystemHash    string         `json:"system_hash"`
+	Cache         string         `json:"cache"`
+}
+
+type verifyResult struct {
+	M int64 `json:"m"`
+	K int64 `json:"k"`
+	// Holds is a guarantee when true; false only means the analysis
+	// cannot prove the constraint.
+	Holds bool  `json:"holds"`
+	DMM   int64 `json:"dmm"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "verify", err)
+		return
+	}
+	if len(req.Constraints) == 0 {
+		s.fail(w, "verify", badRequestError{fmt.Errorf("request needs constraints")})
+		return
+	}
+	for _, c := range req.Constraints {
+		if !(repro.Constraint{M: c.M, K: c.K}).Valid() {
+			s.fail(w, "verify", badRequestError{fmt.Errorf("invalid constraint (m=%d, k=%d): need 0 ≤ m < k", c.M, c.K)})
+			return
+		}
+	}
+	sys, hash, err := req.system()
+	if err != nil {
+		s.fail(w, "verify", badRequestError{err})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	// Same artifact key as the DMM endpoint: verifying after analyzing
+	// (or vice versa) is a cache hit.
+	an, state, err := s.dmmArtifact(ctx, &req, sys, hash)
+	if err != nil {
+		s.fail(w, "verify", err)
+		return
+	}
+	resp := verifyResponse{SchemaVersion: schema.Version, Chain: req.Chain, SystemHash: hash, Cache: state}
+	for _, c := range req.Constraints {
+		r, err := an.DMMCtx(ctx, c.K)
+		if err != nil {
+			s.fail(w, "verify", err)
+			return
+		}
+		s.met.addILPNodes(r.ILPNodes)
+		resp.Results = append(resp.Results, verifyResult{M: c.M, K: c.K, Holds: r.Value <= c.M, DMM: r.Value})
+	}
+	s.met.request("verify", http.StatusOK)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.request("healthz", http.StatusOK)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+		"cache_entries":  s.cache.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.request("metrics", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w)
+}

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metrics is the service's observability surface, exposed in
+// Prometheus text exposition format at /metrics. It is deliberately
+// dependency-free: a handful of mutex-guarded counters and fixed-bucket
+// histograms cover request accounting, cache effectiveness and
+// analysis cost without pulling a client library into the module.
+type metrics struct {
+	start time.Time
+
+	mu sync.Mutex
+	// requests counts finished HTTP requests by "endpoint|status".
+	requests map[string]int64
+	// cache effectiveness: a hit answered from the LRU, a miss ran the
+	// analysis, a coalesced request piggybacked on an in-flight one.
+	cacheHits, cacheMisses, cacheCoalesced int64
+	// ilpNodes accumulates branch-and-bound nodes across all DMM
+	// queries — the "how hard is the solver working" counter.
+	ilpNodes int64
+	// analysis duration histograms by kind ("dmm", "latency").
+	durations map[string]*histogram
+	// inflight is sampled from the admission gate at scrape time.
+	inflight func() int
+}
+
+func newMetrics(inflight func() int) *metrics {
+	return &metrics{
+		start:     time.Now(),
+		requests:  make(map[string]int64),
+		durations: make(map[string]*histogram),
+		inflight:  inflight,
+	}
+}
+
+// histogram is a fixed-bucket cumulative histogram of seconds.
+type histogram struct {
+	counts [len(histBuckets) + 1]int64 // +1 for the +Inf bucket
+	sum    float64
+	total  int64
+}
+
+// histBuckets spans 100µs (a cache-hit response) to 10s (a pathological
+// combination space), upper bounds in seconds.
+var histBuckets = [...]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for ; i < len(histBuckets); i++ {
+		if seconds <= histBuckets[i] {
+			break
+		}
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+func (m *metrics) request(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint+"|"+strconv.Itoa(status)]++
+}
+
+func (m *metrics) cacheOutcome(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case cacheHit:
+		m.cacheHits++
+	case cacheMiss:
+		m.cacheMisses++
+	case cacheCoalesced:
+		m.cacheCoalesced++
+	}
+}
+
+func (m *metrics) observeAnalysis(kind string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.durations[kind]
+	if h == nil {
+		h = &histogram{}
+		m.durations[kind] = h
+	}
+	h.observe(d.Seconds())
+}
+
+func (m *metrics) addILPNodes(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ilpNodes += n
+}
+
+// hitRatio returns hits / (hits + misses + coalesced), or 0 before any
+// cacheable request.
+func (m *metrics) hitRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := m.cacheHits + m.cacheMisses + m.cacheCoalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(m.cacheHits) / float64(total)
+}
+
+// write renders the Prometheus text exposition. Keys are emitted in
+// sorted order so scrapes (and tests) are deterministic.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP twca_uptime_seconds Time since the service started.\n")
+	fmt.Fprintf(w, "# TYPE twca_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "twca_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP twca_requests_total Finished HTTP requests by endpoint and status.\n")
+	fmt.Fprintf(w, "# TYPE twca_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		endpoint, status := k, ""
+		for i := range k {
+			if k[i] == '|' {
+				endpoint, status = k[:i], k[i+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "twca_requests_total{endpoint=%q,status=%q} %d\n", endpoint, status, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP twca_cache_requests_total Analysis cache lookups by outcome.\n")
+	fmt.Fprintf(w, "# TYPE twca_cache_requests_total counter\n")
+	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"hit\"} %d\n", m.cacheHits)
+	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"miss\"} %d\n", m.cacheMisses)
+	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"coalesced\"} %d\n", m.cacheCoalesced)
+
+	hits, total := m.cacheHits, m.cacheHits+m.cacheMisses+m.cacheCoalesced
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	fmt.Fprintf(w, "# HELP twca_cache_hit_ratio Fraction of cacheable requests answered from the LRU.\n")
+	fmt.Fprintf(w, "# TYPE twca_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "twca_cache_hit_ratio %g\n", ratio)
+
+	fmt.Fprintf(w, "# HELP twca_ilp_nodes_total Branch-and-bound nodes explored by DMM queries.\n")
+	fmt.Fprintf(w, "# TYPE twca_ilp_nodes_total counter\n")
+	fmt.Fprintf(w, "twca_ilp_nodes_total %d\n", m.ilpNodes)
+
+	if m.inflight != nil {
+		fmt.Fprintf(w, "# HELP twca_analyses_inflight Analyses currently holding an admission slot.\n")
+		fmt.Fprintf(w, "# TYPE twca_analyses_inflight gauge\n")
+		fmt.Fprintf(w, "twca_analyses_inflight %d\n", m.inflight())
+	}
+
+	fmt.Fprintf(w, "# HELP twca_analysis_duration_seconds End-to-end analysis time by kind.\n")
+	fmt.Fprintf(w, "# TYPE twca_analysis_duration_seconds histogram\n")
+	kinds := make([]string, 0, len(m.durations))
+	for k := range m.durations {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		h := m.durations[kind]
+		cum := int64(0)
+		for i, ub := range histBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "twca_analysis_duration_seconds_bucket{kind=%q,le=%q} %d\n", kind, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(histBuckets)]
+		fmt.Fprintf(w, "twca_analysis_duration_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", kind, cum)
+		fmt.Fprintf(w, "twca_analysis_duration_seconds_sum{kind=%q} %g\n", kind, h.sum)
+		fmt.Fprintf(w, "twca_analysis_duration_seconds_count{kind=%q} %d\n", kind, h.total)
+	}
+}

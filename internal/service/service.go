@@ -1,0 +1,149 @@
+// Package service implements the long-running TWCA analysis daemon
+// behind cmd/twca-serve: an HTTP/JSON API (versioned under /v1/) that
+// accepts a system description (native JSON or the DSL), runs the
+// latency / deadline-miss-model / weakly-hard-verify analyses of the
+// paper, and answers dmm(k) and breakpoint-sweep queries.
+//
+// Three properties make it a service rather than a CGI wrapper around
+// the library:
+//
+//   - Content-addressed caching. The canonical hash of the system
+//     (model.CanonicalHash) plus the analysis kind, target chain and
+//     option fingerprint addresses a completed analysis artifact in an
+//     LRU. A repeat query skips the analysis entirely, and the
+//     retained *twca.Analysis keeps its internal DMM memo cache, so
+//     even new k's against a cached system cost at most a few
+//     incremental ILP solves. In-flight analyses are coalesced: N
+//     concurrent identical requests cost one analysis.
+//
+//   - Bounded concurrency and cancellation. Analyses are admitted
+//     through a parallel.Gate; beyond the limit, requests queue
+//     (FIFO-ish) instead of piling up goroutines. Every analysis runs
+//     under a context canceled by client disconnect, the per-request
+//     deadline, or server shutdown — and the analysis engine
+//     cooperates (see repro.AnalyzeDMMCtx).
+//
+//   - Observability. /healthz for liveness, /metrics in Prometheus
+//     text format (request counts, cache hit ratio, analysis latency
+//     histograms, ILP node counters), optional net/http/pprof.
+//
+// See docs/SERVICE.md for the endpoint reference and a worked curl
+// session.
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Config tunes the service. The zero value picks sensible defaults.
+type Config struct {
+	// CacheSize bounds the number of retained analysis artifacts
+	// (default 128). Each artifact is a completed analysis of one
+	// (system, chain, options) triple.
+	CacheSize int
+	// RequestTimeout is the per-request analysis deadline (default
+	// 30s). Requests exceeding it fail with 504.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently running analyses (default
+	// GOMAXPROCS). Excess requests wait at the admission gate.
+	MaxInflight int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations (negative sizes or
+// timeouts); zero values select the defaults.
+func (c Config) Validate() error {
+	if c.CacheSize < 0 {
+		return errNegative("CacheSize", int64(c.CacheSize))
+	}
+	if c.MaxInflight < 0 {
+		return errNegative("MaxInflight", int64(c.MaxInflight))
+	}
+	if c.RequestTimeout < 0 {
+		return errNegative("RequestTimeout", int64(c.RequestTimeout))
+	}
+	if c.MaxBodyBytes < 0 {
+		return errNegative("MaxBodyBytes", c.MaxBodyBytes)
+	}
+	return nil
+}
+
+// Server is the analysis service. Construct with New, mount Handler on
+// an http.Server, and call Close during shutdown to cancel outstanding
+// analyses.
+type Server struct {
+	cfg   Config
+	cache *cache
+	gate  *parallel.Gate
+	met   *metrics
+	mux   *http.ServeMux
+	root  context.Context
+	stop  context.CancelFunc
+}
+
+// New builds a Server from cfg (zero value is fine).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	root, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:  cfg,
+		gate: parallel.NewGate(cfg.MaxInflight),
+		root: root,
+		stop: stop,
+		mux:  http.NewServeMux(),
+	}
+	s.cache = newCache(root, cfg.CacheSize)
+	s.met = newMetrics(s.gate.InUse)
+
+	s.mux.HandleFunc("POST /v1/analyze/dmm", s.handleDMM)
+	s.mux.HandleFunc("POST /v1/analyze/latency", s.handleLatency)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels the server's root context: in-flight analyses stop at
+// their next cooperative check and their requests fail with the
+// cancellation mapping. Idempotent.
+func (s *Server) Close() { s.stop() }
+
+// requestCtx derives the analysis context for one request: the client's
+// context (canceled on disconnect) bounded by the per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}

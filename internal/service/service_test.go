@@ -1,0 +1,446 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/casestudy"
+)
+
+// thalesJSON returns the paper's case study in the native JSON format,
+// the way a client would ship it.
+func thalesJSON(t testing.TB) json.RawMessage {
+	t.Helper()
+	data, err := casestudy.New().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return svc, ts
+}
+
+// post sends req as JSON and returns the status plus the decoded body.
+func post(t testing.TB, url string, req any) (int, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("bad response body: %v", err)
+	}
+	return resp.StatusCode, doc
+}
+
+func TestDMMEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c", K: []int64{1, 3, 10, 100}}
+
+	status, doc := post(t, ts.URL+"/v1/analyze/dmm", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %v", status, doc)
+	}
+	if doc["schema_version"].(float64) != 1 {
+		t.Errorf("schema_version = %v", doc["schema_version"])
+	}
+	if doc["cache"] != "miss" {
+		t.Errorf("first query cache = %v, want miss", doc["cache"])
+	}
+	if doc["wcl"].(float64) != 331 || doc["min_slack"].(float64) != 34 {
+		t.Errorf("wcl/min_slack = %v/%v, want 331/34", doc["wcl"], doc["min_slack"])
+	}
+	// The paper's Table II values for σ_c.
+	want := map[float64]float64{1: 1, 3: 3, 10: 5, 100: 30}
+	for _, p := range doc["dmm"].([]any) {
+		pt := p.(map[string]any)
+		if w := want[pt["k"].(float64)]; pt["dmm"].(float64) != w {
+			t.Errorf("dmm(%v) = %v, want %v", pt["k"], pt["dmm"], w)
+		}
+	}
+
+	// Repeat query: served from cache, analytically byte-identical.
+	status2, doc2 := post(t, ts.URL+"/v1/analyze/dmm", req)
+	if status2 != http.StatusOK || doc2["cache"] != "hit" {
+		t.Fatalf("repeat = (%d, cache %v), want (200, hit)", status2, doc2["cache"])
+	}
+	for _, field := range []string{"dmm", "wcl", "min_slack", "combinations", "system_hash"} {
+		if !reflect.DeepEqual(doc[field], doc2[field]) {
+			t.Errorf("cache warmth leaked into %q: cold %v, warm %v", field, doc[field], doc2[field])
+		}
+	}
+}
+
+func TestDMMFromDSL(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dsl := `system tiny
+chain c periodic(100) deadline(100) { t prio 1 wcet 10 }
+`
+	status, doc := post(t, ts.URL+"/v1/analyze/dmm", analyzeRequest{SystemDSL: dsl, Chain: "c", K: []int64{5}})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %v", status, doc)
+	}
+	if doc["schedulable"] != true {
+		t.Errorf("tiny system not schedulable: %v", doc)
+	}
+}
+
+func TestLatencyEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_d"}
+	status, doc := post(t, ts.URL+"/v1/analyze/latency", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %v", status, doc)
+	}
+	if doc["wcl"].(float64) != 175 || doc["schedulable"] != true {
+		t.Errorf("sigma_d wcl/schedulable = %v/%v, want 175/true", doc["wcl"], doc["schedulable"])
+	}
+	if _, again := post(t, ts.URL+"/v1/analyze/latency", req); again["cache"] != "hit" {
+		t.Errorf("repeat latency query cache = %v, want hit", again["cache"])
+	}
+}
+
+func TestVerifyEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Warm the artifact through the DMM endpoint first: verify shares it.
+	post(t, ts.URL+"/v1/analyze/dmm", analyzeRequest{System: thalesJSON(t), Chain: "sigma_c", K: []int64{1}})
+
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c",
+		Constraints: []wireConstraint{{M: 5, K: 10}, {M: 4, K: 10}}}
+	status, doc := post(t, ts.URL+"/v1/verify", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %v", status, doc)
+	}
+	if doc["cache"] != "hit" {
+		t.Errorf("verify after dmm cache = %v, want hit (shared artifact)", doc["cache"])
+	}
+	results := doc["results"].([]any)
+	// dmm(10) = 5: (5,10) is guaranteed, (4,10) is not provable.
+	if r := results[0].(map[string]any); r["holds"] != true || r["dmm"].(float64) != 5 {
+		t.Errorf("(5,10) = %v, want holds with dmm 5", r)
+	}
+	if r := results[1].(map[string]any); r["holds"] != false {
+		t.Errorf("(4,10) = %v, want not provable", r)
+	}
+}
+
+func TestErrorToStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	thales := thalesJSON(t)
+	overloaded := "system bad\nchain c periodic(10) deadline(10) { t prio 1 wcet 20 }\n"
+
+	tests := []struct {
+		name     string
+		endpoint string
+		req      analyzeRequest
+		status   int
+		kind     string
+	}{
+		{"unknown chain", "/v1/analyze/dmm",
+			analyzeRequest{System: thales, Chain: "nope"},
+			http.StatusNotFound, "no_chain"},
+		{"negative option", "/v1/analyze/dmm",
+			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{MaxQ: -1}},
+			http.StatusBadRequest, "invalid_options"},
+		{"no deadline", "/v1/analyze/dmm",
+			analyzeRequest{SystemDSL: "system s\nchain c periodic(100) { t prio 1 wcet 10 }\n", Chain: "c"},
+			http.StatusUnprocessableEntity, "no_deadline"},
+		{"combination explosion", "/v1/analyze/dmm",
+			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{MaxCombinations: 1}},
+			http.StatusUnprocessableEntity, "too_many_combinations"},
+		{"unschedulable", "/v1/analyze/latency",
+			analyzeRequest{SystemDSL: overloaded, Chain: "c"},
+			http.StatusUnprocessableEntity, "unschedulable"},
+		{"no system", "/v1/analyze/dmm",
+			analyzeRequest{Chain: "sigma_c"},
+			http.StatusBadRequest, "bad_request"},
+		{"both formats", "/v1/analyze/dmm",
+			analyzeRequest{System: thales, SystemDSL: "system s\n", Chain: "sigma_c"},
+			http.StatusBadRequest, "bad_request"},
+		{"malformed system", "/v1/analyze/dmm",
+			analyzeRequest{System: json.RawMessage(`{"not": "a system"}`), Chain: "c"},
+			http.StatusBadRequest, "bad_request"},
+		{"no constraints", "/v1/verify",
+			analyzeRequest{System: thales, Chain: "sigma_c"},
+			http.StatusBadRequest, "bad_request"},
+		{"invalid constraint", "/v1/verify",
+			analyzeRequest{System: thales, Chain: "sigma_c", Constraints: []wireConstraint{{M: 3, K: 3}}},
+			http.StatusBadRequest, "bad_request"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			status, doc := post(t, ts.URL+tt.endpoint, tt.req)
+			if status != tt.status || doc["kind"] != tt.kind {
+				t.Errorf("= (%d, kind %v), want (%d, %q); error: %v",
+					status, doc["kind"], tt.status, tt.kind, doc["error"])
+			}
+		})
+	}
+
+	// Non-JSON body and unknown fields are 400 too.
+	resp, err := http.Post(ts.URL+"/v1/analyze/dmm", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-JSON body = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/analyze/dmm", "application/json",
+		strings.NewReader(`{"chain": "c", "max_combination": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400 (typo protection)", resp.StatusCode)
+	}
+
+	// Wrong method on a versioned route.
+	resp, err = http.Get(ts.URL + "/v1/analyze/dmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRequestDeadline: a request whose deadline is already unmeetable
+// fails with 504 and does not poison the cache for later requests.
+func TestRequestDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c", BreakpointsMaxK: 1000}
+	status, doc := post(t, ts.URL+"/v1/analyze/dmm", req)
+	if status != http.StatusGatewayTimeout || doc["kind"] != "deadline_exceeded" {
+		t.Fatalf("= (%d, kind %v), want (504, deadline_exceeded); error: %v", status, doc["kind"], doc["error"])
+	}
+
+	// Same system on a server with a sane deadline still works.
+	_, ts2 := newTestServer(t, Config{})
+	if status, doc := post(t, ts2.URL+"/v1/analyze/dmm", req); status != http.StatusOK {
+		t.Errorf("sane-deadline rerun = %d, body %v", status, doc)
+	}
+}
+
+// TestCoalescingOverHTTP fires concurrent identical expensive queries:
+// exactly one runs the analysis, the rest share it.
+func TestCoalescingOverHTTP(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c", BreakpointsMaxK: 10000}
+	body, _ := json.Marshal(req)
+
+	const n = 8
+	states := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze/dmm", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var doc map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d = %d: %v", i, resp.StatusCode, doc["error"])
+				return
+			}
+			states[i] = doc["cache"].(string)
+		}(i)
+	}
+	wg.Wait()
+
+	counts := map[string]int{}
+	for _, st := range states {
+		counts[st]++
+	}
+	if counts[cacheMiss] != 1 {
+		t.Errorf("cache outcomes %v, want exactly 1 miss", counts)
+	}
+	if svc.cache.len() != 1 {
+		t.Errorf("cache holds %d artifacts, want 1", svc.cache.len())
+	}
+}
+
+// TestRepeatQuerySpeedup pins the acceptance criterion: a repeat query
+// must be at least 10x faster than the cold one.
+func TestRepeatQuerySpeedup(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c", K: []int64{1, 3, 10, 100}, BreakpointsMaxK: 10000}
+
+	t0 := time.Now()
+	status, _ := post(t, ts.URL+"/v1/analyze/dmm", req)
+	cold := time.Since(t0)
+	if status != http.StatusOK {
+		t.Fatalf("cold query = %d", status)
+	}
+
+	warm := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ { // best of 3 smooths scheduler noise
+		t1 := time.Now()
+		status, doc := post(t, ts.URL+"/v1/analyze/dmm", req)
+		if d := time.Since(t1); d < warm {
+			warm = d
+		}
+		if status != http.StatusOK || doc["cache"] != "hit" {
+			t.Fatalf("warm query = (%d, cache %v)", status, doc["cache"])
+		}
+	}
+	if cold < 10*warm {
+		t.Errorf("repeat query not >=10x faster: cold %v, warm %v (%.1fx)",
+			cold, warm, float64(cold)/float64(warm))
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz = (%d, %v)", resp.StatusCode, health)
+	}
+
+	// Generate traffic, then check the exposition.
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c", K: []int64{10}}
+	post(t, ts.URL+"/v1/analyze/dmm", req)
+	post(t, ts.URL+"/v1/analyze/dmm", req)
+	post(t, ts.URL+"/v1/analyze/dmm", analyzeRequest{System: thalesJSON(t), Chain: "nope"})
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`twca_requests_total{endpoint="dmm",status="200"} 2`,
+		`twca_requests_total{endpoint="dmm",status="404"} 1`,
+		// 3 lookups: cold sigma_c (miss), repeat (hit), and the failed
+		// "nope" analysis (miss — errors are never cached).
+		`twca_cache_requests_total{outcome="hit"} 1`,
+		`twca_cache_requests_total{outcome="miss"} 2`,
+		"twca_cache_hit_ratio 0.333",
+		"twca_ilp_nodes_total",
+		"twca_analyses_inflight 0",
+		`twca_analysis_duration_seconds_count{kind="dmm"} 2`,
+		"twca_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMixedParallelQueries hammers every endpoint concurrently on the
+// Thales case study; with -race this is the data-race gate for the
+// cache, gate, and metrics paths.
+func TestMixedParallelQueries(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflight: 4})
+	thales := thalesJSON(t)
+	reqs := []struct {
+		endpoint string
+		req      analyzeRequest
+	}{
+		{"/v1/analyze/dmm", analyzeRequest{System: thales, Chain: "sigma_c", K: []int64{1, 3, 10}}},
+		{"/v1/analyze/dmm", analyzeRequest{System: thales, Chain: "sigma_c", BreakpointsMaxK: 260}},
+		{"/v1/analyze/latency", analyzeRequest{System: thales, Chain: "sigma_d"}},
+		{"/v1/analyze/latency", analyzeRequest{System: thales, Chain: "sigma_c"}},
+		{"/v1/verify", analyzeRequest{System: thales, Chain: "sigma_c", Constraints: []wireConstraint{{M: 5, K: 10}}}},
+	}
+
+	const workers, rounds = 8, 5
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r := reqs[(w+i)%len(reqs)]
+				status, doc := post(t, ts.URL+r.endpoint, r.req)
+				if status != http.StatusOK {
+					t.Errorf("worker %d %s = %d: %v", w, r.endpoint, status, doc["error"])
+				}
+				if i%2 == 0 {
+					if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{
+		{CacheSize: -1}, {MaxInflight: -2}, {RequestTimeout: -time.Second}, {MaxBodyBytes: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted", cfg)
+		}
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// BenchmarkRepeatQuery measures the warm path end to end: HTTP round
+// trip + cache hit + dmm re-evaluation from the memo.
+func BenchmarkRepeatQuery(b *testing.B) {
+	_, ts := newTestServer(b, Config{})
+	req := analyzeRequest{System: thalesJSON(b), Chain: "sigma_c", K: []int64{1, 3, 10, 100}}
+	body, _ := json.Marshal(req)
+	if status, doc := post(b, ts.URL+"/v1/analyze/dmm", req); status != http.StatusOK {
+		b.Fatalf("warmup = %d, %v", status, doc)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/analyze/dmm", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatal(resp.Status)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -134,16 +135,27 @@ type engine struct {
 	trace     *Trace
 	t         curves.Time
 	responses map[string]curves.Time
+	ctx       context.Context // cooperative cancellation; nil when absent
+	steps     int64
 }
 
 // Run simulates the system under the given configuration. The system
 // must be valid (unique priorities are load-bearing for determinism).
 func Run(sys *model.System, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), sys, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the event loop polls ctx
+// every few thousand scheduling events and returns an error wrapping
+// ctx.Err() when the context ends the run early. Long horizons on busy
+// systems produce millions of events, so servers should always prefer
+// this entry point.
+func RunCtx(ctx context.Context, sys *model.System, cfg Config) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	cfg = cfg.withDefaults()
-	e := &engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	e := &engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), ctx: ctx}
 	if cfg.RecordTrace {
 		e.trace = &Trace{}
 	}
@@ -171,7 +183,9 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 		e.chains = append(e.chains, st)
 		res.Chains[c.Name] = st.stats
 	}
-	e.loop()
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
 	res.Trace = e.trace
 	res.TaskResponses = e.responses
 	res.End = e.t
@@ -277,12 +291,20 @@ func (e *engine) abort(j *job) {
 
 // loop is the main event loop: run the highest-priority job until the
 // next arrival or its completion, whichever comes first.
-func (e *engine) loop() {
+func (e *engine) loop() error {
 	for {
+		if e.ctx != nil {
+			e.steps++
+			if e.steps%4096 == 0 {
+				if err := e.ctx.Err(); err != nil {
+					return fmt.Errorf("sim: run canceled at t=%d: %w", e.t, err)
+				}
+			}
+		}
 		next := e.nextArrival()
 		if len(e.ready) == 0 {
 			if next.IsInf() {
-				return
+				return nil
 			}
 			if next > e.t {
 				e.t = next

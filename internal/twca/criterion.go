@@ -1,6 +1,7 @@
 package twca
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/curves"
@@ -73,11 +74,14 @@ func demandWithCombination(info *segments.Info, q int64, w curves.Time, fullB cu
 // exactUnschedulable applies Equation (3): it returns true if some
 // q ∈ [1, K] has B^c̄(q) − δ-(q) > D. Divergence of the per-combination
 // fixed point is treated as unschedulable (conservative).
-func (a *Analysis) exactUnschedulable(c Combination) (bool, error) {
+func (a *Analysis) exactUnschedulable(ctx context.Context, c Combination) (bool, error) {
 	b := a.Target
 	opts := a.opts.Latency.WithDefaults()
 	var prev curves.Time // warm start: the fixed point is monotone in q
 	for q := int64(1); q <= a.Latency.K; q++ {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("twca: %s: exact criterion canceled: %w", b.Name, err)
+		}
 		fullB := a.Latency.BusyTimes[q-1]
 		w := prev
 		converged := false

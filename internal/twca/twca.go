@@ -1,6 +1,7 @@
 package twca
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,11 @@ var ErrTooManyCombinations = errors.New("twca: combination space exceeds limit")
 // ErrNoDeadline is returned when the target chain has no end-to-end
 // deadline, so "deadline miss" is undefined for it.
 var ErrNoDeadline = errors.New("twca: target chain has no deadline")
+
+// cancelCheckEvery is how many combinations the classification loop
+// processes between cooperative cancellation checks; the combination
+// space can run to Options.MaxCombinations entries.
+const cancelCheckEvery = 1024
 
 // OmegaUnbounded is the Ω^a_b value reported when the target's δ+ is
 // unbounded (sporadic activation): arbitrarily many overload
@@ -70,6 +76,16 @@ func (o Options) withDefaults() Options {
 	}
 	o.Latency.ExcludeOverload = false
 	return o
+}
+
+// Validate rejects nonsensical option values with a descriptive error.
+// Zero values are fine (they select the documented defaults); the
+// nested latency options are validated too.
+func (o Options) Validate() error {
+	if o.MaxCombinations < 0 {
+		return fmt.Errorf("twca: options: MaxCombinations %d is negative (0 selects the default 1<<16)", o.MaxCombinations)
+	}
+	return o.Latency.Validate()
 }
 
 // Analysis holds everything TWCA derives about one target chain. Build
@@ -129,6 +145,15 @@ type dmmCacheEntry struct {
 // for target chain b of sys, which must have a deadline. b itself must
 // not be an overload chain.
 func New(sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
+	return NewCtx(context.Background(), sys, b, opts)
+}
+
+// NewCtx is New with cooperative cancellation: the busy-window
+// analysis, the combination classification loop (which may run a
+// per-combination fixed point under Options.ExactCriterion) and the
+// constraint-template build all check ctx, and the returned error wraps
+// ctx.Err() when the context ended the analysis early.
+func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
 	opts = opts.withDefaults()
 	if b.Deadline <= 0 {
 		return nil, fmt.Errorf("twca: chain %q: %w", b.Name, ErrNoDeadline)
@@ -140,7 +165,7 @@ func New(sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
 	if opts.Flat {
 		info = segments.AnalyzeFlat(sys, b)
 	}
-	lat, err := latency.AnalyzeInfo(info, opts.Latency)
+	lat, err := latency.AnalyzeInfoCtx(ctx, info, opts.Latency)
 	if err != nil {
 		return nil, err
 	}
@@ -167,12 +192,17 @@ func New(sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
 		return nil, fmt.Errorf("twca: chain %q: %w (limit %d)", b.Name, ErrTooManyCombinations, opts.MaxCombinations)
 	}
 	a.Combinations = combos
-	for _, c := range combos {
+	for i, c := range combos {
+		if i%cancelCheckEvery == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("twca: chain %q: combination classification canceled: %w", b.Name, err)
+			}
+		}
 		if c.Cost <= a.MinSlack {
 			continue // Eq. (5): provably schedulable
 		}
 		if opts.ExactCriterion && a.TypicalSchedulable {
-			unsched, err := a.exactUnschedulable(c)
+			unsched, err := a.exactUnschedulable(ctx, c)
 			if err != nil {
 				return nil, err
 			}
@@ -260,6 +290,14 @@ type DMMResult struct {
 // window of k consecutive activations of the target chain (Theorem 3).
 // It is safe for concurrent use.
 func (a *Analysis) DMM(k int64) (DMMResult, error) {
+	return a.DMMCtx(context.Background(), k)
+}
+
+// DMMCtx is DMM with cooperative cancellation: the underlying knapsack
+// solve polls ctx and the returned error wraps ctx.Err() when the query
+// was abandoned. Canceled solves are never cached, so a later query for
+// the same k is answered fresh.
+func (a *Analysis) DMMCtx(ctx context.Context, k int64) (DMMResult, error) {
 	if k <= 0 {
 		return DMMResult{}, fmt.Errorf("twca: dmm(%d): k must be positive", k)
 	}
@@ -295,7 +333,7 @@ func (a *Analysis) DMM(k int64) (DMMResult, error) {
 		}
 		bounds[i] = omega
 	}
-	sol, err := a.solveCached(bounds)
+	sol, err := a.solveCached(ctx, bounds)
 	if err != nil {
 		return DMMResult{}, fmt.Errorf("twca: dmm(%d): %w", k, err)
 	}
@@ -326,9 +364,9 @@ func (a *Analysis) DMM(k int64) (DMMResult, error) {
 //
 // Both paths return the identical Value/Bound/Exact a fresh solve
 // would; Options.NoCache forces fresh solves for the equivalence tests.
-func (a *Analysis) solveCached(bounds []int64) (ilp.Solution, error) {
+func (a *Analysis) solveCached(ctx context.Context, bounds []int64) (ilp.Solution, error) {
 	if a.opts.NoCache {
-		return a.solve(bounds)
+		return a.solve(ctx, bounds)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -353,7 +391,7 @@ func (a *Analysis) solveCached(bounds []int64) (ilp.Solution, error) {
 			return e.sol, nil
 		}
 	}
-	sol, err := a.solve(bounds)
+	sol, err := a.solve(ctx, bounds)
 	if err != nil {
 		return ilp.Solution{}, err
 	}
@@ -369,12 +407,12 @@ func (a *Analysis) solveCached(bounds []int64) (ilp.Solution, error) {
 }
 
 // solve runs one fresh knapsack solve under the given capacity vector.
-func (a *Analysis) solve(bounds []int64) (ilp.Solution, error) {
+func (a *Analysis) solve(ctx context.Context, bounds []int64) (ilp.Solution, error) {
 	rows := make([]ilp.Row, len(a.rows))
 	for i, r := range a.rows {
 		rows[i] = ilp.Row{Coeffs: r.Coeffs, Bound: bounds[i]}
 	}
-	return ilp.Maximize(ilp.Problem{Objective: a.objective, Rows: rows})
+	return ilp.MaximizeCtx(ctx, ilp.Problem{Objective: a.objective, Rows: rows})
 }
 
 // boundsKey appends the capacity vector's map-key encoding to buf.
@@ -404,7 +442,7 @@ func (a *Analysis) DMMWindow(dt curves.Time) (DMMResult, error) {
 // dmmValue is DMM without result assembly: no Omega map, no DMMResult.
 // Breakpoints scans thousands of k with it and only materializes full
 // results (via DMM, which re-answers from the cache) at value changes.
-func (a *Analysis) dmmValue(k int64) (int64, error) {
+func (a *Analysis) dmmValue(ctx context.Context, k int64) (int64, error) {
 	switch {
 	case !a.TypicalSchedulable:
 		return k, nil
@@ -421,7 +459,7 @@ func (a *Analysis) dmmValue(k int64) (int64, error) {
 		}
 		bounds[i] = omega
 	}
-	sol, err := a.solveCached(bounds)
+	sol, err := a.solveCached(ctx, bounds)
 	if err != nil {
 		return 0, fmt.Errorf("twca: dmm(%d): %w", k, err)
 	}
@@ -434,9 +472,14 @@ func (a *Analysis) dmmValue(k int64) (int64, error) {
 
 // Curve evaluates the DMM at each k in ks.
 func (a *Analysis) Curve(ks []int64) ([]DMMResult, error) {
+	return a.CurveCtx(context.Background(), ks)
+}
+
+// CurveCtx is Curve with cooperative cancellation.
+func (a *Analysis) CurveCtx(ctx context.Context, ks []int64) ([]DMMResult, error) {
 	out := make([]DMMResult, 0, len(ks))
 	for _, k := range ks {
-		r, err := a.DMM(k)
+		r, err := a.DMMCtx(ctx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -452,22 +495,40 @@ func (a *Analysis) Curve(ks []int64) ([]DMMResult, error) {
 // so the ascending sweep degenerates to a handful of ILP solves (the
 // k-regimes whose optimum is still capacity-limited) plus cache hits.
 func (a *Analysis) Breakpoints(maxK int64) ([]DMMResult, error) {
+	return a.BreakpointsCtx(context.Background(), maxK)
+}
+
+// BreakpointsCtx is Breakpoints with cooperative cancellation: the
+// sweep checks ctx between k's (and the underlying solves poll it too),
+// so even a sweep over millions of k's stops promptly.
+func (a *Analysis) BreakpointsCtx(ctx context.Context, maxK int64) ([]DMMResult, error) {
+	// An upfront check makes a dead context fail even when every k is
+	// answered trivially or from the memo cache (the periodic in-loop
+	// checks only fire every cancelCheckEvery k's).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("twca: breakpoints sweep canceled: %w", err)
+	}
 	if !a.opts.NoCache && maxK > 1 {
-		if _, err := a.DMM(maxK); err != nil {
+		if _, err := a.DMMCtx(ctx, maxK); err != nil {
 			return nil, err
 		}
 	}
 	var out []DMMResult
 	last := int64(-1)
 	for k := int64(1); k <= maxK; k++ {
-		v, err := a.dmmValue(k)
+		if k%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("twca: breakpoints sweep canceled at k=%d: %w", k, err)
+			}
+		}
+		v, err := a.dmmValue(ctx, k)
 		if err != nil {
 			return nil, err
 		}
 		if v == last {
 			continue
 		}
-		r, err := a.DMM(k) // full result, answered from the cache
+		r, err := a.DMMCtx(ctx, k) // full result, answered from the cache
 		if err != nil {
 			return nil, err
 		}
@@ -494,6 +555,12 @@ func (a *Analysis) WeaklyHard(m, k int64) (bool, error) {
 // Chains whose analysis fails yield an entry in errs instead. The
 // result is identical to the serial loop for any worker count.
 func AnalyzeAll(sys *model.System, opts Options, workers int) (map[string]*Analysis, map[string]error) {
+	return AnalyzeAllCtx(context.Background(), sys, opts, workers)
+}
+
+// AnalyzeAllCtx is AnalyzeAll with cooperative cancellation; chains cut
+// short by ctx yield an errs entry wrapping ctx.Err().
+func AnalyzeAllCtx(ctx context.Context, sys *model.System, opts Options, workers int) (map[string]*Analysis, map[string]error) {
 	if opts.Latency.Trace != nil {
 		workers = 1 // interleaved trace output would be useless
 	}
@@ -506,7 +573,7 @@ func AnalyzeAll(sys *model.System, opts Options, workers int) (map[string]*Analy
 	analyses := make([]*Analysis, len(targets))
 	failures := make([]error, len(targets))
 	parallel.ForEach(workers, len(targets), func(i int) error {
-		an, err := New(sys, targets[i], opts)
+		an, err := NewCtx(ctx, sys, targets[i], opts)
 		if err != nil {
 			failures[i] = err
 			return nil

@@ -26,13 +26,46 @@
 //	an, err := repro.AnalyzeDMM(sys, "video", repro.Options{})
 //	r, err := an.DMM(10) // bound on misses out of 10 activations
 //
+// # Contexts, cancellation and deadlines
+//
+// Every analysis entry point has a context-aware variant
+// (AnalyzeDMMCtx, AnalyzeLatencyCtx, SimulateCtx) whose computation
+// polls the context cooperatively — inside the busy-window fixed
+// points, the combination classification, the ILP branch-and-bound and
+// the simulator event loop — and returns an error wrapping ErrCanceled
+// (and the underlying context.Canceled or context.DeadlineExceeded)
+// when the context ends the work early. The context-free functions are
+// thin wrappers over context.Background() and never fail this way.
+//
+// # Errors
+//
+// Failures are reported through exported sentinels that work with
+// errors.Is: ErrNoChain (the named chain does not exist),
+// ErrNoDeadline (DMM analysis of a deadline-free chain),
+// ErrTooManyCombinations (the Def. 9 combination space exceeds
+// Options.MaxCombinations), ErrUnschedulable (the busy-window analysis
+// cannot close — the priority level is overloaded), and ErrCanceled
+// (see above). Messages keep the full detail; the sentinels make the
+// classes programmatic.
+//
+// # Options
+//
+// The zero value of Options and LatencyOptions selects the documented
+// defaults (MaxCombinations 1<<16; MaxQ 4096, Horizon 1<<40,
+// MaxIterations 1<<20). Negative values are rejected by Validate,
+// which every facade entry point calls before analyzing.
+//
 // This root package is a thin facade over the implementation packages
 // in internal/ (curves, model, segments, latency, ilp, twca, sim); see
-// DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction of the paper's tables and figures.
+// DESIGN.md for the architecture, EXPERIMENTS.md for the reproduction
+// of the paper's tables and figures, and docs/SERVICE.md for the
+// long-running analysis service built on this API (cmd/twca-serve).
 package repro
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/casestudy"
@@ -44,6 +77,49 @@ import (
 	"repro/internal/twca"
 	"repro/internal/weaklyhard"
 )
+
+// Exported error sentinels. All errors returned by the facade's
+// analysis entry points match at most one of these under errors.Is;
+// the underlying causes (e.g. context.DeadlineExceeded under
+// ErrCanceled) remain in the chain for errors.As/Is too.
+var (
+	// ErrNoChain reports that the system has no chain with the
+	// requested name.
+	ErrNoChain = errors.New("repro: no such chain")
+	// ErrNoDeadline reports a DMM analysis of a chain without an
+	// end-to-end deadline — "deadline miss" is undefined for it.
+	ErrNoDeadline = twca.ErrNoDeadline
+	// ErrTooManyCombinations reports that the Def. 9 combination space
+	// exceeds Options.MaxCombinations; raise the limit or reduce the
+	// number of overload chains.
+	ErrTooManyCombinations = twca.ErrTooManyCombinations
+	// ErrUnschedulable reports that the busy-window analysis cannot
+	// bound the chain: a fixed point diverged or no busy window closed
+	// below MaxQ, i.e. the priority level is overloaded.
+	ErrUnschedulable = errors.New("repro: chain is unschedulable at analysis horizon")
+	// ErrCanceled reports that a context ended the analysis early; the
+	// chain also matches context.Canceled or context.DeadlineExceeded.
+	ErrCanceled = errors.New("repro: analysis canceled")
+	// ErrInvalidOptions reports an Options/LatencyOptions value rejected
+	// by Validate (e.g. a negative iteration budget).
+	ErrInvalidOptions = errors.New("repro: invalid options")
+)
+
+// mapErr translates implementation-package errors into the facade's
+// sentinel classes while keeping the original chain intact (Go 1.20
+// multi-%w), so both errors.Is(err, repro.ErrCanceled) and
+// errors.Is(err, context.Canceled) hold.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	case errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded):
+		return fmt.Errorf("%w: %w", ErrUnschedulable, err)
+	}
+	return err
+}
 
 // Core model types, re-exported from the implementation packages.
 type (
@@ -130,32 +206,73 @@ func Burst(outer Time, size int64, inner Time) EventModel {
 // AnalyzeLatency computes the worst-case end-to-end latency of the
 // named chain (Theorems 1 and 2 of the paper).
 func AnalyzeLatency(sys *System, chain string, opts LatencyOptions) (*LatencyResult, error) {
+	return AnalyzeLatencyCtx(context.Background(), sys, chain, opts)
+}
+
+// AnalyzeLatencyCtx is AnalyzeLatency with cooperative cancellation:
+// when ctx ends the analysis early the returned error matches
+// ErrCanceled (and the underlying context error) under errors.Is.
+func AnalyzeLatencyCtx(ctx context.Context, sys *System, chain string, opts LatencyOptions) (*LatencyResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
 	c := sys.ChainByName(chain)
 	if c == nil {
-		return nil, errNoChain(chain)
+		return nil, fmt.Errorf("repro: no chain named %q: %w", chain, ErrNoChain)
 	}
-	return latency.Analyze(sys, c, opts)
+	r, err := latency.AnalyzeCtx(ctx, sys, c, opts)
+	return r, mapErr(err)
 }
 
 // AnalyzeDMM prepares the deadline-miss-model analysis of the named
 // chain (Theorem 3). Use the returned Analysis to evaluate dmm at any
 // k.
 func AnalyzeDMM(sys *System, chain string, opts Options) (*Analysis, error) {
+	return AnalyzeDMMCtx(context.Background(), sys, chain, opts)
+}
+
+// AnalyzeDMMCtx is AnalyzeDMM with cooperative cancellation; see
+// AnalyzeLatencyCtx for the error contract. The returned Analysis
+// accepts the context again on its query methods (DMMCtx,
+// BreakpointsCtx, CurveCtx) — construction and queries may run under
+// different deadlines.
+func AnalyzeDMMCtx(ctx context.Context, sys *System, chain string, opts Options) (*Analysis, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
 	c := sys.ChainByName(chain)
 	if c == nil {
-		return nil, errNoChain(chain)
+		return nil, fmt.Errorf("repro: no chain named %q: %w", chain, ErrNoChain)
 	}
-	return twca.New(sys, c, opts)
+	an, err := twca.NewCtx(ctx, sys, c, opts)
+	return an, mapErr(err)
 }
 
 // AnalyzeDMMBaseline is AnalyzeDMM with the structure-blind abstraction
 // of classic independent-task TWCA, for comparison.
 func AnalyzeDMMBaseline(sys *System, chain string, opts Options) (*Analysis, error) {
-	return twca.Baseline(sys, chain, opts)
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	if sys.ChainByName(chain) == nil {
+		return nil, fmt.Errorf("repro: no chain named %q: %w", chain, ErrNoChain)
+	}
+	an, err := twca.Baseline(sys, chain, opts)
+	return an, mapErr(err)
 }
 
 // Simulate runs the discrete-event simulator.
-func Simulate(sys *System, cfg SimConfig) (*SimResult, error) { return sim.Run(sys, cfg) }
+func Simulate(sys *System, cfg SimConfig) (*SimResult, error) {
+	return SimulateCtx(context.Background(), sys, cfg)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the event loop
+// polls ctx every few thousand scheduling events; see AnalyzeLatencyCtx
+// for the error contract.
+func SimulateCtx(ctx context.Context, sys *System, cfg SimConfig) (*SimResult, error) {
+	r, err := sim.RunCtx(ctx, sys, cfg)
+	return r, mapErr(err)
+}
 
 // SimulateMapped runs the multi-resource simulator with the given
 // task-to-resource mapping.
@@ -195,6 +312,8 @@ func LoadSystem(r io.Reader) (*System, error) { return model.Load(r) }
 // StoreSystem writes a system as JSON.
 func StoreSystem(w io.Writer, sys *System) error { return model.Store(w, sys) }
 
-type errNoChain string
-
-func (e errNoChain) Error() string { return "repro: no chain named " + string(e) }
+// CanonicalHash returns a content-addressed identity of the system: the
+// hex-encoded SHA-256 of its canonical JSON serialization. Two systems
+// hash equal iff they serialize identically; the analysis service uses
+// this as its cache key.
+func CanonicalHash(sys *System) (string, error) { return model.CanonicalHash(sys) }

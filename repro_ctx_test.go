@@ -1,0 +1,150 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestFacadeSentinels pins the errors.Is contract of the redesigned
+// error taxonomy.
+func TestFacadeSentinels(t *testing.T) {
+	sys := repro.CaseStudy()
+
+	_, err := repro.AnalyzeDMM(sys, "nope", repro.Options{})
+	if !errors.Is(err, repro.ErrNoChain) {
+		t.Errorf("unknown chain err = %v, want ErrNoChain", err)
+	}
+	_, err = repro.AnalyzeLatency(sys, "nope", repro.LatencyOptions{})
+	if !errors.Is(err, repro.ErrNoChain) {
+		t.Errorf("latency unknown chain err = %v, want ErrNoChain", err)
+	}
+
+	_, err = repro.AnalyzeDMM(sys, "sigma_c", repro.Options{MaxCombinations: -1})
+	if !errors.Is(err, repro.ErrInvalidOptions) {
+		t.Errorf("negative MaxCombinations err = %v, want ErrInvalidOptions", err)
+	}
+	_, err = repro.AnalyzeLatency(sys, "sigma_c", repro.LatencyOptions{MaxQ: -5})
+	if !errors.Is(err, repro.ErrInvalidOptions) {
+		t.Errorf("negative MaxQ err = %v, want ErrInvalidOptions", err)
+	}
+
+	_, err = repro.AnalyzeDMM(sys, "sigma_c", repro.Options{MaxCombinations: 1})
+	if !errors.Is(err, repro.ErrTooManyCombinations) {
+		t.Errorf("combination cap err = %v, want ErrTooManyCombinations", err)
+	}
+
+	// dmm of a chain without a deadline is undefined.
+	b := repro.NewBuilder("nodeadline")
+	b.Chain("c").Periodic(100).Task("t", 1, 10)
+	free, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.AnalyzeDMM(free, "c", repro.Options{})
+	if !errors.Is(err, repro.ErrNoDeadline) {
+		t.Errorf("deadline-free chain err = %v, want ErrNoDeadline", err)
+	}
+
+	// Utilization > 1 at the highest priority: no busy window closes.
+	b = repro.NewBuilder("overloaded")
+	b.Chain("c").Periodic(10).Deadline(10).Task("t", 1, 20)
+	over, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.AnalyzeLatency(over, "c", repro.LatencyOptions{})
+	if !errors.Is(err, repro.ErrUnschedulable) {
+		t.Errorf("overloaded system err = %v, want ErrUnschedulable", err)
+	}
+}
+
+// TestFacadeCancellation: an already-canceled context stops every Ctx
+// entry point, and the error matches both the facade sentinel and the
+// underlying context error.
+func TestFacadeCancellation(t *testing.T) {
+	sys := repro.CaseStudy()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := repro.AnalyzeDMMCtx(ctx, sys, "sigma_c", repro.Options{}); err == nil {
+		t.Error("AnalyzeDMMCtx ran to completion under canceled context")
+	} else if !errors.Is(err, repro.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeDMMCtx err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+
+	if _, err := repro.AnalyzeLatencyCtx(ctx, sys, "sigma_c", repro.LatencyOptions{}); err == nil {
+		t.Error("AnalyzeLatencyCtx ran to completion under canceled context")
+	} else if !errors.Is(err, repro.ErrCanceled) {
+		t.Errorf("AnalyzeLatencyCtx err = %v, want ErrCanceled", err)
+	}
+
+	if _, err := repro.SimulateCtx(ctx, sys, repro.SimConfig{Horizon: 1_000_000}); err == nil {
+		t.Error("SimulateCtx ran to completion under canceled context")
+	} else if !errors.Is(err, repro.ErrCanceled) {
+		t.Errorf("SimulateCtx err = %v, want ErrCanceled", err)
+	}
+
+	// Analysis queries accept a context of their own.
+	an, err := repro.AnalyzeDMM(sys, "sigma_c", repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.BreakpointsCtx(ctx, 1000); !errors.Is(err, context.Canceled) {
+		t.Errorf("BreakpointsCtx err = %v, want context.Canceled", err)
+	}
+
+	// A deadline in the past maps the same way but keeps the cause.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer dcancel()
+	if _, err := repro.AnalyzeDMMCtx(dctx, sys, "sigma_c", repro.Options{}); !errors.Is(err, repro.ErrCanceled) ||
+		!errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestFacadeCtxMatchesPlain: under a live context the Ctx variants are
+// the plain functions.
+func TestFacadeCtxMatchesPlain(t *testing.T) {
+	sys := repro.CaseStudy()
+	plain, err := repro.AnalyzeLatency(sys, "sigma_c", repro.LatencyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := repro.AnalyzeLatencyCtx(context.Background(), sys, "sigma_c", repro.LatencyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.WCL != ctxed.WCL || plain.CriticalQ != ctxed.CriticalQ {
+		t.Errorf("Ctx variant diverged: plain (%d, %d), ctx (%d, %d)",
+			plain.WCL, plain.CriticalQ, ctxed.WCL, ctxed.CriticalQ)
+	}
+
+	an, err := repro.AnalyzeDMMCtx(context.Background(), sys, "sigma_c", repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := an.DMMCtx(context.Background(), 10)
+	if err != nil || r.Value != 5 {
+		t.Errorf("DMMCtx(10) = (%d, %v), want (5, nil)", r.Value, err)
+	}
+}
+
+// TestFacadeCanonicalHash: the facade exposes the content address the
+// analysis service keys its cache on.
+func TestFacadeCanonicalHash(t *testing.T) {
+	h1, err := repro.CanonicalHash(repro.CaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := repro.CanonicalHash(repro.CaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || len(h1) != 64 {
+		t.Errorf("CanonicalHash unstable or malformed: %q vs %q", h1, h2)
+	}
+}
