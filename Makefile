@@ -15,10 +15,16 @@ test:
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run NONE -bench . -benchmem ./...
+	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./...
+	$(GO) run ./cmd/twca-sensitivity -chain sigma_c -bench-out BENCH_sensitivity.json >/dev/null
 
 serve:
 	$(GO) run ./cmd/twca-serve

@@ -119,7 +119,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	analyses, errs := twca.AnalyzeAll(sys, twca.Options{ExactCriterion: *exact}, *par)
 	var flat map[string]*twca.Analysis
 	if *baseline {
-		flat, _ = twca.AnalyzeAll(sys, twca.Options{Flat: true}, *par)
+		flat, _ = twca.AnalyzeAll(sys, twca.Options{Baseline: true}, *par)
 	}
 	for _, c := range sys.RegularChains() {
 		if c.Deadline == 0 {

@@ -1,0 +1,250 @@
+// Command twca-sensitivity answers the inverse questions about a
+// weakly-hard constraint (m, k) on one chain: how much may WCETs grow
+// (uniformly and per task), how much extra activation jitter and how
+// much inter-arrival compression do the overload chains tolerate, and
+// what is the whole (m, k) feasibility frontier.
+//
+// Usage:
+//
+//	twca-sensitivity -chain sigma_c [-m 5] [-k 10] [-frontier 20] [system.{json,sys}]
+//	twca-gen | twca-sensitivity -chain c0 -
+//
+// With no file argument the paper's Thales case study is analyzed; "-"
+// reads a system (JSON or DSL, auto-detected) from stdin. When -m is
+// omitted the constraint defends the nominal bound itself: m = dmm(k).
+//
+// -json emits the versioned schema.Sensitivity document (the same wire
+// format twca-serve speaks); -bench-out FILE additionally times a cold
+// and a probe-cache-warm run of the query and writes the numbers as
+// JSON (the make bench artifact).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/dsl"
+	"repro/internal/model"
+	"repro/internal/schema"
+	"repro/internal/sensitivity"
+	"repro/internal/twca"
+	"repro/internal/weaklyhard"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "twca-sensitivity: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("twca-sensitivity", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chain := fs.String("chain", "", "target chain (required)")
+	m := fs.Int64("m", -1, "allowed misses per window; -1 defends the nominal dmm(k)")
+	k := fs.Int64("k", 10, "window length of the (m, k) constraint")
+	frontier := fs.Int64("frontier", 20, "sweep the (m, k) frontier for k up to this; 0 skips it")
+	scaleDenom := fs.Int64("scale-denom", 1000, "WCET slack resolution: scales are multiples of 1/denom")
+	maxScale := fs.Int64("max-scale", 0, "slack search cap in denom units (0 = 64x nominal)")
+	maxJitter := fs.Int64("max-jitter", 0, "jitter search cap in time units (0 = 64x nominal distance)")
+	tasks := fs.String("tasks", "", "comma-separated tasks for per-task slack (default: all)")
+	exact := fs.Bool("exact", false, "use the exact Eq. (3) combination criterion")
+	jsonOut := fs.Bool("json", false, "emit the versioned JSON document (the twca-serve wire schema)")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"probe worker pool size (results are identical for any value)")
+	benchOut := fs.String("bench-out", "", "also time a cold and a warm run and write the JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chain == "" {
+		return fmt.Errorf("-chain is required")
+	}
+
+	sys, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	aopts := twca.Options{ExactCriterion: *exact}
+	ctx := context.Background()
+
+	// -m -1 defends the nominal bound itself: the slack numbers then
+	// answer "how much margin protects today's guarantee".
+	if *m < 0 {
+		c := sys.ChainByName(*chain)
+		if c == nil {
+			return fmt.Errorf("no chain named %q", *chain)
+		}
+		an, err := twca.NewCtx(ctx, sys, c, aopts)
+		if err != nil {
+			return err
+		}
+		r, err := an.DMMCtx(ctx, *k)
+		if err != nil {
+			return err
+		}
+		if r.Value >= *k {
+			return fmt.Errorf("dmm(%d) = %d: every window may miss entirely, no (m, %d) constraint holds", *k, r.Value, *k)
+		}
+		*m = r.Value
+		fmt.Fprintf(stderr, "defending the nominal bound: m = dmm(%d) = %d\n", *k, *m)
+	}
+
+	sopts := sensitivity.Options{
+		Constraint:   weaklyhard.Constraint{M: *m, K: *k},
+		ScaleDenom:   *scaleDenom,
+		MaxScale:     *maxScale,
+		MaxJitter:    curves.Time(*maxJitter),
+		FrontierMaxK: *frontier,
+		Workers:      *par,
+	}
+	if *tasks != "" {
+		sopts.Tasks = strings.Split(*tasks, ",")
+		for i := range sopts.Tasks {
+			sopts.Tasks[i] = strings.TrimSpace(sopts.Tasks[i])
+		}
+	}
+
+	// One shared probe memo: the query (and the optional benchmark rerun)
+	// reuse analyses of identical perturbed systems by content hash.
+	eng := sensitivity.Engine{Analyze: sensitivity.Memoize(nil)}
+	t0 := time.Now()
+	res, err := eng.Query(ctx, sys, *chain, aopts, sopts)
+	cold := time.Since(t0)
+	if err != nil {
+		return err
+	}
+
+	if *benchOut != "" {
+		t1 := time.Now()
+		if _, err := eng.Query(ctx, sys, *chain, aopts, sopts); err != nil {
+			return err
+		}
+		warm := time.Since(t1)
+		if err := writeBench(*benchOut, sys.Name, *chain, res, cold, warm); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "bench: cold %.1fms, warm %.1fms (%.1fx) -> %s\n",
+			ms(cold), ms(warm), float64(cold)/float64(warm), *benchOut)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(schema.FromSensitivity(res), "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(append(data, '\n'))
+		return err
+	}
+	report(stdout, sys, res)
+	return nil
+}
+
+// report renders the human-readable summary.
+func report(w io.Writer, sys *model.System, res *sensitivity.Result) {
+	c := res.Constraint
+	fmt.Fprintf(w, "sensitivity of %s chain %s under (m=%d, k=%d)\n", sys.Name, res.Chain, c.M, c.K)
+	fmt.Fprintf(w, "  nominal dmm(%d) = %d\n\n", c.K, res.NominalDMM)
+
+	fmt.Fprintf(w, "WCET slack (units of 1/%d of nominal):\n", res.ScaleDenom)
+	fmt.Fprintf(w, "  %-10s %s\n", "uniform", scaleStr(res.Uniform, res.ScaleDenom))
+	for _, ts := range res.Tasks {
+		fmt.Fprintf(w, "  %-10s %s\n", ts.Task, scaleStr(ts.Slack, res.ScaleDenom))
+	}
+
+	if len(res.Breakdown) > 0 {
+		fmt.Fprintf(w, "\noverload tolerance:\n")
+		for _, b := range res.Breakdown {
+			fmt.Fprintf(w, "  %-10s extra jitter <= %d%s", b.Chain, int64(b.MaxExtraJitter), atLimit(b.JitterAtLimit))
+			if b.NominalDistance > 0 {
+				fmt.Fprintf(w, ", min distance %d (nominal %d)%s",
+					int64(b.MinDistance), int64(b.NominalDistance), atLimit(b.DistanceAtLimit))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(res.Frontier) > 0 {
+		fmt.Fprintf(w, "\n(m, k) feasibility frontier (min m guaranteeing (m, k)):\n")
+		fmt.Fprintf(w, "  k    :")
+		for _, p := range res.Frontier {
+			fmt.Fprintf(w, " %3d", p.K)
+		}
+		fmt.Fprintf(w, "\n  min m:")
+		for _, p := range res.Frontier {
+			fmt.Fprintf(w, " %3d", p.MinM)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\n%d probes, %d analyses\n", res.Probes, res.Analyses)
+}
+
+func scaleStr(s sensitivity.Slack, denom int64) string {
+	return fmt.Sprintf("%d (%.3fx)%s", s.Scale, float64(s.Scale)/float64(denom), atLimit(s.AtLimit))
+}
+
+func atLimit(b bool) string {
+	if b {
+		return " [search cap]"
+	}
+	return ""
+}
+
+// benchDoc is the BENCH_sensitivity.json artifact written by -bench-out.
+type benchDoc struct {
+	System   string  `json:"system"`
+	Chain    string  `json:"chain"`
+	M        int64   `json:"m"`
+	K        int64   `json:"k"`
+	Probes   int64   `json:"probes"`
+	Analyses int64   `json:"analyses"`
+	ColdMS   float64 `json:"cold_ms"`
+	WarmMS   float64 `json:"warm_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+func writeBench(path, system, chain string, res *sensitivity.Result, cold, warm time.Duration) error {
+	doc := benchDoc{
+		System: system, Chain: chain,
+		M: res.Constraint.M, K: res.Constraint.K,
+		Probes: res.Probes, Analyses: res.Analyses,
+		ColdMS: ms(cold), WarmMS: ms(warm),
+		Speedup: float64(cold) / float64(warm),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// load reads the system: no path selects the built-in Thales case
+// study, "-" reads from stdin, anything else is a file path. Format
+// (native JSON or the DSL) is auto-detected by dsl.Load.
+func load(path string, stdin io.Reader) (*model.System, error) {
+	switch path {
+	case "":
+		return casestudy.New(), nil
+	case "-":
+		return dsl.Load(stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dsl.Load(f)
+}

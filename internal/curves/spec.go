@@ -11,7 +11,12 @@ import (
 //	{"type":"periodic","period":200}
 //	{"type":"periodic","period":200,"jitter":40,"dmin":5}
 //	{"type":"sporadic","dmin":600}
+//	{"type":"sporadic","dmin":600,"jitter":40}
 //	{"type":"burst","period":10000,"size":4,"dmin":50}
+//
+// A jitter on a sporadic or burst spec denotes the Jittered wrapper
+// around the base model (the sensitivity analysis perturbs overload
+// activations this way); periodic models carry their jitter natively.
 type Spec struct {
 	Type   string `json:"type"`
 	Period Time   `json:"period,omitempty"`
@@ -38,12 +43,18 @@ func (s Spec) Model() (EventModel, error) {
 		if s.DMin <= 0 {
 			return nil, fmt.Errorf("curves: sporadic spec needs dmin > 0, got %d", s.DMin)
 		}
-		return NewSporadic(s.DMin), nil
+		if s.Jitter < 0 {
+			return nil, fmt.Errorf("curves: sporadic spec has negative jitter")
+		}
+		return NewJittered(NewSporadic(s.DMin), s.Jitter), nil
 	case "burst":
 		if s.Period <= 0 || s.Size < 1 || s.DMin < 0 {
 			return nil, fmt.Errorf("curves: burst spec needs period > 0, size ≥ 1, dmin ≥ 0")
 		}
-		return NewBurst(s.Period, s.Size, s.DMin), nil
+		if s.Jitter < 0 {
+			return nil, fmt.Errorf("curves: burst spec has negative jitter")
+		}
+		return NewJittered(NewBurst(s.Period, s.Size, s.DMin), s.Jitter), nil
 	default:
 		return nil, fmt.Errorf("curves: unknown event model type %q", s.Type)
 	}
@@ -59,6 +70,20 @@ func SpecOf(m EventModel) (Spec, error) {
 		return Spec{Type: "sporadic", DMin: v.MinDistance}, nil
 	case Burst:
 		return Spec{Type: "burst", Period: v.OuterPeriod, Size: v.BurstSize, DMin: v.InnerDistance}, nil
+	case Jittered:
+		// Only wrappers around models without a native jitter slot have a
+		// spec; NewJittered never produces a wrapper with zero jitter, so
+		// the encoding is canonical (two specs are equal iff the models
+		// are).
+		inner, err := SpecOf(v.Inner)
+		if err != nil {
+			return Spec{}, err
+		}
+		if inner.Type == "periodic" {
+			return Spec{}, fmt.Errorf("curves: jittered periodic model has no canonical JSON spec (fold the jitter into the periodic model)")
+		}
+		inner.Jitter = v.Jitter
+		return inner, nil
 	default:
 		return Spec{}, fmt.Errorf("curves: model %T has no JSON spec", m)
 	}

@@ -10,6 +10,8 @@ func TestSpecRoundTrip(t *testing.T) {
 		NewPeriodicJitter(200, 30, 5),
 		NewSporadic(600),
 		NewBurst(1000, 3, 10),
+		NewJittered(NewSporadic(600), 40),
+		NewJittered(NewBurst(1000, 3, 10), 25),
 	}
 	for _, m := range models {
 		data, err := MarshalModel(m)
@@ -30,14 +32,16 @@ func TestSpecRoundTrip(t *testing.T) {
 
 func TestSpecErrors(t *testing.T) {
 	bad := []Spec{
-		{Type: "periodic"},                            // missing period
-		{Type: "periodic", Period: -1},                // negative period
-		{Type: "periodic", Period: 10, Jitter: -1},    // negative jitter
-		{Type: "sporadic"},                            // missing dmin
-		{Type: "burst", Period: 100, Size: 0},         // zero burst size
-		{Type: "burst", Period: 0, Size: 2},           // zero period
-		{Type: "banana"},                              // unknown type
-		{Type: "burst", Period: 5, Size: 1, DMin: -3}, // negative dmin
+		{Type: "periodic"},                                // missing period
+		{Type: "periodic", Period: -1},                    // negative period
+		{Type: "periodic", Period: 10, Jitter: -1},        // negative jitter
+		{Type: "sporadic"},                                // missing dmin
+		{Type: "sporadic", DMin: 10, Jitter: -1},          // negative jitter
+		{Type: "burst", Period: 100, Size: 2, Jitter: -1}, // negative jitter
+		{Type: "burst", Period: 100, Size: 0},             // zero burst size
+		{Type: "burst", Period: 0, Size: 2},               // zero period
+		{Type: "banana"},                                  // unknown type
+		{Type: "burst", Period: 5, Size: 1, DMin: -3},     // negative dmin
 	}
 	for _, s := range bad {
 		if _, err := s.Model(); err == nil {
@@ -49,6 +53,40 @@ func TestSpecErrors(t *testing.T) {
 func TestSpecOfUnsupported(t *testing.T) {
 	if _, err := SpecOf(NewSum(NewPeriodic(10))); err == nil {
 		t.Error("SpecOf(Sum) succeeded, want error")
+	}
+	// Jittered periodic has no canonical spec (native jitter and wrapper
+	// jitter would encode the same curve two ways).
+	if _, err := SpecOf(Jittered{Inner: NewPeriodic(10), Jitter: 3}); err == nil {
+		t.Error("SpecOf(Jittered{Periodic}) succeeded, want error")
+	}
+	// Jittered wrappers around unserializable models propagate the error.
+	if _, err := SpecOf(Jittered{Inner: NewSum(NewPeriodic(10)), Jitter: 3}); err == nil {
+		t.Error("SpecOf(Jittered{Sum}) succeeded, want error")
+	}
+}
+
+func TestJitteredSporadicSpecCanonical(t *testing.T) {
+	// The jittered-sporadic encoding must be canonical: marshaling the
+	// round-tripped model yields byte-identical JSON (CanonicalHash of a
+	// perturbed system depends on this).
+	m := NewJittered(NewSporadic(700), 33)
+	data, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := MarshalModel(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("jittered sporadic spec not canonical: %s vs %s", data, again)
+	}
+	if err := Validate(back, 10000, 64); err != nil {
+		t.Errorf("round-tripped jittered sporadic violates invariants: %v", err)
 	}
 }
 

@@ -7,22 +7,29 @@ import (
 )
 
 // CanonicalHash returns a content-addressed identity of the system: the
-// hex-encoded SHA-256 of its canonical JSON serialization.
+// hex-encoded SHA-256 of its canonical (compact) JSON serialization.
 //
-// The serialization produced by System.MarshalJSON is canonical by
-// construction — struct fields emit in declaration order, chains and
-// tasks in system order, and activation specs are normalized curve
-// specs — so two systems hash equal iff they are the same model, and
-// the hash is stable across processes and machines. That makes it
-// usable as a cache key for completed analyses (see internal/service)
-// and as an ETag-style fingerprint in stored results.
+// The serialization is canonical by construction — struct fields emit
+// in declaration order, chains and tasks in system order, and
+// activation specs are normalized curve specs — so two systems hash
+// equal iff they are the same model, and the hash is stable across
+// processes and machines. That makes it usable as a cache key for
+// completed analyses (see internal/service) and as an ETag-style
+// fingerprint in stored results. The sensitivity engine hashes one
+// perturbed system per probe, so this path encodes the spec compactly
+// in a single pass rather than round-tripping through the indented
+// System.MarshalJSON form.
 //
 // Systems whose activation models have no JSON spec (traces, sums)
 // cannot be serialized and return an error; such systems are built
 // programmatically and never arrive over the wire, so the service
 // paths that need hashing never see them.
 func CanonicalHash(s *System) (string, error) {
-	data, err := json.Marshal(s)
+	spec, err := s.spec()
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(spec)
 	if err != nil {
 		return "", err
 	}

@@ -33,15 +33,15 @@ type systemSpec struct {
 	Chains []chainSpec `json:"chains"`
 }
 
-// MarshalJSON implements json.Marshaler for System. Systems whose
+// spec converts the system to its serializable form. Systems whose
 // activation models have no JSON spec (traces, sums) cannot be
 // serialized and return an error.
-func (s *System) MarshalJSON() ([]byte, error) {
-	spec := systemSpec{Name: s.Name}
+func (s *System) spec() (systemSpec, error) {
+	spec := systemSpec{Name: s.Name, Chains: make([]chainSpec, 0, len(s.Chains))}
 	for _, c := range s.Chains {
 		act, err := curves.SpecOf(c.Activation)
 		if err != nil {
-			return nil, fmt.Errorf("model: chain %q: %w", c.Name, err)
+			return systemSpec{}, fmt.Errorf("model: chain %q: %w", c.Name, err)
 		}
 		cs := chainSpec{
 			Name:       c.Name,
@@ -49,11 +49,21 @@ func (s *System) MarshalJSON() ([]byte, error) {
 			Overload:   c.Overload,
 			Deadline:   c.Deadline,
 			Activation: act,
+			Tasks:      make([]taskSpec, 0, len(c.Tasks)),
 		}
 		for _, t := range c.Tasks {
 			cs.Tasks = append(cs.Tasks, taskSpec{Name: t.Name, Priority: t.Priority, WCET: t.WCET, BCET: t.BCET})
 		}
 		spec.Chains = append(spec.Chains, cs)
+	}
+	return spec, nil
+}
+
+// MarshalJSON implements json.Marshaler for System.
+func (s *System) MarshalJSON() ([]byte, error) {
+	spec, err := s.spec()
+	if err != nil {
+		return nil, err
 	}
 	return json.MarshalIndent(spec, "", "  ")
 }

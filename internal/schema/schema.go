@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/sensitivity"
 	"repro/internal/twca"
 )
 
@@ -77,6 +78,96 @@ type Analysis struct {
 	// analysis failed (multi-chain reports analyze chains
 	// independently).
 	Error string `json:"error,omitempty"`
+}
+
+// TaskSlack is the per-task WCET slack of one task: WCETs may grow to
+// Scale/ScaleDenom of nominal with the constraint still verified.
+type TaskSlack struct {
+	Task  string `json:"task"`
+	Scale int64  `json:"scale"`
+	// AtLimit is true when the search stopped at its bracket cap with
+	// the constraint still holding (the true slack is ≥ Scale).
+	AtLimit bool `json:"at_limit,omitempty"`
+}
+
+// SensitivityBreakdown is the overload tolerance of one overload chain:
+// the largest extra activation jitter, and the smallest base
+// inter-arrival distance, that keep the constraint verified.
+type SensitivityBreakdown struct {
+	Chain           string `json:"chain"`
+	MaxExtraJitter  int64  `json:"max_extra_jitter"`
+	JitterAtLimit   bool   `json:"jitter_at_limit,omitempty"`
+	NominalDistance int64  `json:"nominal_distance,omitempty"`
+	MinDistance     int64  `json:"min_distance,omitempty"`
+	DistanceAtLimit bool   `json:"distance_at_limit,omitempty"`
+}
+
+// FrontierPoint is one point of the (m, k) feasibility frontier: min_m
+// is the smallest m for which (m, k) is guaranteed, i.e. dmm(k).
+type FrontierPoint struct {
+	K    int64 `json:"k"`
+	MinM int64 `json:"min_m"`
+}
+
+// Sensitivity is the wire form of a sensitivity query: how far the
+// chain is from violating the weakly-hard constraint (m, k).
+//
+// Probes and Analyses are part of the wire format deliberately: they
+// count predicate evaluations and distinct perturbed-system analyses of
+// the query itself, which are deterministic for a given request — they
+// do not reveal cache warmth (a probe answered by a warm artifact cache
+// still counts as one analysis).
+type Sensitivity struct {
+	SchemaVersion int    `json:"schema_version"`
+	Chain         string `json:"chain"`
+	M             int64  `json:"m"`
+	K             int64  `json:"k"`
+	// NominalDMM is dmm(k) of the unperturbed system (≤ m, or the query
+	// would have failed as infeasible).
+	NominalDMM int64 `json:"nominal_dmm"`
+	// ScaleDenom is the denominator all scale values refer to: a scale
+	// of 1236 with denominator 1000 means WCETs may grow 23.6%.
+	ScaleDenom     int64                  `json:"scale_denom"`
+	UniformScale   int64                  `json:"uniform_scale"`
+	UniformAtLimit bool                   `json:"uniform_at_limit,omitempty"`
+	Tasks          []TaskSlack            `json:"tasks,omitempty"`
+	Breakdown      []SensitivityBreakdown `json:"breakdown,omitempty"`
+	Frontier       []FrontierPoint        `json:"frontier,omitempty"`
+	Probes         int64                  `json:"probes"`
+	Analyses       int64                  `json:"analyses"`
+}
+
+// FromSensitivity converts a sensitivity result to its wire form.
+func FromSensitivity(r *sensitivity.Result) Sensitivity {
+	out := Sensitivity{
+		SchemaVersion:  Version,
+		Chain:          r.Chain,
+		M:              r.Constraint.M,
+		K:              r.Constraint.K,
+		NominalDMM:     r.NominalDMM,
+		ScaleDenom:     r.ScaleDenom,
+		UniformScale:   r.Uniform.Scale,
+		UniformAtLimit: r.Uniform.AtLimit,
+		Probes:         r.Probes,
+		Analyses:       r.Analyses,
+	}
+	for _, ts := range r.Tasks {
+		out.Tasks = append(out.Tasks, TaskSlack{Task: ts.Task, Scale: ts.Scale, AtLimit: ts.AtLimit})
+	}
+	for _, b := range r.Breakdown {
+		out.Breakdown = append(out.Breakdown, SensitivityBreakdown{
+			Chain:           b.Chain,
+			MaxExtraJitter:  int64(b.MaxExtraJitter),
+			JitterAtLimit:   b.JitterAtLimit,
+			NominalDistance: int64(b.NominalDistance),
+			MinDistance:     int64(b.MinDistance),
+			DistanceAtLimit: b.DistanceAtLimit,
+		})
+	}
+	for _, p := range r.Frontier {
+		out.Frontier = append(out.Frontier, FrontierPoint{K: p.K, MinM: p.MinM})
+	}
+	return out
 }
 
 // Report is a whole-system document: one Analysis per chain with a

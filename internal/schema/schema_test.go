@@ -12,7 +12,9 @@ import (
 	"repro/internal/casestudy"
 	"repro/internal/latency"
 	"repro/internal/schema"
+	"repro/internal/sensitivity"
 	"repro/internal/twca"
+	"repro/internal/weaklyhard"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -71,6 +73,42 @@ func TestGoldenWireFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden(t, "report_thales", rep)
+
+	sres, err := sensitivity.Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, sensitivity.Options{
+		Constraint:   weaklyhard.Constraint{M: 5, K: 10},
+		FrontierMaxK: 20,
+		Tasks:        []string{"tau1c", "tau3c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "sensitivity_sigma_c", schema.FromSensitivity(sres))
+}
+
+// TestSensitivityWarmthInvisible pins the same property for the
+// sensitivity document: a query answered through a warm probe memo
+// serializes byte-identically to a cold one — including the probe and
+// analysis counters, which count the query's own work, not the cache's.
+func TestSensitivityWarmthInvisible(t *testing.T) {
+	sys := casestudy.New()
+	opts := sensitivity.Options{
+		Constraint: weaklyhard.Constraint{M: 5, K: 10},
+		Tasks:      []string{"tau3c"},
+	}
+	memo := sensitivity.Memoize(nil)
+	cold, err := sensitivity.Engine{Analyze: memo}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sensitivity.Engine{Analyze: memo}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(schema.FromSensitivity(cold))
+	b, _ := json.Marshal(schema.FromSensitivity(warm))
+	if !bytes.Equal(a, b) {
+		t.Errorf("cache warmth leaked into the sensitivity wire format:\ncold: %s\nwarm: %s", a, b)
+	}
 }
 
 // TestCacheWarmthInvisible pins the property the service cache relies

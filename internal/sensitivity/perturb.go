@@ -1,0 +1,119 @@
+package sensitivity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+)
+
+// ScaleWCET returns a copy of sys with WCETs multiplied by num/den,
+// rounded up so that the demand never shrinks below the true scaled
+// value. task selects a single task by name; the empty string scales
+// every task in the system (the uniform-slack perturbation). BCETs are
+// clamped to the scaled WCET so the copy stays valid when scaling down.
+//
+// Rounding up makes the perturbation monotone in num and exact at
+// num == den (the unperturbed system is reproduced bit for bit, so its
+// canonical hash — and therefore any content-addressed cache entry —
+// is shared with direct analyses of the original system).
+func ScaleWCET(sys *model.System, task string, num, den int64) *model.System {
+	out := sys.Clone()
+	for _, c := range out.Chains {
+		for i := range c.Tasks {
+			if task != "" && c.Tasks[i].Name != task {
+				continue
+			}
+			w := scaleTime(c.Tasks[i].WCET, num, den)
+			c.Tasks[i].WCET = w
+			if c.Tasks[i].BCET > w {
+				c.Tasks[i].BCET = w
+			}
+		}
+	}
+	return out
+}
+
+// scaleTime returns ⌈t·num/den⌉ for t ≥ 0, num ≥ 1, den ≥ 1, saturating
+// at Infinity on overflow.
+func scaleTime(t curves.Time, num, den int64) curves.Time {
+	if t <= 0 {
+		return t
+	}
+	if int64(t) > (math.MaxInt64-(den-1))/num {
+		return curves.Infinity
+	}
+	return (t*curves.Time(num) + curves.Time(den) - 1) / curves.Time(den)
+}
+
+// WithExtraJitter returns a copy of sys in which the named chain's
+// activation model carries extra additional release jitter. Periodic
+// models absorb the jitter natively; sporadic and burst models are
+// wrapped in curves.Jittered (which has a canonical JSON spec, so the
+// perturbed system remains hashable for content-addressed caching).
+func WithExtraJitter(sys *model.System, chain string, extra curves.Time) (*model.System, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("sensitivity: negative extra jitter %d", extra)
+	}
+	out := sys.Clone()
+	c := out.ChainByName(chain)
+	if c == nil {
+		return nil, fmt.Errorf("sensitivity: no chain named %q", chain)
+	}
+	switch m := c.Activation.(type) {
+	case curves.Periodic:
+		m.Jitter = curves.AddSat(m.Jitter, extra)
+		c.Activation = m
+	default:
+		c.Activation = curves.NewJittered(c.Activation, extra)
+	}
+	return out, nil
+}
+
+// WithDistance returns a copy of sys in which the named chain's base
+// inter-arrival distance (sporadic minimum distance, periodic period,
+// burst outer period) is replaced by d. Shrinking d makes the chain
+// arrive more often, i.e. interfere more.
+func WithDistance(sys *model.System, chain string, d curves.Time) (*model.System, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("sensitivity: distance %d must be ≥ 1", d)
+	}
+	out := sys.Clone()
+	c := out.ChainByName(chain)
+	if c == nil {
+		return nil, fmt.Errorf("sensitivity: no chain named %q", chain)
+	}
+	switch m := c.Activation.(type) {
+	case curves.Sporadic:
+		m.MinDistance = d
+		c.Activation = m
+	case curves.Periodic:
+		m.Period = d
+		if m.DMin > d {
+			m.DMin = d
+		}
+		c.Activation = m
+	case curves.Burst:
+		m.OuterPeriod = d
+		c.Activation = m
+	default:
+		return nil, fmt.Errorf("sensitivity: chain %q: activation %T has no base distance to perturb", chain, c.Activation)
+	}
+	return out, nil
+}
+
+// NominalDistance reports the base inter-arrival distance WithDistance
+// perturbs, and whether the chain's activation model has one.
+func NominalDistance(m curves.EventModel) (curves.Time, bool) {
+	switch v := m.(type) {
+	case curves.Sporadic:
+		return v.MinDistance, true
+	case curves.Periodic:
+		return v.Period, true
+	case curves.Burst:
+		return v.OuterPeriod, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,307 @@
+package sensitivity
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/twca"
+	"repro/internal/weaklyhard"
+)
+
+// verifies reports whether the constraint holds on sys (diverging
+// analyses count as a failed constraint, matching the engine's
+// predicate).
+func verifies(t *testing.T, sys *model.System, chain string, c weaklyhard.Constraint) bool {
+	t.Helper()
+	q := &query{
+		analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		},
+		chain: chain,
+		c:     c,
+		memo:  make(map[string]*memoEntry),
+	}
+	ok, err := q.holds(context.Background(), sys)
+	if err != nil {
+		t.Fatalf("holds: %v", err)
+	}
+	return ok
+}
+
+// TestSlackConsistency is the core property of the subsystem: scaling
+// the system to the reported slack keeps the constraint verified, and
+// one quantum beyond breaks it (unless the search hit its bracket
+// limit). Checked on the nominal Thales priorities and on shuffled
+// priority assignments.
+func TestSlackConsistency(t *testing.T) {
+	perms := [][]int{
+		nil, // nominal priorities
+		{12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 7, 1, 12, 5, 9, 0, 11, 2, 8, 4, 10, 6},
+	}
+	for pi, perm := range perms {
+		sys := casestudy.New()
+		if perm != nil {
+			var err error
+			sys, err = casestudy.WithPriorities(perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Anchor the constraint at each variant's own nominal dmm so the
+		// query is feasible for every priority assignment.
+		an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+		if err != nil {
+			t.Fatalf("perm %d: %v", pi, err)
+		}
+		dmm, err := an.DMM(10)
+		if err != nil {
+			t.Fatalf("perm %d: %v", pi, err)
+		}
+		if dmm.Value >= 10 {
+			continue // this permutation misses every deadline; no constraint to probe
+		}
+		c := weaklyhard.Constraint{M: dmm.Value, K: 10}
+		opts := Options{
+			Constraint: c,
+			// A task from the chain under analysis and one from an overload
+			// chain; the full per-task sweep is exercised in TestQueryThales.
+			Tasks: []string{"tau3c", "tau1b"},
+		}
+		res, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+		if err != nil {
+			t.Fatalf("perm %d: %v", pi, err)
+		}
+
+		checks := []struct {
+			name  string
+			task  string
+			slack Slack
+		}{{"uniform", "", res.Uniform}}
+		for _, ts := range res.Tasks {
+			checks = append(checks, struct {
+				name  string
+				task  string
+				slack Slack
+			}{"task " + ts.Task, ts.Task, ts.Slack})
+		}
+		for _, ch := range checks {
+			at := ScaleWCET(sys, ch.task, ch.slack.Scale, res.ScaleDenom)
+			if !verifies(t, at, "sigma_c", c) {
+				t.Errorf("perm %d: %s: constraint fails at reported slack %d/%d", pi, ch.name, ch.slack.Scale, res.ScaleDenom)
+			}
+			if !ch.slack.AtLimit {
+				beyond := ScaleWCET(sys, ch.task, ch.slack.Scale+1, res.ScaleDenom)
+				if verifies(t, beyond, "sigma_c", c) {
+					t.Errorf("perm %d: %s: constraint still holds one quantum beyond slack %d/%d", pi, ch.name, ch.slack.Scale, res.ScaleDenom)
+				}
+			}
+		}
+
+		for _, b := range res.Breakdown {
+			at, err := WithExtraJitter(sys, b.Chain, b.MaxExtraJitter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verifies(t, at, "sigma_c", c) {
+				t.Errorf("perm %d: chain %s: constraint fails at reported extra jitter %d", pi, b.Chain, b.MaxExtraJitter)
+			}
+			if !b.JitterAtLimit {
+				beyond, err := WithExtraJitter(sys, b.Chain, b.MaxExtraJitter+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if verifies(t, beyond, "sigma_c", c) {
+					t.Errorf("perm %d: chain %s: constraint survives jitter %d+1", pi, b.Chain, b.MaxExtraJitter)
+				}
+			}
+			if b.NominalDistance > 0 {
+				at, err := WithDistance(sys, b.Chain, b.MinDistance)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !verifies(t, at, "sigma_c", c) {
+					t.Errorf("perm %d: chain %s: constraint fails at reported min distance %d", pi, b.Chain, b.MinDistance)
+				}
+				if !b.DistanceAtLimit {
+					beyond, err := WithDistance(sys, b.Chain, b.MinDistance-1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if verifies(t, beyond, "sigma_c", c) {
+						t.Errorf("perm %d: chain %s: constraint survives distance %d-1", pi, b.Chain, b.MinDistance)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierMatchesDMM pins the frontier to independent dmm queries
+// and checks the monotonicity that makes it a frontier.
+func TestFrontierMatchesDMM(t *testing.T) {
+	sys := casestudy.New()
+	res, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, thalesOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	for _, p := range res.Frontier {
+		r, err := an.DMM(p.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MinM != r.Value {
+			t.Errorf("frontier k=%d: MinM = %d, direct dmm = %d", p.K, p.MinM, r.Value)
+		}
+		if p.MinM < prev {
+			t.Errorf("frontier not monotone at k=%d: %d < %d", p.K, p.MinM, prev)
+		}
+		prev = p.MinM
+	}
+}
+
+// TestSimulatorCrossCheck runs the discrete-event simulator on the
+// Thales system scaled to its reported uniform WCET slack: the bound is
+// an upper bound, so no simulated window may ever show more misses than
+// the constraint allows.
+func TestSimulatorCrossCheck(t *testing.T) {
+	sys := casestudy.New()
+	c := weaklyhard.Constraint{M: 5, K: 10}
+	res, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, Options{
+		Constraint: c,
+		Tasks:      []string{"tau3c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		sys  *model.System
+	}{
+		{"uniform-slack", ScaleWCET(sys, "", res.Uniform.Scale, res.ScaleDenom)},
+		{"task-slack", ScaleWCET(sys, "tau3c", res.Tasks[0].Scale, res.ScaleDenom)},
+	} {
+		r, err := sim.Run(tc.sys, sim.Config{Horizon: 1 << 17, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		st := r.Chains["sigma_c"]
+		if st == nil {
+			t.Fatalf("%s: no sigma_c stats", tc.name)
+		}
+		if got := st.WorstWindowMisses(int(c.K)); got > c.M {
+			t.Errorf("%s: simulation observed %d misses in a %d-window, bound allows %d", tc.name, got, c.K, c.M)
+		}
+	}
+	// Breakdown jitter cross-check: the perturbed system at max extra
+	// jitter must still respect the bound under simulation.
+	for _, b := range res.Breakdown {
+		jsys, err := WithExtraJitter(sys, b.Chain, b.MaxExtraJitter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(jsys, sim.Config{Horizon: 1 << 17, Seed: 11})
+		if err != nil {
+			t.Fatalf("jitter %s: %v", b.Chain, err)
+		}
+		if got := r.Chains["sigma_c"].WorstWindowMisses(int(c.K)); got > c.M {
+			t.Errorf("jitter %s: simulation observed %d misses in a %d-window, bound allows %d", b.Chain, got, c.K, c.M)
+		}
+	}
+}
+
+// TestPerturbationHelpers pins the perturbation primitives themselves.
+func TestPerturbationHelpers(t *testing.T) {
+	sys := casestudy.New()
+
+	// Identity scaling reproduces the system hash-for-hash: this is what
+	// lets nominal probes share cache entries with direct analyses.
+	h0, err := model.CanonicalHash(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := model.CanonicalHash(ScaleWCET(sys, "", 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != h1 {
+		t.Error("identity ScaleWCET changed the canonical hash")
+	}
+	z, err := WithExtraJitter(sys, "sigma_b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := model.CanonicalHash(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != h2 {
+		t.Error("zero WithExtraJitter changed the canonical hash")
+	}
+
+	// Perturbed systems stay hashable (the Jittered wrapper has a spec).
+	j, err := WithExtraJitter(sys, "sigma_b", 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.CanonicalHash(j); err != nil {
+		t.Errorf("jittered sporadic system not hashable: %v", err)
+	}
+	if err := j.Validate(); err != nil {
+		t.Errorf("jittered system invalid: %v", err)
+	}
+
+	// Scaling rounds up and clamps BCET.
+	s := ScaleWCET(sys, "tau3c", 1001, 1000)
+	tk := findTask(s, "tau3c")
+	if tk.WCET != 42 { // ⌈41·1001/1000⌉
+		t.Errorf("tau3c WCET scaled to %d, want 42", tk.WCET)
+	}
+	down := ScaleWCET(sys, "", 500, 1000)
+	if err := down.Validate(); err != nil {
+		t.Errorf("halved system invalid (BCET clamp broken?): %v", err)
+	}
+
+	// Distance perturbation touches only the named chain.
+	d, err := WithDistance(sys, "sigma_a", 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := NominalDistance(d.ChainByName("sigma_a").Activation); got != 350 {
+		t.Errorf("sigma_a distance = %d, want 350", got)
+	}
+	if got, _ := NominalDistance(d.ChainByName("sigma_b").Activation); got != 600 {
+		t.Errorf("sigma_b distance = %d, want 600 (untouched)", got)
+	}
+	if _, err := WithDistance(sys, "sigma_a", 0); err == nil {
+		t.Error("WithDistance accepted 0")
+	}
+	if _, err := WithExtraJitter(sys, "sigma_a", -1); err == nil {
+		t.Error("WithExtraJitter accepted a negative")
+	}
+
+	// Overflow saturates instead of wrapping.
+	if got := scaleTime(curves.Time(1<<62), 3, 1); !got.IsInf() {
+		t.Errorf("scaleTime overflow = %d, want Infinity", got)
+	}
+}
+
+func findTask(sys *model.System, name string) *model.Task {
+	for _, c := range sys.Chains {
+		for i := range c.Tasks {
+			if c.Tasks[i].Name == name {
+				return &c.Tasks[i]
+			}
+		}
+	}
+	return nil
+}

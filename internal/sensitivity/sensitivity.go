@@ -1,0 +1,592 @@
+// Package sensitivity answers the inverse of the paper's Theorem 3
+// question. A DMM analysis certifies a weakly-hard constraint (m, k)
+// for a chain — a yes/no artifact. Practitioners ask how far the system
+// is from the boundary: how much WCET headroom does the implementation
+// have, how much more overload jitter survives, which (m, k) points are
+// feasible at all. Each of those is a monotone predicate over perturbed
+// copies of the system ("does the constraint still verify after scaling
+// WCETs by s/denom?"), so one generic cancelable bisection driver
+// answers them all:
+//
+//   - WCET slack: the largest uniform (and per-task) scaling factor,
+//     in integer quanta of 1/ScaleDenom, such that the constraint still
+//     verifies. One quantum beyond the reported factor fails.
+//   - Breakdown jitter / distance: per overload chain, the largest
+//     extra release jitter — and the smallest base inter-arrival
+//     distance — the constraint survives.
+//   - (m, k) frontier: the minimal feasible m for each k in a range,
+//     i.e. dmm(k); everything on or above the frontier is guaranteed.
+//
+// The driver fans independent metrics out across the internal/parallel
+// pool and memoizes probe analyses per query, keyed by the perturbed
+// system's canonical content hash (model.CanonicalHash) — the identity
+// perturbation therefore shares its artifact with the nominal analysis,
+// and the analysis service plugs its content-addressed LRU in through
+// the AnalyzeFunc hook so probes are reused across queries and across
+// endpoints. Results are byte-identical for any worker count.
+package sensitivity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/twca"
+	"repro/internal/weaklyhard"
+)
+
+// ErrInfeasibleConstraint reports that the weakly-hard constraint does
+// not verify on the nominal (unperturbed) system: dmm(k) > m, so there
+// is no slack to measure. Query the (m, k) frontier to find the
+// constraints that are feasible.
+var ErrInfeasibleConstraint = errors.New("sensitivity: constraint is infeasible on the nominal system")
+
+// AnalyzeFunc produces the prepared DMM analysis of one (possibly
+// perturbed) system. The engine calls it once per distinct perturbed
+// system; nil selects twca.NewCtx directly. The analysis service
+// substitutes a function that routes probes through its
+// content-addressed artifact cache.
+//
+// hash is the system's canonical content hash (model.CanonicalHash),
+// computed once by the engine so caching layers can key on it without
+// re-serializing the system; it is empty when the system has no JSON
+// form (and is then uncacheable by content).
+type AnalyzeFunc func(ctx context.Context, sys *model.System, hash string, chain string, opts twca.Options) (*twca.Analysis, error)
+
+// Options tunes a sensitivity query. The zero value of every field but
+// Constraint selects the documented defaults.
+type Options struct {
+	// Constraint is the weakly-hard (m, k) requirement the query
+	// measures slack against. It must be valid (0 ≤ m < k).
+	Constraint weaklyhard.Constraint
+	// ScaleDenom is the denominator of WCET scaling factors: slack is
+	// reported as the largest integer numerator S such that scaling by
+	// S/ScaleDenom keeps the constraint verified (default 1000, i.e.
+	// per-mille quanta).
+	ScaleDenom int64
+	// MaxScale caps the numerator search (default 64·ScaleDenom). A
+	// result at the cap is reported with AtLimit.
+	MaxScale int64
+	// MaxJitter caps the breakdown-jitter search per overload chain
+	// (default: 64× the chain's nominal base distance).
+	MaxJitter curves.Time
+	// FrontierMaxK, when > 0, computes the (m, k) feasibility frontier
+	// for k in [1, FrontierMaxK].
+	FrontierMaxK int64
+	// Tasks names the tasks to compute per-task WCET slack for; nil
+	// selects every task in the system, in system order.
+	Tasks []string
+	// Workers bounds the parallel fan-out over independent metrics
+	// (≤ 0 selects runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+// frontierMaxKCap bounds FrontierMaxK: each frontier point is a dmm
+// query, and a runaway range would turn one request into millions of
+// solves.
+const frontierMaxKCap = 1 << 20
+
+// Validate rejects nonsensical option values with a descriptive error.
+func (o Options) Validate() error {
+	if !o.Constraint.Valid() {
+		return fmt.Errorf("sensitivity: options: invalid constraint %v: need 0 ≤ m < k", o.Constraint)
+	}
+	if o.ScaleDenom < 0 {
+		return fmt.Errorf("sensitivity: options: ScaleDenom %d is negative (0 selects the default 1000)", o.ScaleDenom)
+	}
+	if o.MaxScale < 0 {
+		return fmt.Errorf("sensitivity: options: MaxScale %d is negative (0 selects the default 64·ScaleDenom)", o.MaxScale)
+	}
+	if o.MaxJitter < 0 {
+		return fmt.Errorf("sensitivity: options: MaxJitter %d is negative (0 selects the default 64× nominal distance)", o.MaxJitter)
+	}
+	if o.FrontierMaxK < 0 {
+		return fmt.Errorf("sensitivity: options: FrontierMaxK %d is negative (0 skips the frontier)", o.FrontierMaxK)
+	}
+	if o.FrontierMaxK > frontierMaxKCap {
+		return fmt.Errorf("sensitivity: options: FrontierMaxK %d exceeds the limit %d", o.FrontierMaxK, frontierMaxKCap)
+	}
+	if o.MaxScale > 0 && o.ScaleDenom > 0 && o.MaxScale < o.ScaleDenom {
+		return fmt.Errorf("sensitivity: options: MaxScale %d is below ScaleDenom %d (scale 1.0)", o.MaxScale, o.ScaleDenom)
+	}
+	return nil
+}
+
+func (o Options) withDefaults() Options {
+	if o.ScaleDenom == 0 {
+		o.ScaleDenom = 1000
+	}
+	if o.MaxScale == 0 {
+		o.MaxScale = 64 * o.ScaleDenom
+	}
+	return o
+}
+
+// Slack is one WCET-scaling result: the largest numerator Scale such
+// that multiplying the scoped WCETs by Scale/ScaleDenom keeps the
+// constraint verified. Scaling by (Scale+1)/ScaleDenom fails unless
+// AtLimit reports that the search stopped at MaxScale with the
+// constraint still holding.
+type Slack struct {
+	Scale   int64
+	AtLimit bool
+}
+
+// TaskSlack is the per-task WCET slack of one task.
+type TaskSlack struct {
+	Task string
+	Slack
+}
+
+// Breakdown is the overload tolerance of one overload chain.
+type Breakdown struct {
+	// Chain names the overload chain whose event model was perturbed.
+	Chain string
+	// MaxExtraJitter is the largest additional release jitter on the
+	// chain's activation that keeps the constraint verified; one more
+	// time unit fails unless JitterAtLimit (search stopped at the
+	// MaxJitter bracket).
+	MaxExtraJitter curves.Time
+	JitterAtLimit  bool
+	// NominalDistance is the chain's base inter-arrival distance
+	// (sporadic minimum distance, periodic period, burst outer period)
+	// and MinDistance the smallest value of it that keeps the constraint
+	// verified; one time unit less fails unless DistanceAtLimit (the
+	// constraint survives even distance 1). Both are 0 when the
+	// activation model has no base distance to perturb.
+	NominalDistance curves.Time
+	MinDistance     curves.Time
+	DistanceAtLimit bool
+}
+
+// FrontierPoint is one point of the (m, k) feasibility frontier: MinM
+// is the smallest m such that (m, K) is guaranteed, i.e. dmm(K).
+type FrontierPoint struct {
+	K    int64
+	MinM int64
+}
+
+// Result is the outcome of one sensitivity query.
+type Result struct {
+	Chain      string
+	Constraint weaklyhard.Constraint
+	// NominalDMM is dmm(k) on the unperturbed system (≤ m, or the query
+	// would have failed with ErrInfeasibleConstraint).
+	NominalDMM int64
+	// ScaleDenom echoes the quantum denominator the Scale numerators in
+	// Uniform and Tasks refer to.
+	ScaleDenom int64
+	// Uniform is the system-wide WCET slack; Tasks the per-task slack in
+	// query order.
+	Uniform Slack
+	Tasks   []TaskSlack
+	// Breakdown holds the overload tolerances, one entry per overload
+	// chain in system order.
+	Breakdown []Breakdown
+	// Frontier is the (m, k) feasibility frontier for k in
+	// [1, FrontierMaxK]; nil when FrontierMaxK was 0.
+	Frontier []FrontierPoint
+	// Probes counts predicate evaluations (bracketing plus bisection
+	// steps) and Analyses the distinct perturbed-system analyses that
+	// backed them (the rest were answered by the per-query memo). Both
+	// are deterministic for a given query, independent of worker count
+	// and cache warmth.
+	Probes   int64
+	Analyses int64
+}
+
+// Engine runs sensitivity queries. The zero value analyzes directly
+// with twca.NewCtx; set Analyze to intercept probe analyses (the
+// analysis service routes them through its content-addressed cache).
+type Engine struct {
+	Analyze AnalyzeFunc
+}
+
+// Query measures the sensitivity of chain's weakly-hard constraint in
+// sys. aopts configures the underlying DMM analyses exactly as in
+// twca.New; opts selects the metrics and search brackets. The result is
+// deterministic: byte-identical for any Workers value and any cache
+// state behind Analyze.
+//
+// The constraint must verify on the nominal system, or the query fails
+// with an error wrapping ErrInfeasibleConstraint.
+func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopts twca.Options, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	target := sys.ChainByName(chain)
+	if target == nil {
+		return nil, fmt.Errorf("sensitivity: no chain named %q", chain)
+	}
+	q := &query{
+		analyze: e.Analyze,
+		sys:     sys,
+		chain:   chain,
+		aopts:   aopts,
+		c:       opts.Constraint,
+		memo:    make(map[string]*memoEntry),
+	}
+	if q.analyze == nil {
+		q.analyze = func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		}
+	}
+
+	// Nominal feasibility first: every bisection below brackets against
+	// the nominal system holding, and the memo retains this analysis for
+	// the identity probes of each search.
+	an, err := q.analysis(ctx, sys)
+	if err != nil {
+		return nil, err
+	}
+	nominal, err := an.DMMCtx(ctx, opts.Constraint.K)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Chain:      chain,
+		Constraint: opts.Constraint,
+		NominalDMM: nominal.Value,
+		ScaleDenom: opts.ScaleDenom,
+	}
+	if nominal.Value > opts.Constraint.M {
+		return nil, fmt.Errorf("sensitivity: chain %q: dmm(%d) = %d exceeds m = %d: %w",
+			chain, opts.Constraint.K, nominal.Value, opts.Constraint.M, ErrInfeasibleConstraint)
+	}
+
+	tasks := opts.Tasks
+	if tasks == nil {
+		for _, c := range sys.Chains {
+			for _, t := range c.Tasks {
+				tasks = append(tasks, t.Name)
+			}
+		}
+	} else {
+		for _, name := range tasks {
+			if !hasTask(sys, name) {
+				return nil, fmt.Errorf("sensitivity: no task named %q", name)
+			}
+		}
+	}
+	overload := sys.OverloadChains()
+	res.Tasks = make([]TaskSlack, len(tasks))
+	res.Breakdown = make([]Breakdown, len(overload))
+
+	// One job per independent metric; parallel.ForEach guarantees
+	// deterministic first-error selection and every job writes its own
+	// result slot, so the fan-out is invisible in the output.
+	var jobs []func(context.Context) error
+	jobs = append(jobs, func(ctx context.Context) error {
+		scale, atLimit, err := maxTrue(ctx, opts.ScaleDenom, opts.MaxScale, func(ctx context.Context, s int64) (bool, error) {
+			return q.holds(ctx, ScaleWCET(sys, "", s, opts.ScaleDenom))
+		})
+		res.Uniform = Slack{Scale: scale, AtLimit: atLimit}
+		return err
+	})
+	if opts.FrontierMaxK > 0 {
+		jobs = append(jobs, func(ctx context.Context) error {
+			an, err := q.analysis(ctx, sys) // memo hit
+			if err != nil {
+				return err
+			}
+			res.Frontier = make([]FrontierPoint, 0, opts.FrontierMaxK)
+			for k := int64(1); k <= opts.FrontierMaxK; k++ {
+				r, err := an.DMMCtx(ctx, k)
+				if err != nil {
+					return err
+				}
+				res.Frontier = append(res.Frontier, FrontierPoint{K: k, MinM: r.Value})
+			}
+			return nil
+		})
+	}
+	for i, name := range tasks {
+		i, name := i, name
+		jobs = append(jobs, func(ctx context.Context) error {
+			scale, atLimit, err := maxTrue(ctx, opts.ScaleDenom, opts.MaxScale, func(ctx context.Context, s int64) (bool, error) {
+				return q.holds(ctx, ScaleWCET(sys, name, s, opts.ScaleDenom))
+			})
+			res.Tasks[i] = TaskSlack{Task: name, Slack: Slack{Scale: scale, AtLimit: atLimit}}
+			return err
+		})
+	}
+	for i, oc := range overload {
+		i, oc := i, oc
+		jobs = append(jobs, func(ctx context.Context) error {
+			b, err := q.breakdown(ctx, oc, opts)
+			res.Breakdown[i] = b
+			return err
+		})
+	}
+	if err := parallel.ForEach(opts.Workers, len(jobs), func(i int) error { return jobs[i](ctx) }); err != nil {
+		return nil, err
+	}
+	res.Probes = q.probes.Load()
+	res.Analyses = q.analyses.Load()
+	return res, nil
+}
+
+// breakdown measures one overload chain's jitter and distance
+// tolerance.
+func (q *query) breakdown(ctx context.Context, oc *model.Chain, opts Options) (Breakdown, error) {
+	b := Breakdown{Chain: oc.Name}
+	d0, hasDistance := NominalDistance(oc.Activation)
+
+	maxJ := opts.MaxJitter
+	if maxJ == 0 {
+		if hasDistance {
+			maxJ = curves.MulSat(d0, 64)
+		}
+		if maxJ == 0 || maxJ.IsInf() {
+			maxJ = 1 << 40
+		}
+	}
+	j, atLimit, err := maxTrue(ctx, 0, int64(maxJ), func(ctx context.Context, x int64) (bool, error) {
+		psys, err := WithExtraJitter(q.sys, oc.Name, curves.Time(x))
+		if err != nil {
+			return false, err
+		}
+		return q.holds(ctx, psys)
+	})
+	if err != nil {
+		return b, err
+	}
+	b.MaxExtraJitter, b.JitterAtLimit = curves.Time(j), atLimit
+
+	if hasDistance {
+		b.NominalDistance = d0
+		d, atLimit, err := minTrue(ctx, 1, int64(d0), func(ctx context.Context, x int64) (bool, error) {
+			psys, err := WithDistance(q.sys, oc.Name, curves.Time(x))
+			if err != nil {
+				return false, err
+			}
+			return q.holds(ctx, psys)
+		})
+		if err != nil {
+			return b, err
+		}
+		b.MinDistance, b.DistanceAtLimit = curves.Time(d), atLimit
+	}
+	return b, nil
+}
+
+// query is the shared state of one Query call: the probe memo and the
+// effort counters.
+type query struct {
+	analyze AnalyzeFunc
+	sys     *model.System
+	chain   string
+	aopts   twca.Options
+	c       weaklyhard.Constraint
+
+	probes   atomic.Int64
+	analyses atomic.Int64
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+}
+
+// memoEntry is one in-flight or completed probe analysis; followers
+// wait on done instead of re-running the analysis.
+type memoEntry struct {
+	done chan struct{}
+	an   *twca.Analysis
+	err  error
+}
+
+// analysis returns the prepared DMM analysis of sys, computing each
+// distinct system (by canonical content hash) at most once per query.
+// Unhashable systems (programmatic event models without a JSON spec)
+// are analyzed directly, uncached.
+func (q *query) analysis(ctx context.Context, sys *model.System) (*twca.Analysis, error) {
+	key, err := model.CanonicalHash(sys)
+	if err != nil {
+		q.analyses.Add(1)
+		return q.analyze(ctx, sys, "", q.chain, q.aopts)
+	}
+	q.mu.Lock()
+	if e, ok := q.memo[key]; ok {
+		q.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.an, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	q.memo[key] = e
+	q.mu.Unlock()
+	q.analyses.Add(1)
+	e.an, e.err = q.analyze(ctx, sys, key, q.chain, q.aopts)
+	close(e.done)
+	return e.an, e.err
+}
+
+// holds is the monotone predicate every metric bisects: does the
+// constraint still verify on the perturbed system? A perturbation that
+// breaks the busy-window analysis outright (diverged fixed point, no
+// closing window) is a definite "no", not an error.
+func (q *query) holds(ctx context.Context, sys *model.System) (bool, error) {
+	q.probes.Add(1)
+	an, err := q.analysis(ctx, sys)
+	if err != nil {
+		if errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded) {
+			return false, nil
+		}
+		return false, err
+	}
+	r, err := an.DMMCtx(ctx, q.c.K)
+	if err != nil {
+		return false, err
+	}
+	return r.Value <= q.c.M, nil
+}
+
+// maxTrue returns the largest x in [lo, hi] with pred(x) true, given
+// that pred(lo) is true and pred is monotone (true up to some boundary,
+// false beyond). It brackets by exponential steps from lo, then bisects;
+// atLimit reports that pred still held at hi. The invariant pred(result)
+// ∧ ¬pred(result+1) holds on return whenever atLimit is false — even if
+// pred is not perfectly monotone, the returned point sits on a genuine
+// boundary.
+func maxTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64) (bool, error)) (x int64, atLimit bool, err error) {
+	if hi <= lo {
+		return lo, true, nil
+	}
+	good, step, bad := lo, int64(1), int64(-1)
+	for good < hi {
+		next := good + step
+		if next > hi || next < good { // clamp, guard overflow
+			next = hi
+		}
+		ok, err := pred(ctx, next)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			bad = next
+			break
+		}
+		good = next
+		if step < 1<<61 {
+			step *= 2
+		}
+	}
+	if bad < 0 {
+		return hi, true, nil
+	}
+	for bad-good > 1 {
+		mid := good + (bad-good)/2
+		ok, err := pred(ctx, mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			good = mid
+		} else {
+			bad = mid
+		}
+	}
+	return good, false, nil
+}
+
+// minTrue is the mirror of maxTrue: the smallest x in [lo, hi] with
+// pred(x) true, given that pred(hi) is true; atLimit reports that pred
+// held all the way down at lo.
+func minTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64) (bool, error)) (x int64, atLimit bool, err error) {
+	if hi <= lo {
+		return hi, true, nil
+	}
+	good, step, bad := hi, int64(1), int64(-1)
+	for good > lo {
+		next := good - step
+		if next < lo || next > good {
+			next = lo
+		}
+		ok, err := pred(ctx, next)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			bad = next
+			break
+		}
+		good = next
+		if step < 1<<61 {
+			step *= 2
+		}
+	}
+	if bad < 0 {
+		return lo, true, nil
+	}
+	for good-bad > 1 {
+		mid := bad + (good-bad)/2
+		ok, err := pred(ctx, mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			good = mid
+		} else {
+			bad = mid
+		}
+	}
+	return good, false, nil
+}
+
+func hasTask(sys *model.System, name string) bool {
+	for _, c := range sys.Chains {
+		for _, t := range c.Tasks {
+			if t.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Memoize wraps an AnalyzeFunc in a content-addressed memo that
+// persists across queries (the engine's own memo is per query).
+// cmd/twca-sensitivity uses it to make repeated queries in one process
+// cheap, mirroring what the analysis service's artifact cache does
+// across requests. Unhashable systems bypass the memo. A nil inner
+// memoizes direct twca.NewCtx analyses.
+func Memoize(inner AnalyzeFunc) AnalyzeFunc {
+	if inner == nil {
+		inner = func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		}
+	}
+	var mu sync.Mutex
+	m := make(map[string]*memoEntry)
+	return func(ctx context.Context, sys *model.System, hash string, chain string, opts twca.Options) (*twca.Analysis, error) {
+		if hash == "" {
+			return inner(ctx, sys, hash, chain, opts)
+		}
+		key := hash + "|" + chain + "|" + fmt.Sprintf("%+v", opts)
+		mu.Lock()
+		if e, ok := m[key]; ok {
+			mu.Unlock()
+			select {
+			case <-e.done:
+				return e.an, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		m[key] = e
+		mu.Unlock()
+		e.an, e.err = inner(ctx, sys, hash, chain, opts)
+		close(e.done)
+		return e.an, e.err
+	}
+}

@@ -25,13 +25,16 @@ func errNegative(field string, v int64) error {
 // of repro.Options/LatencyOptions with snake_case keys. Zero values
 // select the library defaults.
 type reqOptions struct {
-	MaxCombinations int   `json:"max_combinations,omitempty"`
-	ExactCriterion  bool  `json:"exact_criterion,omitempty"`
-	Flat            bool  `json:"flat,omitempty"`
-	NoCarryIn       bool  `json:"no_carry_in,omitempty"`
-	MaxQ            int64 `json:"max_q,omitempty"`
-	Horizon         int64 `json:"horizon,omitempty"`
-	MaxIterations   int   `json:"max_iterations,omitempty"`
+	MaxCombinations int  `json:"max_combinations,omitempty"`
+	ExactCriterion  bool `json:"exact_criterion,omitempty"`
+	Flat            bool `json:"flat,omitempty"`
+	// Baseline requests the chain-agnostic baseline analysis of §VI
+	// (every task its own chain); equivalent to Flat.
+	Baseline      bool  `json:"baseline,omitempty"`
+	NoCarryIn     bool  `json:"no_carry_in,omitempty"`
+	MaxQ          int64 `json:"max_q,omitempty"`
+	Horizon       int64 `json:"horizon,omitempty"`
+	MaxIterations int   `json:"max_iterations,omitempty"`
 }
 
 func (o reqOptions) latency() repro.LatencyOptions {
@@ -47,6 +50,7 @@ func (o reqOptions) twca() repro.Options {
 		MaxCombinations: o.MaxCombinations,
 		ExactCriterion:  o.ExactCriterion,
 		Flat:            o.Flat,
+		Baseline:        o.Baseline,
 		NoCarryIn:       o.NoCarryIn,
 		Latency:         o.latency(),
 	}
@@ -74,13 +78,44 @@ type analyzeRequest struct {
 	// Constraints are the weakly-hard (m, k) requirements to verify
 	// (verify endpoint only).
 	Constraints []wireConstraint `json:"constraints,omitempty"`
-	Options     reqOptions       `json:"options"`
+	// Sensitivity carries the sensitivity-query parameters (sensitivity
+	// endpoint only).
+	Sensitivity *reqSensitivity `json:"sensitivity,omitempty"`
+	Options     reqOptions      `json:"options"`
 }
 
 type wireConstraint struct {
 	M int64 `json:"m"`
 	K int64 `json:"k"`
 }
+
+// reqSensitivity is the wire form of the sensitivity options: the
+// weakly-hard constraint to defend plus the search bounds of
+// repro.SensitivityOptions. Zero values select the library defaults.
+type reqSensitivity struct {
+	M            int64    `json:"m"`
+	K            int64    `json:"k"`
+	FrontierMaxK int64    `json:"frontier_max_k,omitempty"`
+	ScaleDenom   int64    `json:"scale_denom,omitempty"`
+	MaxScale     int64    `json:"max_scale,omitempty"`
+	MaxJitter    int64    `json:"max_jitter,omitempty"`
+	Tasks        []string `json:"tasks,omitempty"`
+}
+
+func (rs reqSensitivity) options() repro.SensitivityOptions {
+	return repro.SensitivityOptions{
+		Constraint:   repro.Constraint{M: rs.M, K: rs.K},
+		ScaleDenom:   rs.ScaleDenom,
+		MaxScale:     rs.MaxScale,
+		MaxJitter:    repro.Time(rs.MaxJitter),
+		FrontierMaxK: rs.FrontierMaxK,
+		Tasks:        rs.Tasks,
+	}
+}
+
+// fingerprint is the sensitivity part of the cache key; like reqOptions,
+// %+v is a stable, total rendering.
+func (rs reqSensitivity) fingerprint() string { return fmt.Sprintf("%+v", rs) }
 
 // system materializes the request's system description and its
 // canonical content hash.
@@ -134,6 +169,8 @@ func classify(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "too_many_combinations"
 	case errors.Is(err, repro.ErrUnschedulable):
 		return http.StatusUnprocessableEntity, "unschedulable"
+	case errors.Is(err, repro.ErrInfeasibleConstraint):
+		return http.StatusUnprocessableEntity, "infeasible_constraint"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, repro.ErrCanceled) || errors.Is(err, context.Canceled):
@@ -195,7 +232,7 @@ func (s *Server) dmmArtifact(ctx context.Context, req *analyzeRequest, sys *repr
 		}
 		defer s.gate.Release()
 		t0 := time.Now()
-		an, err := repro.AnalyzeDMMCtx(fctx, sys, req.Chain, opts)
+		an, err := repro.AnalysisRequest{System: sys, Chain: req.Chain, Options: opts}.DMM(fctx)
 		s.met.observeAnalysis("dmm", time.Since(t0))
 		return an, err
 	})
@@ -274,14 +311,14 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	key := "latency|" + hash + "|" + req.Chain + "|" + req.Options.fingerprint()
-	opts := req.Options.latency()
+	opts := req.Options.twca()
 	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
 		if err := s.gate.Acquire(fctx); err != nil {
 			return nil, err
 		}
 		defer s.gate.Release()
 		t0 := time.Now()
-		res, err := repro.AnalyzeLatencyCtx(fctx, sys, req.Chain, opts)
+		res, err := repro.AnalysisRequest{System: sys, Chain: req.Chain, Options: opts}.Latency(fctx)
 		s.met.observeAnalysis("latency", time.Since(t0))
 		return res, err
 	})
@@ -358,6 +395,95 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.request("verify", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// sensitivityResponse is schema.Sensitivity plus service envelope
+// fields.
+type sensitivityResponse struct {
+	schema.Sensitivity
+	SystemHash string  `json:"system_hash"`
+	Cache      string  `json:"cache"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// probeAnalyze builds the AnalyzeFunc a sensitivity query's probes run
+// through: each perturbed system is addressed in the shared artifact
+// cache under the same "dmm|hash|chain|options" key scheme as the DMM
+// endpoint, so the nominal probe reuses (and seeds) /v1/analyze/dmm
+// artifacts and probes shared between overlapping sensitivity queries
+// are computed once. Cache misses take an admission slot like any other
+// analysis; probes on unhashable perturbations bypass the cache.
+func (s *Server) probeAnalyze(optfp string) repro.ProbeFunc {
+	return func(ctx context.Context, sys *repro.System, hash, chain string, opts repro.Options) (*repro.Analysis, error) {
+		run := func(fctx context.Context) (any, error) {
+			if err := s.gate.Acquire(fctx); err != nil {
+				return nil, err
+			}
+			defer s.gate.Release()
+			return repro.AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMM(fctx)
+		}
+		if hash == "" {
+			s.met.sensitivityProbe("")
+			val, err := run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return val.(*repro.Analysis), nil
+		}
+		val, state, err := s.cache.do(ctx, "dmm|"+hash+"|"+chain+"|"+optfp, run)
+		s.met.sensitivityProbe(state)
+		if err != nil {
+			return nil, err
+		}
+		return val.(*repro.Analysis), nil
+	}
+}
+
+func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req analyzeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, "sensitivity", err)
+		return
+	}
+	if req.Sensitivity == nil {
+		s.fail(w, "sensitivity", badRequestError{fmt.Errorf("request needs a sensitivity block")})
+		return
+	}
+	sys, hash, err := req.system()
+	if err != nil {
+		s.fail(w, "sensitivity", badRequestError{err})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	// The whole result is cached under the query fingerprint; the gate is
+	// taken per probe inside probeAnalyze, not here, so a query's fan-out
+	// cannot deadlock against its own admission slot.
+	optfp := req.Options.fingerprint()
+	key := "sens|" + hash + "|" + req.Chain + "|" + optfp + "|" + req.Sensitivity.fingerprint()
+	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+		t0 := time.Now()
+		res, err := repro.AnalysisRequest{System: sys, Chain: req.Chain, Options: req.Options.twca()}.
+			SensitivityWith(fctx, req.Sensitivity.options(), s.probeAnalyze(optfp))
+		s.met.observeAnalysis("sensitivity", time.Since(t0))
+		if err == nil {
+			s.met.addBisectionSteps(res.Probes)
+		}
+		return res, err
+	})
+	s.met.cacheOutcome(state)
+	if err != nil {
+		s.fail(w, "sensitivity", err)
+		return
+	}
+	s.met.request("sensitivity", http.StatusOK)
+	s.writeJSON(w, http.StatusOK, sensitivityResponse{
+		Sensitivity: schema.FromSensitivity(val.(*repro.SensitivityResult)),
+		SystemHash:  hash,
+		Cache:       state,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -26,7 +26,17 @@ type metrics struct {
 	// ilpNodes accumulates branch-and-bound nodes across all DMM
 	// queries — the "how hard is the solver working" counter.
 	ilpNodes int64
-	// analysis duration histograms by kind ("dmm", "latency").
+	// sensitivity effort: bisectionSteps accumulates predicate
+	// evaluations across sensitivity queries, sensProbes the
+	// perturbed-system analyses they requested, and the probe cache
+	// counters split those by how the shared artifact cache answered
+	// (probes on unhashable perturbations bypass the cache and appear in
+	// no outcome bucket).
+	bisectionSteps                         int64
+	sensProbes                             int64
+	probeHits, probeMisses, probeCoalesced int64
+	// analysis duration histograms by kind ("dmm", "latency",
+	// "sensitivity").
 	durations map[string]*histogram
 	// inflight is sampled from the admission gate at scrape time.
 	inflight func() int
@@ -100,6 +110,29 @@ func (m *metrics) addILPNodes(n int64) {
 	m.ilpNodes += n
 }
 
+// sensitivityProbe accounts one perturbed-system analysis requested by a
+// sensitivity query; state is the artifact-cache outcome, or "" when the
+// probe bypassed the cache.
+func (m *metrics) sensitivityProbe(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sensProbes++
+	switch state {
+	case cacheHit:
+		m.probeHits++
+	case cacheMiss:
+		m.probeMisses++
+	case cacheCoalesced:
+		m.probeCoalesced++
+	}
+}
+
+func (m *metrics) addBisectionSteps(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bisectionSteps += n
+}
+
 // hitRatio returns hits / (hits + misses + coalesced), or 0 before any
 // cacheable request.
 func (m *metrics) hitRatio() float64 {
@@ -158,6 +191,20 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP twca_ilp_nodes_total Branch-and-bound nodes explored by DMM queries.\n")
 	fmt.Fprintf(w, "# TYPE twca_ilp_nodes_total counter\n")
 	fmt.Fprintf(w, "twca_ilp_nodes_total %d\n", m.ilpNodes)
+
+	fmt.Fprintf(w, "# HELP twca_sensitivity_bisection_steps_total Predicate evaluations across sensitivity bisection searches.\n")
+	fmt.Fprintf(w, "# TYPE twca_sensitivity_bisection_steps_total counter\n")
+	fmt.Fprintf(w, "twca_sensitivity_bisection_steps_total %d\n", m.bisectionSteps)
+
+	fmt.Fprintf(w, "# HELP twca_sensitivity_probes_total Perturbed-system analyses requested by sensitivity queries.\n")
+	fmt.Fprintf(w, "# TYPE twca_sensitivity_probes_total counter\n")
+	fmt.Fprintf(w, "twca_sensitivity_probes_total %d\n", m.sensProbes)
+
+	fmt.Fprintf(w, "# HELP twca_sensitivity_probe_cache_total Sensitivity probe lookups in the shared artifact cache by outcome.\n")
+	fmt.Fprintf(w, "# TYPE twca_sensitivity_probe_cache_total counter\n")
+	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"hit\"} %d\n", m.probeHits)
+	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"miss\"} %d\n", m.probeMisses)
+	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"coalesced\"} %d\n", m.probeCoalesced)
 
 	if m.inflight != nil {
 		fmt.Fprintf(w, "# HELP twca_analyses_inflight Analyses currently holding an admission slot.\n")

@@ -2,7 +2,9 @@
 // behind cmd/twca-serve: an HTTP/JSON API (versioned under /v1/) that
 // accepts a system description (native JSON or the DSL), runs the
 // latency / deadline-miss-model / weakly-hard-verify analyses of the
-// paper, and answers dmm(k) and breakpoint-sweep queries.
+// paper plus sensitivity queries (WCET slack, breakdown jitter and
+// distance, (m,k) frontiers), and answers dmm(k) and breakpoint-sweep
+// queries.
 //
 // Three properties make it a service rather than a CGI wrapper around
 // the library:
@@ -121,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux.HandleFunc("POST /v1/analyze/dmm", s.handleDMM)
 	s.mux.HandleFunc("POST /v1/analyze/latency", s.handleLatency)
+	s.mux.HandleFunc("POST /v1/analyze/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -323,6 +323,164 @@ func TestRepeatQuerySpeedup(t *testing.T) {
 	}
 }
 
+func TestSensitivityEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c",
+		Sensitivity: &reqSensitivity{M: 5, K: 10, FrontierMaxK: 20}}
+
+	status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %v", status, doc)
+	}
+	if doc["cache"] != "miss" {
+		t.Errorf("first query cache = %v, want miss", doc["cache"])
+	}
+	if doc["nominal_dmm"].(float64) != 5 || doc["uniform_scale"].(float64) != 1000 {
+		t.Errorf("nominal_dmm/uniform_scale = %v/%v, want 5/1000", doc["nominal_dmm"], doc["uniform_scale"])
+	}
+	if n := len(doc["frontier"].([]any)); n != 20 {
+		t.Errorf("frontier has %d points, want 20", n)
+	}
+	if n := len(doc["breakdown"].([]any)); n != 2 {
+		t.Errorf("breakdown has %d overload chains, want 2", n)
+	}
+	if n := len(doc["tasks"].([]any)); n != len(casestudy.TaskOrder) {
+		t.Errorf("tasks has %d entries, want %d", n, len(casestudy.TaskOrder))
+	}
+
+	// Repeat query: served from cache, byte-identical analysis fields —
+	// including the probe counters, which are deterministic per query.
+	status2, doc2 := post(t, ts.URL+"/v1/analyze/sensitivity", req)
+	if status2 != http.StatusOK || doc2["cache"] != "hit" {
+		t.Fatalf("repeat = (%d, cache %v), want (200, hit)", status2, doc2["cache"])
+	}
+	for _, field := range []string{"uniform_scale", "tasks", "breakdown", "frontier", "probes", "analyses", "system_hash"} {
+		if !reflect.DeepEqual(doc[field], doc2[field]) {
+			t.Errorf("cache warmth leaked into %q: cold %v, warm %v", field, doc[field], doc2[field])
+		}
+	}
+}
+
+// TestSensitivityRepeatSpeedup pins the acceptance criterion: a repeat
+// of an identical sensitivity query must be at least 5x faster than the
+// cold one (the whole result is a single cache hit).
+func TestSensitivityRepeatSpeedup(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c",
+		Sensitivity: &reqSensitivity{M: 5, K: 10, FrontierMaxK: 20}}
+
+	t0 := time.Now()
+	status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", req)
+	cold := time.Since(t0)
+	if status != http.StatusOK {
+		t.Fatalf("cold query = %d: %v", status, doc["error"])
+	}
+
+	warm := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ { // best of 3 smooths scheduler noise
+		t1 := time.Now()
+		status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", req)
+		if d := time.Since(t1); d < warm {
+			warm = d
+		}
+		if status != http.StatusOK || doc["cache"] != "hit" {
+			t.Fatalf("warm query = (%d, cache %v)", status, doc["cache"])
+		}
+	}
+	if cold < 5*warm {
+		t.Errorf("repeat sensitivity query not >=5x faster: cold %v, warm %v (%.1fx)",
+			cold, warm, float64(cold)/float64(warm))
+	}
+}
+
+// TestSensitivityProbeReuse: a second sensitivity query against the same
+// system with a different constraint shares probe artifacts (same
+// perturbed systems, same analysis options) through the artifact cache.
+func TestSensitivityProbeReuse(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	base := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c",
+		Sensitivity: &reqSensitivity{M: 5, K: 10, Tasks: []string{"tau3c"}}}
+	if status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", base); status != http.StatusOK {
+		t.Fatalf("first query = %d: %v", status, doc["error"])
+	}
+	svc.met.mu.Lock()
+	hitsBefore := svc.met.probeHits
+	svc.met.mu.Unlock()
+
+	other := base
+	other.Sensitivity = &reqSensitivity{M: 6, K: 12, Tasks: []string{"tau3c"}}
+	if status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", other); status != http.StatusOK {
+		t.Fatalf("second query = %d: %v", status, doc["error"])
+	}
+	svc.met.mu.Lock()
+	hitsAfter := svc.met.probeHits
+	svc.met.mu.Unlock()
+	if hitsAfter <= hitsBefore {
+		t.Errorf("second query reused no probe artifacts (hits %d -> %d)", hitsBefore, hitsAfter)
+	}
+}
+
+func TestSensitivityErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	thales := thalesJSON(t)
+	tests := []struct {
+		name   string
+		req    analyzeRequest
+		status int
+		kind   string
+	}{
+		{"missing block",
+			analyzeRequest{System: thales, Chain: "sigma_c"},
+			http.StatusBadRequest, "bad_request"},
+		{"infeasible constraint",
+			analyzeRequest{System: thales, Chain: "sigma_c", Sensitivity: &reqSensitivity{M: 2, K: 10}},
+			http.StatusUnprocessableEntity, "infeasible_constraint"},
+		{"invalid constraint",
+			analyzeRequest{System: thales, Chain: "sigma_c", Sensitivity: &reqSensitivity{M: 10, K: 10}},
+			http.StatusBadRequest, "invalid_options"},
+		{"negative denominator",
+			analyzeRequest{System: thales, Chain: "sigma_c", Sensitivity: &reqSensitivity{M: 5, K: 10, ScaleDenom: -1}},
+			http.StatusBadRequest, "invalid_options"},
+		{"unknown task",
+			analyzeRequest{System: thales, Chain: "sigma_c", Sensitivity: &reqSensitivity{M: 5, K: 10, Tasks: []string{"nope"}}},
+			http.StatusBadRequest, "invalid_options"},
+		{"unknown chain",
+			analyzeRequest{System: thales, Chain: "nope", Sensitivity: &reqSensitivity{M: 5, K: 10}},
+			http.StatusNotFound, "no_chain"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", tt.req)
+			if status != tt.status || doc["kind"] != tt.kind {
+				t.Errorf("= (%d, kind %v), want (%d, %q); error: %v",
+					status, doc["kind"], tt.status, tt.kind, doc["error"])
+			}
+		})
+	}
+}
+
+// TestBaselineThroughDMM: the baseline option reaches the analysis and
+// is part of the cache identity.
+func TestBaselineThroughDMM(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	thales := thalesJSON(t)
+	aware := analyzeRequest{System: thales, Chain: "sigma_d", K: []int64{10}}
+	baseline := analyzeRequest{System: thales, Chain: "sigma_d", K: []int64{10},
+		Options: reqOptions{Baseline: true}}
+
+	_, awareDoc := post(t, ts.URL+"/v1/analyze/dmm", aware)
+	status, baseDoc := post(t, ts.URL+"/v1/analyze/dmm", baseline)
+	if status != http.StatusOK {
+		t.Fatalf("baseline query = %d: %v", status, baseDoc["error"])
+	}
+	if baseDoc["cache"] != "miss" {
+		t.Errorf("baseline after chain-aware = cache %v, want miss (distinct artifact)", baseDoc["cache"])
+	}
+	if b, a := baseDoc["wcl"].(float64), awareDoc["wcl"].(float64); b <= a {
+		t.Errorf("baseline WCL %v should exceed chain-aware %v on sigma_d", b, a)
+	}
+}
+
 func TestHealthzAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -341,6 +499,8 @@ func TestHealthzAndMetrics(t *testing.T) {
 	post(t, ts.URL+"/v1/analyze/dmm", req)
 	post(t, ts.URL+"/v1/analyze/dmm", req)
 	post(t, ts.URL+"/v1/analyze/dmm", analyzeRequest{System: thalesJSON(t), Chain: "nope"})
+	post(t, ts.URL+"/v1/analyze/sensitivity", analyzeRequest{System: thalesJSON(t), Chain: "sigma_c",
+		Sensitivity: &reqSensitivity{M: 5, K: 10, Tasks: []string{"tau3c"}}})
 
 	resp, err = http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -352,14 +512,18 @@ func TestHealthzAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		`twca_requests_total{endpoint="dmm",status="200"} 2`,
 		`twca_requests_total{endpoint="dmm",status="404"} 1`,
-		// 3 lookups: cold sigma_c (miss), repeat (hit), and the failed
-		// "nope" analysis (miss — errors are never cached).
-		`twca_cache_requests_total{outcome="hit"} 1`,
-		`twca_cache_requests_total{outcome="miss"} 2`,
-		"twca_cache_hit_ratio 0.333",
+		`twca_requests_total{endpoint="sensitivity",status="200"} 1`,
+		"twca_cache_hit_ratio",
 		"twca_ilp_nodes_total",
 		"twca_analyses_inflight 0",
-		`twca_analysis_duration_seconds_count{kind="dmm"} 2`,
+		`twca_analysis_duration_seconds_count{kind="dmm"}`,
+		`twca_analysis_duration_seconds_count{kind="sensitivity"} 1`,
+		// The sensitivity query's nominal probe hits the artifact the DMM
+		// endpoint cached (same key scheme); its perturbed probes miss.
+		`twca_sensitivity_probe_cache_total{outcome="hit"}`,
+		`twca_sensitivity_probe_cache_total{outcome="miss"}`,
+		"twca_sensitivity_probes_total",
+		"twca_sensitivity_bisection_steps_total",
 		"twca_uptime_seconds",
 	} {
 		if !strings.Contains(text, want) {
@@ -383,6 +547,8 @@ func TestMixedParallelQueries(t *testing.T) {
 		{"/v1/analyze/latency", analyzeRequest{System: thales, Chain: "sigma_d"}},
 		{"/v1/analyze/latency", analyzeRequest{System: thales, Chain: "sigma_c"}},
 		{"/v1/verify", analyzeRequest{System: thales, Chain: "sigma_c", Constraints: []wireConstraint{{M: 5, K: 10}}}},
+		{"/v1/analyze/sensitivity", analyzeRequest{System: thales, Chain: "sigma_c",
+			Sensitivity: &reqSensitivity{M: 5, K: 10, Tasks: []string{"tau3c"}}}},
 	}
 
 	const workers, rounds = 8, 5

@@ -48,6 +48,13 @@ type Options struct {
 	// Flat switches to the structure-blind segment view of classic
 	// independent-task TWCA (see Baseline).
 	Flat bool
+	// Baseline is the option-surface spelling of the structure-blind
+	// baseline abstraction: it implies Flat and exists so callers that
+	// carry options across an API boundary (the facade's
+	// AnalysisRequest, the analysis service's wire options) can request
+	// baseline mode without a second entry point. Setting either flag
+	// yields the identical analysis.
+	Baseline bool
 	// ExactCriterion uses the per-combination busy-window fixed point
 	// of Equation (3) to classify combinations instead of the cheaper
 	// sufficient slack criterion of Equation (5). The exact criterion
@@ -74,13 +81,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxCombinations <= 0 {
 		o.MaxCombinations = 1 << 16
 	}
+	if o.Baseline {
+		o.Flat = true
+	}
 	o.Latency.ExcludeOverload = false
 	return o
 }
 
 // Validate rejects nonsensical option values with a descriptive error.
 // Zero values are fine (they select the documented defaults); the
-// nested latency options are validated too.
+// nested latency options are validated too. Baseline and Flat may be
+// set together — they request the same abstraction and never conflict.
 func (o Options) Validate() error {
 	if o.MaxCombinations < 0 {
 		return fmt.Errorf("twca: options: MaxCombinations %d is negative (0 selects the default 1<<16)", o.MaxCombinations)

@@ -44,9 +44,19 @@
 // ErrNoDeadline (DMM analysis of a deadline-free chain),
 // ErrTooManyCombinations (the Def. 9 combination space exceeds
 // Options.MaxCombinations), ErrUnschedulable (the busy-window analysis
-// cannot close — the priority level is overloaded), and ErrCanceled
+// cannot close — the priority level is overloaded),
+// ErrInfeasibleConstraint (a sensitivity query whose constraint fails
+// already on the nominal system), ErrInvalidOptions, and ErrCanceled
 // (see above). Messages keep the full detail; the sentinels make the
 // classes programmatic.
+//
+// # Requests
+//
+// AnalysisRequest bundles the inputs every analysis shares — system,
+// target chain, options — and carries methods for each analysis kind
+// (DMM, Latency, Sensitivity). The per-kind functions remain as thin
+// wrappers; new code should prefer the request form, which validates
+// once and keeps call sites uniform across the service, CLI and tests.
 //
 // # Options
 //
@@ -73,6 +83,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/sensitivity"
 	"repro/internal/sim"
 	"repro/internal/twca"
 	"repro/internal/weaklyhard"
@@ -100,9 +111,14 @@ var (
 	// ErrCanceled reports that a context ended the analysis early; the
 	// chain also matches context.Canceled or context.DeadlineExceeded.
 	ErrCanceled = errors.New("repro: analysis canceled")
-	// ErrInvalidOptions reports an Options/LatencyOptions value rejected
-	// by Validate (e.g. a negative iteration budget).
+	// ErrInvalidOptions reports an Options/LatencyOptions/
+	// SensitivityOptions value rejected by Validate (e.g. a negative
+	// iteration budget), or an AnalysisRequest without a system.
 	ErrInvalidOptions = errors.New("repro: invalid options")
+	// ErrInfeasibleConstraint reports a sensitivity query whose
+	// weakly-hard constraint does not verify on the nominal system —
+	// dmm(k) > m, so there is no slack to measure.
+	ErrInfeasibleConstraint = sensitivity.ErrInfeasibleConstraint
 )
 
 // mapErr translates implementation-package errors into the facade's
@@ -157,6 +173,22 @@ type (
 	Combination = twca.Combination
 )
 
+// Sensitivity types.
+type (
+	// SensitivityOptions selects the metrics and search brackets of a
+	// sensitivity query (constraint, scaling quantum, frontier range).
+	SensitivityOptions = sensitivity.Options
+	// SensitivityResult holds WCET slack, breakdown jitter/distance and
+	// the (m, k) frontier of one query, plus its probe/analysis cost.
+	SensitivityResult = sensitivity.Result
+	// ProbeFunc intercepts the DMM analyses a sensitivity query issues
+	// for perturbed systems; see AnalysisRequest.SensitivityWith. The
+	// hash argument is the perturbed system's CanonicalHash ("" when
+	// the system has no JSON form), precomputed so caching layers can
+	// key on it directly.
+	ProbeFunc = sensitivity.AnalyzeFunc
+)
+
 // Simulation types.
 type (
 	// SimConfig parameterizes a simulation run.
@@ -203,8 +235,111 @@ func Burst(outer Time, size int64, inner Time) EventModel {
 	return curves.NewBurst(outer, size, inner)
 }
 
+// AnalysisRequest bundles the inputs shared by every analysis kind:
+// the system, the target chain, and the analysis options. Build one and
+// call the method for the analysis you need — DMM, Latency, Sensitivity
+// — instead of threading the same three values through per-kind
+// function signatures. The zero Options value selects the documented
+// defaults for every kind; Latency reads only the nested
+// Options.Latency, and Options.Baseline switches DMM (and sensitivity
+// probes) to the structure-blind baseline abstraction.
+type AnalysisRequest struct {
+	System  *System
+	Chain   string
+	Options Options
+}
+
+// Validate checks the request: a system must be present, the options
+// must validate (ErrInvalidOptions), and the chain must exist in the
+// system (ErrNoChain).
+func (r AnalysisRequest) Validate() error {
+	if r.System == nil {
+		return fmt.Errorf("%w: analysis request needs a system", ErrInvalidOptions)
+	}
+	if err := r.Options.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	if r.System.ChainByName(r.Chain) == nil {
+		return fmt.Errorf("repro: no chain named %q: %w", r.Chain, ErrNoChain)
+	}
+	return nil
+}
+
+// DMM prepares the deadline-miss-model analysis of the request's chain
+// (Theorem 3); query the returned Analysis for dmm at any k. The
+// returned Analysis accepts the context again on its query methods
+// (DMMCtx, BreakpointsCtx, CurveCtx) — construction and queries may run
+// under different deadlines. When ctx ends the analysis early the error
+// matches ErrCanceled (and the underlying context error) under
+// errors.Is.
+func (r AnalysisRequest) DMM(ctx context.Context) (*Analysis, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	an, err := twca.NewCtx(ctx, r.System, r.System.ChainByName(r.Chain), r.Options)
+	return an, mapErr(err)
+}
+
+// Latency computes the worst-case end-to-end latency of the request's
+// chain (Theorems 1 and 2). It reads only Options.Latency; the other
+// option fields are DMM-specific and ignored here.
+func (r AnalysisRequest) Latency(ctx context.Context) (*LatencyResult, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := latency.AnalyzeCtx(ctx, r.System, r.System.ChainByName(r.Chain), r.Options.Latency)
+	return res, mapErr(err)
+}
+
+// Sensitivity measures how far the request's chain is from violating a
+// weakly-hard constraint: WCET slack (uniform and per-task), breakdown
+// jitter and minimal inter-arrival distance per overload chain, and the
+// (m, k) feasibility frontier. Options configures the underlying DMM
+// probes exactly as DMM does; sopts selects the constraint, metrics and
+// search brackets. The error matches ErrInfeasibleConstraint when the
+// constraint fails already on the nominal system.
+func (r AnalysisRequest) Sensitivity(ctx context.Context, sopts SensitivityOptions) (*SensitivityResult, error) {
+	return r.SensitivityWith(ctx, sopts, nil)
+}
+
+// SensitivityWith is Sensitivity with a probe hook: every DMM analysis
+// of a perturbed system goes through probe, which receives the
+// perturbed system's CanonicalHash so caching layers can reuse
+// completed analyses by content (the analysis service routes probes
+// through its artifact cache this way). A nil probe analyzes directly.
+func (r AnalysisRequest) SensitivityWith(ctx context.Context, sopts SensitivityOptions, probe ProbeFunc) (*SensitivityResult, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sopts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
+	}
+	for _, name := range sopts.Tasks {
+		if !systemHasTask(r.System, name) {
+			return nil, fmt.Errorf("%w: no task named %q", ErrInvalidOptions, name)
+		}
+	}
+	res, err := sensitivity.Engine{Analyze: probe}.Query(ctx, r.System, r.Chain, r.Options, sopts)
+	return res, mapErr(err)
+}
+
+func systemHasTask(sys *System, name string) bool {
+	for _, c := range sys.Chains {
+		for _, t := range c.Tasks {
+			if t.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // AnalyzeLatency computes the worst-case end-to-end latency of the
 // named chain (Theorems 1 and 2 of the paper).
+//
+// Deprecated: use AnalysisRequest.Latency, which bundles the inputs
+// shared by every analysis kind. This wrapper remains for source
+// compatibility.
 func AnalyzeLatency(sys *System, chain string, opts LatencyOptions) (*LatencyResult, error) {
 	return AnalyzeLatencyCtx(context.Background(), sys, chain, opts)
 }
@@ -212,53 +347,52 @@ func AnalyzeLatency(sys *System, chain string, opts LatencyOptions) (*LatencyRes
 // AnalyzeLatencyCtx is AnalyzeLatency with cooperative cancellation:
 // when ctx ends the analysis early the returned error matches
 // ErrCanceled (and the underlying context error) under errors.Is.
+//
+// Deprecated: use AnalysisRequest.Latency.
 func AnalyzeLatencyCtx(ctx context.Context, sys *System, chain string, opts LatencyOptions) (*LatencyResult, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
-	}
-	c := sys.ChainByName(chain)
-	if c == nil {
-		return nil, fmt.Errorf("repro: no chain named %q: %w", chain, ErrNoChain)
-	}
-	r, err := latency.AnalyzeCtx(ctx, sys, c, opts)
-	return r, mapErr(err)
+	return AnalysisRequest{System: sys, Chain: chain, Options: Options{Latency: opts}}.Latency(ctx)
 }
 
 // AnalyzeDMM prepares the deadline-miss-model analysis of the named
 // chain (Theorem 3). Use the returned Analysis to evaluate dmm at any
 // k.
+//
+// Deprecated: use AnalysisRequest.DMM.
 func AnalyzeDMM(sys *System, chain string, opts Options) (*Analysis, error) {
 	return AnalyzeDMMCtx(context.Background(), sys, chain, opts)
 }
 
 // AnalyzeDMMCtx is AnalyzeDMM with cooperative cancellation; see
-// AnalyzeLatencyCtx for the error contract. The returned Analysis
-// accepts the context again on its query methods (DMMCtx,
-// BreakpointsCtx, CurveCtx) — construction and queries may run under
-// different deadlines.
+// AnalysisRequest.DMM for the error contract.
+//
+// Deprecated: use AnalysisRequest.DMM.
 func AnalyzeDMMCtx(ctx context.Context, sys *System, chain string, opts Options) (*Analysis, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
-	}
-	c := sys.ChainByName(chain)
-	if c == nil {
-		return nil, fmt.Errorf("repro: no chain named %q: %w", chain, ErrNoChain)
-	}
-	an, err := twca.NewCtx(ctx, sys, c, opts)
-	return an, mapErr(err)
+	return AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMM(ctx)
 }
 
 // AnalyzeDMMBaseline is AnalyzeDMM with the structure-blind abstraction
 // of classic independent-task TWCA, for comparison.
+//
+// Deprecated: set Options.Baseline and use AnalysisRequest.DMM; the
+// flag form travels through option surfaces (the analysis service's
+// wire options, stored fingerprints) where a separate entry point
+// cannot.
 func AnalyzeDMMBaseline(sys *System, chain string, opts Options) (*Analysis, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrInvalidOptions, err)
-	}
-	if sys.ChainByName(chain) == nil {
-		return nil, fmt.Errorf("repro: no chain named %q: %w", chain, ErrNoChain)
-	}
-	an, err := twca.Baseline(sys, chain, opts)
-	return an, mapErr(err)
+	opts.Baseline = true
+	return AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMM(context.Background())
+}
+
+// AnalyzeSensitivity measures the named chain's distance to violating a
+// weakly-hard constraint; see AnalysisRequest.Sensitivity for the full
+// contract.
+func AnalyzeSensitivity(sys *System, chain string, opts Options, sopts SensitivityOptions) (*SensitivityResult, error) {
+	return AnalyzeSensitivityCtx(context.Background(), sys, chain, opts, sopts)
+}
+
+// AnalyzeSensitivityCtx is AnalyzeSensitivity with cooperative
+// cancellation; see AnalysisRequest.DMM for the error contract.
+func AnalyzeSensitivityCtx(ctx context.Context, sys *System, chain string, opts Options, sopts SensitivityOptions) (*SensitivityResult, error) {
+	return AnalysisRequest{System: sys, Chain: chain, Options: opts}.Sensitivity(ctx, sopts)
 }
 
 // Simulate runs the discrete-event simulator.
