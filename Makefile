@@ -1,10 +1,21 @@
 # Build and verification entry points. `make verify` is the gate every
-# change must pass (ROADMAP.md): compile, vet, and the full test suite
+# change must pass (ROADMAP.md): compile, vet, staticcheck (when
+# installed), the twca-lint analyzer suite, and the full test suite
 # under the race detector.
 
 GO ?= go
 
-.PHONY: build test verify bench serve
+# Pinned staticcheck release: CI installs exactly this version, and a
+# local `go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)`
+# reproduces CI's verdict. Bump deliberately.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: build test lint verify bench serve print-staticcheck-version
+
+# print-staticcheck-version lets CI install exactly the pinned release
+# without duplicating the version string in the workflow file.
+print-staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
 
 build:
 	$(GO) build ./...
@@ -12,14 +23,21 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs the repository's own analyzer suite (internal/analyzers,
+# cmd/twca-lint): determinism, ctxflow, sentinels, saturation. It needs
+# only the Go toolchain — no module dependencies.
+lint:
+	$(GO) run ./cmd/twca-lint ./...
+
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping"; \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
 	fi
+	$(GO) run ./cmd/twca-lint ./...
 	$(GO) test -race ./...
 
 bench:

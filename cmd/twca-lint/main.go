@@ -1,0 +1,88 @@
+// Command twca-lint runs the repository's custom static-analysis
+// suite (internal/analyzers) over the given packages and reports
+// violations of the analysis pipeline's correctness contract:
+//
+//	determinism  map iteration / wall clock / global rand reaching
+//	             deterministic analysis output
+//	ctxflow      context.Context parameters that drop cancellation
+//	sentinels    Err* sentinels wrapped without %w or compared with ==
+//	saturation   raw + or * on math.MaxInt64-sentinel values
+//	suppression  //twcalint:ignore directives without a reason
+//
+// Usage:
+//
+//	twca-lint [-json] [packages...]
+//
+// Packages default to ./... . The exit status is 1 when any
+// unsuppressed finding exists, 2 on operational errors. Findings are
+// suppressed inline with `//twcalint:ignore <rule> <reason>` on the
+// offending line or the line above; the reason is mandatory. With
+// -json the run emits the internal/analyzers Report schema
+// (schema_version 1, golden-pinned) instead of the file:line:column
+// text form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the machine-readable findings report (schema_version 1)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: twca-lint [-json] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Rules (suppress with //twcalint:ignore <rule> <reason>):\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	passes, err := analyzers.LoadPackages(analyzers.DefaultConfig(), patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twca-lint:", err)
+		os.Exit(2)
+	}
+	var findings []analyzers.Finding
+	for _, p := range passes {
+		findings = append(findings, analyzers.Analyze(p, analyzers.All())...)
+	}
+
+	failing := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			failing++
+		}
+	}
+
+	if *jsonOut {
+		wd, _ := os.Getwd()
+		b, err := analyzers.NewReport(wd, findings).Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twca-lint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			fmt.Printf("%s: %s: %s\n", f.Pos, f.Rule, f.Message)
+		}
+		if failing > 0 {
+			fmt.Fprintf(os.Stderr, "twca-lint: %d finding(s) in %d package(s)\n", failing, len(passes))
+		}
+	}
+	if failing > 0 {
+		os.Exit(1)
+	}
+}

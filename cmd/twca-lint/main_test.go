@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// TestCleanPackagesStayClean drives the exact pipeline main uses over
+// two real packages that must be finding-free: the saturating-helper
+// home (internal/curves, deliberately outside the saturation scope)
+// and a deterministic-scope package (internal/report). A finding here
+// means either the tree regressed or a rule grew a false positive.
+func TestCleanPackagesStayClean(t *testing.T) {
+	passes, err := analyzers.LoadPackages(analyzers.DefaultConfig(),
+		"repro/internal/curves", "repro/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(passes))
+	}
+	for _, p := range passes {
+		for _, f := range analyzers.Analyze(p, analyzers.All()) {
+			if !f.Suppressed {
+				t.Errorf("%s: %s: %s", f.Pos, f.Rule, f.Message)
+			}
+		}
+	}
+}
+
+// TestDefaultConfigScopesTheContract pins the package lists to the
+// repo's real layout so a rename breaks loudly here instead of
+// silently descoping a rule.
+func TestDefaultConfigScopesTheContract(t *testing.T) {
+	cfg := analyzers.DefaultConfig()
+	for _, pkg := range []string{"twca", "latency", "segments", "schema", "report", "sensitivity"} {
+		found := false
+		for _, s := range cfg.DeterministicPkgs {
+			if s == "internal/"+pkg {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("internal/%s missing from DeterministicPkgs", pkg)
+		}
+	}
+	if len(cfg.SaturatingTypes) == 0 || cfg.SaturatingTypes[0] != "repro/internal/curves.Time" {
+		t.Errorf("SaturatingTypes = %v, want repro/internal/curves.Time first", cfg.SaturatingTypes)
+	}
+	for _, s := range cfg.SaturationPkgs {
+		if strings.Contains(s, "internal/curves") {
+			t.Errorf("internal/curves must stay outside SaturationPkgs; it owns the guarded helpers")
+		}
+	}
+}

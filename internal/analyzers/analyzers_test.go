@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%w", "w", true},
+		{"step %d: %w", "dw", true},
+		{"%w: %w", "ww", true},
+		{"100%% done: %v", "v", true},
+		{"%-8.3f %q", "fq", true},
+		{"%*d", "*d", true},
+		{"%[1]v", "", false},
+		{"trailing %", "", true},
+	}
+	for _, c := range cases {
+		verbs, ok := formatVerbs(c.format)
+		if string(verbs) != c.verbs || ok != c.ok {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, verbs, ok, c.verbs, c.ok)
+		}
+	}
+}
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, f := parseOne(t, `package x
+
+//twcalint:ignore ctxflow completes instantly
+var a int
+
+//twcalint:ignore determinism,saturation shared reason here
+var b int
+
+//twcalint:ignore sentinels
+var c int
+
+// an unrelated comment
+var d int
+`)
+	ds := parseDirectives(fset, f)
+	if len(ds) != 3 {
+		t.Fatalf("parsed %d directives, want 3", len(ds))
+	}
+	if d := ds[3]; d == nil || !d.covers(RuleCtxFlow) || d.covers(RuleDeterminism) || !d.reason {
+		t.Errorf("line 3 directive = %+v, want reasoned ctxflow-only", d)
+	}
+	if d := ds[6]; d == nil || !d.covers(RuleDeterminism) || !d.covers(RuleSaturation) || d.covers(RuleCtxFlow) {
+		t.Errorf("line 6 directive = %+v, want determinism+saturation", d)
+	}
+	if d := ds[9]; d == nil || !d.covers(RuleSentinels) || d.reason {
+		t.Errorf("line 9 directive = %+v, want bare sentinels", d)
+	}
+	var nilDirective *directive
+	if nilDirective.covers(RuleCtxFlow) {
+		t.Error("nil directive must cover nothing")
+	}
+}
+
+func TestSortFindingsIsTotal(t *testing.T) {
+	fs := []Finding{
+		{Rule: "b", Pos: token.Position{Filename: "a.go", Line: 2, Column: 1}},
+		{Rule: "a", Pos: token.Position{Filename: "a.go", Line: 2, Column: 1}},
+		{Rule: "c", Pos: token.Position{Filename: "a.go", Line: 1, Column: 9}},
+		{Rule: "c", Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}},
+	}
+	sortFindings(fs)
+	got := ""
+	for _, f := range fs {
+		got += f.Pos.Filename + f.Rule
+	}
+	if want := "a.goca.goaa.gobb.goc"; got != want {
+		t.Errorf("sorted order %q, want %q", got, want)
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	p := &Pass{ImportPath: "repro/internal/report"}
+	if !p.pathMatches([]string{"internal/report"}) {
+		t.Error("suffix on element boundary must match")
+	}
+	q := &Pass{ImportPath: "repro/internal/reporting"}
+	if q.pathMatches([]string{"internal/report"}) {
+		t.Error("partial path element must not match")
+	}
+	r := &Pass{ImportPath: "internal/report"}
+	if !r.pathMatches([]string{"internal/report"}) {
+		t.Error("exact path must match")
+	}
+}

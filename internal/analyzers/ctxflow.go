@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards cooperative cancellation: a function that accepts a
+// context.Context promises its caller that deadlines and cancellation
+// reach the work. A ctx parameter that is never propagated to a callee
+// nor checked via ctx.Err()/ctx.Done() silently breaks that promise —
+// exactly the bug class of a fixed-point loop or ILP branch that spins
+// past its deadline. A parameter named _ is visibly discarded and not
+// flagged; an intentionally unused named parameter (e.g. an interface
+// implementation that completes instantly) needs a reasoned
+// suppression.
+var CtxFlow = &Analyzer{
+	Name: RuleCtxFlow,
+	Doc:  "a received context.Context must be propagated to a callee or checked for cancellation",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			var where string
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body, where = n.Type, n.Body, n.Name.Name
+			case *ast.FuncLit:
+				ftype, body, where = n.Type, n.Body, "function literal"
+			default:
+				return true
+			}
+			if body == nil || ftype.Params == nil {
+				return true
+			}
+			for _, field := range ftype.Params.List {
+				if !p.isContextType(field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := p.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if !ctxUsed(p, body, obj) {
+						p.report(name, RuleCtxFlow,
+							"%s receives ctx %q but neither propagates it nor checks ctx.Err()/ctx.Done(); cancellation is lost here",
+							where, name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func (p *Pass) isContextType(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}
+
+// ctxUsed reports whether obj (a ctx parameter) is meaningfully used
+// inside body. Any reference counts — as a call argument, a method
+// call (ctx.Err, ctx.Done), a select case, or rebinding into a derived
+// context — except a pure discard assignment `_ = ctx`, which silences
+// the compiler without restoring cancellation.
+func ctxUsed(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && isPureDiscard(as) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isPureDiscard reports whether the assignment only throws bare
+// identifiers away (`_ = ctx`, `_, _ = a, b`). Assignments whose right
+// side contains calls (`_ = f(ctx)`) do real work and are not
+// discards.
+func isPureDiscard(as *ast.AssignStmt) bool {
+	for _, l := range as.Lhs {
+		if !isBlank(l) {
+			return false
+		}
+	}
+	for _, r := range as.Rhs {
+		if _, ok := r.(*ast.Ident); !ok {
+			return false
+		}
+	}
+	return true
+}

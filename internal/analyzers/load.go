@@ -1,0 +1,130 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// LoadPackages resolves the given `go list` patterns (e.g. "./...")
+// and type-checks every matched package from source, returning one
+// Pass per package in import-path order. Test files are not analyzed:
+// the contract the suite guards is about what ships, and the fixtures
+// under testdata exercise the analyzers themselves.
+func LoadPackages(cfg Config, patterns ...string) ([]*Pass, error) {
+	// Type-checking from source must not require cgo: the source
+	// importer would otherwise need generated cgo output for packages
+	// like net. The pure-Go variants type-check identically.
+	build.Default.CgoEnabled = false
+
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: go list %v: %v: %s", patterns, err, stderr.Bytes())
+	}
+	var metas []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listedPackage
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var passes []*Pass
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(m.GoFiles))
+		for i, f := range m.GoFiles {
+			files[i] = filepath.Join(m.Dir, f)
+		}
+		p, err := loadFiles(cfg, fset, imp, m.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, p)
+	}
+	return passes, nil
+}
+
+// LoadDir parses and type-checks every .go file directly under dir as
+// a single package with the given import path. It backs the fixture
+// harness (testdata packages are invisible to `go list`) and shares
+// the loading code with LoadPackages.
+func LoadDir(cfg Config, dir, importPath string) (*Pass, error) {
+	build.Default.CgoEnabled = false
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analyzers: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return loadFiles(cfg, fset, imp, importPath, names)
+}
+
+// loadFiles parses the named files and type-checks them as one
+// package. Type errors are fatal: the suite analyzes trees that
+// already build, so a failure here means the loader itself is broken
+// (or a fixture does not compile).
+func loadFiles(cfg Config, fset *token.FileSet, imp types.Importer, importPath string, filenames []string) (*Pass, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-checking %s: %v", importPath, err)
+	}
+	return &Pass{
+		Config:     cfg,
+		Fset:       fset,
+		ImportPath: importPath,
+		Pkg:        pkg,
+		Info:       info,
+		Files:      files,
+	}, nil
+}

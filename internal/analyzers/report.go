@@ -1,0 +1,79 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// ReportVersion is the twca-lint -json schema version. It follows the
+// same discipline as internal/schema: the format is pinned by a golden
+// file (testdata/report.golden.json) and any shape change must bump
+// this constant.
+const ReportVersion = 1
+
+// Report is the machine-readable form of a lint run, emitted by
+// `twca-lint -json`. Findings are sorted by file, line, column, rule;
+// suppressed findings are included with Suppressed set so dashboards
+// can watch the exception budget, but only unsuppressed findings make
+// the run fail.
+type Report struct {
+	SchemaVersion int            `json:"schema_version"`
+	Tool          string         `json:"tool"`
+	Findings      []ReportEntry  `json:"findings"`
+	Summary       map[string]int `json:"summary,omitempty"`
+}
+
+// ReportEntry is one finding on the wire.
+type ReportEntry struct {
+	Rule       string `json:"rule"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// NewReport converts findings into the wire form, making file paths
+// relative to base (when possible) so reports are stable across
+// checkouts. The per-rule summary counts only unsuppressed findings.
+func NewReport(base string, findings []Finding) Report {
+	r := Report{
+		SchemaVersion: ReportVersion,
+		Tool:          "twca-lint",
+		Findings:      []ReportEntry{},
+	}
+	summary := make(map[string]int)
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil && filepath.IsLocal(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		r.Findings = append(r.Findings, ReportEntry{
+			Rule:       f.Rule,
+			File:       file,
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+		if !f.Suppressed {
+			summary[f.Rule]++
+		}
+	}
+	if len(summary) > 0 {
+		r.Summary = summary
+	}
+	return r
+}
+
+// Marshal renders the report in its canonical indented form (trailing
+// newline included), the exact bytes the golden file pins.
+func (r Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,102 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// Saturation guards the Infinity/Ω discipline: curves.Time uses
+// math.MaxInt64 as an absorbing "unbounded" sentinel, so a raw + or *
+// on values that may hold it wraps around to a negative latency — a
+// bound that silently understates the worst case instead of crashing.
+// In the packages where sentinel values flow (Config.SaturationPkgs),
+// additions and multiplications on saturating types must go through
+// the guarded helpers (curves.AddSat, curves.MulSat). Arithmetic on a
+// constant equal to math.MaxInt64 is flagged in every package: it
+// overflows for every non-zero operand.
+var Saturation = &Analyzer{
+	Name: RuleSaturation,
+	Doc:  "+ and * on MaxInt64-sentinel values must use the saturating helpers",
+	Run:  runSaturation,
+}
+
+func runSaturation(p *Pass) {
+	scoped := p.pathMatches(p.Config.SaturationPkgs)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.MUL {
+					return true
+				}
+				if scoped && (p.isSaturatingType(p.TypeOf(n.X)) || p.isSaturatingType(p.TypeOf(n.Y))) {
+					// A fully constant expression cannot hold a runtime
+					// sentinel; the MaxInt64 check below covers it.
+					if tv, ok := p.Info.Types[n]; ok && tv.Value != nil {
+						return true
+					}
+					p.report(n, RuleSaturation,
+						"raw %s on saturating type %s; use the saturating helpers (curves.AddSat/MulSat) so Infinity stays absorbing",
+						n.Op, p.saturatingTypeName(n))
+					return true
+				}
+				if p.isMaxInt64(n.X) || p.isMaxInt64(n.Y) {
+					p.report(n, RuleSaturation,
+						"%s on a math.MaxInt64 sentinel overflows for any non-zero operand; guard or saturate instead", n.Op)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.MUL_ASSIGN {
+					return true
+				}
+				if !scoped || len(n.Lhs) != 1 {
+					return true
+				}
+				if p.isSaturatingType(p.TypeOf(n.Lhs[0])) || p.isSaturatingType(p.TypeOf(n.Rhs[0])) {
+					p.report(n, RuleSaturation,
+						"raw %s on saturating type %s; use the saturating helpers (curves.AddSat/MulSat) so Infinity stays absorbing",
+						n.Tok, types.TypeString(p.TypeOf(n.Lhs[0]), nil))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSaturatingType reports whether t is one of the configured
+// MaxInt64-sentinel types, matched on the fully-qualified name.
+func (p *Pass) isSaturatingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	name := types.TypeString(t, nil)
+	for _, s := range p.Config.SaturatingTypes {
+		if name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// saturatingTypeName names the saturating operand type of the binary
+// expression, preferring the left side.
+func (p *Pass) saturatingTypeName(n *ast.BinaryExpr) string {
+	if t := p.TypeOf(n.X); p.isSaturatingType(t) {
+		return types.TypeString(t, nil)
+	}
+	return types.TypeString(p.TypeOf(n.Y), nil)
+}
+
+// isMaxInt64 reports whether e is a constant expression equal to
+// math.MaxInt64 (the untyped sentinel spelling used e.g. for Ω
+// capacities in internal/twca).
+func (p *Pass) isMaxInt64(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == math.MaxInt64
+}

@@ -1,0 +1,184 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sentinels guards the error taxonomy: the facade promises that every
+// failure class is matchable with errors.Is (ErrNoChain,
+// ErrUnschedulable, ErrTooManyCombinations, ErrNoDeadline,
+// ErrCanceled, ErrInvalidOptions, ErrInfeasibleConstraint, and the
+// implementation-package sentinels under them). That promise breaks in
+// two quiet ways: wrapping a sentinel with %v or %s strips it from the
+// chain, and comparing with == misses wrapped values. The rule flags
+// any package-level `Err*` error value passed to fmt.Errorf without a
+// %w verb, and any ==/!= or switch-case comparison against one.
+var Sentinels = &Analyzer{
+	Name: RuleSentinels,
+	Doc:  "sentinel errors must be wrapped with %w and matched with errors.Is",
+	Run:  runSentinels,
+}
+
+func runSentinels(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkErrorfWrap(n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					p.checkSentinelComparison(n)
+				}
+			case *ast.SwitchStmt:
+				p.checkSentinelSwitch(n)
+			}
+			return true
+		})
+	}
+}
+
+// sentinelName returns the name of the package-level error value e
+// refers to (an identifier or pkg.Ident selector whose object is a
+// package-scope var or const of error type named Err*), or "".
+func (p *Pass) sentinelName(e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return ""
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !isErrorType(obj.Type()) {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isErrorType reports whether t is the error interface or implements
+// it.
+func isErrorType(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// checkErrorfWrap verifies that every sentinel argument of an
+// fmt.Errorf call is matched by a %w verb.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format; nothing to prove
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed verbs (%[n]v); out of scope
+	}
+	for i, arg := range call.Args[1:] {
+		name := p.sentinelName(arg)
+		if name == "" {
+			continue
+		}
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			p.report(arg, RuleSentinels,
+				"sentinel %s passed to fmt.Errorf without %%w; the wrap drops it from the errors.Is chain", name)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument of a fmt format string. A '*' width or precision consumes
+// an argument of its own (recorded as '*'). Indexed arguments (%[1]v)
+// are not modeled; ok is false for them.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for ; i < len(format); i++ {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				continue
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				verbs = append(verbs, c)
+				break
+			}
+			if !strings.ContainsRune("#0- +.0123456789'", rune(c)) {
+				break // malformed; let vet complain
+			}
+		}
+	}
+	return verbs, true
+}
+
+// checkSentinelComparison flags x == ErrFoo / x != ErrFoo: wrapped
+// errors never compare equal, so the test silently stops matching the
+// moment anyone adds context with %w.
+func (p *Pass) checkSentinelComparison(n *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		if name := p.sentinelName(side); name != "" {
+			p.report(n, RuleSentinels,
+				"comparing errors with %s against sentinel %s; use errors.Is so wrapped errors still match", n.Op, name)
+			return
+		}
+	}
+}
+
+// checkSentinelSwitch flags `switch err { case ErrFoo: }`, which is
+// the comparison above in disguise.
+func (p *Pass) checkSentinelSwitch(n *ast.SwitchStmt) {
+	if n.Tag == nil {
+		return
+	}
+	t := p.TypeOf(n.Tag)
+	if t == nil || !isErrorType(t) {
+		return
+	}
+	for _, stmt := range n.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := p.sentinelName(e); name != "" {
+				p.report(e, RuleSentinels,
+					"switch-case compares against sentinel %s with ==; use errors.Is so wrapped errors still match", name)
+			}
+		}
+	}
+}

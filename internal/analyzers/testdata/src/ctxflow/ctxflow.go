@@ -1,0 +1,71 @@
+// Package ctxflow is a twca-lint fixture: functions that accept a
+// context.Context must propagate or check it.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// propagates hands the context to a callee: fine.
+func propagates(ctx context.Context) error {
+	return work(ctx)
+}
+
+// polls checks cancellation inside its loop: fine.
+func polls(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selects waits on Done: fine.
+func selects(ctx context.Context, c <-chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// derives rebinds into a child context that is then used: fine.
+func derives(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(child)
+}
+
+// drops accepts a context and forgets it: cancellation is lost.
+func drops(ctx context.Context, n int) int { // want "neither propagates it nor checks"
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// discards silences the compiler with a blank assignment; the promise
+// to the caller is still broken.
+func discards(ctx context.Context) int { // want "neither propagates it nor checks"
+	_ = ctx
+	return 0
+}
+
+// literalDrops is a function literal with the same bug.
+func literalDrops() func(context.Context) int {
+	return func(ctx context.Context) int { // want "neither propagates it nor checks"
+		return 1
+	}
+}
+
+// blankParam visibly declines the context in its signature: exempt.
+func blankParam(_ context.Context) int { return 2 }
+
+// instant completes without blocking work; the suppression documents
+// why ignoring the context is sound here.
+//
+//twcalint:ignore ctxflow completes in O(1), nothing to cancel
+func instant(ctx context.Context) int { return 3 }

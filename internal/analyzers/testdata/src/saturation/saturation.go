@@ -1,0 +1,63 @@
+// Package saturation is a twca-lint fixture: raw + and * on a
+// MaxInt64-sentinel type must go through guarded helpers. The test
+// config declares fixture/saturation.Time as saturating and this
+// package as in scope.
+package saturation
+
+import "math"
+
+// Time mirrors curves.Time: math.MaxInt64 means "unbounded".
+type Time int64
+
+// Infinity is the absorbing sentinel.
+const Infinity Time = math.MaxInt64
+
+// addSat is the guarded helper; its raw arithmetic is protected by the
+// overflow check, which the suppression documents.
+func addSat(a, b Time) Time {
+	if a == Infinity || b == Infinity || a > Infinity-b {
+		return Infinity
+	}
+	//twcalint:ignore saturation guarded by the Infinity/overflow check above
+	return a + b
+}
+
+// viaHelper is the disciplined call site: fine.
+func viaHelper(a, b Time) Time {
+	return addSat(addSat(a, b), 1)
+}
+
+// rawAdd wraps around to a negative value when either operand holds
+// the sentinel.
+func rawAdd(a, b Time) Time {
+	return a + b // want "raw \+ on saturating type"
+}
+
+// rawMul has the same failure mode.
+func rawMul(a Time, n int64) Time {
+	return a * Time(n) // want "raw \* on saturating type"
+}
+
+// rawAddAssign is the compound form.
+func rawAddAssign(ts []Time) Time {
+	var sum Time
+	for _, t := range ts {
+		sum += t // want "raw \+= on saturating type"
+	}
+	return sum
+}
+
+// subtractOK: only + and * are absorbing hazards; - and / are the
+// guard idiom itself.
+func subtractOK(a, b Time) bool {
+	return a > Infinity-b
+}
+
+// constExpr is fully constant and cannot hold a runtime sentinel.
+const constExpr = Time(2) + Time(3)
+
+// constOverflow adds the sentinel constant itself: flagged in every
+// package, scoped or not.
+func constOverflow(x int64) int64 {
+	return x + math.MaxInt64 // want "math.MaxInt64 sentinel overflows"
+}

@@ -1,0 +1,76 @@
+// Package sentinels is a twca-lint fixture: package-level Err*
+// sentinels must be wrapped with %w and matched with errors.Is.
+package sentinels
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBoom is a sentinel in the style of the facade's error taxonomy.
+var ErrBoom = errors.New("sentinels: boom")
+
+// ErrQuiet is a second sentinel, for multi-verb cases.
+var ErrQuiet = errors.New("sentinels: quiet")
+
+// notSentinel is unexported and out of scope for the rule.
+var notSentinel = errors.New("sentinels: local")
+
+// wrapOK keeps the sentinel matchable through the wrap.
+func wrapOK(n int) error {
+	return fmt.Errorf("step %d: %w", n, ErrBoom)
+}
+
+// wrapMulti uses Go 1.20 multi-%w: fine.
+func wrapMulti(err error) error {
+	return fmt.Errorf("%w: %w", ErrBoom, err)
+}
+
+// wrapLost formats the sentinel with %v, which strips it from the
+// errors.Is chain.
+func wrapLost(n int) error {
+	return fmt.Errorf("step %d: %v", n, ErrBoom) // want "without %w"
+}
+
+// wrapMismatch wraps one error but stringifies the sentinel.
+func wrapMismatch(err error) error {
+	return fmt.Errorf("%v caused by %w", ErrQuiet, err) // want "sentinel ErrQuiet passed to fmt.Errorf without %w"
+}
+
+// matchOK sees through wrapped chains.
+func matchOK(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+// matchEq stops matching the moment anyone adds context with %w.
+func matchEq(err error) bool {
+	return err == ErrBoom // want "use errors.Is"
+}
+
+// matchNeq is the same bug negated.
+func matchNeq(err error) bool {
+	return err != ErrBoom // want "use errors.Is"
+}
+
+// matchSwitch is the comparison in disguise.
+func matchSwitch(err error) int {
+	switch err {
+	case ErrBoom: // want "switch-case compares against sentinel ErrBoom"
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+// localCompare compares an unexported non-sentinel: out of scope.
+func localCompare(err error) bool {
+	return err == notSentinel
+}
+
+// identity really does need pointer equality (deduplicating a slice of
+// errors, say); the suppression documents that.
+func identity(err error) bool {
+	//twcalint:ignore sentinels intentional identity check, not a class match
+	return err == ErrBoom
+}

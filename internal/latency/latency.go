@@ -243,7 +243,7 @@ func AnalyzeInfoCtx(ctx context.Context, info *segments.Info, opts Options) (*Re
 	b := info.B
 	res := &Result{Chain: b, WCL: -1}
 	for _, t := range b.Tasks {
-		res.BCL += t.BCET
+		res.BCL = curves.AddSat(res.BCL, t.BCET)
 	}
 	var prev curves.Time
 	for q := int64(1); ; q++ {

@@ -71,10 +71,14 @@ func (c *Chain) Header() Task { return c.Tasks[0] }
 func (c *Chain) Tail() Task { return c.Tasks[len(c.Tasks)-1] }
 
 // TotalWCET returns C_σ, the sum of the execution time bounds of all
-// tasks in the chain.
+// tasks in the chain. It is called from every busy-window iteration,
+// so the sum stays raw: WCETs are validated finite model inputs
+// (Validate enforces WCET > 0), never the Infinity sentinel, and a
+// per-chain sum cannot approach 2^63.
 func (c *Chain) TotalWCET() curves.Time {
 	var sum curves.Time
 	for _, t := range c.Tasks {
+		//twcalint:ignore saturation WCETs are validated finite inputs, hot path of the busy-window fixed point
 		sum += t.WCET
 	}
 	return sum

@@ -68,7 +68,7 @@ func (p *Path) Validate() error {
 		if c.Deadline <= 0 {
 			return fmt.Errorf("paths: stage %q has no deadline budget", c.Name)
 		}
-		sum += c.Deadline
+		sum = curves.AddSat(sum, c.Deadline)
 	}
 	if p.Deadline > 0 && sum > p.Deadline {
 		return fmt.Errorf("paths: stage budgets sum to %d > path deadline %d", sum, p.Deadline)

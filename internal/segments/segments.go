@@ -36,10 +36,14 @@ type Segment struct {
 	Index int
 }
 
-// Cost returns ΣC over the segment's tasks (C_s in the paper).
+// Cost returns ΣC over the segment's tasks (C_s in the paper). The
+// combination construction and Ω sweeps call it in their inner loops,
+// so the sum stays raw: WCETs are validated finite model inputs, never
+// the Infinity sentinel.
 func (s Segment) Cost() curves.Time {
 	var sum curves.Time
 	for _, i := range s.Indices {
+		//twcalint:ignore saturation WCETs are validated finite inputs, hot path of combination construction
 		sum += s.Chain.Tasks[i].WCET
 	}
 	return sum

@@ -44,6 +44,7 @@ func scaleTime(t curves.Time, num, den int64) curves.Time {
 	if int64(t) > (math.MaxInt64-(den-1))/num {
 		return curves.Infinity
 	}
+	//twcalint:ignore saturation guarded by the MaxInt64 overflow pre-check above
 	return (t*curves.Time(num) + curves.Time(den) - 1) / curves.Time(den)
 }
 

@@ -158,7 +158,7 @@ func enumerateCombinations(info *segments.Info, overload []*model.Chain, limit i
 		for j, sel := range sels {
 			o := option{parts: sel, mask: optMasks[j*words : (j+1)*words]}
 			for _, s := range sel {
-				o.cost += s.Cost()
+				o.cost = curves.AddSat(o.cost, s.Cost())
 				o.mask.set(s.Index)
 			}
 			opts[j] = o
@@ -186,7 +186,7 @@ func enumerateCombinations(info *segments.Info, overload []*model.Chain, limit i
 			for i := range overload {
 				o := &perChain[i][idx[i]]
 				c.Parts = append(c.Parts, o.parts...)
-				c.Cost += o.cost
+				c.Cost = curves.AddSat(c.Cost, o.cost)
 				c.Mask.or(o.mask)
 			}
 			combos = append(combos, c)
