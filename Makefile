@@ -10,7 +10,7 @@ GO ?= go
 # reproduces CI's verdict. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint verify bench serve print-staticcheck-version
+.PHONY: build test lint verify bench chaos fuzz-smoke serve print-staticcheck-version
 
 # print-staticcheck-version lets CI install exactly the pinned release
 # without duplicating the version string in the workflow file.
@@ -43,6 +43,22 @@ verify:
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./...
 	$(GO) run ./cmd/twca-sensitivity -chain sigma_c -bench-out BENCH_sensitivity.json >/dev/null
+
+# chaos runs the fault-injection suites under the race detector: the
+# service chaos suite (hundreds of randomized requests with panics,
+# errors and budget exhaustions armed at every seam) plus the seam
+# tests in the pipeline packages. See DESIGN.md §11.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSuite|TestDrain|TestDegraded|TestBreaker' ./internal/service/
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/parallel/ ./internal/degrade/
+	$(GO) test -race -count=1 -run 'Degraded|Injection|Inject' ./internal/twca/ ./internal/latency/ ./internal/sensitivity/
+
+# fuzz-smoke gives each fuzz target a short adversarial run (the seed
+# corpora also run as plain tests under `make test`).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzOptionsValidate -fuzztime 10s -run NONE .
+	$(GO) test -fuzz FuzzLatencyOptionsValidate -fuzztime 10s -run NONE .
+	$(GO) test -fuzz FuzzDecodeRequest -fuzztime 10s -run NONE ./internal/service/
 
 serve:
 	$(GO) run ./cmd/twca-serve

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	twca-analyze [-k 1,3,10,100] [-baseline] [-exact] [-json] [-lint=false] system.{json,sys}
+//	twca-analyze [-k 1,3,10,100] [-baseline] [-exact] [-degrade] [-json] [-lint=false] system.{json,sys}
 //	twca-gen | twca-analyze
 //
 // -json replaces the table with the versioned JSON report defined by
@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/degrade"
 	"repro/internal/dsl"
 	"repro/internal/model"
 	"repro/internal/report"
@@ -46,6 +47,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	ks := fs.String("k", "1,3,10,100", "comma-separated k values for dmm(k)")
 	baseline := fs.Bool("baseline", false, "also run the structure-blind baseline")
 	exact := fs.Bool("exact", false, "use the exact Eq. (3) combination criterion")
+	degradeFlag := fs.Bool("degrade", false,
+		"degrade gracefully on budget exhaustion: answer with a sound over-approximation (tagged in -json output) instead of failing")
 	lint := fs.Bool("lint", true, "print model warnings")
 	explain := fs.String("explain", "", "print the full analysis narrative for the named chain")
 	format := fs.String("format", "ascii", "table output: ascii, markdown or csv")
@@ -70,13 +73,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	opts := twca.Options{ExactCriterion: *exact, Degrade: degrade.Policy{Allow: *degradeFlag}}
 
 	if *explain != "" {
 		c := sys.ChainByName(*explain)
 		if c == nil {
 			return fmt.Errorf("no chain named %q", *explain)
 		}
-		an, err := twca.New(sys, c, twca.Options{ExactCriterion: *exact})
+		an, err := twca.New(sys, c, opts)
 		if err != nil {
 			return err
 		}
@@ -95,8 +99,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut {
-		rep, err := schema.FromSystem(context.Background(), sys,
-			twca.Options{ExactCriterion: *exact}, kvals, 0)
+		rep, err := schema.FromSystem(context.Background(), sys, opts, kvals, 0)
 		if err != nil {
 			return err
 		}
@@ -116,10 +119,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	// Construct every chain's analysis on the worker pool, then query
 	// the DMM points serially (cheap once the analysis exists) and emit
 	// rows in system order so the table is identical for any pool size.
-	analyses, errs := twca.AnalyzeAll(sys, twca.Options{ExactCriterion: *exact}, *par)
+	analyses, errs := twca.AnalyzeAll(sys, opts, *par)
 	var flat map[string]*twca.Analysis
 	if *baseline {
-		flat, _ = twca.AnalyzeAll(sys, twca.Options{Baseline: true}, *par)
+		flatOpts := opts
+		flatOpts.Baseline = true
+		flat, _ = twca.AnalyzeAll(sys, flatOpts, *par)
 	}
 	for _, c := range sys.RegularChains() {
 		if c.Deadline == 0 {

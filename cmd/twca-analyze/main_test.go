@@ -192,3 +192,52 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bogus flag accepted")
 	}
 }
+
+// TestRunDegrade: an overloaded system errors by default but, with
+// -degrade, is answered with the sound trivial bound (dmm(k) = k) and
+// the JSON report carries the quality tag.
+func TestRunDegrade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.sys")
+	overloaded := "system bad\nchain c periodic(10) deadline(10) { t prio 1 wcet 20 }\n"
+	if err := os.WriteFile(path, []byte(overloaded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-k", "5", path}, nil, &out, &errOut); err != nil {
+		t.Fatalf("table mode should report per-chain errors, not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("overloaded chain row lacks error without -degrade:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-degrade", "-json", "-k", "5", path}, nil, &out, &errOut); err != nil {
+		t.Fatalf("-degrade -json: %v", err)
+	}
+	var rep schema.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v", err)
+	}
+	var an *schema.Analysis
+	for i := range rep.Chains {
+		if rep.Chains[i].Chain == "c" {
+			an = &rep.Chains[i]
+		}
+	}
+	if an == nil {
+		t.Fatal("report lacks chain c")
+	}
+	if an.Error != "" {
+		t.Fatalf("-degrade still errored: %s", an.Error)
+	}
+	if an.Quality != "trivial" {
+		t.Errorf("quality = %q, want trivial", an.Quality)
+	}
+	for _, p := range an.DMM {
+		if p.DMM != p.K {
+			t.Errorf("trivial dmm(%d) = %d, want k", p.K, p.DMM)
+		}
+	}
+}

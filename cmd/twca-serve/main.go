@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	twca-serve [-addr :8443] [-cache 128] [-inflight 0] [-timeout 30s] [-pprof]
+//	twca-serve [-addr :8443] [-cache 128] [-inflight 0] [-timeout 30s] [-drain 30s] [-faults spec] [-pprof]
 //
 // Endpoints (see docs/SERVICE.md for the full reference and a worked
 // curl session):
@@ -19,8 +19,14 @@
 // Identical concurrent queries are coalesced into one analysis, and
 // completed analyses are kept in a content-addressed LRU, so a repeat
 // query is answered in microseconds. SIGINT/SIGTERM drain gracefully:
-// in-flight analyses are canceled cooperatively, then the listener
-// closes.
+// new analysis requests are refused with 503 + Retry-After, in-flight
+// ones get the -drain window to finish, and stragglers are canceled
+// cooperatively before the listener closes.
+//
+// For chaos testing, the deterministic fault-injection harness can be
+// armed with -faults or the TWCA_FAULTS environment variable (see
+// internal/faultinject.ParseSpec for the rule grammar); the armed plan
+// is logged at startup so an injected fault is never a silent surprise.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -55,9 +62,20 @@ func run(args []string, stdout io.Writer) error {
 	cacheSize := fs.Int("cache", 128, "retained analysis artifacts (LRU)")
 	inflight := fs.Int("inflight", 0, "max concurrent analyses (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis deadline")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown window for in-flight analyses")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	faults := fs.String("faults", os.Getenv("TWCA_FAULTS"),
+		"arm the fault-injection harness (rule spec, see internal/faultinject; default $TWCA_FAULTS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *faults != "" {
+		if err := faultinject.ConfigureSpec(*faults); err != nil {
+			return err
+		}
+		// An armed harness must never be silent: log every rule.
+		fmt.Fprintln(stdout, faultinject.Describe())
 	}
 
 	svc, err := service.New(service.Config{
@@ -65,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		RequestTimeout: *timeout,
 		MaxInflight:    *inflight,
 		EnablePprof:    *pprofFlag,
+		DrainTimeout:   *drain,
 	})
 	if err != nil {
 		return err
@@ -96,14 +115,24 @@ func run(args []string, stdout io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(stdout, "twca-serve shutting down")
-	// Cancel in-flight analyses first (they stop at the next cooperative
-	// check and their requests complete with the cancellation mapping),
-	// then drain the HTTP layer.
-	svc.Close()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Drain in three stages: refuse new analysis requests immediately
+	// (503 + Retry-After), give in-flight ones the -drain window to
+	// finish, then hard-cancel the stragglers — their requests also
+	// answer 503, and a retry hits a healthy instance.
+	svc.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return err
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		fmt.Fprintf(stdout, "twca-serve drain window (%v) expired, canceling in-flight analyses\n", *drain)
+		svc.Close()
+		finalCtx, cancelFinal := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelFinal()
+		if err := httpSrv.Shutdown(finalCtx); err != nil {
+			return httpSrv.Close()
+		}
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -10,6 +10,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // syncBuffer is a strings.Builder safe for the writer (run's goroutine)
@@ -90,5 +92,43 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-cache", "-1"}, &out); err == nil {
 		t.Error("negative cache size accepted")
+	}
+	if err := run([]string{"-drain", "-1s"}, &out); err == nil {
+		t.Error("negative drain window accepted")
+	}
+	if err := run([]string{"-faults", "no.such.point:error"}, &out); err == nil {
+		t.Error("bogus fault spec accepted")
+	}
+}
+
+// TestFaultSpecLogged boots with an armed harness and verifies the plan
+// is announced before the listener, then shuts down.
+func TestFaultSpecLogged(t *testing.T) {
+	defer faultinject.Disarm()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-faults", "ilp.branch:budget:every=1000000"}, &out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "listening on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up; output: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "faultinject: ilp.branch: budget every=1000000") {
+		t.Errorf("armed plan not logged; output: %q", out.String())
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error on shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

@@ -74,3 +74,30 @@ func identity(err error) bool {
 	//twcalint:ignore sentinels intentional identity check, not a class match
 	return err == ErrBoom
 }
+
+// ErrWorkerPanic mirrors the facade's recovered-panic sentinel: a
+// worker panic is reported as an error wrapping this class, and the
+// taxonomy rules apply to it like any other sentinel.
+var ErrWorkerPanic = errors.New("sentinels: worker panic")
+
+// panicWrapOK is the recovery idiom: the sentinel joins the chain with
+// %w, the recovered value and stack ride along as text.
+func panicWrapOK(r any, stack []byte) error {
+	return fmt.Errorf("%w: recovered %v\n%s", ErrWorkerPanic, r, stack)
+}
+
+// panicWrapLost stringifies the sentinel — callers can no longer
+// errors.Is the panic class and the 500 mapping silently breaks.
+func panicWrapLost(r any) error {
+	return fmt.Errorf("recovered %v: %v", r, ErrWorkerPanic) // want "without %w"
+}
+
+// panicMatchOK classifies through arbitrarily deep wraps.
+func panicMatchOK(err error) bool {
+	return errors.Is(err, ErrWorkerPanic)
+}
+
+// panicMatchEq breaks as soon as the recovery path adds context.
+func panicMatchEq(err error) bool {
+	return err == ErrWorkerPanic // want "use errors.Is"
+}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/faultinject"
 )
 
 // ErrUnbounded is returned when some variable with positive objective
@@ -190,10 +192,19 @@ func MaximizeCtx(ctx context.Context, p Problem) (Solution, error) {
 	x := make([]int64, n)
 	s.branch(0, 0, rem, x)
 	if s.canceled {
+		if s.injected != nil {
+			return Solution{}, fmt.Errorf("ilp: search aborted after %d nodes: %w", s.nodes, s.injected)
+		}
 		return Solution{}, fmt.Errorf("ilp: search canceled after %d nodes: %w", s.nodes, ctx.Err())
 	}
 
 	sol := Solution{X: s.bestX, Value: s.best, Bound: s.best, Exact: !s.truncated, Nodes: s.nodes}
+	if sol.Value < 0 {
+		// Truncated before any incumbent (e.g. an injected budget fault
+		// at the root): x = 0 is always feasible.
+		sol.Value = 0
+		sol.X = make([]int64, n)
+	}
 	if s.truncated {
 		sol.Bound = s.optimistic(0, rem)
 		if sol.Bound < sol.Value {
@@ -213,6 +224,7 @@ type solver struct {
 	truncated bool
 	done      <-chan struct{} // ctx.Done(); nil for context.Background()
 	canceled  bool
+	injected  error // error-action fault from the injection seam
 	covered   []bool
 	varRows   [][]int32 // per variable: indices of rows with coeff > 0
 	varCoeffs [][]int64 // per variable: the matching coefficients
@@ -287,6 +299,24 @@ func (s *solver) branch(k int, value int64, rem []int64, x []int64) {
 	if s.canceled || s.nodes > s.maxNodes {
 		s.truncated = true
 		return
+	}
+	if s.nodes == 1 || s.nodes%cancelCheckEvery == 0 {
+		// The fault-injection seam shares the cancellation cadence, plus
+		// the root node so that small instances are injectable too. A
+		// budget fault truncates the search exactly like the node cap
+		// (the relaxation bound keeps the result sound), other actions
+		// apply at the seam.
+		if f := faultinject.At(faultinject.PointILPBranch); f != nil {
+			if f.Budget() {
+				s.truncated = true
+				return
+			}
+			if err := f.Apply(); err != nil {
+				s.canceled = true
+				s.injected = err
+				return
+			}
+		}
 	}
 	if s.done != nil && s.nodes%cancelCheckEvery == 0 {
 		select {

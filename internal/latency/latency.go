@@ -17,6 +17,8 @@ import (
 	"io"
 
 	"repro/internal/curves"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/segments"
@@ -48,6 +50,13 @@ type Options struct {
 	// busy-window probe — the diagnostic to read when a bound surprises
 	// you or an analysis diverges.
 	Trace io.Writer
+	// Degrade enables the graceful-degradation ladder: with Allow set,
+	// a diverging or budget-exceeded busy-window analysis (ErrDiverged,
+	// ErrKExceeded, an expired deadline) returns the sound TrivialResult
+	// instead of an error. SkipExact has no effect here — the busy
+	// window is the cheap part of the pipeline; only package twca skips
+	// work under it.
+	Degrade degrade.Policy
 }
 
 // WithDefaults returns o with unset fields replaced by the documented
@@ -81,6 +90,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 1 << 20
 	}
+	o.Degrade = o.Degrade.WithDefaults()
 	return o
 }
 
@@ -108,6 +118,10 @@ type Result struct {
 	// jitter (WCL − BCL), the quantity downstream consumers of the
 	// chain's results need for their own event models.
 	BCL curves.Time
+	// Quality tags how the result was obtained. The zero value is
+	// Exact; TrivialResult carries the Trivial tag with the budget that
+	// tripped.
+	Quality degrade.Info
 }
 
 // OutputJitter returns the latency spread WCL − BCL.
@@ -193,6 +207,18 @@ const cancelCheckEvery = 1024
 // points advance in small steps.
 func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, error) {
 	opts = opts.withDefaults()
+	// Fault-injection seam: once per fixed-point evaluation, before the
+	// iteration starts. A budget fault reports divergence — the trigger
+	// the degradation ladder turns into TrivialResult.
+	if f := faultinject.At(faultinject.PointBusyWindow); f != nil {
+		if err := f.Apply(); err != nil {
+			return 0, fmt.Errorf("latency: %s: B(%d): %w", info.B.Name, q, err)
+		}
+		if f.Budget() {
+			return 0, fmt.Errorf("latency: %s: B(%d) budget exhausted (injected): %w",
+				info.B.Name, q, ErrDiverged)
+		}
+	}
 	w := start
 	for i := 0; i < opts.MaxIterations; i++ {
 		if i%cancelCheckEvery == cancelCheckEvery-1 {
@@ -237,9 +263,67 @@ func AnalyzeInfo(info *segments.Info, opts Options) (*Result, error) {
 	return AnalyzeInfoCtx(context.Background(), info, opts)
 }
 
-// AnalyzeInfoCtx is AnalyzeInfo with cooperative cancellation.
+// TrivialResult is the Lemma-3 floor of the degradation ladder: when
+// the busy-window analysis cannot complete, the weakest sound statement
+// is "the worst-case latency is unbounded and every window may miss" —
+// K = 1 with one miss per window, which makes any downstream DMM fall
+// back to its own trivial bound min(k, ·) = k. BCL is still exact (the
+// chain's summed best-case execution times need no fixed point). budget
+// names the resource that tripped (a degrade.Budget* constant).
+func TrivialResult(info *segments.Info, budget string) *Result {
+	b := info.B
+	res := &Result{
+		Chain:     b,
+		K:         1,
+		BusyTimes: []curves.Time{curves.Infinity},
+		WCL:       curves.Infinity,
+		CriticalQ: 1,
+		Quality:   degrade.Info{Quality: degrade.Trivial, Budget: budget, Rung: degrade.RungLemma3},
+	}
+	for _, t := range b.Tasks {
+		res.BCL = curves.AddSat(res.BCL, t.BCET)
+	}
+	if b.Deadline > 0 {
+		res.MissesPerWindow = 1
+	} else {
+		res.Schedulable = true // no deadline to miss, even with WCL unbounded
+	}
+	return res
+}
+
+// degradableBudget classifies errors the ladder may absorb: resource
+// exhaustion degrades, everything else (cancellation by a departed
+// caller, malformed input) propagates.
+func degradableBudget(err error) (string, bool) {
+	switch {
+	case errors.Is(err, ErrDiverged), errors.Is(err, ErrKExceeded):
+		return degrade.BudgetFixedPoint, true
+	case errors.Is(err, context.DeadlineExceeded):
+		return degrade.BudgetDeadline, true
+	case errors.Is(err, faultinject.ErrInjected):
+		return degrade.BudgetInjected, true
+	}
+	return "", false
+}
+
+// AnalyzeInfoCtx is AnalyzeInfo with cooperative cancellation. Under
+// Options.Degrade.Allow, budget-exhaustion failures (divergence, MaxQ,
+// an expired deadline) return TrivialResult instead of an error; plain
+// cancellation always propagates.
 func AnalyzeInfoCtx(ctx context.Context, info *segments.Info, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	res, err := analyzeExact(ctx, info, opts)
+	if err != nil && opts.Degrade.Allow {
+		if budget, ok := degradableBudget(err); ok {
+			return TrivialResult(info, budget), nil
+		}
+	}
+	return res, err
+}
+
+// analyzeExact is the historical fail-hard analysis: the Theorem 1/2
+// busy-window search, returning an error when any budget is exceeded.
+func analyzeExact(ctx context.Context, info *segments.Info, opts Options) (*Result, error) {
 	b := info.B
 	res := &Result{Chain: b, WCL: -1}
 	for _, t := range b.Tasks {

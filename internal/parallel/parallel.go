@@ -21,16 +21,49 @@ package parallel
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
+
+// ErrWorkerPanic is wrapped by the error a panicking task produces: the
+// panic is recovered at the task boundary so it fails only that task's
+// result slot, never the process. The wrapping error carries the panic
+// value and the goroutine stack; match with
+// errors.Is(err, parallel.ErrWorkerPanic).
+var ErrWorkerPanic = errors.New("parallel: worker panicked")
+
+// runTask executes one task with the pool's safety net: the
+// fault-injection seam fires first (so chaos tests can target task
+// entry), then fn runs under a recover that converts panics into
+// ErrWorkerPanic-wrapped errors. Both the serial and the concurrent
+// paths of ForEach go through here, so "-parallel 1" keeps identical
+// failure semantics.
+func runTask(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: task %d: %v\n%s", ErrWorkerPanic, i, r, debug.Stack())
+		}
+	}()
+	if f := faultinject.At(faultinject.PointWorkerTask); f != nil {
+		if ferr := f.Apply(); ferr != nil {
+			return fmt.Errorf("parallel: task %d: %w", i, ferr)
+		}
+	}
+	return fn(i)
+}
 
 // ForEach runs fn(i) for every i in [0, n) on at most workers
 // concurrent goroutines and returns the error of the smallest failing
 // index, or nil. Unlike errgroup-style helpers it does not cancel
 // in-flight work on error: analyses are pure functions and finishing
-// them keeps result slots deterministic.
+// them keeps result slots deterministic. A panicking task is recovered
+// and reported as its slot's ErrWorkerPanic-wrapped error.
 func ForEach(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -43,7 +76,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runTask(fn, i); err != nil {
 				return err
 			}
 		}
@@ -61,7 +94,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runTask(fn, i)
 			}
 		}()
 	}

@@ -3,9 +3,11 @@ package parallel_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 )
 
@@ -76,5 +78,73 @@ func TestMapError(t *testing.T) {
 	})
 	if err == nil || err.Error() != "item 5" {
 		t.Fatalf("err = %v, want item 5", err)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := parallel.ForEach(workers, 20, func(i int) error {
+			ran.Add(1)
+			if i == 7 {
+				panic(fmt.Sprintf("boom at %d", i))
+			}
+			return nil
+		})
+		if !errors.Is(err, parallel.ErrWorkerPanic) {
+			t.Fatalf("workers=%d: err = %v, want ErrWorkerPanic", workers, err)
+		}
+		if !strings.Contains(err.Error(), "boom at 7") {
+			t.Errorf("workers=%d: panic value missing from error: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "parallel_test.go") {
+			t.Errorf("workers=%d: stack trace missing from error: %v", workers, err)
+		}
+		// The concurrent pool finishes the other tasks; only the serial
+		// path stops at the failure (matching its plain-loop contract).
+		if workers > 1 {
+			if n := ran.Load(); n != 20 {
+				t.Errorf("workers=%d: ran %d tasks, want 20", workers, n)
+			}
+		}
+	}
+}
+
+func TestForEachPanicReportsLowestIndex(t *testing.T) {
+	err := parallel.ForEach(4, 50, func(i int) error {
+		if i == 10 || i == 40 {
+			panic(i)
+		}
+		return nil
+	})
+	if !errors.Is(err, parallel.ErrWorkerPanic) {
+		t.Fatalf("err = %v, want ErrWorkerPanic", err)
+	}
+	if !strings.Contains(err.Error(), "task 10:") {
+		t.Errorf("expected lowest-index panic (task 10), got: %v", err)
+	}
+}
+
+func TestForEachWorkerTaskInjection(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointWorkerTask, Action: faultinject.ActionError, Every: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := parallel.ForEach(4, 20, func(i int) error { return nil })
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	// Injected panics are recovered like organic ones.
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointWorkerTask, Action: faultinject.ActionPanic, Every: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = parallel.ForEach(4, 20, func(i int) error { return nil })
+	if !errors.Is(err, parallel.ErrWorkerPanic) {
+		t.Fatalf("err = %v, want ErrWorkerPanic from injected panic", err)
 	}
 }

@@ -40,6 +40,14 @@ type DMMPoint struct {
 	// Lemma 4. The value 9223372036854775807 (math.MaxInt64) means
 	// "unbounded" (sporadic target activation).
 	Omega map[string]int64 `json:"omega,omitempty"`
+	// Quality names the degradation rung that produced this value:
+	// "exact", "safe-upper-bound", or "trivial". Always emitted — a
+	// consumer enforcing exactness must be able to reject degraded
+	// values without guessing what an absent field means.
+	Quality string `json:"quality"`
+	// Budget names the exhausted budget that forced a degraded quality
+	// ("deadline", "ilp-nodes", "combinations", ...); empty when exact.
+	Budget string `json:"budget,omitempty"`
 }
 
 // Latency is the wire form of a §IV worst-case latency analysis.
@@ -54,6 +62,10 @@ type Latency struct {
 	CriticalQ       int64   `json:"critical_q"`
 	MissesPerWindow int64   `json:"misses_per_window"`
 	Schedulable     bool    `json:"schedulable"`
+	// Quality/Budget tag degraded results exactly as in DMMPoint; a
+	// "trivial" latency reports WCL = MaxInt64 and one miss per window.
+	Quality string `json:"quality"`
+	Budget  string `json:"budget,omitempty"`
 }
 
 // Analysis is the wire form of a §V deadline-miss-model analysis of one
@@ -78,6 +90,11 @@ type Analysis struct {
 	// analysis failed (multi-chain reports analyze chains
 	// independently).
 	Error string `json:"error,omitempty"`
+	// Quality/Budget tag the construction-level degradation of the
+	// analysis artifact itself; individual DMM points carry their own
+	// (possibly worse) tags.
+	Quality string `json:"quality"`
+	Budget  string `json:"budget,omitempty"`
 }
 
 // TaskSlack is the per-task WCET slack of one task: WCETs may grow to
@@ -135,6 +152,11 @@ type Sensitivity struct {
 	Frontier       []FrontierPoint        `json:"frontier,omitempty"`
 	Probes         int64                  `json:"probes"`
 	Analyses       int64                  `json:"analyses"`
+	// Quality/Budget carry the worst degradation observed across the
+	// query's probes ("mixed" budget when probes degraded for different
+	// reasons). Degraded probes under-report slack, never over-report.
+	Quality string `json:"quality"`
+	Budget  string `json:"budget,omitempty"`
 }
 
 // FromSensitivity converts a sensitivity result to its wire form.
@@ -150,6 +172,8 @@ func FromSensitivity(r *sensitivity.Result) Sensitivity {
 		UniformAtLimit: r.Uniform.AtLimit,
 		Probes:         r.Probes,
 		Analyses:       r.Analyses,
+		Quality:        r.Quality.Quality.String(),
+		Budget:         r.Quality.Budget,
 	}
 	for _, ts := range r.Tasks {
 		out.Tasks = append(out.Tasks, TaskSlack{Task: ts.Task, Scale: ts.Scale, AtLimit: ts.AtLimit})
@@ -182,7 +206,10 @@ type Report struct {
 
 // FromDMM converts one DMM evaluation.
 func FromDMM(r twca.DMMResult) DMMPoint {
-	return DMMPoint{K: r.K, DMM: r.Value, Exact: r.Exact, Trivial: r.Trivial, Omega: r.Omega}
+	return DMMPoint{
+		K: r.K, DMM: r.Value, Exact: r.Exact, Trivial: r.Trivial, Omega: r.Omega,
+		Quality: r.Quality.Quality.String(), Budget: r.Quality.Budget,
+	}
 }
 
 // FromLatency converts a latency result.
@@ -197,6 +224,8 @@ func FromLatency(r *latency.Result) Latency {
 		CriticalQ:       r.CriticalQ,
 		MissesPerWindow: r.MissesPerWindow,
 		Schedulable:     r.Schedulable,
+		Quality:         r.Quality.Quality.String(),
+		Budget:          r.Quality.Budget,
 	}
 	out.BusyTimes = make([]int64, len(r.BusyTimes))
 	for i, b := range r.BusyTimes {
@@ -214,6 +243,17 @@ type Stats struct {
 	// by the dmm evaluations behind the document (0 when every query
 	// was answered trivially or from the memo cache).
 	ILPNodes int64
+	// Degraded counts the dmm points answered below Exact quality,
+	// keyed by the exhausted budget; nil when everything was exact.
+	Degraded map[string]int64
+}
+
+// noteDegraded records one degraded point under its budget.
+func (st *Stats) noteDegraded(budget string) {
+	if st.Degraded == nil {
+		st.Degraded = make(map[string]int64)
+	}
+	st.Degraded[budget]++
 }
 
 // FromAnalysis converts a prepared TWCA analysis, evaluating dmm(k) at
@@ -237,6 +277,8 @@ func FromAnalysisStats(ctx context.Context, an *twca.Analysis, ks []int64, break
 		MinSlack:           int64(an.MinSlack),
 		Combinations:       len(an.Combinations),
 		Unschedulable:      len(an.Unschedulable),
+		Quality:            an.Degraded.Quality.String(),
+		Budget:             an.Degraded.Budget,
 	}
 	var st Stats
 	for _, k := range ks {
@@ -245,6 +287,9 @@ func FromAnalysisStats(ctx context.Context, an *twca.Analysis, ks []int64, break
 			return Analysis{}, st, err
 		}
 		st.ILPNodes += r.ILPNodes
+		if r.Quality.Degraded() {
+			st.noteDegraded(r.Quality.Budget)
+		}
 		out.DMM = append(out.DMM, FromDMM(r))
 	}
 	if breakpointsMaxK > 0 {
@@ -254,6 +299,9 @@ func FromAnalysisStats(ctx context.Context, an *twca.Analysis, ks []int64, break
 		}
 		for _, r := range bps {
 			st.ILPNodes += r.ILPNodes
+			if r.Quality.Degraded() {
+				st.noteDegraded(r.Quality.Budget)
+			}
 			out.Breakpoints = append(out.Breakpoints, FromDMM(r))
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/casestudy"
+	"repro/internal/degrade"
 	"repro/internal/latency"
 	"repro/internal/schema"
 	"repro/internal/sensitivity"
@@ -83,6 +84,31 @@ func TestGoldenWireFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden(t, "sensitivity_sigma_c", schema.FromSensitivity(sres))
+}
+
+// TestGoldenDegradedWireFormat pins the serialization of a degraded
+// document: every point carries quality "safe-upper-bound" plus the
+// tripped budget, and the artifact-level tag names the omega-sum rung's
+// trigger, so the degradation ladder is fully observable on the wire.
+func TestGoldenDegradedWireFormat(t *testing.T) {
+	sys := casestudy.New()
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"),
+		twca.Options{Degrade: degrade.Policy{SkipExact: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, st, err := schema.FromAnalysisStats(context.Background(), an, []int64{1, 3, 10, 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "analysis_sigma_c_degraded", doc)
+	var degradedPoints int64
+	for _, n := range st.Degraded {
+		degradedPoints += n
+	}
+	if degradedPoints == 0 {
+		t.Error("Stats.Degraded counted no degraded points for a SkipExact analysis")
+	}
 }
 
 // TestSensitivityWarmthInvisible pins the same property for the

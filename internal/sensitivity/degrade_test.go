@@ -1,0 +1,201 @@
+package sensitivity
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/twca"
+)
+
+// Tests in this file arm the process-global fault-injection harness or
+// cancel shared contexts, so none of them use t.Parallel().
+
+// TestCanceledProbeNotCached: a probe analysis that fails (here via a
+// canceled context) must be evicted from the per-query memo so a later
+// probe of the same system retries instead of replaying the stale
+// error.
+func TestCanceledProbeNotCached(t *testing.T) {
+	sys := casestudy.New()
+	q := &query{
+		analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		},
+		sys:   sys,
+		chain: "sigma_c",
+		memo:  make(map[string]*memoEntry),
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.analysis(canceled, sys); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	q.mu.Lock()
+	left := len(q.memo)
+	q.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("memo retains %d entries after a canceled analysis", left)
+	}
+	an, err := q.analysis(context.Background(), sys)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if an == nil {
+		t.Fatal("retry returned nil analysis")
+	}
+}
+
+// TestMidBisectionCancellationLeavesMemoConsistent cancels a query in
+// the middle of its bisections and then re-runs it against the same
+// cross-query memo: the cancellation must surface as context.Canceled
+// and the retry must produce the exact undisturbed result. Run under
+// -race (make verify), this also exercises the memo's eviction path
+// concurrently with waiting followers.
+func TestMidBisectionCancellationLeavesMemoConsistent(t *testing.T) {
+	sys := casestudy.New()
+	opts := thalesOptions()
+	opts.Tasks = []string{"tau1c", "tau2c"}
+	opts.Workers = 4
+
+	// Reference result from an undisturbed engine.
+	want, err := Engine{Analyze: Memoize(nil)}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var analyses atomic.Int64
+	memo := Memoize(func(ctx context.Context, sys *model.System, _ string, chain string, aopts twca.Options) (*twca.Analysis, error) {
+		// Pull the rug after a few distinct analyses: every probe still
+		// in flight sees the canceled context mid-bisection.
+		if analyses.Add(1) == 3 {
+			cancel()
+		}
+		return twca.NewCtx(ctx, sys, sys.ChainByName(chain), aopts)
+	})
+	eng := Engine{Analyze: memo}
+	if _, err := eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query: err = %v, want context.Canceled", err)
+	}
+
+	// The shared memo must not have cached any canceled entry: the same
+	// engine answers a fresh query completely and identically.
+	got, err := eng.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatalf("retry after mid-bisection cancellation: %v", err)
+	}
+	// Probes/Analyses counters are per query and the cross-query memo is
+	// warm on the retry, so compare everything else.
+	got.Analyses = want.Analyses
+	got.Probes = want.Probes
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("retry differs from undisturbed result:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestProbeSeamInjection drives the sensitivity probe seam: an injected
+// error fails the query loudly (wrapping ErrInjected), while an
+// injected budget exhaustion is a conservative definite "no" that
+// collapses slack to the bracket floor without failing the query.
+func TestProbeSeamInjection(t *testing.T) {
+	defer faultinject.Disarm()
+	sys := casestudy.New()
+	opts := thalesOptions()
+	opts.Tasks = []string{"tau1c"}
+	opts.FrontierMaxK = 0
+
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointSensitivityProbe, Action: faultinject.ActionError},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointSensitivityProbe, Action: faultinject.ActionBudget},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatalf("budget-exhausted probes failed the query: %v", err)
+	}
+	if res.Uniform.Scale != opts.ScaleDenom && res.Uniform.Scale != 1000 {
+		t.Errorf("Uniform.Scale = %d, want the bracket floor", res.Uniform.Scale)
+	}
+	if res.Uniform.AtLimit {
+		t.Error("budget-exhausted probes reported AtLimit")
+	}
+}
+
+// TestDegradedProbesAggregateQuality: when the probe analyses run on a
+// degraded rung, the result carries the worst probe quality and the
+// aggregate is deterministic across worker counts. Slack from degraded
+// probes is conservative: degraded dmm ≥ exact dmm can only shrink the
+// region where the constraint holds.
+func TestDegradedProbesAggregateQuality(t *testing.T) {
+	faultinject.Disarm()
+	sys := casestudy.New()
+	nomHash, err := model.CanonicalHash(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal analysis stays exact (so the feasibility gate uses the true
+	// dmm); every perturbed probe descends to the omega-sum rung, as the
+	// service's circuit breaker does under pressure.
+	analyze := func(ctx context.Context, s *model.System, hash string, chain string, aopts twca.Options) (*twca.Analysis, error) {
+		if hash != nomHash {
+			aopts.Degrade = degrade.Policy{SkipExact: true}
+		}
+		return twca.NewCtx(ctx, s, s.ChainByName(chain), aopts)
+	}
+
+	exact, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, thalesOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Quality.Degraded() {
+		t.Fatalf("undisturbed query tagged degraded: %+v", exact.Quality)
+	}
+
+	results := make([]*Result, 2)
+	for i, workers := range []int{1, 8} {
+		opts := thalesOptions()
+		opts.Workers = workers
+		res, err := Engine{Analyze: analyze}.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results[i] = res
+	}
+	res := results[0]
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("degraded results differ across worker counts:\n1 worker: %+v\n8 workers: %+v", results[0], results[1])
+	}
+	if res.Quality.Quality != degrade.SafeUpperBound {
+		t.Fatalf("Quality = %+v, want safe-upper-bound", res.Quality)
+	}
+	if res.Quality.Budget != degrade.BudgetBreaker {
+		t.Errorf("Budget = %q, want %q (all probes degraded the same way)", res.Quality.Budget, degrade.BudgetBreaker)
+	}
+	if res.Uniform.Scale > exact.Uniform.Scale {
+		t.Errorf("degraded uniform slack %d exceeds exact %d — degraded probes over-promised headroom",
+			res.Uniform.Scale, exact.Uniform.Scale)
+	}
+	for i := range res.Tasks {
+		if res.Tasks[i].Scale > exact.Tasks[i].Scale {
+			t.Errorf("task %s: degraded slack %d exceeds exact %d",
+				res.Tasks[i].Task, res.Tasks[i].Scale, exact.Tasks[i].Scale)
+		}
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/curves"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/parallel"
@@ -199,6 +201,14 @@ type Result struct {
 	// and cache warmth.
 	Probes   int64
 	Analyses int64
+	// Quality is the worst degradation observed across the nominal
+	// analysis and every probe. A degraded probe over-approximates the
+	// DMM, which can only flip "holds" to "does not hold" — so slack
+	// figures computed from degraded probes under-report the headroom
+	// but never over-promise it. When probes degraded for different
+	// reasons, Budget/Rung read "mixed" (the aggregation is order-free
+	// so results stay byte-identical across worker counts).
+	Quality degrade.Info
 }
 
 // Engine runs sensitivity queries. The zero value analyzes directly
@@ -250,6 +260,7 @@ func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopt
 	if err != nil {
 		return nil, err
 	}
+	q.noteQuality(nominal.Quality)
 	res := &Result{
 		Chain:      chain,
 		Constraint: opts.Constraint,
@@ -330,6 +341,9 @@ func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopt
 	}
 	res.Probes = q.probes.Load()
 	res.Analyses = q.analyses.Load()
+	q.qmu.Lock()
+	res.Quality = q.worst
+	q.qmu.Unlock()
 	return res, nil
 }
 
@@ -391,6 +405,32 @@ type query struct {
 
 	mu   sync.Mutex
 	memo map[string]*memoEntry
+
+	qmu   sync.Mutex
+	worst degrade.Info
+}
+
+// noteQuality folds one probe's degradation tag into the query-wide
+// aggregate. The fold is order-free so the aggregate is deterministic
+// under any worker count: the quality level is a max, and Budget/Rung
+// collapse to "mixed" whenever two probes at the worst level disagree.
+func (q *query) noteQuality(i degrade.Info) {
+	if !i.Degraded() {
+		return
+	}
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	switch {
+	case i.Quality > q.worst.Quality:
+		q.worst = i
+	case i.Quality == q.worst.Quality:
+		if q.worst.Budget != i.Budget {
+			q.worst.Budget = "mixed"
+		}
+		if q.worst.Rung != i.Rung {
+			q.worst.Rung = "mixed"
+		}
+	}
 }
 
 // memoEntry is one in-flight or completed probe analysis; followers
@@ -426,6 +466,14 @@ func (q *query) analysis(ctx context.Context, sys *model.System) (*twca.Analysis
 	q.mu.Unlock()
 	q.analyses.Add(1)
 	e.an, e.err = q.analyze(ctx, sys, key, q.chain, q.aopts)
+	if e.err != nil {
+		// Evict failed entries before waking followers: a canceled or
+		// injected-fault analysis must not be replayed to probes that
+		// arrive with a healthy context.
+		q.mu.Lock()
+		delete(q.memo, key)
+		q.mu.Unlock()
+	}
 	close(e.done)
 	return e.an, e.err
 }
@@ -436,6 +484,16 @@ func (q *query) analysis(ctx context.Context, sys *model.System) (*twca.Analysis
 // closing window) is a definite "no", not an error.
 func (q *query) holds(ctx context.Context, sys *model.System) (bool, error) {
 	q.probes.Add(1)
+	if f := faultinject.At(faultinject.PointSensitivityProbe); f != nil {
+		if f.Budget() {
+			// An exhausted probe budget is a definite "no", like a
+			// diverged perturbation: slack shrinks, never grows.
+			return false, nil
+		}
+		if err := f.Apply(); err != nil {
+			return false, fmt.Errorf("sensitivity: probe: %w", err)
+		}
+	}
 	an, err := q.analysis(ctx, sys)
 	if err != nil {
 		if errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded) {
@@ -447,6 +505,7 @@ func (q *query) holds(ctx context.Context, sys *model.System) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	q.noteQuality(r.Quality)
 	return r.Value <= q.c.M, nil
 }
 
@@ -586,6 +645,11 @@ func Memoize(inner AnalyzeFunc) AnalyzeFunc {
 		m[key] = e
 		mu.Unlock()
 		e.an, e.err = inner(ctx, sys, hash, chain, opts)
+		if e.err != nil {
+			mu.Lock()
+			delete(m, key)
+			mu.Unlock()
+		}
 		close(e.done)
 		return e.an, e.err
 	}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults: three consecutive budget-tripped analyses of the
+// same system open its breaker for the cooldown.
+const (
+	breakerThreshold = 3
+	breakerCooldown  = 30 * time.Second
+)
+
+// breaker is a per-system-hash circuit breaker protecting the service
+// from re-running analyses that keep exhausting their budgets. A system
+// whose exact analysis tripped a budget (deadline, combination cap, ILP
+// node cap) on breakerThreshold consecutive requests is "open": further
+// requests for it start directly on the omega-sum degradation rung
+// (Options.Degrade.SkipExact) instead of burning a full budget to learn
+// the same thing again. After the cooldown, the next request half-opens
+// the breaker and retries the exact analysis; success closes it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+	trips   int64
+}
+
+type breakerEntry struct {
+	consecutive int
+	openUntil   time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// open reports whether requests for hash should skip the exact
+// analysis. Once the cooldown has passed, open returns false (a
+// half-open probe: the next request retries the exact analysis, and
+// recordTrip re-opens on failure).
+func (b *breaker) open(hash string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[hash]
+	return e != nil && e.consecutive >= b.threshold && b.now().Before(e.openUntil)
+}
+
+// recordTrip accounts one budget-tripped analysis of hash. Crossing the
+// threshold (re-)opens the breaker for the cooldown.
+func (b *breaker) recordTrip(hash string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trips++
+	e := b.entries[hash]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[hash] = e
+	}
+	e.consecutive++
+	if e.consecutive >= b.threshold {
+		e.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// recordOK accounts one exact (undegraded) analysis of hash, closing
+// its breaker.
+func (b *breaker) recordOK(hash string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, hash)
+}
+
+// openCount reports how many breakers are currently open (for the
+// /metrics gauge).
+func (b *breaker) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.now()
+	for _, e := range b.entries {
+		if e.consecutive >= b.threshold && now.Before(e.openUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// tripCount reports the total budget trips recorded.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

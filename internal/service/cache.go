@@ -3,7 +3,12 @@ package service
 import (
 	"container/list"
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/parallel"
 )
 
 // Cache outcome labels, reported per response and counted in /metrics.
@@ -94,7 +99,36 @@ func (c *cache) do(ctx context.Context, key string, fn func(context.Context) (an
 	c.mu.Unlock()
 
 	go func() {
-		val, err := fn(fctx)
+		// A panicking analysis must fail its flight, not the process:
+		// every coalesced waiter gets the recovered error, and the dead
+		// flight is never cached.
+		defer func() {
+			if r := recover(); r != nil {
+				c.mu.Lock()
+				f.val, f.err = nil, fmt.Errorf("%w: analysis flight: %v\n%s", parallel.ErrWorkerPanic, r, debug.Stack())
+				if c.flights[key] == f {
+					delete(c.flights, key)
+				}
+				c.mu.Unlock()
+				close(f.done)
+				cancel()
+			}
+		}()
+		// Fault-injection seam: inside the flight, before the analysis.
+		// An injected panic lands in the recover above and fails the
+		// flight with ErrWorkerPanic; an injected error fails it
+		// directly. ActionBudget has no meaning here (the cache holds no
+		// budget) and lets the flight proceed.
+		var val any
+		var err error
+		if f := faultinject.At(faultinject.PointServiceCache); f != nil {
+			err = f.Apply()
+		}
+		if err != nil {
+			err = fmt.Errorf("service: cache flight: %w", err)
+		} else {
+			val, err = fn(fctx)
+		}
 		c.mu.Lock()
 		f.val, f.err = val, err
 		if c.flights[key] == f {
@@ -141,6 +175,40 @@ func (c *cache) addLocked(key string, val any) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(lruEntry).key)
+	}
+}
+
+// peek returns the retained artifact for key without starting a flight
+// (it still refreshes the entry's recency). The degradation path uses
+// it to prefer an already-cached exact artifact over running a degraded
+// analysis.
+func (c *cache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(lruEntry).val, true
+}
+
+// add retains a completed artifact computed outside a flight (e.g. an
+// assembled response document derived from a cached analysis).
+func (c *cache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(key, val)
+}
+
+// forget drops the retained artifact for key, if any. In-flight
+// computations are unaffected.
+func (c *cache) forget(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
 	}
 }
 

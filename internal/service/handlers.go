@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/schema"
 )
 
@@ -35,6 +38,12 @@ type reqOptions struct {
 	MaxQ          int64 `json:"max_q,omitempty"`
 	Horizon       int64 `json:"horizon,omitempty"`
 	MaxIterations int   `json:"max_iterations,omitempty"`
+	// NoDegrade opts this request out of the graceful-degradation
+	// ladder: budget exhaustion (deadline, combination blow-up, ILP node
+	// cap) fails the request instead of answering with a sound
+	// over-approximation tagged "safe-upper-bound"/"trivial". By default
+	// the service degrades rather than 504s an analyzable system.
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 func (o reqOptions) latency() repro.LatencyOptions {
@@ -42,6 +51,7 @@ func (o reqOptions) latency() repro.LatencyOptions {
 		MaxQ:          o.MaxQ,
 		Horizon:       repro.Time(o.Horizon),
 		MaxIterations: o.MaxIterations,
+		Degrade:       repro.DegradePolicy{Allow: !o.NoDegrade},
 	}
 }
 
@@ -53,6 +63,7 @@ func (o reqOptions) twca() repro.Options {
 		Baseline:        o.Baseline,
 		NoCarryIn:       o.NoCarryIn,
 		Latency:         o.latency(),
+		Degrade:         repro.DegradePolicy{Allow: !o.NoDegrade},
 	}
 }
 
@@ -171,6 +182,10 @@ func classify(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "unschedulable"
 	case errors.Is(err, repro.ErrInfeasibleConstraint):
 		return http.StatusUnprocessableEntity, "infeasible_constraint"
+	case errors.Is(err, repro.ErrWorkerPanic):
+		return http.StatusInternalServerError, "worker_panic"
+	case errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError, "injected"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, repro.ErrCanceled) || errors.Is(err, context.Canceled):
@@ -195,13 +210,33 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
+// retryAfterSeconds renders d as a Retry-After header value (whole
+// seconds, at least 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // fail renders err and accounts the request. Decode/parse failures
 // (wrapped in badRequestError) are 400 regardless of their cause.
+// During a drain, cancellation and timeout failures are reported as 503
+// + Retry-After: the work was lost to the shutdown, not to the system,
+// and a retry hits a healthy instance.
 func (s *Server) fail(w http.ResponseWriter, endpoint string, err error) {
 	status, kind := classify(err)
 	var bad badRequestError
 	if errors.As(err, &bad) {
 		status, kind = http.StatusBadRequest, "bad_request"
+	}
+	if s.draining.Load() && (status == StatusClientClosedRequest || status == http.StatusGatewayTimeout) {
+		status, kind = http.StatusServiceUnavailable, "draining"
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.DrainTimeout))
+	}
+	if kind == "worker_panic" {
+		s.met.workerPanic()
 	}
 	s.met.request(endpoint, status)
 	s.writeJSON(w, status, errorResponse{SchemaVersion: schema.Version, Error: err.Error(), Kind: kind})
@@ -223,9 +258,28 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *analyzeRequ
 // dmmArtifact returns the prepared DMM analysis for the request's
 // (system, chain, options), from cache, an in-flight twin, or a fresh
 // gate-admitted analysis.
-func (s *Server) dmmArtifact(ctx context.Context, req *analyzeRequest, sys *repro.System, hash string) (*repro.Analysis, string, error) {
+//
+// When the system's circuit breaker is open (its exact analysis tripped
+// budgets on consecutive requests), the analysis starts directly on the
+// omega-sum degradation rung and is cached under a separate
+// "|degraded" key — a degraded artifact can never be mistaken for, or
+// shadow, an exact one. Before going degraded, the exact key is peeked:
+// a cached exact artifact always wins over running a degraded analysis.
+func (s *Server) dmmArtifact(ctx context.Context, req *analyzeRequest, sys *repro.System, hash string) (*repro.Analysis, string, string, error) {
 	key := "dmm|" + hash + "|" + req.Chain + "|" + req.Options.fingerprint()
 	opts := req.Options.twca()
+	if !req.Options.NoDegrade && s.breaker.open(hash) {
+		if val, ok := s.cache.peek(key); ok {
+			s.met.cacheOutcome(cacheHit)
+			return val.(*repro.Analysis), key, cacheHit, nil
+		}
+		opts.Degrade.SkipExact = true
+		key += "|degraded"
+	} else {
+		// Breaker closed: stale degraded twins must not linger past the
+		// next exact artifact.
+		defer s.cache.forget(key + "|degraded")
+	}
 	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
 		if err := s.gate.Acquire(fctx); err != nil {
 			return nil, err
@@ -238,9 +292,47 @@ func (s *Server) dmmArtifact(ctx context.Context, req *analyzeRequest, sys *repr
 	})
 	s.met.cacheOutcome(state)
 	if err != nil {
-		return nil, state, err
+		return nil, key, state, err
 	}
-	return val.(*repro.Analysis), state, nil
+	return val.(*repro.Analysis), key, state, nil
+}
+
+// dmmDoc is a fully assembled DMM response document retained in the
+// LRU alongside the analysis artifact it came from. Documents are
+// deterministic functions of (artifact key, ks, breakpoint range), so
+// serving a retained one is byte-identical to re-deriving it — warmth
+// stays invisible in the body while repeat queries skip the sweep.
+type dmmDoc struct {
+	doc   schema.Analysis
+	stats schema.Stats
+}
+
+// accountQuality does the per-response degradation bookkeeping shared
+// by the endpoints: count each degraded result in /metrics, feed the
+// system's circuit breaker (a budget trip opens it after enough
+// consecutive failures; an exact answer closes it), and advertise
+// Retry-After on degraded responses — the budget pressure is transient,
+// so a later retry may earn an exact answer.
+func (s *Server) accountQuality(w http.ResponseWriter, hash string, degradedBudgets map[string]int64) {
+	tripped := false
+	for budget, n := range degradedBudgets {
+		s.met.degraded(budget, n)
+		if budget != degrade.BudgetBreaker {
+			tripped = true
+		}
+	}
+	if hash == "" {
+		return
+	}
+	switch {
+	case tripped:
+		s.breaker.recordTrip(hash)
+	case len(degradedBudgets) == 0:
+		s.breaker.recordOK(hash)
+	}
+	if len(degradedBudgets) > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
+	}
 }
 
 // dmmResponse is schema.Analysis plus service envelope fields.
@@ -265,7 +357,7 @@ func (s *Server) handleDMM(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	an, state, err := s.dmmArtifact(ctx, &req, sys, hash)
+	an, key, state, err := s.dmmArtifact(ctx, &req, sys, hash)
 	if err != nil {
 		s.fail(w, "dmm", err)
 		return
@@ -274,12 +366,25 @@ func (s *Server) handleDMM(w http.ResponseWriter, r *http.Request) {
 	if len(ks) == 0 && req.BreakpointsMaxK == 0 {
 		ks = []int64{1, 10, 100}
 	}
-	doc, stats, err := schema.FromAnalysisStats(ctx, an, ks, req.BreakpointsMaxK)
-	if err != nil {
-		s.fail(w, "dmm", err)
-		return
+	// The response document is a deterministic function of the artifact
+	// and the requested points, so repeat queries reuse the assembled
+	// document instead of re-sweeping the dmm curve.
+	docKey := fmt.Sprintf("doc|%s|%v|%d", key, ks, req.BreakpointsMaxK)
+	var doc schema.Analysis
+	var stats schema.Stats
+	if v, ok := s.cache.peek(docKey); ok {
+		cached := v.(dmmDoc)
+		doc, stats = cached.doc, cached.stats
+	} else {
+		doc, stats, err = schema.FromAnalysisStats(ctx, an, ks, req.BreakpointsMaxK)
+		if err != nil {
+			s.fail(w, "dmm", err)
+			return
+		}
+		s.met.addILPNodes(stats.ILPNodes)
+		s.cache.add(docKey, dmmDoc{doc: doc, stats: stats})
 	}
-	s.met.addILPNodes(stats.ILPNodes)
+	s.accountQuality(w, hash, stats.Degraded)
 	s.met.request("dmm", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, dmmResponse{
 		Analysis:   doc,
@@ -327,6 +432,12 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "latency", err)
 		return
 	}
+	if q := val.(*repro.LatencyResult).Quality; q.Degraded() {
+		// Metrics + Retry-After only: a latency trip says nothing about
+		// the DMM combination space, so it does not feed the breaker.
+		s.accountQuality(w, "", map[string]int64{q.Budget: 1})
+		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
+	}
 	s.met.request("latency", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, latencyResponse{
 		Latency:    schema.FromLatency(val.(*repro.LatencyResult)),
@@ -348,9 +459,13 @@ type verifyResult struct {
 	M int64 `json:"m"`
 	K int64 `json:"k"`
 	// Holds is a guarantee when true; false only means the analysis
-	// cannot prove the constraint.
+	// cannot prove the constraint. A degraded dmm keeps that reading: it
+	// over-approximates, so Holds can only flip from true to false.
 	Holds bool  `json:"holds"`
 	DMM   int64 `json:"dmm"`
+	// Quality/Budget tag degraded verifications as in schema.DMMPoint.
+	Quality string `json:"quality"`
+	Budget  string `json:"budget,omitempty"`
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -378,12 +493,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Same artifact key as the DMM endpoint: verifying after analyzing
 	// (or vice versa) is a cache hit.
-	an, state, err := s.dmmArtifact(ctx, &req, sys, hash)
+	an, _, state, err := s.dmmArtifact(ctx, &req, sys, hash)
 	if err != nil {
 		s.fail(w, "verify", err)
 		return
 	}
 	resp := verifyResponse{SchemaVersion: schema.Version, Chain: req.Chain, SystemHash: hash, Cache: state}
+	var degraded map[string]int64
 	for _, c := range req.Constraints {
 		r, err := an.DMMCtx(ctx, c.K)
 		if err != nil {
@@ -391,8 +507,18 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met.addILPNodes(r.ILPNodes)
-		resp.Results = append(resp.Results, verifyResult{M: c.M, K: c.K, Holds: r.Value <= c.M, DMM: r.Value})
+		if r.Quality.Degraded() {
+			if degraded == nil {
+				degraded = make(map[string]int64)
+			}
+			degraded[r.Quality.Budget]++
+		}
+		resp.Results = append(resp.Results, verifyResult{
+			M: c.M, K: c.K, Holds: r.Value <= c.M, DMM: r.Value,
+			Quality: r.Quality.Quality.String(), Budget: r.Quality.Budget,
+		})
 	}
+	s.accountQuality(w, hash, degraded)
 	s.met.request("verify", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -477,6 +603,10 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "sensitivity", err)
 		return
 	}
+	if q := val.(*repro.SensitivityResult).Quality; q.Degraded() {
+		s.accountQuality(w, "", map[string]int64{q.Budget: 1})
+		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
+	}
 	s.met.request("sensitivity", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, sensitivityResponse{
 		Sensitivity: schema.FromSensitivity(val.(*repro.SensitivityResult)),
@@ -487,9 +617,13 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	s.met.request("healthz", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
 		"cache_entries":  s.cache.len(),
 	})

@@ -35,19 +35,31 @@ type metrics struct {
 	bisectionSteps                         int64
 	sensProbes                             int64
 	probeHits, probeMisses, probeCoalesced int64
+	// degradedResults counts responses answered below Exact quality,
+	// keyed by the exhausted budget ("deadline", "ilp-nodes",
+	// "combinations", "breaker", ...).
+	degradedResults map[string]int64
+	// workerPanics counts analyses that failed because a worker task
+	// panicked (recovered to an error; the process survived).
+	workerPanics int64
 	// analysis duration histograms by kind ("dmm", "latency",
 	// "sensitivity").
 	durations map[string]*histogram
 	// inflight is sampled from the admission gate at scrape time.
 	inflight func() int
+	// breakerOpen/breakerTrips are sampled from the per-system circuit
+	// breaker at scrape time.
+	breakerOpen  func() int
+	breakerTrips func() int64
 }
 
 func newMetrics(inflight func() int) *metrics {
 	return &metrics{
-		start:     time.Now(),
-		requests:  make(map[string]int64),
-		durations: make(map[string]*histogram),
-		inflight:  inflight,
+		start:           time.Now(),
+		requests:        make(map[string]int64),
+		durations:       make(map[string]*histogram),
+		degradedResults: make(map[string]int64),
+		inflight:        inflight,
 	}
 }
 
@@ -133,6 +145,32 @@ func (m *metrics) addBisectionSteps(n int64) {
 	m.bisectionSteps += n
 }
 
+// degraded accounts n results answered below Exact quality under the
+// named exhausted budget.
+func (m *metrics) degraded(budget string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degradedResults[budget] += n
+}
+
+// workerPanic accounts one recovered worker-task panic.
+func (m *metrics) workerPanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workerPanics++
+}
+
+// degradedTotal reports the total degraded results across budgets.
+func (m *metrics) degradedTotal() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, n := range m.degradedResults {
+		total += n
+	}
+	return total
+}
+
 // hitRatio returns hits / (hits + misses + coalesced), or 0 before any
 // cacheable request.
 func (m *metrics) hitRatio() float64 {
@@ -205,6 +243,32 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"hit\"} %d\n", m.probeHits)
 	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"miss\"} %d\n", m.probeMisses)
 	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"coalesced\"} %d\n", m.probeCoalesced)
+
+	fmt.Fprintf(w, "# HELP twca_degraded_results_total Results answered below exact quality, by exhausted budget.\n")
+	fmt.Fprintf(w, "# TYPE twca_degraded_results_total counter\n")
+	budgets := make([]string, 0, len(m.degradedResults))
+	for b := range m.degradedResults {
+		budgets = append(budgets, b)
+	}
+	sort.Strings(budgets)
+	for _, b := range budgets {
+		fmt.Fprintf(w, "twca_degraded_results_total{budget=%q} %d\n", b, m.degradedResults[b])
+	}
+
+	fmt.Fprintf(w, "# HELP twca_worker_panics_total Analyses failed by a recovered worker-task panic.\n")
+	fmt.Fprintf(w, "# TYPE twca_worker_panics_total counter\n")
+	fmt.Fprintf(w, "twca_worker_panics_total %d\n", m.workerPanics)
+
+	if m.breakerTrips != nil {
+		fmt.Fprintf(w, "# HELP twca_breaker_trips_total Budget-tripped analyses recorded by the per-system circuit breaker.\n")
+		fmt.Fprintf(w, "# TYPE twca_breaker_trips_total counter\n")
+		fmt.Fprintf(w, "twca_breaker_trips_total %d\n", m.breakerTrips())
+	}
+	if m.breakerOpen != nil {
+		fmt.Fprintf(w, "# HELP twca_breaker_open Systems whose circuit breaker is currently open.\n")
+		fmt.Fprintf(w, "# TYPE twca_breaker_open gauge\n")
+		fmt.Fprintf(w, "twca_breaker_open %d\n", m.breakerOpen())
+	}
 
 	if m.inflight != nil {
 		fmt.Fprintf(w, "# HELP twca_analyses_inflight Analyses currently holding an admission slot.\n")

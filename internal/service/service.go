@@ -37,9 +37,11 @@ import (
 	"context"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/schema"
 )
 
 // Config tunes the service. The zero value picks sensible defaults.
@@ -58,6 +60,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// DrainTimeout bounds graceful shutdown (default 30s): after
+	// StartDrain, new analysis requests are refused with 503 +
+	// Retry-After immediately, and in-flight requests that outlive the
+	// timeout are canceled and also answered 503 (the work is lost to
+	// the restart, not to the system — a retry after Retry-After hits a
+	// healthy instance).
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -88,6 +100,9 @@ func (c Config) Validate() error {
 	if c.MaxBodyBytes < 0 {
 		return errNegative("MaxBodyBytes", c.MaxBodyBytes)
 	}
+	if c.DrainTimeout < 0 {
+		return errNegative("DrainTimeout", int64(c.DrainTimeout))
+	}
 	return nil
 }
 
@@ -95,13 +110,15 @@ func (c Config) Validate() error {
 // an http.Server, and call Close during shutdown to cancel outstanding
 // analyses.
 type Server struct {
-	cfg   Config
-	cache *cache
-	gate  *parallel.Gate
-	met   *metrics
-	mux   *http.ServeMux
-	root  context.Context
-	stop  context.CancelFunc
+	cfg      Config
+	cache    *cache
+	gate     *parallel.Gate
+	met      *metrics
+	breaker  *breaker
+	mux      *http.ServeMux
+	root     context.Context
+	stop     context.CancelFunc
+	draining atomic.Bool
 }
 
 // New builds a Server from cfg (zero value is fine).
@@ -119,7 +136,10 @@ func New(cfg Config) (*Server, error) {
 		mux:  http.NewServeMux(),
 	}
 	s.cache = newCache(root, cfg.CacheSize)
+	s.breaker = newBreaker(breakerThreshold, breakerCooldown)
 	s.met = newMetrics(s.gate.InUse)
+	s.met.breakerOpen = s.breaker.openCount
+	s.met.breakerTrips = s.breaker.tripCount
 
 	s.mux.HandleFunc("POST /v1/analyze/dmm", s.handleDMM)
 	s.mux.HandleFunc("POST /v1/analyze/latency", s.handleLatency)
@@ -137,12 +157,43 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler. While draining, new
+// analysis requests are refused with 503 + Retry-After (health and
+// metrics stay reachable so orchestrators can watch the drain).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && len(r.URL.Path) >= 4 && r.URL.Path[:4] == "/v1/" {
+			s.refuseDraining(w, "draining")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// StartDrain puts the server into draining mode: new analysis requests
+// are refused with 503 + Retry-After, while in-flight ones continue.
+// The caller (cmd/twca-serve) follows with http.Server.Shutdown bounded
+// by Config.DrainTimeout and calls Close when the bound expires, which
+// cancels the stragglers — their requests also answer 503. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// refuseDraining answers one request refused by the drain gate.
+func (s *Server) refuseDraining(w http.ResponseWriter, endpoint string) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.DrainTimeout))
+	s.met.request(endpoint, http.StatusServiceUnavailable)
+	s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		SchemaVersion: schema.Version,
+		Error:         "service is draining for shutdown; retry against a healthy instance",
+		Kind:          "draining",
+	})
+}
 
 // Close cancels the server's root context: in-flight analyses stop at
 // their next cooperative check and their requests fail with the
-// cancellation mapping. Idempotent.
+// cancellation mapping (or 503 when draining). Idempotent.
 func (s *Server) Close() { s.stop() }
 
 // requestCtx derives the analysis context for one request: the client's

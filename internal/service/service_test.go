@@ -168,11 +168,13 @@ func TestErrorToStatusMapping(t *testing.T) {
 		{"no deadline", "/v1/analyze/dmm",
 			analyzeRequest{SystemDSL: "system s\nchain c periodic(100) { t prio 1 wcet 10 }\n", Chain: "c"},
 			http.StatusUnprocessableEntity, "no_deadline"},
+		// By default budget exhaustion degrades to a sound 200 (see
+		// TestDegradedResponses); no_degrade restores the hard failure.
 		{"combination explosion", "/v1/analyze/dmm",
-			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{MaxCombinations: 1}},
+			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{MaxCombinations: 1, NoDegrade: true}},
 			http.StatusUnprocessableEntity, "too_many_combinations"},
 		{"unschedulable", "/v1/analyze/latency",
-			analyzeRequest{SystemDSL: overloaded, Chain: "c"},
+			analyzeRequest{SystemDSL: overloaded, Chain: "c", Options: reqOptions{NoDegrade: true}},
 			http.StatusUnprocessableEntity, "unschedulable"},
 		{"no system", "/v1/analyze/dmm",
 			analyzeRequest{Chain: "sigma_c"},
@@ -288,8 +290,9 @@ func TestCoalescingOverHTTP(t *testing.T) {
 	if counts[cacheMiss] != 1 {
 		t.Errorf("cache outcomes %v, want exactly 1 miss", counts)
 	}
-	if svc.cache.len() != 1 {
-		t.Errorf("cache holds %d artifacts, want 1", svc.cache.len())
+	// One analysis artifact plus the assembled response document.
+	if svc.cache.len() != 2 {
+		t.Errorf("cache holds %d artifacts, want 2", svc.cache.len())
 	}
 }
 

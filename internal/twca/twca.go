@@ -9,6 +9,8 @@ import (
 	"sync"
 
 	"repro/internal/curves"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
 	"repro/internal/ilp"
 	"repro/internal/latency"
 	"repro/internal/model"
@@ -75,6 +77,16 @@ type Options struct {
 	// BenchmarkBreakpointsSweep pin this); the switch exists for those
 	// tests and for before/after measurements.
 	NoCache bool
+	// Degrade controls the graceful-degradation ladder. With Allow set,
+	// budget exhaustion (combination blow-up, an expired deadline, a
+	// diverging classification fixed point) descends to the closed-form
+	// Lemma-4 omega-sum rung — and, when even the busy-window analysis
+	// cannot complete, to the trivial all-k rung — instead of failing.
+	// SkipExact (the circuit breaker's lever) starts directly on the
+	// omega-sum rung, skipping combination enumeration and the ILP. The
+	// nested Latency.Degrade field is managed internally from this
+	// policy and ignored if set by the caller.
+	Degrade degrade.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +97,10 @@ func (o Options) withDefaults() Options {
 		o.Flat = true
 	}
 	o.Latency.ExcludeOverload = false
+	o.Degrade = o.Degrade.WithDefaults()
+	// The busy-window analysis degrades on its own ladder; SkipExact is
+	// about the combination/ILP stage only, so it is not forwarded.
+	o.Latency.Degrade = degrade.Policy{Allow: o.Degrade.Allow}
 	return o
 }
 
@@ -120,9 +136,18 @@ type Analysis struct {
 	// when no overload chain is activated (MinSlack ≥ 0).
 	TypicalSchedulable bool
 	// Combinations is the full combination space (Def. 9) and
-	// Unschedulable its subset U used by the ILP.
+	// Unschedulable its subset U used by the ILP. Both are empty when
+	// the construction degraded past the Theorem-3 rung (see Degraded).
 	Combinations  []Combination
 	Unschedulable []Combination
+	// Degraded tags construction-time ladder descent: Exact quality
+	// means the full §V analysis is available; SafeUpperBound means
+	// combination enumeration was skipped or abandoned and every DMM is
+	// answered by the Lemma-4 omega sum; Trivial means even the
+	// busy-window analysis fell back, and every DMM answers k. When
+	// Degraded is past Exact, MinSlack and TypicalSchedulable are
+	// pessimistic placeholders (-1 / false), not computed quantities.
+	Degraded degrade.Info
 
 	info     *segments.Info
 	overload []*model.Chain
@@ -189,6 +214,15 @@ func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 		opts:     opts,
 		MinSlack: curves.Infinity,
 	}
+	if lat.Quality.Degraded() {
+		// The busy-window analysis already fell to its Lemma-3 floor: no
+		// trustworthy K, L(q) or MinSlack exists, so nothing built on
+		// them may be used. The whole construction is trivial — every
+		// DMM answers k via the typical-unschedulable path.
+		a.Degraded = degrade.Info{Quality: degrade.Trivial, Budget: lat.Quality.Budget, Rung: degrade.RungLemma3}
+		a.MinSlack = -1
+		return a, nil
+	}
 	for q := int64(1); q <= lat.K; q++ {
 		window := curves.AddSat(b.Activation.DeltaMin(q), b.Deadline)
 		lq := latency.Demand(info, q, window, true)
@@ -198,14 +232,26 @@ func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 		}
 	}
 	a.TypicalSchedulable = a.MinSlack >= 0
+	if opts.Degrade.SkipExact {
+		a.degradeConstruction(degrade.BudgetBreaker)
+		return a, nil
+	}
 	combos, ok := enumerateCombinations(info, a.overload, opts.MaxCombinations)
 	if !ok {
+		if opts.Degrade.Allow {
+			a.degradeConstruction(degrade.BudgetCombinations)
+			return a, nil
+		}
 		return nil, fmt.Errorf("twca: chain %q: %w (limit %d)", b.Name, ErrTooManyCombinations, opts.MaxCombinations)
 	}
 	a.Combinations = combos
 	for i, c := range combos {
 		if i%cancelCheckEvery == cancelCheckEvery-1 {
 			if err := ctx.Err(); err != nil {
+				if budget, ok := a.degradableBudget(err); ok {
+					a.degradeConstruction(budget)
+					return a, nil
+				}
 				return nil, fmt.Errorf("twca: chain %q: combination classification canceled: %w", b.Name, err)
 			}
 		}
@@ -215,6 +261,10 @@ func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 		if opts.ExactCriterion && a.TypicalSchedulable {
 			unsched, err := a.exactUnschedulable(ctx, c)
 			if err != nil {
+				if budget, ok := a.degradableBudget(err); ok {
+					a.degradeConstruction(budget)
+					return a, nil
+				}
 				return nil, err
 			}
 			if !unsched {
@@ -225,6 +275,36 @@ func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 	}
 	a.buildProblemTemplate()
 	return a, nil
+}
+
+// degradeConstruction abandons the Theorem-3 combination analysis and
+// pins the construction to the omega-sum rung: partial classification
+// state is discarded (a half-classified Unschedulable set must never
+// feed an ILP) and every DMM query is answered by the closed-form
+// Lemma-4 impact sum.
+func (a *Analysis) degradeConstruction(budget string) {
+	a.Degraded = degrade.Info{Quality: degrade.SafeUpperBound, Budget: budget, Rung: degrade.RungOmegaSum}
+	a.Unschedulable = nil
+	a.rows, a.rowChain, a.objective = nil, nil, nil
+}
+
+// degradableBudget classifies errors the ladder may absorb under
+// Options.Degrade.Allow: resource exhaustion (a deadline, a diverging
+// classification fixed point, an injected fault) degrades; plain
+// cancellation — the caller is gone — always propagates.
+func (a *Analysis) degradableBudget(err error) (string, bool) {
+	if !a.opts.Degrade.Allow {
+		return "", false
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return degrade.BudgetDeadline, true
+	case errors.Is(err, latency.ErrDiverged), errors.Is(err, latency.ErrKExceeded):
+		return degrade.BudgetFixedPoint, true
+	case errors.Is(err, faultinject.ErrInjected):
+		return degrade.BudgetInjected, true
+	}
+	return "", false
 }
 
 // buildProblemTemplate assembles the k-independent part of Theorem 3's
@@ -295,6 +375,13 @@ type DMMResult struct {
 	// miss), or "no-activations" (a DMMWindow interval too short to
 	// contain any activation). Empty when the ILP ran.
 	Trivial string
+	// Quality tags how the value was obtained on the degradation
+	// lattice: Exact for a completed Theorem-3 analysis (including the
+	// provably exact shortcuts above), SafeUpperBound when a budget
+	// tripped (the value is the ILP relaxation bound or the Lemma-4
+	// omega sum), Trivial when even the busy-window analysis fell back
+	// and the value is k itself.
+	Quality degrade.Info
 }
 
 // DMM computes dmm_b(k), the maximum number of deadline misses in any
@@ -312,7 +399,7 @@ func (a *Analysis) DMMCtx(ctx context.Context, k int64) (DMMResult, error) {
 	if k <= 0 {
 		return DMMResult{}, fmt.Errorf("twca: dmm(%d): k must be positive", k)
 	}
-	res := DMMResult{K: k, Omega: make(map[string]int64, len(a.overload))}
+	res := DMMResult{K: k, Omega: make(map[string]int64, len(a.overload)), Quality: degrade.ExactInfo()}
 	for _, over := range a.overload {
 		res.Omega[over.Name] = a.Omega(over, k)
 	}
@@ -320,13 +407,29 @@ func (a *Analysis) DMMCtx(ctx context.Context, k int64) (DMMResult, error) {
 	switch {
 	case !a.TypicalSchedulable:
 		// The deadline can be missed without any overload: the analysis
-		// can promise nothing better than "all k".
+		// can promise nothing better than "all k". When the construction
+		// itself is degraded (trivial latency fallback), "all k" is the
+		// ladder floor rather than a computed verdict — tag it so.
 		res.Value = k
 		res.Trivial = "typical-unschedulable"
+		if a.Degraded.Degraded() {
+			res.Quality = a.Degraded
+			res.Exact = false
+		}
 		return res, nil
 	case a.Latency.MissesPerWindow == 0:
+		// Exact even under a degraded construction: Lemma 3 with
+		// N_b = 0 means no busy window can miss at all, regardless of
+		// how the combination space would have looked.
 		res.Value = 0
 		res.Trivial = "schedulable"
+		return res, nil
+	case a.Degraded.Degraded():
+		// Omega-sum rung: the combination analysis was skipped or
+		// abandoned, so answer with the closed-form Lemma-4 impact sum.
+		res.Value = a.omegaSum(k)
+		res.Quality = a.Degraded
+		res.Exact = false
 		return res, nil
 	case len(a.Unschedulable) == 0:
 		res.Value = 0
@@ -346,6 +449,15 @@ func (a *Analysis) DMMCtx(ctx context.Context, k int64) (DMMResult, error) {
 	}
 	sol, err := a.solveCached(ctx, bounds)
 	if err != nil {
+		if budget, ok := a.degradableBudget(err); ok {
+			// Query-time descent: only this result degrades — the
+			// analysis artifact stays exact and a later, less pressed
+			// query can still be answered at full quality.
+			res.Value = a.omegaSum(k)
+			res.Quality = degrade.Info{Quality: degrade.SafeUpperBound, Budget: budget, Rung: degrade.RungOmegaSum}
+			res.Exact = false
+			return res, nil
+		}
 		return DMMResult{}, fmt.Errorf("twca: dmm(%d): %w", k, err)
 	}
 	res.ILPNodes = sol.Nodes
@@ -356,7 +468,42 @@ func (a *Analysis) DMMCtx(ctx context.Context, k int64) (DMMResult, error) {
 	if res.Value > k {
 		res.Value = k
 	}
+	if !sol.Exact {
+		// Node-cap truncation: still the Theorem-3 program, answered by
+		// its root relaxation instead of the optimum.
+		res.Quality = degrade.Info{Quality: degrade.SafeUpperBound, Budget: degrade.BudgetILPNodes, Rung: degrade.RungTheorem3}
+	}
 	return res, nil
+}
+
+// omegaSum is the closed-form Lemma-4 rung of the degradation ladder:
+//
+//	dmm(k) ≤ min(k, N_b · Σ_{a ∈ overload} |active(a)| · min(Ω^a_b(k), k))
+//
+// Soundness: every deadline miss of the k-sequence happens in an
+// unschedulable busy window (the system is typically schedulable on
+// this path), each such window misses at most N_b deadlines (Lemma 3),
+// and each contains at least one active overload segment — so the
+// number of unschedulable windows is bounded by the summed capacities
+// of the Theorem-3 rows, min(Ω^a_b(k), k) per active segment (Lemma 4
+// plus the k-clamp). The same row-budget argument shows the sum is
+// ≥ the Theorem-3 ILP optimum, so descending the ladder never shrinks
+// the bound (TestDegradedDMMDominatesExact pins this).
+func (a *Analysis) omegaSum(k int64) int64 {
+	var windows curves.Time
+	for _, over := range a.overload {
+		omega := a.Omega(over, k)
+		if omega > k {
+			omega = k
+		}
+		segs := int64(len(a.info.ActiveSegments(over)))
+		windows = curves.AddSat(windows, curves.MulSat(curves.Time(omega), segs))
+	}
+	v := curves.MulSat(windows, a.Latency.MissesPerWindow)
+	if v.IsInf() || v > curves.Time(k) {
+		return k
+	}
+	return int64(v)
 }
 
 // solveCached returns the knapsack solution for the given capacity
@@ -445,7 +592,7 @@ func boundsKey(buf []byte, bounds []int64) []byte {
 func (a *Analysis) DMMWindow(dt curves.Time) (DMMResult, error) {
 	k := a.Target.Activation.EtaPlus(dt)
 	if k <= 0 {
-		return DMMResult{K: 0, Omega: map[string]int64{}, Exact: true, Trivial: "no-activations"}, nil
+		return DMMResult{K: 0, Omega: map[string]int64{}, Exact: true, Trivial: "no-activations", Quality: degrade.ExactInfo()}, nil
 	}
 	return a.DMM(k)
 }
@@ -459,6 +606,8 @@ func (a *Analysis) dmmValue(ctx context.Context, k int64) (int64, error) {
 		return k, nil
 	case a.Latency.MissesPerWindow == 0:
 		return 0, nil
+	case a.Degraded.Degraded():
+		return a.omegaSum(k), nil
 	case len(a.Unschedulable) == 0:
 		return 0, nil
 	}
@@ -472,6 +621,9 @@ func (a *Analysis) dmmValue(ctx context.Context, k int64) (int64, error) {
 	}
 	sol, err := a.solveCached(ctx, bounds)
 	if err != nil {
+		if _, ok := a.degradableBudget(err); ok {
+			return a.omegaSum(k), nil
+		}
 		return 0, fmt.Errorf("twca: dmm(%d): %w", k, err)
 	}
 	v := sol.Bound

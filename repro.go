@@ -80,9 +80,11 @@ import (
 
 	"repro/internal/casestudy"
 	"repro/internal/curves"
+	"repro/internal/degrade"
 	"repro/internal/dsl"
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/sensitivity"
 	"repro/internal/sim"
 	"repro/internal/twca"
@@ -119,6 +121,11 @@ var (
 	// weakly-hard constraint does not verify on the nominal system —
 	// dmm(k) > m, so there is no slack to measure.
 	ErrInfeasibleConstraint = sensitivity.ErrInfeasibleConstraint
+	// ErrWorkerPanic reports that a task in a parallel analysis driver
+	// panicked. The panic is recovered inside the worker pool, converted
+	// to an error carrying the panic value and stack, and fails only the
+	// analysis that owned the task — never the process.
+	ErrWorkerPanic = parallel.ErrWorkerPanic
 )
 
 // mapErr translates implementation-package errors into the facade's
@@ -171,6 +178,36 @@ type (
 	DMMResult = twca.DMMResult
 	// Combination is a set of overload active segments (Def. 9).
 	Combination = twca.Combination
+)
+
+// Degradation types. Setting Options.Degrade opts an analysis into the
+// graceful-degradation ladder: when an exact analysis exhausts a budget
+// (combination blow-up, ILP node cap, context deadline), the result
+// descends to a cheaper but still sound over-approximation instead of
+// failing, and carries a DegradeInfo tag naming the rung and the
+// tripped budget. dmm values satisfy dmm_degraded(k) ≥ dmm_exact(k) at
+// every k — degraded answers may be pessimistic, never optimistic.
+type (
+	// Quality ranks result fidelity on the ladder: QualityExact <
+	// QualitySafeUpperBound < QualityTrivial. The zero value is
+	// QualityExact, so untagged results read as exact.
+	Quality = degrade.Quality
+	// DegradeInfo tags one result with its Quality, the exhausted
+	// budget ("deadline", "ilp-nodes", "combinations", ...) and the
+	// soundness rung that produced the value.
+	DegradeInfo = degrade.Info
+	// DegradePolicy is the Options.Degrade field: Allow enables descent
+	// on budget exhaustion; SkipExact starts on the omega-sum rung
+	// without attempting the exact analysis (the service's circuit
+	// breaker uses this).
+	DegradePolicy = degrade.Policy
+)
+
+// Quality levels, best to worst.
+const (
+	QualityExact          = degrade.Exact
+	QualitySafeUpperBound = degrade.SafeUpperBound
+	QualityTrivial        = degrade.Trivial
 )
 
 // Sensitivity types.
