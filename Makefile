@@ -10,7 +10,7 @@ GO ?= go
 # reproduces CI's verdict. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint verify bench chaos fuzz-smoke serve print-staticcheck-version
+.PHONY: build test lint verify bench bench-check chaos fuzz-smoke serve print-staticcheck-version
 
 # print-staticcheck-version lets CI install exactly the pinned release
 # without duplicating the version string in the workflow file.
@@ -43,6 +43,14 @@ verify:
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./...
 	$(GO) run ./cmd/twca-sensitivity -chain sigma_c -bench-out BENCH_sensitivity.json >/dev/null
+
+# bench-check guards the incremental engine's edge: it reruns the
+# sensitivity benchmark and fails when the warm-start speedup measured
+# on this machine fell below half the one committed in
+# BENCH_sensitivity.json. Speedups (not wall-clock times) are compared,
+# so the gate is host-independent. CI runs this in the bench-smoke job.
+bench-check:
+	$(GO) run ./cmd/twca-sensitivity -chain sigma_c -bench-check BENCH_sensitivity.json >/dev/null
 
 # chaos runs the fault-injection suites under the race detector: the
 # service chaos suite (hundreds of randomized requests with panics,

@@ -15,8 +15,13 @@
 //
 // -json emits the versioned schema.Sensitivity document (the same wire
 // format twca-serve speaks); -bench-out FILE additionally times a cold
-// and a probe-cache-warm run of the query and writes the numbers as
-// JSON (the make bench artifact).
+// run, a probe-cache-warm run and a warm-started run (hot
+// sensitivity.WarmStore) of the query and writes the numbers as JSON
+// (the make bench artifact). -bench-check FILE reruns those timings and
+// exits nonzero when the warm-start speedup fell below half the
+// committed one — the CI bench smoke gate. -no-warm-start disables the
+// incremental warm-start engine; the results are byte-identical either
+// way, only slower.
 package main
 
 import (
@@ -63,7 +68,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON document (the twca-serve wire schema)")
 	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"probe worker pool size (results are identical for any value)")
-	benchOut := fs.String("bench-out", "", "also time a cold and a warm run and write the JSON to this file")
+	benchOut := fs.String("bench-out", "", "also time cold, probe-cache-warm and warm-started runs and write the JSON to this file")
+	benchCheck := fs.String("bench-check", "", "rerun the benchmark and fail if the warm-start speedup fell below half the one committed in this JSON file")
+	noWarm := fs.Bool("no-warm-start", false, "disable warm-started probes (results are byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,27 +122,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
-	// One shared probe memo: the query (and the optional benchmark rerun)
-	// reuse analyses of identical perturbed systems by content hash.
-	eng := sensitivity.Engine{Analyze: sensitivity.Memoize(nil)}
-	t0 := time.Now()
+	sopts.NoWarmStart = *noWarm
+
+	// One shared probe memo plus one warm store: the query (and the
+	// optional benchmark reruns) reuse analyses of identical perturbed
+	// systems by content hash and warm-start fresh solves from stored
+	// neighbors.
+	eng := sensitivity.Engine{Analyze: sensitivity.Memoize(nil), Warm: sensitivity.NewWarmStore()}
 	res, err := eng.Query(ctx, sys, *chain, aopts, sopts)
-	cold := time.Since(t0)
 	if err != nil {
 		return err
 	}
 
-	if *benchOut != "" {
-		t1 := time.Now()
-		if _, err := eng.Query(ctx, sys, *chain, aopts, sopts); err != nil {
+	if *benchOut != "" || *benchCheck != "" {
+		doc, err := runBench(ctx, sys, *chain, aopts, sopts)
+		if err != nil {
 			return err
 		}
-		warm := time.Since(t1)
-		if err := writeBench(*benchOut, sys.Name, *chain, res, cold, warm); err != nil {
-			return err
+		fmt.Fprintf(stderr, "bench: cold %.1fms, warm cache %.1fms (%.1fx), warm start %.1fms (%.1fx)\n",
+			doc.ColdMS, doc.WarmMS, doc.Speedup, doc.WarmStartMS, doc.WarmStartSpeedup)
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "bench: wrote %s\n", *benchOut)
 		}
-		fmt.Fprintf(stderr, "bench: cold %.1fms, warm %.1fms (%.1fx) -> %s\n",
-			ms(cold), ms(warm), float64(cold)/float64(warm), *benchOut)
+		if *benchCheck != "" {
+			if err := checkBench(*benchCheck, doc, stderr); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *jsonOut {
@@ -201,32 +221,121 @@ func atLimit(b bool) string {
 	return ""
 }
 
-// benchDoc is the BENCH_sensitivity.json artifact written by -bench-out.
+// benchDoc is the BENCH_sensitivity.json artifact written by -bench-out:
+// cold solves everything from scratch (warm starting disabled),
+// warm_ms repeats the query against the hot probe memo (content-hash
+// reuse only), warm_start_ms repeats it against a hot
+// sensitivity.WarmStore but a cold memo (exact-coordinate reuse — the
+// incremental engine's fast path). All three produce byte-identical
+// documents.
 type benchDoc struct {
-	System   string  `json:"system"`
-	Chain    string  `json:"chain"`
-	M        int64   `json:"m"`
-	K        int64   `json:"k"`
-	Probes   int64   `json:"probes"`
-	Analyses int64   `json:"analyses"`
-	ColdMS   float64 `json:"cold_ms"`
-	WarmMS   float64 `json:"warm_ms"`
-	Speedup  float64 `json:"speedup"`
+	System           string  `json:"system"`
+	Chain            string  `json:"chain"`
+	M                int64   `json:"m"`
+	K                int64   `json:"k"`
+	Probes           int64   `json:"probes"`
+	Analyses         int64   `json:"analyses"`
+	ColdMS           float64 `json:"cold_ms"`
+	WarmMS           float64 `json:"warm_ms"`
+	Speedup          float64 `json:"speedup"`
+	WarmStartMS      float64 `json:"warm_start_ms"`
+	WarmStartSpeedup float64 `json:"warm_start_speedup"`
 }
 
-func writeBench(path, system, chain string, res *sensitivity.Result, cold, warm time.Duration) error {
-	doc := benchDoc{
-		System: system, Chain: chain,
+// runBench times the three engine configurations on the same query,
+// best of benchRounds each (the warm runs finish in well under a
+// millisecond, where a single sample is mostly scheduler noise).
+const benchRounds = 5
+
+func runBench(ctx context.Context, sys *model.System, chain string, aopts twca.Options, sopts sensitivity.Options) (*benchDoc, error) {
+	best := func(run func() error) (time.Duration, error) {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < benchRounds; i++ {
+			t0 := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD, nil
+	}
+
+	coldOpts := sopts
+	coldOpts.NoWarmStart = true
+	var res *sensitivity.Result
+	cold, err := best(func() error {
+		var err error
+		res, err = (sensitivity.Engine{Analyze: sensitivity.Memoize(nil)}).Query(ctx, sys, chain, aopts, coldOpts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Hot probe memo, warm starting still off: pure content-hash reuse.
+	engMemo := sensitivity.Engine{Analyze: sensitivity.Memoize(nil)}
+	if _, err := engMemo.Query(ctx, sys, chain, aopts, coldOpts); err != nil {
+		return nil, err
+	}
+	warm, err := best(func() error {
+		_, err := engMemo.Query(ctx, sys, chain, aopts, coldOpts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Hot warm store, fresh memo each round: exact-coordinate reuse.
+	warmOpts := sopts
+	warmOpts.NoWarmStart = false
+	store := sensitivity.NewWarmStore()
+	if _, err := (sensitivity.Engine{Analyze: sensitivity.Memoize(nil), Warm: store}).Query(ctx, sys, chain, aopts, warmOpts); err != nil {
+		return nil, err
+	}
+	warmStart, err := best(func() error {
+		_, err := (sensitivity.Engine{Analyze: sensitivity.Memoize(nil), Warm: store}).Query(ctx, sys, chain, aopts, warmOpts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &benchDoc{
+		System: sys.Name, Chain: chain,
 		M: res.Constraint.M, K: res.Constraint.K,
 		Probes: res.Probes, Analyses: res.Analyses,
 		ColdMS: ms(cold), WarmMS: ms(warm),
-		Speedup: float64(cold) / float64(warm),
-	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+		Speedup:          float64(cold) / float64(warm),
+		WarmStartMS:      ms(warmStart),
+		WarmStartSpeedup: float64(cold) / float64(warmStart),
+	}, nil
+}
+
+// checkBench compares a fresh run against the committed artifact. It
+// compares speedups rather than wall-clock times, so the gate is
+// machine-independent: a regression means the warm-start path lost its
+// edge over the cold path on the SAME host, not that the host is slow.
+func checkBench(path string, got *benchDoc, stderr io.Writer) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	var want benchDoc
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if want.WarmStartSpeedup <= 0 {
+		return fmt.Errorf("%s has no warm_start_speedup; regenerate with make bench", path)
+	}
+	fmt.Fprintf(stderr, "bench-check: warm-start speedup %.1fx, committed %.1fx (floor %.1fx)\n",
+		got.WarmStartSpeedup, want.WarmStartSpeedup, want.WarmStartSpeedup/2)
+	if got.WarmStartSpeedup < want.WarmStartSpeedup/2 {
+		return fmt.Errorf("warm-start speedup regressed: %.1fx measured, committed %.1fx (allowed floor: half)",
+			got.WarmStartSpeedup, want.WarmStartSpeedup)
+	}
+	return nil
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

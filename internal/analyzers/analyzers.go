@@ -76,6 +76,10 @@ func DefaultConfig() Config {
 			"internal/schema",
 			"internal/report",
 			"internal/sensitivity",
+			// The warm-start paths: branch-and-bound with carried
+			// incumbents must explore the same tree for the same input,
+			// or warm and cold runs stop being byte-identical.
+			"internal/ilp",
 		},
 		SaturatingTypes: []string{"repro/internal/curves.Time"},
 		SaturationPkgs: []string{

@@ -43,6 +43,12 @@ const (
 	PointServiceCache Point = "service.cache"
 	// PointSensitivityProbe fires at every sensitivity bisection probe.
 	PointSensitivityProbe Point = "sensitivity.probe"
+	// PointSensitivityWarmStore fires at every warm-store consultation
+	// of the incremental sensitivity engine (exact-coordinate lookups
+	// and nearest-neighbor searches). An injected fault there makes the
+	// store report a miss, so the probe silently falls back to a cold
+	// solve — never a wrong-side bound.
+	PointSensitivityWarmStore Point = "sensitivity.warmstore"
 )
 
 // Points lists every compiled-in seam, for spec validation and docs.
@@ -52,6 +58,7 @@ var Points = []Point{
 	PointBusyWindow,
 	PointServiceCache,
 	PointSensitivityProbe,
+	PointSensitivityWarmStore,
 }
 
 // Action is what a firing rule does to the seam.

@@ -57,6 +57,19 @@ type Problem struct {
 	// solution found so far with Exact=false and Bound set to the root
 	// relaxation — a sound upper bound on the true optimum.
 	MaxNodes int64
+	// IncumbentX optionally warm-starts the branch-and-bound with a
+	// known assignment — typically the optimum of a neighboring problem
+	// that shares this one's coefficient matrix (TWCA probes differ only
+	// in the capacity vector). When the assignment is feasible here, the
+	// search begins with its objective value as the incumbent lower
+	// bound, so subtrees that cannot beat it are pruned from the first
+	// node on. The returned optimum, bound and exactness are identical
+	// to a cold solve (the incumbent only prunes provably dominated
+	// subtrees); only Nodes can shrink and, on value ties, X may be the
+	// incumbent instead of the cold search's assignment. An infeasible
+	// or wrongly sized incumbent is silently ignored. The slice is only
+	// read, never modified.
+	IncumbentX []int64
 }
 
 // Solution is the result of Maximize.
@@ -121,6 +134,36 @@ func (p *Problem) cap(j int, rem []int64) int64 {
 	return bound
 }
 
+// incumbent validates IncumbentX against the problem and returns the
+// assignment with its objective value when it is feasible (right shape,
+// non-negative, within variable bounds and row capacities).
+func (p *Problem) incumbent() ([]int64, int64, bool) {
+	x := p.IncumbentX
+	if len(x) == 0 || len(x) != len(p.Objective) {
+		return nil, 0, false
+	}
+	var value int64
+	for j, v := range x {
+		if v < 0 {
+			return nil, 0, false
+		}
+		if p.VarBounds != nil && p.VarBounds[j] >= 0 && v > p.VarBounds[j] {
+			return nil, 0, false
+		}
+		value += p.Objective[j] * v
+	}
+	for _, r := range p.Rows {
+		var use int64
+		for j, v := range x {
+			use += r.Coeffs[j] * v
+		}
+		if use > r.Bound {
+			return nil, 0, false
+		}
+	}
+	return x, value, true
+}
+
 // cancelCheckEvery is how many branch-and-bound nodes are expanded
 // between cooperative cancellation checks in MaximizeCtx. Checking
 // ctx.Err() costs an atomic load plus a mutex-free branch, so at this
@@ -171,6 +214,13 @@ func MaximizeCtx(ctx context.Context, p Problem) (Solution, error) {
 		maxNodes = 100_000
 	}
 	s := &solver{p: &p, order: order, best: -1, maxNodes: maxNodes, done: ctx.Done()}
+	// Warm start: adopt a feasible incumbent as the initial lower bound.
+	// Feasibility is verified here, not trusted — the incumbent usually
+	// comes from a neighboring problem with different capacities.
+	if x, v, ok := p.incumbent(); ok {
+		s.best = v
+		s.bestX = append([]int64(nil), x...)
+	}
 	// Precompute the sparse column view: per variable, the rows that
 	// constrain it and their coefficients. TWCA's Theorem-3 matrices
 	// are 0/1 and sparse, so iterating only the covering rows makes the

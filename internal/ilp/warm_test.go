@@ -1,0 +1,124 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomKnapsack builds a random non-negative multidimensional knapsack
+// in the 0/1-coefficient shape TWCA's Theorem 3 produces.
+func randomKnapsack(rng *rand.Rand) Problem {
+	n := 2 + rng.Intn(6)
+	rows := 1 + rng.Intn(4)
+	p := Problem{Objective: make([]int64, n), Rows: make([]Row, rows)}
+	for j := range p.Objective {
+		p.Objective[j] = int64(rng.Intn(5))
+	}
+	for i := range p.Rows {
+		p.Rows[i].Coeffs = make([]int64, n)
+		for j := range p.Rows[i].Coeffs {
+			p.Rows[i].Coeffs[j] = int64(rng.Intn(2))
+		}
+		p.Rows[i].Bound = int64(rng.Intn(8))
+	}
+	// Cap every variable so zero-coefficient columns stay bounded.
+	p.VarBounds = make([]int64, n)
+	for j := range p.VarBounds {
+		p.VarBounds[j] = int64(1 + rng.Intn(6))
+	}
+	return p
+}
+
+// TestIncumbentPreservesOptimum is the warm-start soundness property:
+// seeding the solver with the optimum of a tighter neighboring problem
+// (smaller capacities — always feasible for the original) returns the
+// identical Value/Bound/Exact and never explores more nodes.
+func TestIncumbentPreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		p := randomKnapsack(rng)
+		cold, err := Maximize(p)
+		if err != nil {
+			t.Fatalf("trial %d: cold solve: %v", trial, err)
+		}
+		// Neighbor: the same matrix under shrunken capacities, as a
+		// sensitivity probe one bisection step away would produce.
+		tight := p
+		tight.Rows = append([]Row(nil), p.Rows...)
+		for i := range tight.Rows {
+			tight.Rows[i].Bound = tight.Rows[i].Bound / 2
+		}
+		nb, err := Maximize(tight)
+		if err != nil {
+			t.Fatalf("trial %d: neighbor solve: %v", trial, err)
+		}
+
+		warm := p
+		warm.IncumbentX = nb.X
+		got, err := Maximize(warm)
+		if err != nil {
+			t.Fatalf("trial %d: warm solve: %v", trial, err)
+		}
+		if got.Value != cold.Value || got.Bound != cold.Bound || got.Exact != cold.Exact {
+			t.Fatalf("trial %d: warm (value=%d bound=%d exact=%v) != cold (value=%d bound=%d exact=%v)",
+				trial, got.Value, got.Bound, got.Exact, cold.Value, cold.Bound, cold.Exact)
+		}
+		if got.Nodes > cold.Nodes {
+			t.Errorf("trial %d: warm explored %d nodes, cold %d — incumbent must only prune", trial, got.Nodes, cold.Nodes)
+		}
+		if bf, err := BruteForce(p); err != nil || bf.Value != got.Value {
+			t.Fatalf("trial %d: brute force %d (%v) disagrees with warm %d", trial, bf.Value, err, got.Value)
+		}
+	}
+}
+
+// TestIncumbentIgnoresInfeasible: an incumbent that violates the
+// problem (wrong shape, negative entries, over capacity, over a
+// variable bound) must be ignored, not corrupt the solve.
+func TestIncumbentIgnoresInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []int64{3, 2},
+		Rows:      []Row{{Coeffs: []int64{1, 1}, Bound: 4}},
+	}
+	cold, err := Maximize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inc := range [][]int64{
+		{9, 9},       // over capacity
+		{-1, 0},      // negative
+		{1},          // wrong shape
+		{1, 2, 3, 4}, // wrong shape
+		nil,          // absent
+	} {
+		warm := p
+		warm.IncumbentX = inc
+		got, err := Maximize(warm)
+		if err != nil {
+			t.Fatalf("incumbent %v: %v", inc, err)
+		}
+		if got.Value != cold.Value || got.Bound != cold.Bound || !got.Exact {
+			t.Errorf("incumbent %v: got (value=%d bound=%d exact=%v), want cold (%d, %d, true)",
+				inc, got.Value, got.Bound, got.Exact, cold.Value, cold.Bound)
+		}
+	}
+}
+
+// TestIncumbentRespectsVarBounds: an incumbent exceeding VarBounds is
+// rejected even when row capacities would admit it.
+func TestIncumbentRespectsVarBounds(t *testing.T) {
+	p := Problem{
+		Objective: []int64{1},
+		Rows:      []Row{{Coeffs: []int64{1}, Bound: 10}},
+		VarBounds: []int64{2},
+	}
+	warm := p
+	warm.IncumbentX = []int64{5} // fits the row, violates the bound
+	got, err := Maximize(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 2 || got.X[0] != 2 {
+		t.Errorf("got value %d x %v, want 2 [2]", got.Value, got.X)
+	}
+}

@@ -122,6 +122,11 @@ type Result struct {
 	// Exact; TrivialResult carries the Trivial tag with the budget that
 	// tripped.
 	Quality degrade.Info
+	// Iterations counts fixed-point iterations summed over all q — the
+	// effort metric a warm-started analysis (AnalyzeInfoWarmCtx)
+	// reduces. It is diagnostic only and not part of any wire schema:
+	// two results that differ only in Iterations are the same analysis.
+	Iterations int64
 }
 
 // OutputJitter returns the latency spread WCL − BCL.
@@ -190,7 +195,8 @@ func Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) c
 // BusyTime computes B_b(q) of Theorem 1 as the least fixed point of
 // Demand, or an ErrDiverged error.
 func BusyTime(info *segments.Info, q int64, opts Options) (curves.Time, error) {
-	return busyTimeFrom(context.Background(), info, q, 0, opts)
+	w, _, err := busyTimeFrom(context.Background(), info, q, 0, opts)
+	return w, err
 }
 
 // cancelCheckEvery is how many fixed-point iterations run between
@@ -204,18 +210,19 @@ const cancelCheckEvery = 1024
 // always qualifies because Demand is monotone in q. Starting from the
 // previous busy time turns the per-q quadratic restart cost into a
 // single pass — essential for high-utilization systems whose fixed
-// points advance in small steps.
-func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, error) {
+// points advance in small steps. The second return value counts the
+// Demand evaluations spent.
+func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, int64, error) {
 	opts = opts.withDefaults()
 	// Fault-injection seam: once per fixed-point evaluation, before the
 	// iteration starts. A budget fault reports divergence — the trigger
 	// the degradation ladder turns into TrivialResult.
 	if f := faultinject.At(faultinject.PointBusyWindow); f != nil {
 		if err := f.Apply(); err != nil {
-			return 0, fmt.Errorf("latency: %s: B(%d): %w", info.B.Name, q, err)
+			return 0, 0, fmt.Errorf("latency: %s: B(%d): %w", info.B.Name, q, err)
 		}
 		if f.Budget() {
-			return 0, fmt.Errorf("latency: %s: B(%d) budget exhausted (injected): %w",
+			return 0, 0, fmt.Errorf("latency: %s: B(%d) budget exhausted (injected): %w",
 				info.B.Name, q, ErrDiverged)
 		}
 	}
@@ -223,7 +230,7 @@ func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curve
 	for i := 0; i < opts.MaxIterations; i++ {
 		if i%cancelCheckEvery == cancelCheckEvery-1 {
 			if err := ctx.Err(); err != nil {
-				return 0, fmt.Errorf("latency: %s: B(%d) canceled: %w", info.B.Name, q, err)
+				return 0, int64(i), fmt.Errorf("latency: %s: B(%d) canceled: %w", info.B.Name, q, err)
 			}
 		}
 		next := Demand(info, q, w, opts.ExcludeOverload)
@@ -232,15 +239,15 @@ func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curve
 				info.B.Name, q, i, w, next)
 		}
 		if next == w {
-			return w, nil
+			return w, int64(i) + 1, nil
 		}
 		if next > opts.Horizon || next.IsInf() {
-			return 0, fmt.Errorf("latency: %s: B(%d) exceeds horizon %d: %w",
+			return 0, int64(i) + 1, fmt.Errorf("latency: %s: B(%d) exceeds horizon %d: %w",
 				info.B.Name, q, opts.Horizon, ErrDiverged)
 		}
 		w = next
 	}
-	return 0, fmt.Errorf("latency: %s: B(%d) did not converge in %d iterations: %w",
+	return 0, int64(opts.MaxIterations), fmt.Errorf("latency: %s: B(%d) did not converge in %d iterations: %w",
 		info.B.Name, q, opts.MaxIterations, ErrDiverged)
 }
 
@@ -311,8 +318,30 @@ func degradableBudget(err error) (string, bool) {
 // an expired deadline) return TrivialResult instead of an error; plain
 // cancellation always propagates.
 func AnalyzeInfoCtx(ctx context.Context, info *segments.Info, opts Options) (*Result, error) {
+	return AnalyzeInfoWarmCtx(ctx, info, opts, nil)
+}
+
+// AnalyzeInfoWarmCtx is AnalyzeInfoCtx with busy-window warm starts.
+// seeds[q-1], when present and finite, must be a lower bound on the
+// true least fixed point B(q) — for q beyond len(seeds) the last seed
+// is reused, which stays sound because B is monotone in q. Kleene
+// iteration for each q then starts at max(B(q−1), seed) instead of
+// B(q−1), cutting the climb to the fixed point without changing it:
+// iterating Demand from any start ≤ lfp converges to the same lfp.
+//
+// The canonical sound seed source is the BusyTimes of a completed
+// analysis of a demand-dominated neighbor — a system whose Demand
+// function is pointwise ≤ this one's at every window length (smaller
+// WCETs, less release jitter, larger inter-arrival distance), which
+// forces its fixed points at or below this system's. Seeding from a
+// system that is NOT demand-dominated is unsound: a start above the
+// least fixed point can converge to a higher fixed point. nil (or
+// empty) seeds make this exactly AnalyzeInfoCtx; every Result field
+// except the Iterations effort counter is identical either way
+// (TestWarmSeedsPreserveFixedPoints pins this).
+func AnalyzeInfoWarmCtx(ctx context.Context, info *segments.Info, opts Options, seeds []curves.Time) (*Result, error) {
 	opts = opts.withDefaults()
-	res, err := analyzeExact(ctx, info, opts)
+	res, err := analyzeExact(ctx, info, opts, seeds)
 	if err != nil && opts.Degrade.Allow {
 		if budget, ok := degradableBudget(err); ok {
 			return TrivialResult(info, budget), nil
@@ -323,7 +352,7 @@ func AnalyzeInfoCtx(ctx context.Context, info *segments.Info, opts Options) (*Re
 
 // analyzeExact is the historical fail-hard analysis: the Theorem 1/2
 // busy-window search, returning an error when any budget is exceeded.
-func analyzeExact(ctx context.Context, info *segments.Info, opts Options) (*Result, error) {
+func analyzeExact(ctx context.Context, info *segments.Info, opts Options, seeds []curves.Time) (*Result, error) {
 	b := info.B
 	res := &Result{Chain: b, WCL: -1}
 	for _, t := range b.Tasks {
@@ -338,7 +367,22 @@ func analyzeExact(ctx context.Context, info *segments.Info, opts Options) (*Resu
 			return nil, fmt.Errorf("latency: %s: no busy-window end below q=%d: %w",
 				b.Name, opts.MaxQ, ErrKExceeded)
 		}
-		bq, err := busyTimeFrom(ctx, info, q, prev, opts)
+		start := prev
+		if n := int64(len(seeds)); n > 0 {
+			// Warm start: the seed is a lower bound on B(q) by the
+			// AnalyzeInfoWarmCtx contract; the last seed covers q > n
+			// because B is monotone in q. Infinite seeds (a degraded
+			// neighbor's sentinel) are never trusted.
+			i := q - 1
+			if i >= n {
+				i = n - 1
+			}
+			if s := seeds[i]; s > start && !s.IsInf() {
+				start = s
+			}
+		}
+		bq, iters, err := busyTimeFrom(ctx, info, q, start, opts)
+		res.Iterations += iters
 		if err != nil {
 			return nil, err
 		}

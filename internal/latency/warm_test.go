@@ -1,0 +1,136 @@
+package latency_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/segments"
+	"repro/internal/sensitivity"
+)
+
+// analyze runs the exact busy-window analysis of chain in sys with
+// optional warm seeds.
+func analyzeSeeded(t *testing.T, sys *model.System, chain string, seeds []curves.Time) *latency.Result {
+	t.Helper()
+	info := segments.Analyze(sys, sys.ChainByName(chain))
+	res, err := latency.AnalyzeInfoWarmCtx(context.Background(), info, latency.Options{}, seeds)
+	if err != nil {
+		t.Fatalf("analysis of %s: %v", chain, err)
+	}
+	return res
+}
+
+// sameAnalysis compares every Result field except the Iterations
+// effort counter.
+func sameAnalysis(t *testing.T, label string, warm, cold *latency.Result) {
+	t.Helper()
+	if warm.K != cold.K || warm.WCL != cold.WCL || warm.CriticalQ != cold.CriticalQ ||
+		warm.MissesPerWindow != cold.MissesPerWindow || warm.Schedulable != cold.Schedulable ||
+		warm.BCL != cold.BCL || warm.Quality != cold.Quality {
+		t.Fatalf("%s: warm result %+v differs from cold %+v", label, warm, cold)
+	}
+	if len(warm.BusyTimes) != len(cold.BusyTimes) {
+		t.Fatalf("%s: warm has %d busy times, cold %d", label, len(warm.BusyTimes), len(cold.BusyTimes))
+	}
+	for q := range warm.BusyTimes {
+		if warm.BusyTimes[q] != cold.BusyTimes[q] {
+			t.Fatalf("%s: B(%d): warm %d != cold %d", label, q+1, warm.BusyTimes[q], cold.BusyTimes[q])
+		}
+	}
+}
+
+// TestWarmSeedsPreserveFixedPoints is the warm-start soundness property
+// of the incremental engine: seeding the Kleene iteration with the busy
+// times of a demand-dominated neighbor (a scaled-down system, a
+// less-jittered system, a more widely spaced overload chain) converges
+// to the exact same least fixed points — monotone iteration from any
+// start at or below the lfp cannot overshoot it — while spending no
+// more iterations than the cold climb.
+func TestWarmSeedsPreserveFixedPoints(t *testing.T) {
+	sys := casestudy.New()
+	const chain = "sigma_c"
+
+	// WCET scaling: probe at scale s is seeded from the neighbor at
+	// scale s' ≤ s, whose demand is pointwise dominated.
+	for _, pair := range [][2]int64{{1000, 1010}, {1010, 1050}, {1000, 1050}, {1025, 1025}} {
+		from, to := pair[0], pair[1]
+		neighbor := analyzeSeeded(t, sensitivity.ScaleWCET(sys, "", from, 1000), chain, nil)
+		cold := analyzeSeeded(t, sensitivity.ScaleWCET(sys, "", to, 1000), chain, nil)
+		warm := analyzeSeeded(t, sensitivity.ScaleWCET(sys, "", to, 1000), chain, neighbor.BusyTimes)
+		sameAnalysis(t, "scale", warm, cold)
+		if warm.Iterations > cold.Iterations {
+			t.Errorf("scale %d→%d: warm spent %d iterations, cold %d — seeding must only skip work",
+				from, to, warm.Iterations, cold.Iterations)
+		}
+	}
+
+	// Jitter: more extra release jitter on an overload chain only raises
+	// demand, so the lower-jitter neighbor seeds the higher-jitter probe.
+	for _, pair := range [][2]int64{{0, 50}, {50, 500}, {0, 5000}} {
+		nsys, err := sensitivity.WithExtraJitter(sys, "sigma_b", curves.Time(pair[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		psys, err := sensitivity.WithExtraJitter(sys, "sigma_b", curves.Time(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		neighbor := analyzeSeeded(t, nsys, chain, nil)
+		cold := analyzeSeeded(t, psys, chain, nil)
+		warm := analyzeSeeded(t, psys, chain, neighbor.BusyTimes)
+		sameAnalysis(t, "jitter", warm, cold)
+	}
+
+	// Distance: a larger inter-arrival distance means fewer activations
+	// in any window, so the wider-spaced neighbor seeds the tighter one.
+	d0, ok := sensitivity.NominalDistance(sys.ChainByName("sigma_b").Activation)
+	if !ok {
+		t.Fatal("sigma_b has no base distance")
+	}
+	for _, pair := range [][2]curves.Time{{d0, d0 * 3 / 4}, {d0 * 3 / 4, d0 / 2}} {
+		nsys, err := sensitivity.WithDistance(sys, "sigma_b", pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		psys, err := sensitivity.WithDistance(sys, "sigma_b", pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		neighbor := analyzeSeeded(t, nsys, chain, nil)
+		cold := analyzeSeeded(t, psys, chain, nil)
+		warm := analyzeSeeded(t, psys, chain, neighbor.BusyTimes)
+		sameAnalysis(t, "distance", warm, cold)
+	}
+}
+
+// TestWarmSeedsShortSeedVector: a neighbor with a smaller busy-window
+// bound K' seeds q > K' with its last busy time, which stays a sound
+// lower bound because B is monotone in q.
+func TestWarmSeedsShortSeedVector(t *testing.T) {
+	sys := casestudy.New()
+	const chain = "sigma_c"
+	neighbor := analyzeSeeded(t, sys, chain, nil)
+	cold := analyzeSeeded(t, sensitivity.ScaleWCET(sys, "", 1050, 1000), chain, nil)
+	// Truncate the seed vector to force the q > len(seeds) path even if
+	// the neighbor's K matches.
+	short := neighbor.BusyTimes[:1]
+	warm := analyzeSeeded(t, sensitivity.ScaleWCET(sys, "", 1050, 1000), chain, short)
+	sameAnalysis(t, "short-seeds", warm, cold)
+}
+
+// TestWarmSeedsIgnoreInfinity: infinite seeds (the sentinel BusyTimes
+// of a degraded neighbor) must be ignored, not poison the iteration.
+func TestWarmSeedsIgnoreInfinity(t *testing.T) {
+	sys := casestudy.New()
+	const chain = "sigma_c"
+	cold := analyzeSeeded(t, sys, chain, nil)
+	warm := analyzeSeeded(t, sys, chain, []curves.Time{curves.Infinity})
+	sameAnalysis(t, "infinite-seed", warm, cold)
+	if warm.Iterations != cold.Iterations {
+		t.Errorf("infinite seed changed effort: warm %d, cold %d", warm.Iterations, cold.Iterations)
+	}
+}

@@ -44,3 +44,42 @@ func BenchmarkSensitivityQueryWarm(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSensitivitySweepCold is the incremental engine's baseline:
+// every iteration solves the full Thales sweep from scratch, with warm
+// starting disabled and no artifact reuse across iterations.
+func BenchmarkSensitivitySweepCold(b *testing.B) {
+	sys := casestudy.New()
+	opts := thalesOptions()
+	opts.NoWarmStart = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Engine{}).Query(context.Background(), sys, "sigma_c", twca.Options{}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivitySweepWarm measures the warm-started sweep: the
+// shared WarmStore has already served the query once, so every probe is
+// an exact-coordinate hit that skips materializing, hashing and solving
+// the perturbed system. The results are byte-identical to the cold
+// sweep (TestWarmSweepByteIdentical); only the effort moves. make bench
+// records the companion wall-clock numbers via cmd/twca-sensitivity
+// -bench-out, and the CI bench smoke job guards the speedup with
+// -bench-check.
+func BenchmarkSensitivitySweepWarm(b *testing.B) {
+	sys := casestudy.New()
+	opts := thalesOptions()
+	eng := Engine{Warm: NewWarmStore()}
+	if _, err := eng.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(context.Background(), sys, "sigma_c", twca.Options{}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,25 +24,32 @@ import (
 func TestCanceledProbeNotCached(t *testing.T) {
 	sys := casestudy.New()
 	q := &query{
-		analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
-			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
+			return twca.NewWarmCtx(ctx, sys, sys.ChainByName(chain), opts, warm)
 		},
-		sys:   sys,
-		chain: "sigma_c",
-		memo:  make(map[string]*memoEntry),
+		sys:    sys,
+		chain:  "sigma_c",
+		denom:  1000,
+		memo:   make(map[string]*memoEntry),
+		seen:   make(map[string]bool),
+		coords: make(map[coord]*memoEntry),
 	}
+	nominal := coord{kind: coordScale, subject: "", value: 1000}
 	canceled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := q.analysis(canceled, sys); !errors.Is(err, context.Canceled) {
+	if _, err := q.analysisAt(canceled, nominal); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	q.mu.Lock()
 	left := len(q.memo)
 	q.mu.Unlock()
-	if left != 0 {
-		t.Fatalf("memo retains %d entries after a canceled analysis", left)
+	q.cmu.Lock()
+	cleft := len(q.coords)
+	q.cmu.Unlock()
+	if left != 0 || cleft != 0 {
+		t.Fatalf("memos retain %d hash / %d coordinate entries after a canceled analysis", left, cleft)
 	}
-	an, err := q.analysis(context.Background(), sys)
+	an, err := q.analysisAt(context.Background(), nominal)
 	if err != nil {
 		t.Fatalf("retry after cancellation: %v", err)
 	}
@@ -72,13 +79,13 @@ func TestMidBisectionCancellationLeavesMemoConsistent(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var analyses atomic.Int64
-	memo := Memoize(func(ctx context.Context, sys *model.System, _ string, chain string, aopts twca.Options) (*twca.Analysis, error) {
+	memo := Memoize(func(ctx context.Context, sys *model.System, _ string, chain string, aopts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
 		// Pull the rug after a few distinct analyses: every probe still
 		// in flight sees the canceled context mid-bisection.
 		if analyses.Add(1) == 3 {
 			cancel()
 		}
-		return twca.NewCtx(ctx, sys, sys.ChainByName(chain), aopts)
+		return twca.NewWarmCtx(ctx, sys, sys.ChainByName(chain), aopts, warm)
 	})
 	eng := Engine{Analyze: memo}
 	if _, err := eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts); !errors.Is(err, context.Canceled) {
@@ -153,11 +160,11 @@ func TestDegradedProbesAggregateQuality(t *testing.T) {
 	// Nominal analysis stays exact (so the feasibility gate uses the true
 	// dmm); every perturbed probe descends to the omega-sum rung, as the
 	// service's circuit breaker does under pressure.
-	analyze := func(ctx context.Context, s *model.System, hash string, chain string, aopts twca.Options) (*twca.Analysis, error) {
+	analyze := func(ctx context.Context, s *model.System, hash string, chain string, aopts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
 		if hash != nomHash {
 			aopts.Degrade = degrade.Policy{SkipExact: true}
 		}
-		return twca.NewCtx(ctx, s, s.ChainByName(chain), aopts)
+		return twca.NewWarmCtx(ctx, s, s.ChainByName(chain), aopts, warm)
 	}
 
 	exact, err := Engine{}.Query(context.Background(), sys, "sigma_c", twca.Options{}, thalesOptions())

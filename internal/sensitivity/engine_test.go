@@ -146,9 +146,9 @@ func TestQueryCancellation(t *testing.T) {
 func TestQueryCountsDistinctAnalyses(t *testing.T) {
 	sys := casestudy.New()
 	var calls atomic.Int64
-	eng := Engine{Analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+	eng := Engine{Analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
 		calls.Add(1)
-		return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		return twca.NewWarmCtx(ctx, sys, sys.ChainByName(chain), opts, warm)
 	}}
 	opts := thalesOptions()
 	opts.Tasks = []string{"tau1c"} // keep the query small
@@ -164,9 +164,9 @@ func TestQueryCountsDistinctAnalyses(t *testing.T) {
 func TestMemoizeSharesAcrossQueries(t *testing.T) {
 	sys := casestudy.New()
 	var calls atomic.Int64
-	memo := Memoize(func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+	memo := Memoize(func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
 		calls.Add(1)
-		return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		return twca.NewWarmCtx(ctx, sys, sys.ChainByName(chain), opts, warm)
 	})
 	eng := Engine{Analyze: memo}
 	opts := thalesOptions()
@@ -186,7 +186,7 @@ func TestMemoizeSharesAcrossQueries(t *testing.T) {
 func TestQueryAnalyzeErrorPropagates(t *testing.T) {
 	sys := casestudy.New()
 	boom := errors.New("boom")
-	eng := Engine{Analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
+	eng := Engine{Analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
 		return nil, boom
 	}}
 	_, err := eng.Query(context.Background(), sys, "sigma_c", twca.Options{}, thalesOptions())
@@ -200,38 +200,70 @@ func TestBisectionDrivers(t *testing.T) {
 	boundary := func(b int64) func(context.Context, int64) (bool, error) {
 		return func(_ context.Context, x int64) (bool, error) { return x <= b, nil }
 	}
-	for _, tc := range []struct {
-		lo, hi, b   int64
-		wantX       int64
-		wantAtLimit bool
-	}{
-		{0, 100, 37, 37, false},
-		{0, 100, 100, 100, true},
-		{0, 100, 250, 100, true},
-		{10, 10, 99, 10, true}, // degenerate bracket
-		{1000, 64000, 1000, 1000, false},
-	} {
-		x, atLimit, err := maxTrue(ctx, tc.lo, tc.hi, boundary(tc.b))
-		if err != nil || x != tc.wantX || atLimit != tc.wantAtLimit {
-			t.Errorf("maxTrue(%d,%d,≤%d) = (%d,%v,%v), want (%d,%v)", tc.lo, tc.hi, tc.b, x, atLimit, err, tc.wantX, tc.wantAtLimit)
-		}
-	}
 	above := func(b int64) func(context.Context, int64) (bool, error) {
 		return func(_ context.Context, x int64) (bool, error) { return x >= b, nil }
 	}
-	for _, tc := range []struct {
-		lo, hi, b   int64
-		wantX       int64
-		wantAtLimit bool
-	}{
-		{1, 600, 382, 382, false},
-		{1, 600, 1, 1, true},
-		{1, 600, 0, 1, true},
-		{5, 5, 2, 5, true},
-	} {
-		x, atLimit, err := minTrue(ctx, tc.lo, tc.hi, above(tc.b))
-		if err != nil || x != tc.wantX || atLimit != tc.wantAtLimit {
-			t.Errorf("minTrue(%d,%d,≥%d) = (%d,%v,%v), want (%d,%v)", tc.lo, tc.hi, tc.b, x, atLimit, err, tc.wantX, tc.wantAtLimit)
+	// Every batch width must find the same boundary: the speculative
+	// batches change only how many candidates are probed per round.
+	for _, width := range []int{1, 2, batchWidth, 7} {
+		bp := batcher{width: width, workers: 2}
+		for _, tc := range []struct {
+			lo, hi, b   int64
+			wantX       int64
+			wantAtLimit bool
+		}{
+			{0, 100, 37, 37, false},
+			{0, 100, 100, 100, true},
+			{0, 100, 250, 100, true},
+			{10, 10, 99, 10, true}, // degenerate bracket
+			{1000, 64000, 1000, 1000, false},
+			{0, 1 << 40, 123456, 123456, false},
+		} {
+			x, atLimit, err := bp.maxTrue(ctx, tc.lo, tc.hi, boundary(tc.b))
+			if err != nil || x != tc.wantX || atLimit != tc.wantAtLimit {
+				t.Errorf("width %d: maxTrue(%d,%d,≤%d) = (%d,%v,%v), want (%d,%v)",
+					width, tc.lo, tc.hi, tc.b, x, atLimit, err, tc.wantX, tc.wantAtLimit)
+			}
 		}
+		for _, tc := range []struct {
+			lo, hi, b   int64
+			wantX       int64
+			wantAtLimit bool
+		}{
+			{1, 600, 382, 382, false},
+			{1, 600, 1, 1, true},
+			{1, 600, 0, 1, true},
+			{5, 5, 2, 5, true},
+			{1, 1 << 40, 98765, 98765, false},
+		} {
+			x, atLimit, err := bp.minTrue(ctx, tc.lo, tc.hi, above(tc.b))
+			if err != nil || x != tc.wantX || atLimit != tc.wantAtLimit {
+				t.Errorf("width %d: minTrue(%d,%d,≥%d) = (%d,%v,%v), want (%d,%v)",
+					width, tc.lo, tc.hi, tc.b, x, atLimit, err, tc.wantX, tc.wantAtLimit)
+			}
+		}
+	}
+}
+
+// TestBisectionProbeCountIndependent pins that the probe sequence — and
+// therefore the Probes counter — depends only on the batch width
+// constant and the predicate, never on the worker bound.
+func TestBisectionProbeCountIndependent(t *testing.T) {
+	ctx := context.Background()
+	counts := make([]int64, 0, 3)
+	for _, workers := range []int{1, 4, 16} {
+		var probes atomic.Int64
+		bp := batcher{width: batchWidth, workers: workers}
+		x, _, err := bp.maxTrue(ctx, 0, 100000, func(_ context.Context, v int64) (bool, error) {
+			probes.Add(1)
+			return v <= 7777, nil
+		})
+		if err != nil || x != 7777 {
+			t.Fatalf("workers %d: maxTrue = (%d, %v)", workers, x, err)
+		}
+		counts = append(counts, probes.Load())
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("probe counts vary with workers: %v", counts)
 	}
 }

@@ -2,10 +2,12 @@ package sensitivity
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/casestudy"
 	"repro/internal/curves"
+	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/twca"
@@ -17,19 +19,18 @@ import (
 // predicate).
 func verifies(t *testing.T, sys *model.System, chain string, c weaklyhard.Constraint) bool {
 	t.Helper()
-	q := &query{
-		analyze: func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
-			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
-		},
-		chain: chain,
-		c:     c,
-		memo:  make(map[string]*memoEntry),
-	}
-	ok, err := q.holds(context.Background(), sys)
+	an, err := twca.New(sys, sys.ChainByName(chain), twca.Options{})
 	if err != nil {
-		t.Fatalf("holds: %v", err)
+		if errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded) {
+			return false
+		}
+		t.Fatalf("analysis: %v", err)
 	}
-	return ok
+	r, err := an.DMM(c.K)
+	if err != nil {
+		t.Fatalf("dmm: %v", err)
+	}
+	return r.Value <= c.M
 }
 
 // TestSlackConsistency is the core property of the subsystem: scaling

@@ -17,13 +17,26 @@
 //   - (m, k) frontier: the minimal feasible m for each k in a range,
 //     i.e. dmm(k); everything on or above the frontier is guaranteed.
 //
+// The engine is incremental: probes are addressed by perturbation
+// coordinate (axis, subject, value), and a WarmStore retains completed
+// probe analyses across queries. A re-probed coordinate is answered
+// from the store without re-materializing or re-hashing the perturbed
+// system; a fresh coordinate is solved warm-started from its nearest
+// solved neighbor on the demand-dominated side of its axis
+// (twca.WarmStart seeds the busy-window fixed points and the Theorem-3
+// ILP incumbents). Each bisection evaluates a batch of speculative
+// candidate probes concurrently through internal/parallel. All of this
+// is effort-only machinery: results are byte-identical for any worker
+// count, any cache state and any store warmth (Options.NoWarmStart
+// pins the cold path for benchmarks and equivalence tests).
+//
 // The driver fans independent metrics out across the internal/parallel
 // pool and memoizes probe analyses per query, keyed by the perturbed
 // system's canonical content hash (model.CanonicalHash) — the identity
 // perturbation therefore shares its artifact with the nominal analysis,
 // and the analysis service plugs its content-addressed LRU in through
 // the AnalyzeFunc hook so probes are reused across queries and across
-// endpoints. Results are byte-identical for any worker count.
+// endpoints.
 package sensitivity
 
 import (
@@ -51,7 +64,7 @@ var ErrInfeasibleConstraint = errors.New("sensitivity: constraint is infeasible 
 
 // AnalyzeFunc produces the prepared DMM analysis of one (possibly
 // perturbed) system. The engine calls it once per distinct perturbed
-// system; nil selects twca.NewCtx directly. The analysis service
+// system; nil selects twca.NewWarmCtx directly. The analysis service
 // substitutes a function that routes probes through its
 // content-addressed artifact cache.
 //
@@ -59,7 +72,12 @@ var ErrInfeasibleConstraint = errors.New("sensitivity: constraint is infeasible 
 // computed once by the engine so caching layers can key on it without
 // re-serializing the system; it is empty when the system has no JSON
 // form (and is then uncacheable by content).
-type AnalyzeFunc func(ctx context.Context, sys *model.System, hash string, chain string, opts twca.Options) (*twca.Analysis, error)
+//
+// warm carries the engine's warm-start hints for this probe (nil when
+// warm starting is disabled or nothing usable is stored). The hints are
+// advisory and never change the analysis's values, so caching layers
+// may key on hash alone and pass warm through to the underlying solve.
+type AnalyzeFunc func(ctx context.Context, sys *model.System, hash string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error)
 
 // Options tunes a sensitivity query. The zero value of every field but
 // Constraint selects the documented defaults.
@@ -84,15 +102,29 @@ type Options struct {
 	// Tasks names the tasks to compute per-task WCET slack for; nil
 	// selects every task in the system, in system order.
 	Tasks []string
-	// Workers bounds the parallel fan-out over independent metrics
-	// (≤ 0 selects runtime.GOMAXPROCS(0)).
+	// Workers bounds the parallel fan-out over independent metrics and
+	// over the speculative probe batches inside each bisection (≤ 0
+	// selects runtime.GOMAXPROCS(0)).
 	Workers int
+	// NoWarmStart disables the incremental machinery for this query: no
+	// warm store is consulted or populated, and every probe is a cold
+	// solve. Results are byte-identical either way — the option exists
+	// to measure the warm-start speedup and to pin the equivalence in
+	// tests and in the service API.
+	NoWarmStart bool
 }
 
 // frontierMaxKCap bounds FrontierMaxK: each frontier point is a dmm
 // query, and a runaway range would turn one request into millions of
 // solves.
 const frontierMaxKCap = 1 << 20
+
+// batchWidth is the number of speculative candidates each bracketing or
+// bisection round evaluates concurrently. It is a fixed constant — NOT
+// derived from Workers — so the probe sequence (and the Probes counter)
+// is identical for every worker count; Workers only bounds how many of
+// a batch's candidates actually run at once.
+const batchWidth = 4
 
 // Validate rejects nonsensical option values with a descriptive error.
 func (o Options) Validate() error {
@@ -195,10 +227,11 @@ type Result struct {
 	// [1, FrontierMaxK]; nil when FrontierMaxK was 0.
 	Frontier []FrontierPoint
 	// Probes counts predicate evaluations (bracketing plus bisection
-	// steps) and Analyses the distinct perturbed-system analyses that
-	// backed them (the rest were answered by the per-query memo). Both
-	// are deterministic for a given query, independent of worker count
-	// and cache warmth.
+	// steps) and Analyses the distinct perturbed systems analyzed to
+	// answer them — whether by a fresh solve or by a warm-store artifact
+	// (the rest were answered by the per-query memo). Both are
+	// deterministic for a given query, independent of worker count,
+	// cache warmth and warm-store state.
 	Probes   int64
 	Analyses int64
 	// Quality is the worst degradation observed across the nominal
@@ -212,17 +245,24 @@ type Result struct {
 }
 
 // Engine runs sensitivity queries. The zero value analyzes directly
-// with twca.NewCtx; set Analyze to intercept probe analyses (the
+// with twca.NewWarmCtx; set Analyze to intercept probe analyses (the
 // analysis service routes them through its content-addressed cache).
 type Engine struct {
 	Analyze AnalyzeFunc
+	// Warm retains probe analyses across queries for incremental
+	// warm-started sweeps. Nil gives each query a private store, so
+	// probes within the query still warm-start each other; share one
+	// store (NewWarmStore) to carry the warmth across queries, as the
+	// analysis service and cmd/twca-sensitivity do.
+	Warm *WarmStore
 }
 
 // Query measures the sensitivity of chain's weakly-hard constraint in
 // sys. aopts configures the underlying DMM analyses exactly as in
 // twca.New; opts selects the metrics and search brackets. The result is
-// deterministic: byte-identical for any Workers value and any cache
-// state behind Analyze.
+// deterministic: byte-identical for any Workers value, any cache state
+// behind Analyze, and any warm-store state (warm starts only change the
+// work spent per probe).
 //
 // The constraint must verify on the nominal system, or the query fails
 // with an error wrapping ErrInfeasibleConstraint.
@@ -241,18 +281,32 @@ func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopt
 		chain:   chain,
 		aopts:   aopts,
 		c:       opts.Constraint,
+		denom:   opts.ScaleDenom,
+		bp:      batcher{width: batchWidth, workers: opts.Workers},
 		memo:    make(map[string]*memoEntry),
+		seen:    make(map[string]bool),
+		coords:  make(map[coord]*memoEntry),
 	}
 	if q.analyze == nil {
-		q.analyze = func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
-			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		q.analyze = func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
+			return twca.NewWarmCtx(ctx, sys, sys.ChainByName(chain), opts, warm)
 		}
+	}
+	if !opts.NoWarmStart {
+		store := e.Warm
+		if store == nil {
+			store = NewWarmStore()
+		}
+		baseHash, _ := model.CanonicalHash(sys)
+		q.warm = store.scope(baseHash, chain, aopts, opts.ScaleDenom)
 	}
 
 	// Nominal feasibility first: every bisection below brackets against
-	// the nominal system holding, and the memo retains this analysis for
-	// the identity probes of each search.
-	an, err := q.analysis(ctx, sys)
+	// the nominal system holding, and the coordinate memo retains this
+	// analysis for the identity probes of each search. The nominal
+	// coordinate is the identity scaling — the universal warm-start
+	// fallback, demand-dominated by every probe on every axis.
+	an, err := q.analysisAt(ctx, coord{kind: coordScale, subject: "", value: opts.ScaleDenom})
 	if err != nil {
 		return nil, err
 	}
@@ -295,15 +349,15 @@ func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopt
 	// result slot, so the fan-out is invisible in the output.
 	var jobs []func(context.Context) error
 	jobs = append(jobs, func(ctx context.Context) error {
-		scale, atLimit, err := maxTrue(ctx, opts.ScaleDenom, opts.MaxScale, func(ctx context.Context, s int64) (bool, error) {
-			return q.holds(ctx, ScaleWCET(sys, "", s, opts.ScaleDenom))
+		scale, atLimit, err := q.bp.maxTrue(ctx, opts.ScaleDenom, opts.MaxScale, func(ctx context.Context, s int64) (bool, error) {
+			return q.holdsAt(ctx, coord{kind: coordScale, subject: "", value: s})
 		})
 		res.Uniform = Slack{Scale: scale, AtLimit: atLimit}
 		return err
 	})
 	if opts.FrontierMaxK > 0 {
 		jobs = append(jobs, func(ctx context.Context) error {
-			an, err := q.analysis(ctx, sys) // memo hit
+			an, err := q.analysisAt(ctx, coord{kind: coordScale, subject: "", value: opts.ScaleDenom}) // memo hit
 			if err != nil {
 				return err
 			}
@@ -321,8 +375,8 @@ func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopt
 	for i, name := range tasks {
 		i, name := i, name
 		jobs = append(jobs, func(ctx context.Context) error {
-			scale, atLimit, err := maxTrue(ctx, opts.ScaleDenom, opts.MaxScale, func(ctx context.Context, s int64) (bool, error) {
-				return q.holds(ctx, ScaleWCET(sys, name, s, opts.ScaleDenom))
+			scale, atLimit, err := q.bp.maxTrue(ctx, opts.ScaleDenom, opts.MaxScale, func(ctx context.Context, s int64) (bool, error) {
+				return q.holdsAt(ctx, coord{kind: coordScale, subject: name, value: s})
 			})
 			res.Tasks[i] = TaskSlack{Task: name, Slack: Slack{Scale: scale, AtLimit: atLimit}}
 			return err
@@ -362,12 +416,8 @@ func (q *query) breakdown(ctx context.Context, oc *model.Chain, opts Options) (B
 			maxJ = 1 << 40
 		}
 	}
-	j, atLimit, err := maxTrue(ctx, 0, int64(maxJ), func(ctx context.Context, x int64) (bool, error) {
-		psys, err := WithExtraJitter(q.sys, oc.Name, curves.Time(x))
-		if err != nil {
-			return false, err
-		}
-		return q.holds(ctx, psys)
+	j, atLimit, err := q.bp.maxTrue(ctx, 0, int64(maxJ), func(ctx context.Context, x int64) (bool, error) {
+		return q.holdsAt(ctx, coord{kind: coordJitter, subject: oc.Name, value: x})
 	})
 	if err != nil {
 		return b, err
@@ -376,12 +426,8 @@ func (q *query) breakdown(ctx context.Context, oc *model.Chain, opts Options) (B
 
 	if hasDistance {
 		b.NominalDistance = d0
-		d, atLimit, err := minTrue(ctx, 1, int64(d0), func(ctx context.Context, x int64) (bool, error) {
-			psys, err := WithDistance(q.sys, oc.Name, curves.Time(x))
-			if err != nil {
-				return false, err
-			}
-			return q.holds(ctx, psys)
+		d, atLimit, err := q.bp.minTrue(ctx, 1, int64(d0), func(ctx context.Context, x int64) (bool, error) {
+			return q.holdsAt(ctx, coord{kind: coordDistance, subject: oc.Name, value: x})
 		})
 		if err != nil {
 			return b, err
@@ -391,20 +437,27 @@ func (q *query) breakdown(ctx context.Context, oc *model.Chain, opts Options) (B
 	return b, nil
 }
 
-// query is the shared state of one Query call: the probe memo and the
-// effort counters.
+// query is the shared state of one Query call: the probe memos, the
+// warm-store scope and the effort counters.
 type query struct {
 	analyze AnalyzeFunc
 	sys     *model.System
 	chain   string
 	aopts   twca.Options
 	c       weaklyhard.Constraint
+	denom   int64
+	bp      batcher
+	warm    *scopeStore // nil when warm starting is disabled
 
 	probes   atomic.Int64
 	analyses atomic.Int64
 
 	mu   sync.Mutex
 	memo map[string]*memoEntry
+	seen map[string]bool
+
+	cmu    sync.Mutex
+	coords map[coord]*memoEntry
 
 	qmu   sync.Mutex
 	worst degrade.Info
@@ -441,16 +494,152 @@ type memoEntry struct {
 	err  error
 }
 
-// analysis returns the prepared DMM analysis of sys, computing each
-// distinct system (by canonical content hash) at most once per query.
-// Unhashable systems (programmatic event models without a JSON spec)
-// are analyzed directly, uncached.
-func (q *query) analysis(ctx context.Context, sys *model.System) (*twca.Analysis, error) {
-	key, err := model.CanonicalHash(sys)
-	if err != nil {
+// The Analyses counter charges one unit per analysis attempt of a
+// not-yet-solved system: chargeHash before a fresh solve, markSeen once
+// it succeeds (a successfully solved hash is retained by the memo and
+// never re-attempted), chargeStored when a warm-store outcome stands
+// in for the solve. Cold and warm runs charge identically: a stored
+// outcome (artifact or deterministic failure verdict) is exactly one
+// attempted solve, and the per-query memos retain deterministic
+// failures, so each failing hash is charged once per query either way.
+// Transient failures (cancellation, injected faults) are never stored
+// and replay the same way in both. Unhashable systems (empty hash) are
+// charged per analysis, as they cannot be deduplicated.
+
+func (q *query) chargeHash(hash string) {
+	if hash == "" {
 		q.analyses.Add(1)
-		return q.analyze(ctx, sys, "", q.chain, q.aopts)
+		return
 	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.seen[hash] {
+		q.analyses.Add(1)
+	}
+}
+
+func (q *query) markSeen(hash string) {
+	if hash == "" {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seen[hash] = true
+}
+
+func (q *query) chargeStored(hash string) {
+	if hash == "" {
+		q.analyses.Add(1)
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.seen[hash] {
+		q.seen[hash] = true
+		q.analyses.Add(1)
+	}
+}
+
+// analysisAt returns the prepared DMM analysis of the system at
+// coordinate c, computing each coordinate at most once per query.
+// Transient failures (cancellation, injected faults) are evicted before
+// followers wake, so a probe canceled mid-flight is not replayed to
+// probes arriving with a healthy context; deterministic failures are
+// retained like any other outcome.
+func (q *query) analysisAt(ctx context.Context, c coord) (*twca.Analysis, error) {
+	q.cmu.Lock()
+	if e, ok := q.coords[c]; ok {
+		q.cmu.Unlock()
+		select {
+		case <-e.done:
+			return e.an, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	q.coords[c] = e
+	q.cmu.Unlock()
+	e.an, e.err = q.resolve(ctx, c)
+	if e.err != nil && !deterministicErr(e.err) {
+		q.cmu.Lock()
+		delete(q.coords, c)
+		q.cmu.Unlock()
+	}
+	close(e.done)
+	return e.an, e.err
+}
+
+// resolve produces the analysis for coordinate c: an exact warm-store
+// hit skips materializing and hashing the perturbed system entirely;
+// otherwise the system is built, deduplicated by content hash, and
+// solved warm-started from the nearest solved neighbor on the sound
+// side of c's axis. Successful solves are stored for future queries.
+func (q *query) resolve(ctx context.Context, c coord) (*twca.Analysis, error) {
+	if hash, an, serr, ok := q.warm.lookup(c); ok {
+		q.chargeStored(hash)
+		if serr != nil {
+			return nil, serr
+		}
+		q.seedMemo(hash, an)
+		return an, nil
+	}
+	sys, err := q.materialize(c)
+	if err != nil {
+		return nil, err
+	}
+	key, herr := model.CanonicalHash(sys)
+	if herr != nil {
+		// No content identity: analyze directly, uncached by hash, but
+		// still retained under the coordinate for exact re-probes.
+		q.chargeHash("")
+		an, err := q.analyze(ctx, sys, "", q.chain, q.aopts, q.warm.nearest(c))
+		if err == nil || deterministicErr(err) {
+			q.warm.put(c, "", an, err, q.denom)
+		}
+		return an, err
+	}
+	an, err := q.analysisByHash(ctx, sys, key, c)
+	if err == nil || deterministicErr(err) {
+		q.warm.put(c, key, an, err, q.denom)
+	}
+	return an, err
+}
+
+// materialize builds the perturbed system at coordinate c.
+func (q *query) materialize(c coord) (*model.System, error) {
+	switch c.kind {
+	case coordScale:
+		return ScaleWCET(q.sys, c.subject, c.value, q.denom), nil
+	case coordJitter:
+		return WithExtraJitter(q.sys, c.subject, curves.Time(c.value))
+	case coordDistance:
+		return WithDistance(q.sys, c.subject, curves.Time(c.value))
+	}
+	return nil, fmt.Errorf("sensitivity: unknown coordinate kind %d", c.kind)
+}
+
+// seedMemo pre-populates the hash memo with a completed artifact (from
+// a warm-store hit), so coordinates that materialize to the same system
+// still deduplicate against it.
+func (q *query) seedMemo(key string, an *twca.Analysis) {
+	if key == "" {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.memo[key]; ok {
+		return
+	}
+	done := make(chan struct{})
+	close(done)
+	q.memo[key] = &memoEntry{done: done, an: an}
+}
+
+// analysisByHash computes each distinct system (by canonical content
+// hash) at most once per query. c identifies the originating coordinate
+// so the solve can be warm-started from its nearest stored neighbor.
+func (q *query) analysisByHash(ctx context.Context, sys *model.System, key string, c coord) (*twca.Analysis, error) {
 	q.mu.Lock()
 	if e, ok := q.memo[key]; ok {
 		q.mu.Unlock()
@@ -464,25 +653,28 @@ func (q *query) analysis(ctx context.Context, sys *model.System) (*twca.Analysis
 	e := &memoEntry{done: make(chan struct{})}
 	q.memo[key] = e
 	q.mu.Unlock()
-	q.analyses.Add(1)
-	e.an, e.err = q.analyze(ctx, sys, key, q.chain, q.aopts)
-	if e.err != nil {
-		// Evict failed entries before waking followers: a canceled or
-		// injected-fault analysis must not be replayed to probes that
-		// arrive with a healthy context.
+	q.chargeHash(key)
+	e.an, e.err = q.analyze(ctx, sys, key, q.chain, q.aopts, q.warm.nearest(c))
+	if e.err != nil && !deterministicErr(e.err) {
+		// Evict transient failures before waking followers: a canceled
+		// or injected-fault analysis must not be replayed to probes that
+		// arrive with a healthy context. Deterministic failures stay —
+		// the same system diverges identically on every retry.
 		q.mu.Lock()
 		delete(q.memo, key)
 		q.mu.Unlock()
+	} else if e.err == nil {
+		q.markSeen(key)
 	}
 	close(e.done)
 	return e.an, e.err
 }
 
-// holds is the monotone predicate every metric bisects: does the
-// constraint still verify on the perturbed system? A perturbation that
-// breaks the busy-window analysis outright (diverged fixed point, no
-// closing window) is a definite "no", not an error.
-func (q *query) holds(ctx context.Context, sys *model.System) (bool, error) {
+// holdsAt is the monotone predicate every metric bisects: does the
+// constraint still verify on the system at coordinate c? A perturbation
+// that breaks the busy-window analysis outright (diverged fixed point,
+// no closing window) is a definite "no", not an error.
+func (q *query) holdsAt(ctx context.Context, c coord) (bool, error) {
 	q.probes.Add(1)
 	if f := faultinject.At(faultinject.PointSensitivityProbe); f != nil {
 		if f.Budget() {
@@ -494,7 +686,7 @@ func (q *query) holds(ctx context.Context, sys *model.System) (bool, error) {
 			return false, fmt.Errorf("sensitivity: probe: %w", err)
 		}
 	}
-	an, err := q.analysis(ctx, sys)
+	an, err := q.analysisAt(ctx, c)
 	if err != nil {
 		if errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded) {
 			return false, nil
@@ -509,50 +701,110 @@ func (q *query) holds(ctx context.Context, sys *model.System) (bool, error) {
 	return r.Value <= q.c.M, nil
 }
 
+// batcher runs the speculative probe batches of one query's bisections:
+// width candidates per round, evaluated concurrently under the query's
+// worker bound. The candidate sets are pure functions of previous
+// predicate values, so the probe sequence is deterministic regardless
+// of workers, and identical between cold and warm runs.
+type batcher struct {
+	width   int
+	workers int
+}
+
+// eval evaluates pred on every candidate concurrently and returns the
+// results in candidate order (first error wins, lowest index first, per
+// parallel.ForEach).
+func (b batcher) eval(ctx context.Context, cands []int64, pred func(context.Context, int64) (bool, error)) ([]bool, error) {
+	res := make([]bool, len(cands))
+	err := parallel.ForEach(b.workers, len(cands), func(i int) error {
+		ok, err := pred(ctx, cands[i])
+		if err != nil {
+			return err
+		}
+		res[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // maxTrue returns the largest x in [lo, hi] with pred(x) true, given
 // that pred(lo) is true and pred is monotone (true up to some boundary,
-// false beyond). It brackets by exponential steps from lo, then bisects;
-// atLimit reports that pred still held at hi. The invariant pred(result)
-// ∧ ¬pred(result+1) holds on return whenever atLimit is false — even if
+// false beyond). It brackets by exponential steps from lo, then
+// bisects, evaluating width speculative candidates per round; atLimit
+// reports that pred still held at hi. The invariant pred(result) ∧
+// ¬pred(result+1) holds on return whenever atLimit is false — even if
 // pred is not perfectly monotone, the returned point sits on a genuine
-// boundary.
-func maxTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64) (bool, error)) (x int64, atLimit bool, err error) {
+// boundary (results are scanned in candidate order and the first false
+// wins, exactly as a serial search would see them).
+func (b batcher) maxTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64) (bool, error)) (x int64, atLimit bool, err error) {
 	if hi <= lo {
 		return lo, true, nil
 	}
 	good, step, bad := lo, int64(1), int64(-1)
-	for good < hi {
-		next := good + step
-		if next > hi || next < good { // clamp, guard overflow
-			next = hi
+	for good < hi && bad < 0 {
+		// One speculative bracketing batch: cumulative exponential steps
+		// from good, clamped at hi.
+		cands := make([]int64, 0, b.width)
+		c, s := good, step
+		for len(cands) < b.width {
+			if c > hi-s { // clamp, guard overflow
+				if len(cands) == 0 || cands[len(cands)-1] != hi {
+					cands = append(cands, hi)
+				}
+				break
+			}
+			c += s
+			cands = append(cands, c)
+			if s < 1<<61 {
+				s *= 2
+			}
 		}
-		ok, err := pred(ctx, next)
+		step = s
+		res, err := b.eval(ctx, cands, pred)
 		if err != nil {
 			return 0, false, err
 		}
-		if !ok {
-			bad = next
-			break
-		}
-		good = next
-		if step < 1<<61 {
-			step *= 2
+		for i, ok := range res {
+			if !ok {
+				bad = cands[i]
+				break
+			}
+			good = cands[i]
 		}
 	}
 	if bad < 0 {
 		return hi, true, nil
 	}
 	for bad-good > 1 {
-		mid := good + (bad-good)/2
-		ok, err := pred(ctx, mid)
+		// One speculative bisection batch: width evenly spaced interior
+		// candidates; when the gap is too small for that, a single
+		// midpoint.
+		gap := bad - good
+		unit := gap / int64(b.width+1)
+		var cands []int64
+		if unit > 0 {
+			for i := int64(1); i <= int64(b.width); i++ {
+				cands = append(cands, good+i*unit)
+			}
+		} else {
+			cands = []int64{good + gap/2}
+		}
+		res, err := b.eval(ctx, cands, pred)
 		if err != nil {
 			return 0, false, err
 		}
-		if ok {
-			good = mid
-		} else {
-			bad = mid
+		newGood, newBad := good, bad
+		for i, ok := range res {
+			if !ok {
+				newBad = cands[i]
+				break
+			}
+			newGood = cands[i]
 		}
+		good, bad = newGood, newBad
 	}
 	return good, false, nil
 }
@@ -560,43 +812,67 @@ func maxTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64
 // minTrue is the mirror of maxTrue: the smallest x in [lo, hi] with
 // pred(x) true, given that pred(hi) is true; atLimit reports that pred
 // held all the way down at lo.
-func minTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64) (bool, error)) (x int64, atLimit bool, err error) {
+func (b batcher) minTrue(ctx context.Context, lo, hi int64, pred func(context.Context, int64) (bool, error)) (x int64, atLimit bool, err error) {
 	if hi <= lo {
 		return hi, true, nil
 	}
 	good, step, bad := hi, int64(1), int64(-1)
-	for good > lo {
-		next := good - step
-		if next < lo || next > good {
-			next = lo
+	for good > lo && bad < 0 {
+		cands := make([]int64, 0, b.width)
+		c, s := good, step
+		for len(cands) < b.width {
+			if c < lo+s {
+				if len(cands) == 0 || cands[len(cands)-1] != lo {
+					cands = append(cands, lo)
+				}
+				break
+			}
+			c -= s
+			cands = append(cands, c)
+			if s < 1<<61 {
+				s *= 2
+			}
 		}
-		ok, err := pred(ctx, next)
+		step = s
+		res, err := b.eval(ctx, cands, pred)
 		if err != nil {
 			return 0, false, err
 		}
-		if !ok {
-			bad = next
-			break
-		}
-		good = next
-		if step < 1<<61 {
-			step *= 2
+		for i, ok := range res {
+			if !ok {
+				bad = cands[i]
+				break
+			}
+			good = cands[i]
 		}
 	}
 	if bad < 0 {
 		return lo, true, nil
 	}
 	for good-bad > 1 {
-		mid := bad + (good-bad)/2
-		ok, err := pred(ctx, mid)
+		gap := good - bad
+		unit := gap / int64(b.width+1)
+		var cands []int64
+		if unit > 0 {
+			for i := int64(1); i <= int64(b.width); i++ {
+				cands = append(cands, good-i*unit)
+			}
+		} else {
+			cands = []int64{good - gap/2}
+		}
+		res, err := b.eval(ctx, cands, pred)
 		if err != nil {
 			return 0, false, err
 		}
-		if ok {
-			good = mid
-		} else {
-			bad = mid
+		newGood, newBad := good, bad
+		for i, ok := range res {
+			if !ok {
+				newBad = cands[i]
+				break
+			}
+			newGood = cands[i]
 		}
+		good, bad = newGood, newBad
 	}
 	return good, false, nil
 }
@@ -616,19 +892,21 @@ func hasTask(sys *model.System, name string) bool {
 // persists across queries (the engine's own memo is per query).
 // cmd/twca-sensitivity uses it to make repeated queries in one process
 // cheap, mirroring what the analysis service's artifact cache does
-// across requests. Unhashable systems bypass the memo. A nil inner
-// memoizes direct twca.NewCtx analyses.
+// across requests. Warm-start hints pass through to the inner function
+// on a miss and are irrelevant on a hit (they never change values), so
+// the memo keys on content alone. Unhashable systems bypass the memo.
+// A nil inner memoizes direct twca.NewWarmCtx analyses.
 func Memoize(inner AnalyzeFunc) AnalyzeFunc {
 	if inner == nil {
-		inner = func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options) (*twca.Analysis, error) {
-			return twca.NewCtx(ctx, sys, sys.ChainByName(chain), opts)
+		inner = func(ctx context.Context, sys *model.System, _ string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
+			return twca.NewWarmCtx(ctx, sys, sys.ChainByName(chain), opts, warm)
 		}
 	}
 	var mu sync.Mutex
 	m := make(map[string]*memoEntry)
-	return func(ctx context.Context, sys *model.System, hash string, chain string, opts twca.Options) (*twca.Analysis, error) {
+	return func(ctx context.Context, sys *model.System, hash string, chain string, opts twca.Options, warm *twca.WarmStart) (*twca.Analysis, error) {
 		if hash == "" {
-			return inner(ctx, sys, hash, chain, opts)
+			return inner(ctx, sys, hash, chain, opts, warm)
 		}
 		key := hash + "|" + chain + "|" + fmt.Sprintf("%+v", opts)
 		mu.Lock()
@@ -644,8 +922,13 @@ func Memoize(inner AnalyzeFunc) AnalyzeFunc {
 		e := &memoEntry{done: make(chan struct{})}
 		m[key] = e
 		mu.Unlock()
-		e.an, e.err = inner(ctx, sys, hash, chain, opts)
-		if e.err != nil {
+		e.an, e.err = inner(ctx, sys, hash, chain, opts, warm)
+		if e.err != nil && !deterministicErr(e.err) {
+			// Evict transient failures (cancellation, injected faults) so a
+			// later healthy query retries. Deterministic unschedulability
+			// stays cached: the same system diverges the same way every
+			// time, and speculative probe batches revisit such points
+			// across queries.
 			mu.Lock()
 			delete(m, key)
 			mu.Unlock()
@@ -653,4 +936,11 @@ func Memoize(inner AnalyzeFunc) AnalyzeFunc {
 		close(e.done)
 		return e.an, e.err
 	}
+}
+
+// deterministicErr reports whether err is a pure function of the
+// analyzed system — safe to replay from a cache — rather than an
+// artifact of the run (cancellation, fault injection, deadline).
+func deterministicErr(err error) bool {
+	return errors.Is(err, latency.ErrDiverged) || errors.Is(err, latency.ErrKExceeded)
 }

@@ -1,0 +1,297 @@
+package sensitivity
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/degrade"
+	"repro/internal/faultinject"
+	"repro/internal/twca"
+	"repro/internal/weaklyhard"
+)
+
+// marshalResult renders a query result for byte-comparison: two results
+// are "the same answer" iff their serializations are identical,
+// including the effort counters (Probes, Analyses) the wire format
+// exposes.
+func marshalResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestWarmSweepByteIdentical is the central safety property of the
+// incremental engine: the exact same query answered cold (NoWarmStart),
+// against an empty warm store, and against a hot one must serialize to
+// the same bytes — warm starting moves effort, never answers. Run with
+// Workers > 1 so the batched bisection and store writes race under
+// -race.
+func TestWarmSweepByteIdentical(t *testing.T) {
+	sys := casestudy.New()
+	opts := Options{
+		Constraint:   weaklyhard.Constraint{M: 5, K: 10},
+		FrontierMaxK: 20,
+		Tasks:        []string{"tau1c", "tau3c"},
+		Workers:      4,
+	}
+	ctx := context.Background()
+
+	coldOpts := opts
+	coldOpts.NoWarmStart = true
+	cold, err := Engine{}.Query(ctx, sys, "sigma_c", twca.Options{}, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON := marshalResult(t, cold)
+
+	store := NewWarmStore()
+	eng := Engine{Warm: store}
+	first, err := eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalResult(t, first); !bytes.Equal(got, coldJSON) {
+		t.Errorf("warm query against empty store differs from cold:\nwarm: %s\ncold: %s", got, coldJSON)
+	}
+
+	repeat, err := eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalResult(t, repeat); !bytes.Equal(got, coldJSON) {
+		t.Errorf("warm query against hot store differs from cold:\nwarm: %s\ncold: %s", got, coldJSON)
+	}
+	if st := store.Stats(); st.Hits == 0 {
+		t.Errorf("hot-store repeat recorded no warm hits (stats %+v)", st)
+	}
+}
+
+// TestWarmByteIdenticalAcrossChains repeats the byte-identity check on
+// the other analyzable chains, with the store shared across all of them
+// (scoping must keep their entries apart).
+func TestWarmByteIdenticalAcrossChains(t *testing.T) {
+	sys := casestudy.New()
+	ctx := context.Background()
+	store := NewWarmStore()
+	eng := Engine{Warm: store}
+	for _, chain := range []string{"sigma_c", "sigma_d"} {
+		an, err := twca.New(sys, sys.ChainByName(chain), twca.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", chain, err)
+		}
+		dmm, err := an.DMM(10)
+		if err != nil {
+			t.Fatalf("%s: %v", chain, err)
+		}
+		if dmm.Value >= 10 {
+			continue
+		}
+		opts := Options{Constraint: weaklyhard.Constraint{M: dmm.Value, K: 10}, Workers: 2}
+		coldOpts := opts
+		coldOpts.NoWarmStart = true
+		cold, err := Engine{}.Query(ctx, sys, chain, twca.Options{}, coldOpts)
+		if err != nil {
+			t.Fatalf("%s cold: %v", chain, err)
+		}
+		for round := 0; round < 2; round++ {
+			warm, err := eng.Query(ctx, sys, chain, twca.Options{}, opts)
+			if err != nil {
+				t.Fatalf("%s warm round %d: %v", chain, round, err)
+			}
+			if got, want := marshalResult(t, warm), marshalResult(t, cold); !bytes.Equal(got, want) {
+				t.Errorf("%s: warm round %d differs from cold:\nwarm: %s\ncold: %s", chain, round, got, want)
+			}
+		}
+	}
+}
+
+// TestWarmStoreNearestSoundSide pins the neighbor search to the sound
+// (demand-dominated) side of each axis, with the nominal entry as the
+// universal fallback.
+func TestWarmStoreNearestSoundSide(t *testing.T) {
+	sys := casestudy.New()
+	// Distinct pointers so the test can tell which entry nearest picked.
+	mk := func() *twca.Analysis {
+		an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}
+
+	s := NewWarmStore().scope("base", "sigma_c", twca.Options{}, 1000)
+	nominal := mk()
+	s.put(coord{kind: coordScale, subject: "", value: 1000}, "h-nom", nominal, nil, 1000)
+	at1020 := mk()
+	s.put(coord{kind: coordScale, subject: "", value: 1020}, "h-1020", at1020, nil, 1000)
+	j100 := mk()
+	s.put(coord{kind: coordJitter, subject: "sigma_b", value: 100}, "h-j100", j100, nil, 1000)
+	j300 := mk()
+	s.put(coord{kind: coordJitter, subject: "sigma_b", value: 300}, "h-j300", j300, nil, 1000)
+	d450 := mk()
+	s.put(coord{kind: coordDistance, subject: "sigma_b", value: 450}, "h-d450", d450, nil, 1000)
+
+	tests := []struct {
+		name string
+		c    coord
+		want *twca.Analysis
+	}{
+		// Scale and jitter seed from below (weaker perturbation).
+		{"scale below probe", coord{coordScale, "", 1010}, nominal},
+		{"scale exact neighbor", coord{coordScale, "", 1020}, at1020},
+		{"scale above all", coord{coordScale, "", 5000}, at1020},
+		{"jitter between entries", coord{coordJitter, "sigma_b", 250}, j100},
+		{"jitter below all falls back to nominal", coord{coordJitter, "sigma_b", 50}, nominal},
+		// Distance seeds from above (larger distance = weaker).
+		{"distance below entry", coord{coordDistance, "sigma_b", 400}, d450},
+		{"distance above all falls back to nominal", coord{coordDistance, "sigma_b", 500}, nominal},
+		// Unknown family: nominal is still a sound seed.
+		{"unseen family", coord{coordJitter, "sigma_a", 10}, nominal},
+	}
+	for _, tc := range tests {
+		ws := s.nearest(tc.c)
+		if ws == nil {
+			t.Errorf("%s: nearest returned nil", tc.name)
+			continue
+		}
+		if ws.From != tc.want {
+			t.Errorf("%s: nearest picked the wrong neighbor", tc.name)
+		}
+	}
+
+	// An empty scope has nothing to offer.
+	empty := NewWarmStore().scope("other", "sigma_c", twca.Options{}, 1000)
+	if ws := empty.nearest(coord{coordScale, "", 1010}); ws != nil {
+		t.Error("empty scope produced a warm hint")
+	}
+}
+
+// TestWarmStoreDegradedExcluded: degraded analyses stay reusable at
+// their exact coordinate but are never offered as neighbor seeds (their
+// busy times are not fixed points of the exact demand).
+func TestWarmStoreDegradedExcluded(t *testing.T) {
+	sys := casestudy.New()
+	exact, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := twca.New(sys, sys.ChainByName("sigma_c"),
+		twca.Options{Degrade: degrade.Policy{SkipExact: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Degraded.Degraded() {
+		t.Fatal("SkipExact analysis not degraded; test setup broken")
+	}
+
+	s := NewWarmStore().scope("base", "sigma_c", twca.Options{}, 1000)
+	s.put(coord{kind: coordScale, subject: "", value: 1000}, "h-exact", exact, nil, 1000)
+	s.put(coord{kind: coordScale, subject: "", value: 1050}, "h-degraded", degraded, nil, 1000)
+
+	if _, an, _, ok := s.lookup(coord{kind: coordScale, subject: "", value: 1050}); !ok || an != degraded {
+		t.Error("degraded entry not reusable at its exact coordinate")
+	}
+	ws := s.nearest(coord{kind: coordScale, subject: "", value: 1060})
+	if ws == nil {
+		t.Fatal("nearest returned nil despite exact nominal entry")
+	}
+	if ws.From == degraded {
+		t.Error("degraded analysis offered as a neighbor seed")
+	}
+	if ws.From != exact {
+		t.Error("nearest skipped the exact entry")
+	}
+}
+
+// TestWarmStoreCaps: past the growth caps new entries are dropped, not
+// evicted — dropping costs warm hits but can never change an answer.
+func TestWarmStoreCaps(t *testing.T) {
+	sys := casestudy.New()
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWarmStore().scope("base", "sigma_c", twca.Options{}, 1000)
+	for v := int64(0); v < maxFamilyEntries+8; v++ {
+		s.put(coord{kind: coordJitter, subject: "sigma_b", value: v}, "h", an, nil, 1000)
+	}
+	s.mu.Lock()
+	famLen := len(s.families[familyKey{kind: coordJitter, subject: "sigma_b"}])
+	total := len(s.byCoord)
+	s.mu.Unlock()
+	if famLen != maxFamilyEntries {
+		t.Errorf("family grew to %d entries, cap is %d", famLen, maxFamilyEntries)
+	}
+	if total != maxFamilyEntries+8 {
+		t.Errorf("byCoord holds %d entries, want %d (family cap must not drop exact hits)", total, maxFamilyEntries+8)
+	}
+}
+
+// TestWarmStoreFaultFallback arms the sensitivity.warmstore seam and
+// checks the chaos contract: an unavailable warm store silently
+// degrades every probe to a cold solve — same bytes, no error, and the
+// outage is visible in the store's Injected counter.
+func TestWarmStoreFaultFallback(t *testing.T) {
+	defer faultinject.Disarm()
+	faultinject.Disarm()
+
+	sys := casestudy.New()
+	opts := Options{
+		Constraint:   weaklyhard.Constraint{M: 5, K: 10},
+		FrontierMaxK: 20,
+		Tasks:        []string{"tau3c"},
+		Workers:      2,
+	}
+	ctx := context.Background()
+
+	coldOpts := opts
+	coldOpts.NoWarmStart = true
+	cold, err := Engine{}.Query(ctx, sys, "sigma_c", twca.Options{}, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON := marshalResult(t, cold)
+
+	// Prime a store, then make every consultation fail.
+	store := NewWarmStore()
+	eng := Engine{Warm: store}
+	if _, err := eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointSensitivityWarmStore, Action: faultinject.ActionError},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatalf("query with injected warm-store outage failed: %v", err)
+	}
+	if got := marshalResult(t, res); !bytes.Equal(got, coldJSON) {
+		t.Errorf("injected warm-store outage changed the answer:\ngot: %s\ncold: %s", got, coldJSON)
+	}
+	if st := store.Stats(); st.Injected == 0 {
+		t.Errorf("seam armed but Injected counter is 0 (stats %+v)", st)
+	}
+
+	// An intermittent outage (every 3rd consultation) must also be
+	// answer-invariant: partial warmth is still just warmth.
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointSensitivityWarmStore, Action: faultinject.ActionBudget, Every: 3, Seed: 21},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Query(ctx, sys, "sigma_c", twca.Options{}, opts)
+	if err != nil {
+		t.Fatalf("query with intermittent warm-store outage failed: %v", err)
+	}
+	if got := marshalResult(t, res); !bytes.Equal(got, coldJSON) {
+		t.Errorf("intermittent warm-store outage changed the answer:\ngot: %s\ncold: %s", got, coldJSON)
+	}
+}

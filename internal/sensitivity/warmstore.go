@@ -1,0 +1,267 @@
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/twca"
+)
+
+// coordKind enumerates the perturbation axes a probe coordinate can
+// lie on. Each axis has a "sound side" for warm starting: a neighbor
+// whose perturbation is weaker than the probe's is demand-dominated by
+// it (its busy-window demand is pointwise ≤ the probe's), so its fixed
+// points and knapsack optima are valid warm-start seeds.
+type coordKind uint8
+
+const (
+	// coordScale scales WCETs by value/ScaleDenom; subject names the
+	// task ("" = uniform). Demand is monotone increasing in value, so
+	// neighbors with value ≤ the probe's are sound seeds.
+	coordScale coordKind = iota
+	// coordJitter adds value extra release jitter to the subject
+	// overload chain. Demand increases with value: neighbors with
+	// value ≤ the probe's are sound.
+	coordJitter
+	// coordDistance sets the subject chain's base inter-arrival
+	// distance to value. Demand increases as the distance shrinks:
+	// neighbors with value ≥ the probe's are sound.
+	coordDistance
+)
+
+// coord identifies one probe point in perturbation space. It is the
+// warm store's key: unlike a content hash it carries the geometry
+// (axis, direction) the nearest-neighbor search needs, and an exact
+// hit skips materializing and hashing the perturbed system entirely.
+type coord struct {
+	kind    coordKind
+	subject string
+	value   int64
+}
+
+// familyKey groups coordinates that differ only in value — the
+// one-dimensional slices the nearest-neighbor search runs on.
+type familyKey struct {
+	kind    coordKind
+	subject string
+}
+
+// warmEntry is one completed probe outcome retained for reuse: either a
+// solved analysis or a deterministic failure verdict (diverged /
+// K-exceeded, a pure function of the coordinate — see deterministicErr).
+type warmEntry struct {
+	c    coord
+	hash string
+	an   *twca.Analysis
+	err  error
+}
+
+// Store growth caps. The warm store retains whole analyses, so a
+// long-lived shared store (the analysis service's) must stay bounded:
+// past the caps new entries are simply not retained, which costs warm
+// hits but can never change a result.
+const (
+	maxScopeEntries  = 4096
+	maxFamilyEntries = 64
+)
+
+// WarmStore retains completed probe analyses across sensitivity
+// queries, keyed by perturbation coordinate, and answers two questions
+// for the incremental engine:
+//
+//   - exact hit: this very coordinate was solved before (same base
+//     system, chain and analysis options) — reuse the artifact without
+//     materializing or hashing the perturbed system;
+//   - nearest neighbor: the closest solved coordinate on the sound
+//     (demand-dominated) side of the probe's axis, whose analysis
+//     seeds the busy-window fixed points and ILP incumbents of a
+//     fresh solve (twca.WarmStart).
+//
+// Both answers are advisory: every value the engine computes is
+// byte-identical with or without them. A WarmStore is safe for
+// concurrent use and may be shared across queries, engines and
+// goroutines; the analysis service holds one per process.
+type WarmStore struct {
+	mu     sync.Mutex
+	scopes map[string]*scopeStore
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	injected atomic.Int64
+}
+
+// NewWarmStore returns an empty warm store.
+func NewWarmStore() *WarmStore {
+	return &WarmStore{scopes: make(map[string]*scopeStore)}
+}
+
+// WarmStats is a point-in-time snapshot of store effectiveness.
+type WarmStats struct {
+	// Hits counts exact-coordinate lookups answered from the store,
+	// Misses the lookups that fell through to a fresh analysis.
+	Hits, Misses int64
+	// Injected counts store consultations suppressed by the
+	// sensitivity.warmstore fault-injection seam (each one degraded to
+	// a silent miss).
+	Injected int64
+}
+
+// Stats returns a snapshot of the store's hit/miss counters.
+func (w *WarmStore) Stats() WarmStats {
+	if w == nil {
+		return WarmStats{}
+	}
+	return WarmStats{Hits: w.hits.Load(), Misses: w.misses.Load(), Injected: w.injected.Load()}
+}
+
+// scope returns the per-(system, chain, options, quantum) sub-store.
+// Coordinates are only comparable within one scope: a scale numerator
+// means nothing under another denominator, and analyses under other
+// options are different artifacts. An unhashable base system gets a
+// fresh private scope (still useful within its query, never shared).
+func (w *WarmStore) scope(baseHash, chain string, aopts twca.Options, denom int64) *scopeStore {
+	if baseHash == "" {
+		return &scopeStore{owner: w, byCoord: make(map[coord]warmEntry), families: make(map[familyKey][]warmEntry)}
+	}
+	key := baseHash + "|" + chain + "|" + strconv.FormatInt(denom, 10) + "|" + fmt.Sprintf("%+v", aopts)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.scopes[key]
+	if !ok {
+		s = &scopeStore{owner: w, byCoord: make(map[coord]warmEntry), families: make(map[familyKey][]warmEntry)}
+		w.scopes[key] = s
+	}
+	return s
+}
+
+// scopeStore holds the entries of one scope. families keeps per-axis
+// slices sorted ascending by coordinate value (insertion keeps the
+// order; no map iteration is ever needed, so the store is trivially
+// deterministic). nominal is the unperturbed system's entry — the
+// universal fallback seed, demand-dominated by every probe on every
+// axis.
+type scopeStore struct {
+	owner *WarmStore
+
+	mu       sync.Mutex
+	byCoord  map[coord]warmEntry
+	families map[familyKey][]warmEntry
+	nominal  *warmEntry
+}
+
+// available runs the sensitivity.warmstore fault-injection seam: an
+// armed error or budget rule makes every store consultation report a
+// miss, degrading the engine to cold solves — the chaos suite pins
+// that this fallback is silent and never moves a bound the wrong way.
+func (s *scopeStore) available() bool {
+	f := faultinject.At(faultinject.PointSensitivityWarmStore)
+	if f == nil {
+		return true
+	}
+	if f.Budget() {
+		s.owner.injected.Add(1)
+		return false
+	}
+	if err := f.Apply(); err != nil {
+		s.owner.injected.Add(1)
+		return false
+	}
+	return true
+}
+
+// lookup returns the outcome stored for exactly c — the completed
+// analysis or the deterministic failure verdict — along with the
+// perturbed system's content hash captured when it was stored.
+func (s *scopeStore) lookup(c coord) (string, *twca.Analysis, error, bool) {
+	if s == nil || !s.available() {
+		return "", nil, nil, false
+	}
+	s.mu.Lock()
+	e, ok := s.byCoord[c]
+	s.mu.Unlock()
+	if !ok {
+		s.owner.misses.Add(1)
+		return "", nil, nil, false
+	}
+	s.owner.hits.Add(1)
+	return e.hash, e.an, e.err, true
+}
+
+// nearest returns warm-start hints from the closest solved neighbor on
+// the sound side of c's axis: the largest stored value ≤ c.value for
+// scale and jitter (demand grows with the value), the smallest stored
+// value ≥ c.value for distance (demand grows as the distance shrinks).
+// The nominal system is the fallback — it is demand-dominated by every
+// probe on every axis. Returns nil when nothing usable is stored.
+func (s *scopeStore) nearest(c coord) *twca.WarmStart {
+	if s == nil || !s.available() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fam := s.families[familyKey{kind: c.kind, subject: c.subject}]
+	var best *warmEntry
+	switch c.kind {
+	case coordScale, coordJitter:
+		// Rightmost entry with value ≤ c.value.
+		i := sort.Search(len(fam), func(i int) bool { return fam[i].c.value > c.value })
+		if i > 0 {
+			best = &fam[i-1]
+		}
+	case coordDistance:
+		// Leftmost entry with value ≥ c.value.
+		i := sort.Search(len(fam), func(i int) bool { return fam[i].c.value >= c.value })
+		if i < len(fam) {
+			best = &fam[i]
+		}
+	}
+	if best == nil {
+		best = s.nominal
+	}
+	if best == nil {
+		return nil
+	}
+	return &twca.WarmStart{From: best.an}
+}
+
+// put retains a completed probe outcome under its coordinate: a solved
+// analysis, or (an == nil, err != nil) a deterministic failure verdict.
+// Degraded analyses and failures are kept for exact-coordinate reuse
+// but never offered as neighbor seeds (degraded busy times are the
+// Infinity sentinel, not fixed points; failures have no fixed points at
+// all).
+func (s *scopeStore) put(c coord, hash string, an *twca.Analysis, err error, denom int64) {
+	if s == nil || (an == nil && err == nil) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byCoord[c]; ok {
+		return
+	}
+	if len(s.byCoord) >= maxScopeEntries {
+		return
+	}
+	e := warmEntry{c: c, hash: hash, an: an, err: err}
+	s.byCoord[c] = e
+	if an == nil || an.Degraded.Degraded() || an.Latency.Quality.Degraded() {
+		return
+	}
+	fk := familyKey{kind: c.kind, subject: c.subject}
+	fam := s.families[fk]
+	if len(fam) >= maxFamilyEntries {
+		return
+	}
+	i := sort.Search(len(fam), func(i int) bool { return fam[i].c.value >= c.value })
+	fam = append(fam, warmEntry{})
+	copy(fam[i+1:], fam[i:])
+	fam[i] = e
+	s.families[fk] = fam
+	if c.kind == coordScale && c.subject == "" && c.value == denom {
+		s.nominal = &e
+	}
+}

@@ -63,6 +63,21 @@ func TestChaosSuite(t *testing.T) {
 		}
 	}
 
+	// Sensitivity ground truth: the exact uniform WCET slack for every
+	// constraint in the request pool, computed before any fault is
+	// armed. A 200 "exact" sensitivity response must report exactly this
+	// scale no matter how warm-store outages interleave, and a degraded
+	// one must never claim MORE slack (the wrong side).
+	sensTruths := map[string]int64{}
+	for _, c := range []repro.Constraint{{M: 5, K: 10}, {M: 7, K: 10}, {M: 9, K: 10}} {
+		res, err := repro.AnalysisRequest{System: sys, Chain: "sigma_c"}.Sensitivity(ctx,
+			repro.SensitivityOptions{Constraint: c, Tasks: []string{"tau1c"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sensTruths[strconv.FormatInt(c.M, 10)+"|"+strconv.FormatInt(c.K, 10)] = res.Uniform.Scale
+	}
+
 	_, ts := newTestServer(t, Config{})
 	thales := thalesJSON(t)
 
@@ -86,6 +101,8 @@ func TestChaosSuite(t *testing.T) {
 		{Point: faultinject.PointServiceCache, Action: faultinject.ActionPanic, Every: 11, Seed: 16},
 		{Point: faultinject.PointServiceCache, Action: faultinject.ActionError, Every: 13, Seed: 17},
 		{Point: faultinject.PointSensitivityProbe, Action: faultinject.ActionBudget, Every: 6, Seed: 18},
+		{Point: faultinject.PointSensitivityWarmStore, Action: faultinject.ActionError, Every: 3, Seed: 19},
+		{Point: faultinject.PointSensitivityWarmStore, Action: faultinject.ActionBudget, Every: 5, Seed: 20},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -164,9 +181,28 @@ func TestChaosSuite(t *testing.T) {
 					t.Errorf("verify(%s) holds with dmm %d > m %v", chain, v, res["m"])
 				}
 			}
-		case "latency", "sensitivity":
+		case "latency":
 			if q, _ := doc["quality"].(string); q != "exact" {
 				degradedHere++
+			}
+		case "sensitivity":
+			q, _ := doc["quality"].(string)
+			if q != "exact" {
+				degradedHere++
+			}
+			// Warm-store outages must be invisible in the answer: exact
+			// responses match the pre-fault ground truth, degraded ones
+			// may only claim LESS slack.
+			m := int64(doc["m"].(float64))
+			k := int64(doc["k"].(float64))
+			if exact, known := sensTruths[strconv.FormatInt(m, 10)+"|"+strconv.FormatInt(k, 10)]; known {
+				scale := int64(doc["uniform_scale"].(float64))
+				if q == "exact" && scale != exact {
+					t.Errorf("sensitivity(m=%d,k=%d) tagged exact: uniform_scale = %d, truth %d", m, k, scale, exact)
+				}
+				if scale > exact {
+					t.Errorf("sensitivity(m=%d,k=%d) claims slack %d beyond exact %d (wrong-side bound)", m, k, scale, exact)
+				}
 			}
 		}
 		if degradedHere > 0 {

@@ -111,6 +111,12 @@ type reqSensitivity struct {
 	MaxScale     int64    `json:"max_scale,omitempty"`
 	MaxJitter    int64    `json:"max_jitter,omitempty"`
 	Tasks        []string `json:"tasks,omitempty"`
+	// NoWarmStart opts this query out of the server's shared warm store:
+	// every probe is a cold solve. The result document is byte-identical
+	// either way (warm starts change only the work spent); the option
+	// exists to measure the difference and to rule the store out when
+	// debugging.
+	NoWarmStart bool `json:"no_warm_start,omitempty"`
 }
 
 func (rs reqSensitivity) options() repro.SensitivityOptions {
@@ -121,6 +127,7 @@ func (rs reqSensitivity) options() repro.SensitivityOptions {
 		MaxJitter:    repro.Time(rs.MaxJitter),
 		FrontierMaxK: rs.FrontierMaxK,
 		Tasks:        rs.Tasks,
+		NoWarmStart:  rs.NoWarmStart,
 	}
 }
 
@@ -524,11 +531,16 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 }
 
 // sensitivityResponse is schema.Sensitivity plus service envelope
-// fields.
+// fields. WarmStart tags whether the query was allowed to use the
+// server's shared warm store — an envelope echo of the request option,
+// NOT part of the analysis document: cache warmth stays wire-invisible
+// (the schema.Sensitivity body is byte-identical warm or cold, which
+// the golden contract pins).
 type sensitivityResponse struct {
 	schema.Sensitivity
 	SystemHash string  `json:"system_hash"`
 	Cache      string  `json:"cache"`
+	WarmStart  bool    `json:"warm_start"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
@@ -538,15 +550,17 @@ type sensitivityResponse struct {
 // endpoint, so the nominal probe reuses (and seeds) /v1/analyze/dmm
 // artifacts and probes shared between overlapping sensitivity queries
 // are computed once. Cache misses take an admission slot like any other
-// analysis; probes on unhashable perturbations bypass the cache.
+// analysis and solve warm-started from the engine's hints (warm changes
+// only the work spent, never the artifact, so the cache still keys on
+// content alone); probes on unhashable perturbations bypass the cache.
 func (s *Server) probeAnalyze(optfp string) repro.ProbeFunc {
-	return func(ctx context.Context, sys *repro.System, hash, chain string, opts repro.Options) (*repro.Analysis, error) {
+	return func(ctx context.Context, sys *repro.System, hash, chain string, opts repro.Options, warm *repro.WarmStart) (*repro.Analysis, error) {
 		run := func(fctx context.Context) (any, error) {
 			if err := s.gate.Acquire(fctx); err != nil {
 				return nil, err
 			}
 			defer s.gate.Release()
-			return repro.AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMM(fctx)
+			return repro.AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMMWarm(fctx, warm)
 		}
 		if hash == "" {
 			s.met.sensitivityProbe("")
@@ -591,7 +605,7 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
 		t0 := time.Now()
 		res, err := repro.AnalysisRequest{System: sys, Chain: req.Chain, Options: req.Options.twca()}.
-			SensitivityWith(fctx, req.Sensitivity.options(), s.probeAnalyze(optfp))
+			SensitivityWarm(fctx, req.Sensitivity.options(), s.probeAnalyze(optfp), s.warm)
 		s.met.observeAnalysis("sensitivity", time.Since(t0))
 		if err == nil {
 			s.met.addBisectionSteps(res.Probes)
@@ -612,6 +626,7 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 		Sensitivity: schema.FromSensitivity(val.(*repro.SensitivityResult)),
 		SystemHash:  hash,
 		Cache:       state,
+		WarmStart:   !req.Sensitivity.NoWarmStart,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
 	})
 }

@@ -51,6 +51,13 @@ type metrics struct {
 	// breaker at scrape time.
 	breakerOpen  func() int
 	breakerTrips func() int64
+	// warmStats is sampled from the process-wide sensitivity warm store
+	// at scrape time: hits are probes answered from a stored artifact at
+	// the exact perturbation coordinate (they never reach the artifact
+	// cache), misses fell through to a cold or warm-seeded solve, and
+	// injected counts fault-injected store outages (see
+	// faultinject.PointSensitivityWarmStore).
+	warmStats func() (hits, misses, injected int64)
 }
 
 func newMetrics(inflight func() int) *metrics {
@@ -243,6 +250,15 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"hit\"} %d\n", m.probeHits)
 	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"miss\"} %d\n", m.probeMisses)
 	fmt.Fprintf(w, "twca_sensitivity_probe_cache_total{outcome=\"coalesced\"} %d\n", m.probeCoalesced)
+
+	if m.warmStats != nil {
+		hits, misses, injected := m.warmStats()
+		fmt.Fprintf(w, "# HELP twca_sensitivity_warm_store_total Warm-store lookups by sensitivity probes, by outcome.\n")
+		fmt.Fprintf(w, "# TYPE twca_sensitivity_warm_store_total counter\n")
+		fmt.Fprintf(w, "twca_sensitivity_warm_store_total{outcome=\"hit\"} %d\n", hits)
+		fmt.Fprintf(w, "twca_sensitivity_warm_store_total{outcome=\"miss\"} %d\n", misses)
+		fmt.Fprintf(w, "twca_sensitivity_warm_store_total{outcome=\"injected\"} %d\n", injected)
+	}
 
 	fmt.Fprintf(w, "# HELP twca_degraded_results_total Results answered below exact quality, by exhausted budget.\n")
 	fmt.Fprintf(w, "# TYPE twca_degraded_results_total counter\n")

@@ -398,7 +398,9 @@ func TestSensitivityRepeatSpeedup(t *testing.T) {
 
 // TestSensitivityProbeReuse: a second sensitivity query against the same
 // system with a different constraint shares probe artifacts (same
-// perturbed systems, same analysis options) through the artifact cache.
+// perturbed systems, same analysis options) — either through the
+// process-wide warm store (exact-coordinate hits, which skip the
+// artifact cache entirely) or through the artifact cache itself.
 func TestSensitivityProbeReuse(t *testing.T) {
 	svc, ts := newTestServer(t, Config{})
 	base := analyzeRequest{System: thalesJSON(t), Chain: "sigma_c",
@@ -409,6 +411,7 @@ func TestSensitivityProbeReuse(t *testing.T) {
 	svc.met.mu.Lock()
 	hitsBefore := svc.met.probeHits
 	svc.met.mu.Unlock()
+	warmBefore := svc.warm.Stats().Hits
 
 	other := base
 	other.Sensitivity = &reqSensitivity{M: 6, K: 12, Tasks: []string{"tau3c"}}
@@ -418,8 +421,20 @@ func TestSensitivityProbeReuse(t *testing.T) {
 	svc.met.mu.Lock()
 	hitsAfter := svc.met.probeHits
 	svc.met.mu.Unlock()
-	if hitsAfter <= hitsBefore {
-		t.Errorf("second query reused no probe artifacts (hits %d -> %d)", hitsBefore, hitsAfter)
+	warmAfter := svc.warm.Stats().Hits
+	if hitsAfter <= hitsBefore && warmAfter <= warmBefore {
+		t.Errorf("second query reused no probe artifacts (cache hits %d -> %d, warm hits %d -> %d)",
+			hitsBefore, hitsAfter, warmBefore, warmAfter)
+	}
+
+	// Opting out of warm starts must fall back to artifact-cache reuse
+	// and return the same analysis body.
+	cold := base
+	cold.Sensitivity = &reqSensitivity{M: 5, K: 10, Tasks: []string{"tau3c"}, NoWarmStart: true}
+	if status, doc := post(t, ts.URL+"/v1/analyze/sensitivity", cold); status != http.StatusOK {
+		t.Fatalf("no_warm_start query = %d: %v", status, doc["error"])
+	} else if ws, ok := doc["warm_start"].(bool); !ok || ws {
+		t.Errorf("no_warm_start response warm_start = %v, want false", doc["warm_start"])
 	}
 }
 

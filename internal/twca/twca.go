@@ -162,6 +162,12 @@ type Analysis struct {
 	rowChain  []*model.Chain // rows[i] belongs to this overload chain
 	objective []int64
 
+	// warmFrom is the warm-start neighbor whose constraint template this
+	// analysis adopted (see adoptTemplate); its solved knapsacks seed the
+	// branch-and-bound incumbent of fresh solves. nil for cold analyses
+	// or when the template had to be rebuilt.
+	warmFrom *Analysis
+
 	mu     sync.Mutex
 	cache  []dmmCacheEntry
 	byKey  map[string]int
@@ -190,6 +196,12 @@ func New(sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
 // constraint-template build all check ctx, and the returned error wraps
 // ctx.Err() when the context ended the analysis early.
 func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options) (*Analysis, error) {
+	return newCtx(ctx, sys, b, opts, nil)
+}
+
+// newCtx is the shared construction behind NewCtx (warm == nil) and
+// NewWarmCtx. Warm hints never change any result, only the work spent.
+func newCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options, warm *WarmStart) (*Analysis, error) {
 	opts = opts.withDefaults()
 	if b.Deadline <= 0 {
 		return nil, fmt.Errorf("twca: chain %q: %w", b.Name, ErrNoDeadline)
@@ -201,7 +213,7 @@ func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 	if opts.Flat {
 		info = segments.AnalyzeFlat(sys, b)
 	}
-	lat, err := latency.AnalyzeInfoCtx(ctx, info, opts.Latency)
+	lat, err := latency.AnalyzeInfoWarmCtx(ctx, info, opts.Latency, warm.latencySeeds(b, opts))
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +285,7 @@ func NewCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 		}
 		a.Unschedulable = append(a.Unschedulable, c)
 	}
-	a.buildProblemTemplate()
+	a.buildOrAdoptTemplate(warm)
 	return a, nil
 }
 
@@ -564,13 +576,19 @@ func (a *Analysis) solveCached(ctx context.Context, bounds []int64) (ilp.Solutio
 	return sol, nil
 }
 
-// solve runs one fresh knapsack solve under the given capacity vector.
+// solve runs one fresh knapsack solve under the given capacity vector,
+// seeding the branch-and-bound with the warm-start neighbor's best
+// feasible assignment when one exists.
 func (a *Analysis) solve(ctx context.Context, bounds []int64) (ilp.Solution, error) {
 	rows := make([]ilp.Row, len(a.rows))
 	for i, r := range a.rows {
 		rows[i] = ilp.Row{Coeffs: r.Coeffs, Bound: bounds[i]}
 	}
-	return ilp.MaximizeCtx(ctx, ilp.Problem{Objective: a.objective, Rows: rows})
+	return ilp.MaximizeCtx(ctx, ilp.Problem{
+		Objective:  a.objective,
+		Rows:       rows,
+		IncumbentX: a.incumbentFor(bounds),
+	})
 }
 
 // boundsKey appends the capacity vector's map-key encoding to buf.

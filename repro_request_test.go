@@ -178,7 +178,7 @@ func TestFacadeSensitivity(t *testing.T) {
 
 	// The probe hook sees every analysis with a precomputed content hash.
 	var probes int
-	_, err = req.SensitivityWith(ctx, sopts, func(ctx context.Context, sys *repro.System, hash, chain string, opts repro.Options) (*repro.Analysis, error) {
+	_, err = req.SensitivityWith(ctx, sopts, func(ctx context.Context, sys *repro.System, hash, chain string, opts repro.Options, warm *repro.WarmStart) (*repro.Analysis, error) {
 		probes++
 		if len(hash) != 64 {
 			t.Errorf("probe hash = %q, want 64 hex chars", hash)
@@ -186,7 +186,7 @@ func TestFacadeSensitivity(t *testing.T) {
 		if chain != "sigma_c" {
 			t.Errorf("probe chain = %q", chain)
 		}
-		return repro.AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMM(ctx)
+		return repro.AnalysisRequest{System: sys, Chain: chain, Options: opts}.DMMWarm(ctx, warm)
 	})
 	if err != nil {
 		t.Fatal(err)
