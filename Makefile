@@ -10,7 +10,7 @@ GO ?= go
 # reproduces CI's verdict. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint verify bench bench-check chaos fuzz-smoke serve print-staticcheck-version
+.PHONY: build test lint verify policy-matrix bench bench-check chaos fuzz-smoke serve print-staticcheck-version
 
 # print-staticcheck-version lets CI install exactly the pinned release
 # without duplicating the version string in the workflow file.
@@ -39,6 +39,17 @@ verify:
 	fi
 	$(GO) run ./cmd/twca-lint ./...
 	$(GO) test -race ./...
+	$(MAKE) policy-matrix
+
+# policy-matrix runs the cross-policy soundness property under the race
+# detector: for every analyzable scheduling policy (spp, np-spp, edf)
+# and every case-study chain, the analytic WCL and dmm(k) bounds must
+# dominate a simulator running the same policy, and an explicit
+# policy=spp must be byte-identical to the zero value.
+policy-matrix:
+	$(GO) test -race -count=1 -run 'TestPolicy' .
+	$(GO) test -race -count=1 ./internal/policy/
+	$(GO) test -race -count=1 -run 'Policy|EDF|JCL|NonPreemptive|Mapped' ./internal/sim/
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./...

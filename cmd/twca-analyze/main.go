@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	twca-analyze [-k 1,3,10,100] [-baseline] [-exact] [-degrade] [-json] [-lint=false] system.{json,sys}
+//	twca-analyze [-k 1,3,10,100] [-policy spp] [-baseline] [-exact] [-degrade] [-json] [-lint=false] system.{json,sys}
 //	twca-gen | twca-analyze
+//
+// -policy selects the scheduling policy: spp (the default), np-spp or
+// edf. The simulation-only jcl policy is rejected here.
 //
 // -json replaces the table with the versioned JSON report defined by
 // internal/schema — the same wire format twca-serve speaks.
@@ -28,6 +31,7 @@ import (
 	"repro/internal/degrade"
 	"repro/internal/dsl"
 	"repro/internal/model"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/schema"
 	"repro/internal/twca"
@@ -56,6 +60,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		"emit the versioned JSON report (the twca-serve wire schema) instead of a table")
 	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"analysis worker pool size (results are identical for any value)")
+	policyFlag := fs.String("policy", "",
+		"scheduling policy: spp (default), np-spp or edf (jcl is simulation-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,7 +79,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := twca.Options{ExactCriterion: *exact, Degrade: degrade.Policy{Allow: *degradeFlag}}
+	opts := twca.Options{ExactCriterion: *exact, Policy: *policyFlag, Degrade: degrade.Policy{Allow: *degradeFlag}}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	// A simulation-only policy fails every chain identically; refuse it
+	// up front (exit 1) instead of printing a table of error rows.
+	if _, err := policy.AnalyzerFor(opts.PolicyName()); err != nil {
+		return err
+	}
 
 	if *explain != "" {
 		c := sys.ChainByName(*explain)

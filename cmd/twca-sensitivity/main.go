@@ -65,6 +65,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	maxJitter := fs.Int64("max-jitter", 0, "jitter search cap in time units (0 = 64x nominal distance)")
 	tasks := fs.String("tasks", "", "comma-separated tasks for per-task slack (default: all)")
 	exact := fs.Bool("exact", false, "use the exact Eq. (3) combination criterion")
+	policyFlag := fs.String("policy", "",
+		"scheduling policy: spp (default), np-spp or edf (jcl is simulation-only)")
 	jsonOut := fs.Bool("json", false, "emit the versioned JSON document (the twca-serve wire schema)")
 	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"probe worker pool size (results are identical for any value)")
@@ -82,7 +84,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	aopts := twca.Options{ExactCriterion: *exact}
+	aopts := twca.Options{ExactCriterion: *exact, Policy: *policyFlag}
+	if err := aopts.Validate(); err != nil {
+		return err
+	}
 	ctx := context.Background()
 
 	// -m -1 defends the nominal bound itself: the slack numbers then

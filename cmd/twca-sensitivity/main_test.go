@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/schema"
 )
 
 func runTool(t *testing.T, args []string, stdin string) (string, string, error) {
@@ -47,7 +49,7 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output is not JSON: %v", err)
 	}
-	if doc["schema_version"].(float64) != 1 || doc["nominal_dmm"].(float64) != 5 {
+	if doc["schema_version"].(float64) != schema.Version || doc["nominal_dmm"].(float64) != 5 {
 		t.Errorf("schema_version/nominal_dmm = %v/%v", doc["schema_version"], doc["nominal_dmm"])
 	}
 	if doc["uniform_scale"].(float64) != 1000 {

@@ -16,6 +16,10 @@
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text exposition
 //
+// Request options carry a "policy" field selecting the scheduling
+// policy ("spp" — the default, "np-spp", "edf"); the simulation-only
+// "jcl" policy is refused with 422 policy_unsupported.
+//
 // Identical concurrent queries are coalesced into one analysis, and
 // completed analyses are kept in a content-addressed LRU, so a repeat
 // query is answered in microseconds. SIGINT/SIGTERM drain gracefully:

@@ -1,11 +1,16 @@
 // Command twca-sim simulates a system description (JSON or DSL) on the
-// discrete-event SPP simulator and reports per-chain latency and miss
+// discrete-event simulator and reports per-chain latency and miss
 // statistics, optionally with a textual Gantt chart.
 //
 // Usage:
 //
 //	twca-sim [-horizon 1000000] [-seed 0] [-arrivals dense|random|rare]
-//	         [-exec worst|random] [-gantt 200] system.{json,sys}
+//	         [-exec worst|random] [-policy spp] [-gantt 200] system.{json,sys}
+//
+// -policy selects the scheduling policy: spp (static-priority
+// preemptive, the default), np-spp (non-preemptive), edf
+// (earliest-deadline-first) or jcl (job-class-level, per-job priorities
+// keyed on each chain's recent deadline-hit streak).
 //
 // With no file argument the system is read from stdin.
 package main
@@ -37,6 +42,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	seed := fs.Int64("seed", 0, "RNG seed")
 	arrivals := fs.String("arrivals", "dense", "arrival policy: dense, random, rare")
 	exec := fs.String("exec", "worst", "execution time policy: worst, random")
+	policyFlag := fs.String("policy", "", "scheduling policy: spp (default), np-spp, edf, jcl")
 	gantt := fs.Int64("gantt", 0, "render a Gantt chart of the first N time units")
 	svg := fs.String("svg", "", "write an SVG Gantt chart of the -gantt window to this file")
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +56,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	cfg := sim.Config{
 		Horizon:     curves.Time(*horizon),
 		Seed:        *seed,
+		Policy:      *policyFlag,
 		RecordTrace: *gantt > 0 || *svg != "",
 	}
 	switch *arrivals {

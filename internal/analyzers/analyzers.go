@@ -80,6 +80,11 @@ func DefaultConfig() Config {
 			// incumbents must explore the same tree for the same input,
 			// or warm and cold runs stop being byte-identical.
 			"internal/ilp",
+			// Policy demand functions feed the deterministic analyses
+			// above, and policy schedulers may randomize only through the
+			// seeded engine RNG handed to NewScheduler (JCL's tie-break)
+			// — never through the shared global source.
+			"internal/policy",
 		},
 		SaturatingTypes: []string{"repro/internal/curves.Time"},
 		SaturationPkgs: []string{
@@ -91,6 +96,7 @@ func DefaultConfig() Config {
 			"internal/model",
 			"internal/paths",
 			"internal/casestudy",
+			"internal/policy",
 		},
 	}
 }

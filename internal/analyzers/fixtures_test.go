@@ -15,7 +15,7 @@ import (
 // way DefaultConfig scopes them onto the real tree.
 func fixtureConfig() analyzers.Config {
 	return analyzers.Config{
-		DeterministicPkgs: []string{"fixture/determinism"},
+		DeterministicPkgs: []string{"fixture/determinism", "fixture/jclstate"},
 		SaturatingTypes:   []string{"fixture/saturation.Time"},
 		SaturationPkgs:    []string{"fixture/saturation"},
 	}
@@ -144,6 +144,26 @@ func TestDeterminismFixture(t *testing.T) {
 	// Both the reasoned and the bare directive silence their map range.
 	if got := suppressedCount(findings); got != 2 {
 		t.Errorf("suppressed findings = %d, want 2", got)
+	}
+}
+
+// TestJCLStateFixture mirrors the JCL scheduler's hit-streak state: the
+// determinism rule (now scoped over internal/policy) must flag
+// tie-breaks drawn from the shared math/rand global while accepting the
+// injected seeded-RNG idiom the real jclScheduler uses.
+func TestJCLStateFixture(t *testing.T) {
+	findings := checkFixture(t, "jclstate", nil)
+	if got := suppressedCount(findings); got != 0 {
+		t.Errorf("suppressed findings = %d, want 0", got)
+	}
+	det := 0
+	for _, f := range findings {
+		if f.Rule == analyzers.RuleDeterminism && strings.Contains(f.Message, "shared random source") {
+			det++
+		}
+	}
+	if det != 2 {
+		t.Errorf("shared-random-source findings = %d, want 2 (rankGlobal, reseedGlobal)", det)
 	}
 }
 

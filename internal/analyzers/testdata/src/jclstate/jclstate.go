@@ -1,0 +1,65 @@
+// Package jclstate is a twca-lint fixture mirroring the JCL
+// scheduler's hit-streak state (internal/policy). A job-class scheduler
+// randomizes only its final tie-break, and only through the seeded
+// engine RNG injected at construction — reaching for the shared
+// math/rand global instead would make two same-seed simulations
+// diverge. The fixture pins that the determinism rule catches the
+// global-source variant and accepts the injected-source idiom the real
+// scheduler uses.
+package jclstate
+
+import "math/rand"
+
+// rng is the injected-source seam of the real scheduler: anything
+// satisfying it is deterministic for a fixed seed.
+type rng interface {
+	Int63() int64
+}
+
+// scheduler tracks each chain's consecutive deadline-hit streak, as the
+// real jclScheduler does.
+type scheduler struct {
+	rng    rng
+	streak map[string]int64
+}
+
+// rankSeeded is the correct idiom: the tie-break draws from the
+// injected seeded source.
+func (s *scheduler) rankSeeded(chain string) (int64, int64) {
+	return s.streak[chain], s.rng.Int63()
+}
+
+// rankGlobal is the bug this fixture exists for: the tie-break draws
+// from the shared global source, so two same-seed runs diverge.
+func (s *scheduler) rankGlobal(chain string) (int64, int64) {
+	return s.streak[chain], rand.Int63() // want "shared random source"
+}
+
+// reseedGlobal is the other face of the same bug: mutating the global
+// source's seed from scheduler state.
+func (s *scheduler) reseedGlobal(chain string) {
+	rand.Seed(s.streak[chain]) // want "shared random source"
+}
+
+// hit updates the streak state; pure map access, no randomness, clean.
+func (s *scheduler) hit(chain string, ok bool) {
+	if ok {
+		s.streak[chain]++
+	} else {
+		s.streak[chain] = 0
+	}
+}
+
+// worstStreak leaks map iteration order into nothing observable (max
+// over values is order-independent), but the rule cannot know that —
+// the real scheduler never iterates its streak map, and the fixture
+// pins that iterating it would be flagged.
+func (s *scheduler) worstStreak() int64 {
+	var best int64
+	for _, v := range s.streak { // want "iteration over map s.streak observes randomized order"
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

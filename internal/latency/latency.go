@@ -21,6 +21,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/policy"
 	"repro/internal/segments"
 )
 
@@ -57,6 +58,12 @@ type Options struct {
 	// window is the cheap part of the pipeline; only package twca skips
 	// work under it.
 	Degrade degrade.Policy
+	// Policy names the scheduling policy the demand model assumes; see
+	// internal/policy. The empty string selects "spp", the paper's
+	// preemptive static-priority model, keeping every existing call site
+	// byte-identical. Analysis entry points reject simulation-only
+	// policies ("jcl") with an error wrapping policy.ErrUnsupported.
+	Policy string
 }
 
 // WithDefaults returns o with unset fields replaced by the documented
@@ -76,6 +83,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxIterations < 0 {
 		return fmt.Errorf("latency: options: MaxIterations %d is negative (0 selects the default 1<<20)", o.MaxIterations)
+	}
+	if _, err := policy.ByName(o.Policy); err != nil {
+		return fmt.Errorf("latency: options: %w", err)
 	}
 	return nil
 }
@@ -127,26 +137,21 @@ type Result struct {
 	// reduces. It is diagnostic only and not part of any wire schema:
 	// two results that differ only in Iterations are the same analysis.
 	Iterations int64
+	// Policy is the canonical name of the scheduling policy the result
+	// was computed under ("spp" for every pre-policy call site).
+	Policy string
 }
 
 // OutputJitter returns the latency spread WCL − BCL.
 func (r *Result) OutputJitter() curves.Time { return r.WCL - r.BCL }
 
-// effectiveKind returns the chain kind used by the analysis: overload
-// chains are treated as synchronous, which the paper argues is without
-// loss of generality because at most one activation of an overload
-// chain falls into any busy window (§V).
-func effectiveKind(c *model.Chain) model.Kind {
-	if c.Overload {
-		return model.Synchronous
-	}
-	return c.Kind
-}
-
 // Demand returns the right-hand side of Theorem 1's Equation (1)
-// evaluated at window length w: the maximum processor demand that
-// competes with q instances of the target chain inside a window of
-// length w. The busy time B_b(q) is the least fixed point w = Demand(w).
+// evaluated at window length w under the default (SPP) policy: the
+// maximum processor demand that competes with q instances of the target
+// chain inside a window of length w. The busy time B_b(q) is the least
+// fixed point w = Demand(w). The Theorem-1 arithmetic itself lives in
+// internal/policy (each policy contributes its own demand shape); this
+// wrapper remains the stable name analysis packages and tests built on.
 //
 // With excludeOverload, overload chains are dropped from the
 // arbitrarily-interfering and deferred-synchronous terms — which, since
@@ -154,42 +159,18 @@ func effectiveKind(c *model.Chain) model.Kind {
 // This is exactly the L_b(q) shape of Equation (4) when w is fixed to
 // δ-_b(q) + D_b.
 func Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time {
-	b := info.B
-	// Line 1: the q computations themselves.
-	d := curves.MulSat(b.TotalWCET(), q)
-	// Line 2: self-interference of additional activations, asynchronous
-	// target chains only.
-	if effectiveKind(b) == model.Asynchronous {
-		if extra := b.Activation.EtaPlus(w) - q; extra > 0 {
-			d = curves.AddSat(d, curves.MulSat(info.SelfHeader().Cost(), extra))
-		}
+	return policy.Default().Demand(info, q, w, excludeOverload)
+}
+
+// analyzerFor resolves the options' scheduling policy to its analysis
+// face; simulation-only policies yield an error wrapping
+// policy.ErrUnsupported.
+func analyzerFor(opts Options) (policy.Analyzer, error) {
+	pol, err := policy.AnalyzerFor(opts.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("latency: %w", err)
 	}
-	// Line 3: arbitrarily interfering chains.
-	for _, a := range info.Interfering {
-		if excludeOverload && a.Overload {
-			continue
-		}
-		d = curves.AddSat(d, curves.MulSat(a.TotalWCET(), a.Activation.EtaPlus(w)))
-	}
-	for _, a := range info.Deferred {
-		if effectiveKind(a) == model.Asynchronous {
-			// Line 4: deferred asynchronous chains — arbitrarily many
-			// backlogged instances may execute the header segment, plus
-			// one instance per further segment.
-			d = curves.AddSat(d, curves.MulSat(info.HeaderSegment(a).Cost(), a.Activation.EtaPlus(w)))
-			for _, s := range info.Segments(a) {
-				d = curves.AddSat(d, s.Cost())
-			}
-		} else {
-			// Line 5: deferred synchronous chains — one instance, one
-			// (critical) segment.
-			if excludeOverload && a.Overload {
-				continue
-			}
-			d = curves.AddSat(d, info.CriticalSegment(a).Cost())
-		}
-	}
-	return d
+	return pol, nil
 }
 
 // BusyTime computes B_b(q) of Theorem 1 as the least fixed point of
@@ -214,6 +195,10 @@ const cancelCheckEvery = 1024
 // Demand evaluations spent.
 func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curves.Time, opts Options) (curves.Time, int64, error) {
 	opts = opts.withDefaults()
+	pol, err := analyzerFor(opts)
+	if err != nil {
+		return 0, 0, err
+	}
 	// Fault-injection seam: once per fixed-point evaluation, before the
 	// iteration starts. A budget fault reports divergence — the trigger
 	// the degradation ladder turns into TrivialResult.
@@ -233,7 +218,7 @@ func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curve
 				return 0, int64(i), fmt.Errorf("latency: %s: B(%d) canceled: %w", info.B.Name, q, err)
 			}
 		}
-		next := Demand(info, q, w, opts.ExcludeOverload)
+		next := pol.Demand(info, q, w, opts.ExcludeOverload)
 		if opts.Trace != nil {
 			fmt.Fprintf(opts.Trace, "latency: %s B(%d) iteration %d: %d → %d\n",
 				info.B.Name, q, i, w, next)
@@ -251,9 +236,10 @@ func busyTimeFrom(ctx context.Context, info *segments.Info, q int64, start curve
 		info.B.Name, q, opts.MaxIterations, ErrDiverged)
 }
 
-// Analyze runs the full §IV analysis for target chain b of sys.
+// Analyze runs the full §IV analysis for target chain b of sys, on the
+// interference structure of the options' scheduling policy.
 func Analyze(sys *model.System, b *model.Chain, opts Options) (*Result, error) {
-	return AnalyzeInfo(segments.Analyze(sys, b), opts)
+	return AnalyzeCtx(context.Background(), sys, b, opts)
 }
 
 // AnalyzeCtx is Analyze with cooperative cancellation: the busy-window
@@ -261,7 +247,11 @@ func Analyze(sys *model.System, b *model.Chain, opts Options) (*Result, error) {
 // iterations, returning an error wrapping ctx.Err() when the context is
 // done.
 func AnalyzeCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options) (*Result, error) {
-	return AnalyzeInfoCtx(ctx, segments.Analyze(sys, b), opts)
+	pol, err := analyzerFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeInfoCtx(ctx, pol.Structure(sys, b, false), opts)
 }
 
 // AnalyzeInfo is Analyze on a precomputed segment structure, which may
@@ -341,11 +331,20 @@ func AnalyzeInfoCtx(ctx context.Context, info *segments.Info, opts Options) (*Re
 // (TestWarmSeedsPreserveFixedPoints pins this).
 func AnalyzeInfoWarmCtx(ctx context.Context, info *segments.Info, opts Options, seeds []curves.Time) (*Result, error) {
 	opts = opts.withDefaults()
+	pol, perr := analyzerFor(opts)
+	if perr != nil {
+		return nil, perr
+	}
 	res, err := analyzeExact(ctx, info, opts, seeds)
 	if err != nil && opts.Degrade.Allow {
 		if budget, ok := degradableBudget(err); ok {
-			return TrivialResult(info, budget), nil
+			triv := TrivialResult(info, budget)
+			triv.Policy = pol.Name()
+			return triv, nil
 		}
+	}
+	if res != nil {
+		res.Policy = pol.Name()
 	}
 	return res, err
 }

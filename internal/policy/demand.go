@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// effectiveKind returns the chain kind used by the analysis: overload
+// chains are treated as synchronous, which the paper argues is without
+// loss of generality because at most one activation of an overload
+// chain falls into any busy window (§V).
+func effectiveKind(c *model.Chain) model.Kind {
+	if c.Overload {
+		return model.Synchronous
+	}
+	return c.Kind
+}
+
+// sppDemand is the right-hand side of Theorem 1's Equation (1)
+// evaluated at window length w: the maximum processor demand that
+// competes with q instances of the target chain inside a window of
+// length w under preemptive SPP. The busy time B_b(q) is the least
+// fixed point w = sppDemand(w). On a flat Info (segments.AnalyzeFlat)
+// the Deferred terms vanish and this degenerates to the
+// whole-busy-period demand Σ_a η⁺_a(w)·C_a — the policy-agnostic bound
+// the non-SPP analyzable policies build on.
+//
+// With excludeOverload, overload chains are dropped from the
+// arbitrarily-interfering and deferred-synchronous terms — which, since
+// overload chains are normalized to synchronous, removes them entirely.
+// This is exactly the L_b(q) shape of Equation (4) when w is fixed to
+// δ-_b(q) + D_b.
+func sppDemand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time {
+	b := info.B
+	// Line 1: the q computations themselves.
+	d := curves.MulSat(b.TotalWCET(), q)
+	// Line 2: self-interference of additional activations, asynchronous
+	// target chains only.
+	if effectiveKind(b) == model.Asynchronous {
+		if extra := b.Activation.EtaPlus(w) - q; extra > 0 {
+			d = curves.AddSat(d, curves.MulSat(info.SelfHeader().Cost(), extra))
+		}
+	}
+	// Line 3: arbitrarily interfering chains.
+	for _, a := range info.Interfering {
+		if excludeOverload && a.Overload {
+			continue
+		}
+		d = curves.AddSat(d, curves.MulSat(a.TotalWCET(), a.Activation.EtaPlus(w)))
+	}
+	for _, a := range info.Deferred {
+		if effectiveKind(a) == model.Asynchronous {
+			// Line 4: deferred asynchronous chains — arbitrarily many
+			// backlogged instances may execute the header segment, plus
+			// one instance per further segment.
+			d = curves.AddSat(d, curves.MulSat(info.HeaderSegment(a).Cost(), a.Activation.EtaPlus(w)))
+			for _, s := range info.Segments(a) {
+				d = curves.AddSat(d, s.Cost())
+			}
+		} else {
+			// Line 5: deferred synchronous chains — one instance, one
+			// (critical) segment.
+			if excludeOverload && a.Overload {
+				continue
+			}
+			d = curves.AddSat(d, info.CriticalSegment(a).Cost())
+		}
+	}
+	return d
+}
+
+// blockingTerm is the non-preemptive safety margin: the largest single
+// WCET among tasks of chains other than the target. The whole-busy-
+// period demand is already sound for any work-conserving policy (the
+// window opens at an idle instant), so this term is deliberate extra
+// headroom matching the classical NP-SPP blocking shape — a committed
+// job of any other chain may delay the window-opening instant by at
+// most one WCET. With excludeOverload, overload chains cannot activate
+// and so cannot block.
+func blockingTerm(info *segments.Info, excludeOverload bool) curves.Time {
+	var block curves.Time
+	scan := func(a *model.Chain) {
+		if excludeOverload && a.Overload {
+			return
+		}
+		for _, t := range a.Tasks {
+			if t.WCET > block {
+				block = t.WCET
+			}
+		}
+	}
+	for _, a := range info.Interfering {
+		scan(a)
+	}
+	for _, a := range info.Deferred {
+		scan(a)
+	}
+	return block
+}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// edfPolicy is preemptive earliest-deadline-first on absolute
+// end-to-end deadlines: every job of a chain instance inherits the
+// instance's absolute deadline (activation + relative deadline).
+// Deadline-ordered execution breaks the SPP segment argument just as
+// the loss of preemption does, so the analysis runs on the flat
+// whole-busy-period structure, which is policy-agnostic among
+// work-conserving schedulers.
+type edfPolicy struct{}
+
+func (edfPolicy) Name() string     { return EDF }
+func (edfPolicy) Analyzable() bool { return true }
+
+func (edfPolicy) Structure(sys *model.System, b *model.Chain, flat bool) *segments.Info {
+	return segments.AnalyzeFlat(sys, b)
+}
+
+func (edfPolicy) Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time {
+	return sppDemand(info, q, w, excludeOverload)
+}
+
+func (edfPolicy) NewScheduler(sys *model.System, rng Rand) Scheduler {
+	return edfScheduler{}
+}
+
+// edfRelativeDeadline is the relative deadline EDF orders by: the
+// chain's end-to-end deadline when it has one, its minimum
+// inter-arrival distance (the implicit-deadline convention) otherwise,
+// and — for chains with neither — effectively never urgent.
+func edfRelativeDeadline(c *model.Chain) curves.Time {
+	if c.Deadline > 0 {
+		return c.Deadline
+	}
+	if d := c.Activation.DeltaMin(2); d > 0 {
+		return d
+	}
+	return curves.Infinity
+}
+
+// edfScheduler ranks by absolute deadline, breaking ties by the SPP
+// priority (higher priority first) so equal-deadline order stays
+// deterministic, then FIFO via the engine.
+type edfScheduler struct{}
+
+func (edfScheduler) Rank(j JobRef) (int64, int64) {
+	due := curves.AddSat(j.Activation, edfRelativeDeadline(j.Chain))
+	return int64(due), -int64(j.Chain.Tasks[j.TaskIdx].Priority)
+}
+func (edfScheduler) Preemptive() bool                { return true }
+func (edfScheduler) InstanceDone(*model.Chain, bool) {}

@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"repro/internal/model"
+)
+
+// jclClasses is the number of job classes: a chain's class is its
+// recent consecutive deadline-hit streak clamped to jclClasses-1.
+const jclClasses = 4
+
+// jclPolicy is job-class-level scheduling after Choi, Kim and Zhu
+// (see SNIPPETS.md): jobs are divided into classes by the length of
+// their chain's most recent consecutive deadline-hit streak, and the
+// classes carry fixed priorities — a chain that just missed (streak 0,
+// class 0) is boosted above every chain with a longer hit streak, which
+// trades isolated misses for protection against consecutive ones.
+// Within a class, the SPP priorities order jobs; remaining ties are
+// broken randomly from the run's seeded source.
+//
+// JCL is simulation-only: its priorities depend on the runtime miss
+// history, which the busy-window analysis cannot enumerate, so no
+// Analyzer face exists and AnalyzerFor rejects it with ErrUnsupported.
+type jclPolicy struct{}
+
+func (jclPolicy) Name() string     { return JCL }
+func (jclPolicy) Analyzable() bool { return false }
+
+func (jclPolicy) NewScheduler(sys *model.System, rng Rand) Scheduler {
+	lo, hi := priorityRange(sys)
+	return &jclScheduler{
+		rng:    rng,
+		hi:     int64(hi),
+		band:   int64(hi-lo) + 1,
+		streak: make(map[string]int64),
+	}
+}
+
+// priorityRange returns the smallest and largest task priority in the
+// system (0, 0 for an empty system).
+func priorityRange(sys *model.System) (lo, hi int) {
+	first := true
+	for _, c := range sys.Chains {
+		for _, t := range c.Tasks {
+			if first || t.Priority < lo {
+				lo = t.Priority
+			}
+			if first || t.Priority > hi {
+				hi = t.Priority
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// jclScheduler holds the per-run hit-streak state. All randomness comes
+// from rng — the run's seeded source handed over by NewScheduler — so
+// two runs with the same seed schedule identically.
+type jclScheduler struct {
+	rng    Rand
+	hi     int64 // largest SPP priority, for the within-class rank
+	band   int64 // priority span, so classes never interleave
+	streak map[string]int64
+}
+
+// class is the job class of chain c at release time: the hit streak
+// clamped to the top class. Class 0 (a fresh miss) ranks first.
+func (s *jclScheduler) class(c *model.Chain) int64 {
+	cl := s.streak[c.Name]
+	if cl > jclClasses-1 {
+		cl = jclClasses - 1
+	}
+	return cl
+}
+
+func (s *jclScheduler) Rank(j JobRef) (int64, int64) {
+	within := s.hi - int64(j.Chain.Tasks[j.TaskIdx].Priority) // [0, band)
+	return s.class(j.Chain)*s.band + within, s.rng.Int63()
+}
+
+func (s *jclScheduler) Preemptive() bool { return true }
+
+func (s *jclScheduler) InstanceDone(c *model.Chain, hit bool) {
+	if hit {
+		s.streak[c.Name]++
+		return
+	}
+	s.streak[c.Name] = 0
+}
+
+// compile-time interface checks: the three analyzable policies carry
+// both faces, JCL only the simulation face.
+var (
+	_ Analyzer  = sppPolicy{}
+	_ Analyzer  = npsppPolicy{}
+	_ Analyzer  = edfPolicy{}
+	_ Simulator = sppPolicy{}
+	_ Simulator = npsppPolicy{}
+	_ Simulator = edfPolicy{}
+	_ Simulator = jclPolicy{}
+	_ Scheduler = (*jclScheduler)(nil)
+)

@@ -1,0 +1,45 @@
+package policy
+
+import (
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// npsppPolicy is non-preemptive static-priority scheduling: jobs are
+// selected by the SPP priority order, but a selected job runs to
+// completion. The SPP per-segment interference argument does not
+// survive the loss of preemption (see the package comment), so the
+// analysis runs on the flat whole-busy-period structure with an
+// explicit blocking term.
+type npsppPolicy struct{}
+
+func (npsppPolicy) Name() string     { return NPSPP }
+func (npsppPolicy) Analyzable() bool { return true }
+
+// Structure always returns the flat abstraction: the per-segment
+// deferred/interfering classification is an SPP theorem and must not be
+// consumed by the non-preemptive demand.
+func (npsppPolicy) Structure(sys *model.System, b *model.Chain, flat bool) *segments.Info {
+	return segments.AnalyzeFlat(sys, b)
+}
+
+// Demand is the whole-busy-period demand (sound for any
+// work-conserving policy) plus one largest foreign WCET of blocking
+// headroom; see blockingTerm.
+func (npsppPolicy) Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time {
+	return curves.AddSat(sppDemand(info, q, w, excludeOverload), blockingTerm(info, excludeOverload))
+}
+
+func (npsppPolicy) NewScheduler(sys *model.System, rng Rand) Scheduler {
+	return npsppScheduler{}
+}
+
+// npsppScheduler selects like SPP but never preempts.
+type npsppScheduler struct{}
+
+func (npsppScheduler) Rank(j JobRef) (int64, int64) {
+	return -int64(j.Chain.Tasks[j.TaskIdx].Priority), 0
+}
+func (npsppScheduler) Preemptive() bool                { return false }
+func (npsppScheduler) InstanceDone(*model.Chain, bool) {}

@@ -1,0 +1,198 @@
+// Package policy makes the scheduling policy a first-class, swappable
+// component of the analysis and simulation pipeline. Every layer above
+// it — the busy-window fixed point of internal/latency, the TWCA
+// combination analysis of internal/twca, the discrete-event simulator
+// of internal/sim — consumes the policy through the interfaces here
+// instead of hard-coding the paper's uniprocessor Static Priority
+// Preemptive (SPP) assumption.
+//
+// Four policies are registered:
+//
+//   - "spp": preemptive static-priority (the paper's model). Analyzable
+//     with the full §IV segment structure; the default everywhere.
+//   - "np-spp": non-preemptive static-priority. Analyzable on the flat
+//     whole-busy-period abstraction plus a blocking term.
+//   - "edf": preemptive earliest-deadline-first on absolute end-to-end
+//     deadlines. Analyzable on the flat whole-busy-period abstraction.
+//   - "jcl": job-class-level scheduling (Choi, Kim, Zhu): per-job-class
+//     fixed priorities keyed on the chain's most recent consecutive
+//     deadline-hit streak. Simulation-only — no analysis is implemented
+//     for it, and AnalyzerFor rejects it with ErrUnsupported.
+//
+// Why the non-SPP analyzable policies use the flat structure: the
+// paper's per-segment interference argument (Def. 2–8) leans on SPP
+// preemption — a deferred chain's follow-on segments cannot run inside
+// the busy window because the window executes at a higher priority.
+// Under non-preemptive or deadline-ordered scheduling that argument
+// breaks (a committed lower-priority job finishes inside the window and
+// unblocks follow-on segments), so those policies fall back to the
+// whole-busy-period demand of segments.AnalyzeFlat: the window starts
+// at a processor-idle instant and every job executed inside it arrived
+// inside it, so charging each chain η⁺(w) full WCETs is sound for ANY
+// work-conserving uniprocessor policy. It is more pessimistic than the
+// SPP segment analysis — that is the price of generality, not a bug.
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// Registered policy names. The empty string is canonicalized to SPP so
+// the zero value of every option surface keeps today's behavior.
+const (
+	SPP   = "spp"
+	NPSPP = "np-spp"
+	EDF   = "edf"
+	JCL   = "jcl"
+)
+
+// ErrUnsupported is wrapped by errors reporting that a registered
+// policy cannot serve the requested operation — today, an analysis
+// (latency, TWCA, sensitivity) of a simulation-only policy such as
+// "jcl". The facade re-exports it as repro.ErrPolicyUnsupported and the
+// analysis service maps it to HTTP 422.
+var ErrUnsupported = errors.New("policy: scheduling policy does not support this operation")
+
+// Policy is the common surface of every registered scheduling policy.
+type Policy interface {
+	// Name returns the canonical registry name ("spp", "np-spp", ...).
+	Name() string
+	// Analyzable reports whether the busy-window/TWCA analysis stack can
+	// bound this policy. Simulation-only policies return false and are
+	// rejected by AnalyzerFor.
+	Analyzable() bool
+}
+
+// Analyzer is the analysis face of a policy: the interference structure
+// and busy-window demand the fixed-point driver of internal/latency
+// iterates. Implementations must be pure functions of their arguments —
+// the analysis packages are under the determinism lint contract.
+type Analyzer interface {
+	Policy
+	// Structure classifies the interference the other chains of sys
+	// impose on target chain b, as consumed by Demand. flat requests the
+	// structure-blind baseline abstraction; policies whose demand
+	// argument needs the flat view (every non-SPP policy) ignore the
+	// flag and always return it.
+	Structure(sys *model.System, b *model.Chain, flat bool) *segments.Info
+	// Demand evaluates the right-hand side of the busy-window fixed
+	// point at window length w for q instances of the target chain: the
+	// maximum competing processor demand under this policy. info must
+	// come from this policy's Structure. With excludeOverload, overload
+	// chains are dropped (the L_b(q) shape of Eq. (4)).
+	Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time
+}
+
+// Simulator is the dispatch face of a policy: a factory for the
+// per-run scheduler state the discrete-event engine consults.
+type Simulator interface {
+	Policy
+	// NewScheduler returns fresh scheduler state for one simulation run.
+	// rng is the run's seeded source (sim.Config.Seed); schedulers that
+	// randomize (JCL tie-breaking) must draw from it, never from the
+	// math/rand global, so runs stay reproducible per seed.
+	NewScheduler(sys *model.System, rng Rand) Scheduler
+}
+
+// Rand is the slice of *math/rand.Rand the schedulers draw from; an
+// interface so policy stays decoupled from how the engine seeds it.
+type Rand interface {
+	Int63() int64
+}
+
+// JobRef identifies one released job to Rank: the task within its
+// chain, and the activation time of the chain instance it belongs to.
+type JobRef struct {
+	Chain      *model.Chain
+	TaskIdx    int
+	Activation curves.Time
+}
+
+// Scheduler is per-run policy state. The engine calls Rank once per job
+// release and orders its ready queue by ascending (rank, tie), FIFO
+// (release order) within equal pairs.
+type Scheduler interface {
+	// Rank returns the job's scheduling rank: lower runs first. tie
+	// breaks equal ranks (lower first) before the engine's FIFO order.
+	Rank(j JobRef) (rank, tie int64)
+	// Preemptive reports whether a newly ranked job may preempt the
+	// running one. Non-preemptive schedulers commit the selected job to
+	// completion.
+	Preemptive() bool
+	// InstanceDone notifies the scheduler that one end-to-end instance
+	// of chain c finished (hit = it met its deadline; chains without a
+	// deadline always hit). Aborted instances report hit = false.
+	// Stateless policies ignore it; JCL updates its hit streaks.
+	InstanceDone(c *model.Chain, hit bool)
+}
+
+// registry holds the implementations; keyed lookups only — callers
+// enumerate through Names, which is a pinned sorted list, so iteration
+// order never leaks into output.
+var registry = map[string]Policy{
+	SPP:   sppPolicy{},
+	NPSPP: npsppPolicy{},
+	EDF:   edfPolicy{},
+	JCL:   jclPolicy{},
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string { return []string{EDF, JCL, NPSPP, SPP} }
+
+// Canonical maps an option-surface policy name to its registry name:
+// the empty string (every zero-value option struct) means SPP.
+func Canonical(name string) string {
+	if name == "" {
+		return SPP
+	}
+	return name
+}
+
+// ByName resolves a policy by option-surface name ("" selects SPP).
+// Unknown names are plain errors — option validation rejects them
+// before any analysis or simulation starts.
+func ByName(name string) (Policy, error) {
+	p, ok := registry[Canonical(name)]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown scheduling policy %q (known: edf, jcl, np-spp, spp)", name)
+	}
+	return p, nil
+}
+
+// AnalyzerFor resolves the analysis face of the named policy. A
+// registered but simulation-only policy yields an error wrapping
+// ErrUnsupported; an unknown name a plain error as in ByName.
+func AnalyzerFor(name string) (Analyzer, error) {
+	p, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := p.(Analyzer)
+	if !ok || !p.Analyzable() {
+		return nil, fmt.Errorf("policy: %q is simulation-only: %w", p.Name(), ErrUnsupported)
+	}
+	return a, nil
+}
+
+// SimulatorFor resolves the simulation face of the named policy. Every
+// registered policy simulates, so this fails only on unknown names.
+func SimulatorFor(name string) (Simulator, error) {
+	p, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := p.(Simulator)
+	if !ok {
+		return nil, fmt.Errorf("policy: %q cannot be simulated: %w", p.Name(), ErrUnsupported)
+	}
+	return s, nil
+}
+
+// Default returns the SPP analyzer — the policy every zero-value option
+// surface selects, and the delegate behind latency.Demand.
+func Default() Analyzer { return sppPolicy{} }

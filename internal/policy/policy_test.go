@@ -1,0 +1,277 @@
+package policy_test
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/casestudy"
+	"repro/internal/curves"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/segments"
+)
+
+func TestRegistry(t *testing.T) {
+	names := policy.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() = %v, not sorted", names)
+	}
+	want := []string{policy.EDF, policy.JCL, policy.NPSPP, policy.SPP}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, n := range names {
+		p, err := policy.ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("ByName(%q).Name() = %q", n, p.Name())
+		}
+		if _, err := policy.SimulatorFor(n); err != nil {
+			t.Errorf("SimulatorFor(%q): %v (every policy simulates)", n, err)
+		}
+	}
+	if p, err := policy.ByName(""); err != nil || p.Name() != policy.SPP {
+		t.Errorf(`ByName("") = %v, %v; want spp`, p, err)
+	}
+	if got := policy.Canonical(""); got != policy.SPP {
+		t.Errorf(`Canonical("") = %q, want %q`, got, policy.SPP)
+	}
+	if _, err := policy.ByName("fifo"); err == nil {
+		t.Error(`ByName("fifo") succeeded, want unknown-policy error`)
+	}
+}
+
+func TestAnalyzerForRejectsSimOnly(t *testing.T) {
+	if _, err := policy.AnalyzerFor(policy.JCL); !errors.Is(err, policy.ErrUnsupported) {
+		t.Errorf("AnalyzerFor(jcl) error = %v, want ErrUnsupported", err)
+	}
+	for _, n := range []string{"", policy.SPP, policy.NPSPP, policy.EDF} {
+		if _, err := policy.AnalyzerFor(n); err != nil {
+			t.Errorf("AnalyzerFor(%q): %v", n, err)
+		}
+	}
+}
+
+// TestSPPDemandMatchesLatency pins the refactor's golden cross-check:
+// the SPP policy's Demand is the function the latency package exports,
+// point for point, on both the chain-aware and flat structures.
+func TestSPPDemandMatchesLatency(t *testing.T) {
+	sys := casestudy.New()
+	spp, err := policy.AnalyzerFor(policy.SPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sys.RegularChains() {
+		for _, flat := range []bool{false, true} {
+			info := spp.Structure(sys, c, flat)
+			var ref *segments.Info
+			if flat {
+				ref = segments.AnalyzeFlat(sys, c)
+			} else {
+				ref = segments.Analyze(sys, c)
+			}
+			for q := int64(1); q <= 3; q++ {
+				for w := curves.Time(0); w <= 2000; w += 137 {
+					for _, excl := range []bool{false, true} {
+						got := spp.Demand(info, q, w, excl)
+						want := latency.Demand(ref, q, w, excl)
+						if got != want {
+							t.Fatalf("%s flat=%v: Demand(q=%d, w=%d, excl=%v) = %d, want %d",
+								c.Name, flat, q, w, excl, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNPSPPDemandDominates pins the blocking term: the non-preemptive
+// bound is at least the preemptive one at every point, and strictly
+// larger somewhere (the case study has foreign tasks to block on).
+func TestNPSPPDemandDominates(t *testing.T) {
+	sys := casestudy.New()
+	spp, _ := policy.AnalyzerFor(policy.SPP)
+	np, _ := policy.AnalyzerFor(policy.NPSPP)
+	strict := false
+	for _, c := range sys.RegularChains() {
+		info := np.Structure(sys, c, false)
+		for q := int64(1); q <= 3; q++ {
+			for w := curves.Time(0); w <= 2000; w += 137 {
+				s := spp.Demand(info, q, w, true)
+				n := np.Demand(info, q, w, true)
+				if n < s {
+					t.Fatalf("%s: np-spp demand %d < spp demand %d at q=%d w=%d", c.Name, n, s, q, w)
+				}
+				if n > s {
+					strict = true
+				}
+			}
+		}
+	}
+	if !strict {
+		t.Error("np-spp demand never exceeded spp demand; blocking term lost")
+	}
+}
+
+// TestNonSPPStructureIsFlat pins the soundness argument: the analyzable
+// non-SPP policies must analyze on the flat whole-chain structure even
+// when the caller asked for the chain-aware one, because the per-segment
+// interference argument holds only under SPP.
+func TestNonSPPStructureIsFlat(t *testing.T) {
+	sys := casestudy.New()
+	c := sys.RegularChains()[0]
+	flat := segments.AnalyzeFlat(sys, c)
+	for _, name := range []string{policy.NPSPP, policy.EDF} {
+		pol, err := policy.AnalyzerFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := pol.Structure(sys, c, false)
+		if got, want := len(info.Interfering), len(flat.Interfering); got != want {
+			t.Errorf("%s: Structure(flat=false) has %d interfering chains, want %d (flat)", name, got, want)
+		}
+		if len(info.Deferred) != 0 {
+			t.Errorf("%s: Structure(flat=false) has %d deferred chains, want 0 (flat)", name, len(info.Deferred))
+		}
+	}
+}
+
+func schedulerFor(t *testing.T, name string, sys *model.System, seed int64) policy.Scheduler {
+	t.Helper()
+	pol, err := policy.SimulatorFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol.NewScheduler(sys, rand.New(rand.NewSource(seed)))
+}
+
+// jobAt builds a JobRef for the head task of the named chain.
+func jobAt(t *testing.T, sys *model.System, chain string, at curves.Time) policy.JobRef {
+	t.Helper()
+	c := sys.ChainByName(chain)
+	if c == nil {
+		t.Fatalf("no chain %q", chain)
+	}
+	return policy.JobRef{Chain: c, TaskIdx: 0, Activation: at}
+}
+
+// less reports whether job a outranks job b under the scheduler's
+// (rank, tie) order.
+func less(s policy.Scheduler, a, b policy.JobRef) bool {
+	ra, ta := s.Rank(a)
+	rb, tb := s.Rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return ta < tb
+}
+
+func TestSPPSchedulerRanksByPriority(t *testing.T) {
+	sys := casestudy.New()
+	s := schedulerFor(t, policy.SPP, sys, 1)
+	if !s.Preemptive() {
+		t.Error("spp scheduler is not preemptive")
+	}
+	// In the case study, sigma_d's head task outranks sigma_a's.
+	hi := jobAt(t, sys, "sigma_d", 0)
+	lo := jobAt(t, sys, "sigma_a", 0)
+	if hp, lp := hi.Chain.Tasks[0].Priority, lo.Chain.Tasks[0].Priority; hp <= lp {
+		t.Fatalf("fixture assumption broken: sigma_a prio %d <= sigma_d prio %d", hp, lp)
+	}
+	if !less(s, hi, lo) {
+		t.Error("higher-priority job does not rank first under spp")
+	}
+}
+
+func TestNPSPPSchedulerIsNonPreemptive(t *testing.T) {
+	sys := casestudy.New()
+	s := schedulerFor(t, policy.NPSPP, sys, 1)
+	if s.Preemptive() {
+		t.Error("np-spp scheduler reports preemptive")
+	}
+	// Ranking still follows priority, as under SPP.
+	if !less(s, jobAt(t, sys, "sigma_d", 0), jobAt(t, sys, "sigma_a", 0)) {
+		t.Error("np-spp ranking does not follow priority")
+	}
+}
+
+func TestEDFSchedulerRanksByAbsoluteDeadline(t *testing.T) {
+	sys := casestudy.New()
+	s := schedulerFor(t, policy.EDF, sys, 1)
+	if !s.Preemptive() {
+		t.Error("edf scheduler is not preemptive")
+	}
+	// Same chain, earlier activation ⇒ earlier absolute deadline.
+	early := jobAt(t, sys, "sigma_c", 0)
+	late := jobAt(t, sys, "sigma_c", 500)
+	if !less(s, early, late) {
+		t.Error("earlier activation does not rank first under edf")
+	}
+	// A late activation of a tight-deadline chain can be overtaken by an
+	// earlier activation of a lax one; sanity-check monotonicity instead
+	// of a fixture-specific pair: ranks grow with activation.
+	r0, _ := s.Rank(early)
+	r1, _ := s.Rank(late)
+	if r1 <= r0 {
+		t.Errorf("edf rank not increasing in activation: %d then %d", r0, r1)
+	}
+}
+
+func TestJCLSchedulerStreakBoost(t *testing.T) {
+	sys := casestudy.New()
+	s := schedulerFor(t, policy.JCL, sys, 7)
+	if !s.Preemptive() {
+		t.Error("jcl scheduler is not preemptive")
+	}
+	hi := sys.ChainByName("sigma_d") // higher head-task priority
+	lo := sys.ChainByName("sigma_a")
+	jhi := policy.JobRef{Chain: hi, TaskIdx: 0}
+	jlo := policy.JobRef{Chain: lo, TaskIdx: 0}
+	// Fresh state: both chains are class 0; priority breaks the tie.
+	if !less(s, jhi, jlo) {
+		t.Fatal("fresh jcl state does not fall back to priority order")
+	}
+	// Three hits promote the high-priority chain to the top class; the
+	// low-priority one, fresh from a miss, stays in class 0 and now
+	// ranks first despite its lower priority.
+	for i := 0; i < 3; i++ {
+		s.InstanceDone(hi, true)
+	}
+	s.InstanceDone(lo, false)
+	if !less(s, jlo, jhi) {
+		t.Error("missing chain does not outrank a streaking one under jcl")
+	}
+	// A miss resets the streak: back to class 0, priority wins again.
+	s.InstanceDone(hi, false)
+	if !less(s, jhi, jlo) {
+		t.Error("miss did not reset the jcl streak")
+	}
+}
+
+// TestJCLSchedulerTieBreakIsSeeded pins that the only randomness is the
+// injected source: same seed, same ranks; different seed, different
+// tie-breaks (with overwhelming probability).
+func TestJCLSchedulerTieBreakIsSeeded(t *testing.T) {
+	sys := casestudy.New()
+	j := jobAt(t, sys, "sigma_c", 0)
+	_, t1 := schedulerFor(t, policy.JCL, sys, 42).Rank(j)
+	_, t2 := schedulerFor(t, policy.JCL, sys, 42).Rank(j)
+	_, t3 := schedulerFor(t, policy.JCL, sys, 43).Rank(j)
+	if t1 != t2 {
+		t.Errorf("same seed, different jcl tie-breaks: %d vs %d", t1, t2)
+	}
+	if t1 == t3 {
+		t.Errorf("different seeds, same jcl tie-break %d (suspicious)", t1)
+	}
+}

@@ -1,0 +1,43 @@
+package policy
+
+import (
+	"repro/internal/curves"
+	"repro/internal/model"
+	"repro/internal/segments"
+)
+
+// sppPolicy is the paper's model: uniprocessor static-priority
+// preemptive scheduling with unique task priorities. It is the policy
+// every empty option surface selects, and the only one whose analysis
+// may use the full §IV segment structure.
+type sppPolicy struct{}
+
+func (sppPolicy) Name() string     { return SPP }
+func (sppPolicy) Analyzable() bool { return true }
+
+func (sppPolicy) Structure(sys *model.System, b *model.Chain, flat bool) *segments.Info {
+	if flat {
+		return segments.AnalyzeFlat(sys, b)
+	}
+	return segments.Analyze(sys, b)
+}
+
+func (sppPolicy) Demand(info *segments.Info, q int64, w curves.Time, excludeOverload bool) curves.Time {
+	return sppDemand(info, q, w, excludeOverload)
+}
+
+func (sppPolicy) NewScheduler(sys *model.System, rng Rand) Scheduler {
+	return sppScheduler{}
+}
+
+// sppScheduler ranks by fixed task priority: higher model priority runs
+// first, so the rank is the negated priority (lower rank first). Ties
+// (same task, unique system priorities) fall through to the engine's
+// FIFO order — byte-identical to the pre-policy engine.
+type sppScheduler struct{}
+
+func (sppScheduler) Rank(j JobRef) (int64, int64) {
+	return -int64(j.Chain.Tasks[j.TaskIdx].Priority), 0
+}
+func (sppScheduler) Preemptive() bool                { return true }
+func (sppScheduler) InstanceDone(*model.Chain, bool) {}

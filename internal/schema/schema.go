@@ -16,12 +16,20 @@ import (
 
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/policy"
 	"repro/internal/sensitivity"
 	"repro/internal/twca"
 )
 
 // Version is the current schema_version stamped into every document.
-const Version = 1
+//
+// Version history:
+//   - 1: initial format.
+//   - 2: adds "policy" (the canonical scheduling-policy name) to
+//     Latency, Analysis and Sensitivity. Readers of version-1 documents
+//     should treat an absent policy as "spp" — the only policy version 1
+//     could describe.
+const Version = 2
 
 // DMMPoint is one dmm(k) evaluation.
 type DMMPoint struct {
@@ -52,8 +60,12 @@ type DMMPoint struct {
 
 // Latency is the wire form of a §IV worst-case latency analysis.
 type Latency struct {
-	SchemaVersion   int     `json:"schema_version"`
-	Chain           string  `json:"chain"`
+	SchemaVersion int    `json:"schema_version"`
+	Chain         string `json:"chain"`
+	// Policy is the canonical scheduling-policy name the analysis ran
+	// under ("spp", "np-spp", "edf"). Absent in version-1 documents,
+	// which are always "spp".
+	Policy          string  `json:"policy"`
 	K               int64   `json:"busy_window_k"`
 	BusyTimes       []int64 `json:"busy_times"`
 	WCL             int64   `json:"wcl"`
@@ -71,8 +83,10 @@ type Latency struct {
 // Analysis is the wire form of a §V deadline-miss-model analysis of one
 // chain, with the dmm(k) evaluations the caller asked for.
 type Analysis struct {
-	SchemaVersion      int    `json:"schema_version"`
-	Chain              string `json:"chain"`
+	SchemaVersion int    `json:"schema_version"`
+	Chain         string `json:"chain"`
+	// Policy is the canonical scheduling-policy name; see Latency.Policy.
+	Policy             string `json:"policy"`
 	Deadline           int64  `json:"deadline"`
 	WCL                int64  `json:"wcl"`
 	Schedulable        bool   `json:"schedulable"`
@@ -137,8 +151,10 @@ type FrontierPoint struct {
 type Sensitivity struct {
 	SchemaVersion int    `json:"schema_version"`
 	Chain         string `json:"chain"`
-	M             int64  `json:"m"`
-	K             int64  `json:"k"`
+	// Policy is the canonical scheduling-policy name; see Latency.Policy.
+	Policy string `json:"policy"`
+	M      int64  `json:"m"`
+	K      int64  `json:"k"`
 	// NominalDMM is dmm(k) of the unperturbed system (≤ m, or the query
 	// would have failed as infeasible).
 	NominalDMM int64 `json:"nominal_dmm"`
@@ -164,6 +180,7 @@ func FromSensitivity(r *sensitivity.Result) Sensitivity {
 	out := Sensitivity{
 		SchemaVersion:  Version,
 		Chain:          r.Chain,
+		Policy:         policy.Canonical(r.Policy),
 		M:              r.Constraint.M,
 		K:              r.Constraint.K,
 		NominalDMM:     r.NominalDMM,
@@ -217,6 +234,7 @@ func FromLatency(r *latency.Result) Latency {
 	out := Latency{
 		SchemaVersion:   Version,
 		Chain:           r.Chain.Name,
+		Policy:          policy.Canonical(r.Policy),
 		K:               r.K,
 		WCL:             int64(r.WCL),
 		BCL:             int64(r.BCL),
@@ -270,6 +288,7 @@ func FromAnalysisStats(ctx context.Context, an *twca.Analysis, ks []int64, break
 	out := Analysis{
 		SchemaVersion:      Version,
 		Chain:              an.Target.Name,
+		Policy:             policy.Canonical(an.Latency.Policy),
 		Deadline:           int64(an.Target.Deadline),
 		WCL:                int64(an.Latency.WCL),
 		Schedulable:        an.Latency.Schedulable,
@@ -327,7 +346,8 @@ func FromSystem(ctx context.Context, sys *model.System, opts twca.Options, ks []
 				return Report{}, err // cancellation fails the report, not the chain
 			}
 			rep.Chains = append(rep.Chains, Analysis{
-				SchemaVersion: Version, Chain: c.Name, Deadline: int64(c.Deadline), Error: err.Error(),
+				SchemaVersion: Version, Chain: c.Name, Policy: opts.PolicyName(),
+				Deadline: int64(c.Deadline), Error: err.Error(),
 			})
 			continue
 		}

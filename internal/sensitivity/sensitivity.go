@@ -210,6 +210,9 @@ type FrontierPoint struct {
 type Result struct {
 	Chain      string
 	Constraint weaklyhard.Constraint
+	// Policy is the canonical scheduling-policy name every probe was
+	// analyzed under (the query's twca.Options resolve to exactly one).
+	Policy string
 	// NominalDMM is dmm(k) on the unperturbed system (≤ m, or the query
 	// would have failed with ErrInfeasibleConstraint).
 	NominalDMM int64
@@ -318,6 +321,7 @@ func (e Engine) Query(ctx context.Context, sys *model.System, chain string, aopt
 	res := &Result{
 		Chain:      chain,
 		Constraint: opts.Constraint,
+		Policy:     aopts.PolicyName(),
 		NominalDMM: nominal.Value,
 		ScaleDenom: opts.ScaleDenom,
 	}

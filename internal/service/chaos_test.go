@@ -337,3 +337,105 @@ func TestChaosSuite(t *testing.T) {
 		t.Error("metrics lack twca_breaker_trips_total")
 	}
 }
+
+// TestChaosPerPolicy runs one injected-fault round per analyzable
+// scheduling policy: under budget exhaustion and injected errors, a 200
+// answer must never report a bound below that policy's own exact value
+// (wrong-side), and anything tagged "exact" must BE that policy's exact
+// value. The simulation-only jcl policy must keep answering 422, faults
+// or not. Arms the process-global harness: no t.Parallel().
+func TestChaosPerPolicy(t *testing.T) {
+	defer faultinject.Disarm()
+	faultinject.Disarm()
+
+	sys := casestudy.New()
+	ctx := context.Background()
+	ks := []int64{1, 10, 100}
+
+	// Per-policy ground truth before any fault is armed. The truths
+	// differ between policies (np-spp and edf analyze on the flat
+	// structure, np-spp adds blocking), so each round checks against its
+	// own column.
+	policies := []string{"spp", "np-spp", "edf"}
+	truths := map[string]map[int64]int64{}
+	for _, pol := range policies {
+		an, err := repro.AnalysisRequest{System: sys, Chain: "sigma_c",
+			Options: repro.Options{Policy: pol}}.DMM(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths[pol] = map[int64]int64{}
+		for _, k := range ks {
+			r, err := an.DMMCtx(ctx, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truths[pol][k] = r.Value
+		}
+	}
+
+	_, ts := newTestServer(t, Config{})
+	thales := thalesJSON(t)
+
+	if err := faultinject.Configure([]faultinject.Rule{
+		{Point: faultinject.PointILPBranch, Action: faultinject.ActionBudget, Every: 2, Seed: 31},
+		{Point: faultinject.PointBusyWindow, Action: faultinject.ActionBudget, Every: 3, Seed: 32},
+		{Point: faultinject.PointServiceCache, Action: faultinject.ActionError, Every: 5, Seed: 33},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pol := range policies {
+		// Vary MaxQ to spread fingerprints, as the main suite does: every
+		// value exceeds the case study's K_b, so results are unaffected.
+		for round, maxQ := range []int64{0, 2048, 1024} {
+			req := analyzeRequest{System: thales, Chain: "sigma_c", K: ks,
+				Options: reqOptions{Policy: pol, MaxQ: maxQ}}
+			status, doc, _ := postHdr(t, ts.URL+"/v1/analyze/dmm", req)
+			switch status {
+			case http.StatusOK:
+			case http.StatusInternalServerError:
+				if kind, _ := doc["kind"].(string); kind != "injected" && kind != "worker_panic" {
+					t.Errorf("%s round %d: 500 with kind %q, want injected", pol, round, kind)
+				}
+				continue
+			default:
+				t.Errorf("%s round %d: unexpected status %d (kind %v)", pol, round, status, doc["kind"])
+				continue
+			}
+			if got, _ := doc["policy"].(string); got != pol {
+				t.Errorf("%s round %d: response policy = %q", pol, round, got)
+			}
+			for _, p := range doc["dmm"].([]any) {
+				pt := p.(map[string]any)
+				k := int64(pt["k"].(float64))
+				v := int64(pt["dmm"].(float64))
+				exact := truths[pol][k]
+				switch q, _ := pt["quality"].(string); q {
+				case "exact":
+					if v != exact {
+						t.Errorf("%s round %d: dmm(%d) tagged exact = %d, truth %d", pol, round, k, v, exact)
+					}
+				case "safe-upper-bound", "trivial":
+					if v < exact {
+						t.Errorf("%s round %d: degraded dmm(%d) = %d undercuts exact %d (wrong-side bound)",
+							pol, round, k, v, exact)
+					}
+				default:
+					t.Errorf("%s round %d: dmm(%d) missing quality tag", pol, round, k)
+				}
+			}
+		}
+	}
+
+	// The jcl rejection path survived the fault rounds: once the faults
+	// are disarmed, the typed 422 is back verbatim (a round may also see
+	// it preempted by an injected cache fault, which is fine — the
+	// contract is that it never turns into a wrong-side 200).
+	faultinject.Disarm()
+	status, doc, _ := postHdr(t, ts.URL+"/v1/analyze/dmm",
+		analyzeRequest{System: thales, Chain: "sigma_c", K: ks, Options: reqOptions{Policy: "jcl"}})
+	if status != http.StatusUnprocessableEntity || doc["kind"] != "policy_unsupported" {
+		t.Errorf("jcl after fault rounds = (%d, kind %v), want (422, policy_unsupported)", status, doc["kind"])
+	}
+}

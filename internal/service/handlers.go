@@ -44,6 +44,11 @@ type reqOptions struct {
 	// over-approximation tagged "safe-upper-bound"/"trivial". By default
 	// the service degrades rather than 504s an analyzable system.
 	NoDegrade bool `json:"no_degrade,omitempty"`
+	// Policy selects the scheduling policy ("spp", "np-spp", "edf";
+	// absent or empty means "spp"). Simulation-only policies ("jcl")
+	// fail analysis requests with 422 policy_unsupported; unknown names
+	// are 400 invalid_options.
+	Policy string `json:"policy,omitempty"`
 }
 
 func (o reqOptions) latency() repro.LatencyOptions {
@@ -51,6 +56,7 @@ func (o reqOptions) latency() repro.LatencyOptions {
 		MaxQ:          o.MaxQ,
 		Horizon:       repro.Time(o.Horizon),
 		MaxIterations: o.MaxIterations,
+		Policy:        o.Policy,
 		Degrade:       repro.DegradePolicy{Allow: !o.NoDegrade},
 	}
 }
@@ -189,6 +195,8 @@ func classify(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "unschedulable"
 	case errors.Is(err, repro.ErrInfeasibleConstraint):
 		return http.StatusUnprocessableEntity, "infeasible_constraint"
+	case errors.Is(err, repro.ErrPolicyUnsupported):
+		return http.StatusUnprocessableEntity, "policy_unsupported"
 	case errors.Is(err, repro.ErrWorkerPanic):
 		return http.StatusInternalServerError, "worker_panic"
 	case errors.Is(err, faultinject.ErrInjected):

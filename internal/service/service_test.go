@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/casestudy"
+	"repro/internal/schema"
 )
 
 // thalesJSON returns the paper's case study in the native JSON format,
@@ -64,7 +65,7 @@ func TestDMMEndToEnd(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("status = %d, body %v", status, doc)
 	}
-	if doc["schema_version"].(float64) != 1 {
+	if doc["schema_version"].(float64) != schema.Version {
 		t.Errorf("schema_version = %v", doc["schema_version"])
 	}
 	if doc["cache"] != "miss" {
@@ -91,6 +92,30 @@ func TestDMMEndToEnd(t *testing.T) {
 		if !reflect.DeepEqual(doc[field], doc2[field]) {
 			t.Errorf("cache warmth leaked into %q: cold %v, warm %v", field, doc[field], doc2[field])
 		}
+	}
+}
+
+// TestPolicyOptionTravels pins the v2 policy plumbing: an absent policy
+// answers as "spp", an explicit np-spp both answers with its name and
+// gets its own cache entry (same system, different policy must not
+// share artifacts).
+func TestPolicyOptionTravels(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	thales := thalesJSON(t)
+
+	status, doc := post(t, ts.URL+"/v1/analyze/dmm",
+		analyzeRequest{System: thales, Chain: "sigma_c", K: []int64{1}})
+	if status != http.StatusOK || doc["policy"] != "spp" {
+		t.Fatalf("default = (%d, policy %v), want (200, spp)", status, doc["policy"])
+	}
+	status, doc = post(t, ts.URL+"/v1/analyze/dmm",
+		analyzeRequest{System: thales, Chain: "sigma_c", K: []int64{1},
+			Options: reqOptions{Policy: "np-spp"}})
+	if status != http.StatusOK || doc["policy"] != "np-spp" {
+		t.Fatalf("np-spp = (%d, policy %v), want (200, np-spp)", status, doc["policy"])
+	}
+	if doc["cache"] != "miss" {
+		t.Errorf("np-spp query cache = %v, want miss (policy must partition the cache)", doc["cache"])
 	}
 }
 
@@ -176,6 +201,15 @@ func TestErrorToStatusMapping(t *testing.T) {
 		{"unschedulable", "/v1/analyze/latency",
 			analyzeRequest{SystemDSL: overloaded, Chain: "c", Options: reqOptions{NoDegrade: true}},
 			http.StatusUnprocessableEntity, "unschedulable"},
+		{"sim-only policy", "/v1/analyze/dmm",
+			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{Policy: "jcl"}},
+			http.StatusUnprocessableEntity, "policy_unsupported"},
+		{"sim-only policy latency", "/v1/analyze/latency",
+			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{Policy: "jcl"}},
+			http.StatusUnprocessableEntity, "policy_unsupported"},
+		{"unknown policy", "/v1/analyze/dmm",
+			analyzeRequest{System: thales, Chain: "sigma_c", Options: reqOptions{Policy: "fifo"}},
+			http.StatusBadRequest, "invalid_options"},
 		{"no system", "/v1/analyze/dmm",
 			analyzeRequest{Chain: "sigma_c"},
 			http.StatusBadRequest, "bad_request"},

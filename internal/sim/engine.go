@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/curves"
 	"repro/internal/model"
+	"repro/internal/policy"
 )
 
 // Config parameterizes one simulation run.
@@ -45,6 +46,17 @@ type Config struct {
 	// deadline-agnostic scheduler; this variant exists to explore how
 	// much load shedding changes the picture.
 	AbortOnMiss bool
+	// Policy names the scheduling policy the engine dispatches by
+	// ("spp", "np-spp", "edf", "jcl" — see internal/policy). The empty
+	// string selects "spp", the pre-policy engine byte-for-byte.
+	Policy string
+	// Mapping distributes tasks over several resources by task name
+	// (unmapped tasks share the default resource ""): tasks mapped to
+	// different resources execute in parallel, each resource scheduled
+	// independently. An empty map is the uniprocessor engine. The
+	// multi-resource engine supports preemptive policies only and
+	// rejects AbortOnMiss.
+	Mapping map[string]string
 }
 
 func (c Config) withDefaults() Config {
@@ -75,12 +87,14 @@ type Result struct {
 	End curves.Time
 }
 
-// job is one released task instance.
+// job is one released task instance. rank and tie come from the
+// policy's scheduler at release time (policy.Scheduler.Rank).
 type job struct {
 	inst      *instance
 	taskIdx   int
 	remaining curves.Time
-	priority  int
+	rank      int64
+	tie       int64
 	seq       int64
 	release   curves.Time
 }
@@ -103,15 +117,19 @@ type chainState struct {
 	stats    *ChainStats
 }
 
-// readyQueue orders jobs by descending priority, FIFO within equal
-// priority (which only occurs for jobs of the same task, as system
-// priorities are unique).
+// readyQueue orders jobs by ascending policy rank, then ascending tie,
+// then FIFO (release order). Under SPP the rank is the negated task
+// priority and ties are constant, which reproduces the historical
+// "descending priority, FIFO within equal priority" order exactly.
 type readyQueue []*job
 
 func (q readyQueue) Len() int { return len(q) }
 func (q readyQueue) Less(i, j int) bool {
-	if q[i].priority != q[j].priority {
-		return q[i].priority > q[j].priority
+	if q[i].rank != q[j].rank {
+		return q[i].rank < q[j].rank
+	}
+	if q[i].tie != q[j].tie {
+		return q[i].tie < q[j].tie
 	}
 	return q[i].seq < q[j].seq
 }
@@ -127,16 +145,23 @@ func (q *readyQueue) Pop() any {
 
 // engine is the simulation state.
 type engine struct {
-	cfg       Config
-	rng       *rand.Rand
-	chains    []*chainState
-	ready     readyQueue
-	seq       int64
-	trace     *Trace
-	t         curves.Time
-	responses map[string]curves.Time
-	ctx       context.Context // cooperative cancellation; nil when absent
-	steps     int64
+	cfg    Config
+	rng    *rand.Rand
+	sched  policy.Scheduler
+	chains []*chainState
+	ready  readyQueue
+	// running is the committed job of a non-preemptive scheduler: once
+	// selected it leaves the heap and runs to completion (or abort).
+	// Always nil under preemptive policies, where the heap head re-read
+	// at every arrival is what implements preemption.
+	running    *job
+	preemptive bool
+	seq        int64
+	trace      *Trace
+	t          curves.Time
+	responses  map[string]curves.Time
+	ctx        context.Context // cooperative cancellation; nil when absent
+	steps      int64
 }
 
 // Run simulates the system under the given configuration. The system
@@ -154,8 +179,17 @@ func RunCtx(ctx context.Context, sys *model.System, cfg Config) (*Result, error)
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	pol, err := policy.SimulatorFor(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(cfg.Mapping) > 0 {
+		return runMapped(ctx, sys, cfg, pol)
+	}
 	cfg = cfg.withDefaults()
 	e := &engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), ctx: ctx}
+	e.sched = pol.NewScheduler(sys, e.rng)
+	e.preemptive = e.sched.Preemptive()
 	if cfg.RecordTrace {
 		e.trace = &Trace{}
 	}
@@ -231,15 +265,22 @@ func (e *engine) startInstance(st *chainState, at curves.Time) {
 	e.release(inst, 0)
 }
 
-// release pushes the job for task idx of inst into the ready queue.
+// release pushes the job for task idx of inst into the ready queue,
+// ranked by the policy's scheduler.
 func (e *engine) release(inst *instance, idx int) {
 	task := inst.state.chain.Tasks[idx]
+	rank, tie := e.sched.Rank(policy.JobRef{
+		Chain:      inst.state.chain,
+		TaskIdx:    idx,
+		Activation: inst.activation,
+	})
 	e.seq++
 	heap.Push(&e.ready, &job{
 		inst:      inst,
 		taskIdx:   idx,
 		remaining: execTime(task.BCET, task.WCET, e.cfg.Execution, e.rng),
-		priority:  task.Priority,
+		rank:      rank,
+		tie:       tie,
 		seq:       e.seq,
 		release:   e.t,
 	})
@@ -261,6 +302,7 @@ func (e *engine) complete(j *job) {
 	// End-to-end completion.
 	lat := e.t - j.inst.activation
 	st.stats.record(lat, st.chain.Deadline)
+	e.sched.InstanceDone(st.chain, st.chain.Deadline <= 0 || lat <= st.chain.Deadline)
 	if st.chain.Kind == model.Synchronous {
 		st.inFlight = false
 		if len(st.pending) > 0 {
@@ -279,6 +321,7 @@ func (e *engine) abort(j *job) {
 	st.stats.Misses++
 	st.stats.Aborts++
 	st.stats.MissPattern = append(st.stats.MissPattern, true)
+	e.sched.InstanceDone(st.chain, false)
 	if st.chain.Kind == model.Synchronous {
 		st.inFlight = false
 		if len(st.pending) > 0 {
@@ -289,8 +332,35 @@ func (e *engine) abort(j *job) {
 	}
 }
 
-// loop is the main event loop: run the highest-priority job until the
-// next arrival or its completion, whichever comes first.
+// detach removes j from scheduling: the committed slot for a
+// non-preemptive running job, the heap head otherwise.
+func (e *engine) detach(j *job) {
+	if e.running == j {
+		e.running = nil
+		return
+	}
+	heap.Pop(&e.ready)
+}
+
+// pick selects the job to run now, or nil when nothing is ready. A
+// preemptive scheduler re-reads the heap head (arrivals between events
+// preempt implicitly); a non-preemptive one commits the head into
+// e.running and keeps it there until detach.
+func (e *engine) pick() *job {
+	if e.preemptive {
+		if len(e.ready) == 0 {
+			return nil
+		}
+		return e.ready[0]
+	}
+	if e.running == nil && len(e.ready) > 0 {
+		e.running = heap.Pop(&e.ready).(*job)
+	}
+	return e.running
+}
+
+// loop is the main event loop: run the selected job until the next
+// arrival or its completion, whichever comes first.
 func (e *engine) loop() error {
 	for {
 		if e.ctx != nil {
@@ -302,7 +372,8 @@ func (e *engine) loop() error {
 			}
 		}
 		next := e.nextArrival()
-		if len(e.ready) == 0 {
+		j := e.pick()
+		if j == nil {
 			if next.IsInf() {
 				return nil
 			}
@@ -312,10 +383,9 @@ func (e *engine) loop() error {
 			e.processArrivals(e.t)
 			continue
 		}
-		j := e.ready[0]
 		if j.inst.deadline > 0 && e.t >= j.inst.deadline {
 			// The instance expired while queued (or exactly now).
-			heap.Pop(&e.ready)
+			e.detach(j)
 			e.abort(j)
 			continue
 		}
@@ -332,7 +402,7 @@ func (e *engine) loop() error {
 			e.record(j, e.t, j.inst.deadline)
 			j.remaining -= j.inst.deadline - e.t
 			e.t = j.inst.deadline
-			heap.Pop(&e.ready)
+			e.detach(j)
 			e.abort(j)
 			e.processArrivals(e.t)
 			continue
@@ -349,7 +419,7 @@ func (e *engine) loop() error {
 		end := e.t + j.remaining
 		e.record(j, e.t, end)
 		e.t = end
-		heap.Pop(&e.ready)
+		e.detach(j)
 		e.complete(j)
 		e.processArrivals(e.t)
 	}

@@ -2,23 +2,45 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/curves"
 	"repro/internal/model"
+	"repro/internal/policy"
 )
 
 // RunMapped simulates a system whose tasks are distributed over
-// several resources: tasks mapped to different resource names execute
-// in parallel, each resource scheduled SPP independently. Chain
-// semantics are unchanged — finishing a task activates its successor,
-// wherever that successor is mapped. mapping maps task names to
-// resource names; unmapped tasks share the default resource "".
+// several resources; see Config.Mapping.
 //
-// With an empty mapping, RunMapped is behaviorally identical to Run
-// (asserted by TestRunMappedMatchesRun).
+// Deprecated: set Config.Mapping and use Run/RunCtx — the mapping now
+// travels with the rest of the configuration (and through the facade's
+// SimConfig). This wrapper remains for source compatibility.
 func RunMapped(sys *model.System, mapping map[string]string, cfg Config) (*Result, error) {
+	cfg.Mapping = mapping
+	if len(mapping) == 0 {
+		// The historical contract: an empty mapping still runs the
+		// multi-resource engine (everything on the default resource "").
+		pol, err := policy.SimulatorFor(cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		return runMapped(context.Background(), sys, cfg, pol)
+	}
+	return Run(sys, cfg)
+}
+
+// runMapped is the multi-resource engine behind Config.Mapping: tasks
+// mapped to different resource names execute in parallel, each resource
+// scheduled independently under the configured (preemptive) policy.
+// Chain semantics are unchanged — finishing a task activates its
+// successor, wherever that successor is mapped; unmapped tasks share
+// the default resource "".
+//
+// With an empty mapping, the result is behaviorally identical to Run
+// (asserted by TestRunMappedMatchesRun).
+func runMapped(ctx context.Context, sys *model.System, cfg Config, pol policy.Simulator) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -28,7 +50,7 @@ func RunMapped(sys *model.System, mapping map[string]string, cfg Config) (*Resul
 			known[t.Name] = true
 		}
 	}
-	for name := range mapping {
+	for name := range cfg.Mapping {
 		if !known[name] {
 			return nil, fmt.Errorf("sim: mapping names unknown task %q", name)
 		}
@@ -38,10 +60,16 @@ func RunMapped(sys *model.System, mapping map[string]string, cfg Config) (*Resul
 	}
 	cfg = cfg.withDefaults()
 	e := &multiEngine{
-		engine:  engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))},
-		mapping: mapping,
+		engine:  engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), ctx: ctx},
+		mapping: cfg.Mapping,
 		queues:  make(map[string]*readyQueue),
 	}
+	e.sched = pol.NewScheduler(sys, e.rng)
+	if !e.sched.Preemptive() {
+		return nil, fmt.Errorf("sim: policy %q: non-preemptive policies are not supported by the multi-resource engine: %w",
+			pol.Name(), policy.ErrUnsupported)
+	}
+	e.preemptive = true
 	if cfg.RecordTrace {
 		e.trace = &Trace{}
 	}

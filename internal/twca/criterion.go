@@ -7,6 +7,7 @@ import (
 	"repro/internal/curves"
 	"repro/internal/latency"
 	"repro/internal/model"
+	"repro/internal/policy"
 	"repro/internal/segments"
 )
 
@@ -71,6 +72,22 @@ func demandWithCombination(info *segments.Info, q int64, w curves.Time, fullB cu
 	return d
 }
 
+// combinationDemand evaluates the Equation (3) right-hand side for the
+// analysis's scheduling policy. SPP uses the per-segment
+// demandWithCombination above. The non-SPP analyzable policies run on
+// the flat structure, which has no deferred term to freeze at fullB —
+// their Eq. (3) shape is simply the policy demand (overload excluded)
+// plus the combination's overload cost. The policy demand is at least
+// the flat Theorem-1 demand (NP-SPP adds blocking), so classification
+// errs toward "unschedulable": more combinations feed the ILP, DMMs
+// can only grow — conservative, never optimistic.
+func (a *Analysis) combinationDemand(q int64, w, fullB curves.Time, c Combination) curves.Time {
+	if a.pol.Name() == policy.SPP {
+		return demandWithCombination(a.info, q, w, fullB, c)
+	}
+	return curves.AddSat(a.pol.Demand(a.info, q, w, true), c.Cost)
+}
+
 // exactUnschedulable applies Equation (3): it returns true if some
 // q ∈ [1, K] has B^c̄(q) − δ-(q) > D. Divergence of the per-combination
 // fixed point is treated as unschedulable (conservative).
@@ -86,7 +103,7 @@ func (a *Analysis) exactUnschedulable(ctx context.Context, c Combination) (bool,
 		w := prev
 		converged := false
 		for i := 0; i < opts.MaxIterations; i++ {
-			next := demandWithCombination(a.info, q, w, fullB, c)
+			next := a.combinationDemand(q, w, fullB, c)
 			if next == w {
 				converged = true
 				break

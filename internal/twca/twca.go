@@ -15,6 +15,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/policy"
 	"repro/internal/segments"
 )
 
@@ -87,6 +88,15 @@ type Options struct {
 	// nested Latency.Degrade field is managed internally from this
 	// policy and ignored if set by the caller.
 	Degrade degrade.Policy
+	// Policy names the scheduling policy the analysis assumes; see
+	// internal/policy. The empty string selects "spp", the paper's
+	// preemptive static-priority model — every pre-policy call site
+	// behaves byte-identically. Analyzable alternatives ("np-spp",
+	// "edf") run on the flat whole-busy-period structure; simulation-
+	// only policies ("jcl") are rejected with an error wrapping
+	// policy.ErrUnsupported. Forwarded into Latency.Policy when that
+	// field is empty; setting both to conflicting names fails Validate.
+	Policy string
 }
 
 func (o Options) withDefaults() Options {
@@ -96,12 +106,25 @@ func (o Options) withDefaults() Options {
 	if o.Baseline {
 		o.Flat = true
 	}
+	if o.Latency.Policy == "" {
+		o.Latency.Policy = o.Policy
+	}
 	o.Latency.ExcludeOverload = false
 	o.Degrade = o.Degrade.WithDefaults()
 	// The busy-window analysis degrades on its own ladder; SkipExact is
 	// about the combination/ILP stage only, so it is not forwarded.
 	o.Latency.Degrade = degrade.Policy{Allow: o.Degrade.Allow}
 	return o
+}
+
+// PolicyName returns the canonical scheduling-policy name the options
+// select, resolving the Policy/Latency.Policy forwarding: the nested
+// field wins when set, and the empty surface canonicalizes to "spp".
+func (o Options) PolicyName() string {
+	if o.Latency.Policy != "" {
+		return policy.Canonical(o.Latency.Policy)
+	}
+	return policy.Canonical(o.Policy)
 }
 
 // Validate rejects nonsensical option values with a descriptive error.
@@ -111,6 +134,14 @@ func (o Options) withDefaults() Options {
 func (o Options) Validate() error {
 	if o.MaxCombinations < 0 {
 		return fmt.Errorf("twca: options: MaxCombinations %d is negative (0 selects the default 1<<16)", o.MaxCombinations)
+	}
+	if _, err := policy.ByName(o.Policy); err != nil {
+		return fmt.Errorf("twca: options: %w", err)
+	}
+	if o.Policy != "" && o.Latency.Policy != "" &&
+		policy.Canonical(o.Policy) != policy.Canonical(o.Latency.Policy) {
+		return fmt.Errorf("twca: options: Policy %q conflicts with Latency.Policy %q (set one; the other is forwarded)",
+			o.Policy, o.Latency.Policy)
 	}
 	return o.Latency.Validate()
 }
@@ -152,6 +183,7 @@ type Analysis struct {
 	info     *segments.Info
 	overload []*model.Chain
 	opts     Options
+	pol      policy.Analyzer
 
 	// rows is the Theorem-3 constraint matrix template, built once: one
 	// row per active segment of each overload chain (in that order),
@@ -209,10 +241,14 @@ func newCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 	if b.Overload {
 		return nil, fmt.Errorf("twca: chain %q is an overload chain; DMMs target regular chains", b.Name)
 	}
-	info := segments.Analyze(sys, b)
-	if opts.Flat {
-		info = segments.AnalyzeFlat(sys, b)
+	// The forwarded Latency.Policy is the single effective policy after
+	// withDefaults; AnalyzerFor rejects simulation-only policies here,
+	// before any work is spent.
+	pol, err := policy.AnalyzerFor(opts.Latency.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("twca: chain %q: %w", b.Name, err)
 	}
+	info := pol.Structure(sys, b, opts.Flat)
 	lat, err := latency.AnalyzeInfoWarmCtx(ctx, info, opts.Latency, warm.latencySeeds(b, opts))
 	if err != nil {
 		return nil, err
@@ -224,6 +260,7 @@ func newCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 		info:     info,
 		overload: sys.OverloadChains(),
 		opts:     opts,
+		pol:      pol,
 		MinSlack: curves.Infinity,
 	}
 	if lat.Quality.Degraded() {
@@ -237,7 +274,7 @@ func newCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 	}
 	for q := int64(1); q <= lat.K; q++ {
 		window := curves.AddSat(b.Activation.DeltaMin(q), b.Deadline)
-		lq := latency.Demand(info, q, window, true)
+		lq := pol.Demand(info, q, window, true)
 		a.L = append(a.L, lq)
 		if slack := window - lq; slack < a.MinSlack {
 			a.MinSlack = slack

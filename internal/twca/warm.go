@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/curves"
 	"repro/internal/model"
+	"repro/internal/policy"
 )
 
 // WarmStart carries incremental-analysis hints into NewWarmCtx. All
@@ -27,9 +28,12 @@ type WarmStart struct {
 }
 
 // usable reports whether the hint may seed the analysis of chain b
-// under opts: same target, same abstraction, and a neighbor that
-// completed its busy-window analysis exactly (a degraded neighbor's
-// Infinity sentinel carries no information).
+// under opts: same target, same abstraction, the same scheduling
+// policy (two policies' demand functions are not comparable, so a
+// cross-policy seed could start Kleene iteration above this policy's
+// least fixed point — unsound), and a neighbor that completed its
+// busy-window analysis exactly (a degraded neighbor's Infinity
+// sentinel carries no information).
 func (w *WarmStart) usable(b *model.Chain, opts Options) bool {
 	if w == nil || w.From == nil {
 		return false
@@ -38,6 +42,7 @@ func (w *WarmStart) usable(b *model.Chain, opts Options) bool {
 	return from.Target.Name == b.Name &&
 		from.opts.Flat == opts.Flat &&
 		from.opts.NoCarryIn == opts.NoCarryIn &&
+		policy.Canonical(from.opts.Latency.Policy) == policy.Canonical(opts.Latency.Policy) &&
 		!from.Degraded.Degraded() &&
 		!from.Latency.Quality.Degraded()
 }

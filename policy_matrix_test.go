@@ -1,0 +1,187 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/schema"
+	"repro/internal/sim"
+	"repro/internal/twca"
+)
+
+// TestPolicyMatrix is the cross-policy soundness property: for every
+// analyzable scheduling policy and every case-study chain with a
+// deadline, the analytic bounds must dominate what a simulator running
+// the SAME policy observes — WCL ≥ max simulated latency, and dmm(k) ≥
+// the worst k-window miss count — across adversarial and randomized
+// simulation configurations.
+func TestPolicyMatrix(t *testing.T) {
+	sys := repro.CaseStudy()
+	chains := []string{"sigma_c", "sigma_d"}
+	windows := []int64{1, 3, 10, 50}
+
+	for _, pol := range []string{repro.PolicySPP, repro.PolicyNPSPP, repro.PolicyEDF} {
+		t.Run(pol, func(t *testing.T) {
+			bounds := map[string]*repro.Analysis{}
+			for _, name := range chains {
+				an, err := repro.AnalysisRequest{
+					System: sys, Chain: name, Options: repro.Options{Policy: pol},
+				}.DMM(context.Background())
+				if err != nil {
+					t.Fatalf("analyze %s under %s: %v", name, pol, err)
+				}
+				bounds[name] = an
+			}
+			cfgs := []repro.SimConfig{
+				{Horizon: 200_000, Policy: pol},
+				{Horizon: 200_000, Policy: pol, Arrivals: repro.RandomSpacing, Seed: 1},
+				{Horizon: 200_000, Policy: pol, Arrivals: repro.RandomSpacing, Execution: repro.RandomExec, Seed: 2},
+				{Horizon: 200_000, Policy: pol, ArrivalsFor: map[string]sim.ArrivalPolicy{
+					"sigma_a": repro.Rare, "sigma_b": repro.Rare}, Seed: 3},
+			}
+			for i, cfg := range cfgs {
+				res, err := repro.Simulate(sys, cfg)
+				if err != nil {
+					t.Fatalf("cfg %d: %v", i, err)
+				}
+				for _, name := range chains {
+					an, st := bounds[name], res.Chains[name]
+					if got, wcl := int64(st.MaxLatency), int64(an.Latency.WCL); got > wcl {
+						t.Errorf("cfg %d: %s under %s: simulated latency %d exceeds WCL %d — bound unsound",
+							i, name, pol, got, wcl)
+					}
+					for _, k := range windows {
+						b, err := an.DMM(k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := st.WorstWindowMisses(int(k)); got > b.Value {
+							t.Errorf("cfg %d: %s under %s: %d misses in a %d-window exceeds dmm(%d) = %d — bound unsound",
+								i, name, pol, got, k, k, b.Value)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPolicySPPByteIdentity pins the redesign's compatibility promise:
+// an explicit Policy "spp" is byte-identical to the zero value — for
+// the versioned JSON report (twca-analyze -json / twca-serve wire
+// bytes), the per-chain Table II breakpoint sweep, and the sensitivity
+// document.
+func TestPolicySPPByteIdentity(t *testing.T) {
+	sys := repro.CaseStudy()
+	ctx := context.Background()
+
+	marshal := func(v any) string {
+		t.Helper()
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	// The whole-system JSON report (Table II's wire form: breakpoints up
+	// to k = 100 for every chain with a deadline).
+	def, err := schema.FromSystem(ctx, sys, twca.Options{}, []int64{1, 10, 100}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spp, err := schema.FromSystem(ctx, sys, twca.Options{Policy: repro.PolicySPP}, []int64{1, 10, 100}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshal(def), marshal(spp); a != b {
+		t.Errorf("report bytes differ between zero policy and explicit spp:\n%s\nvs\n%s", a, b)
+	}
+
+	// The sensitivity document.
+	sopts := repro.SensitivityOptions{Constraint: repro.Constraint{M: 5, K: 10}, FrontierMaxK: 5}
+	sdef, err := repro.AnalysisRequest{System: sys, Chain: "sigma_c"}.Sensitivity(ctx, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sspp, err := repro.AnalysisRequest{
+		System: sys, Chain: "sigma_c", Options: repro.Options{Policy: repro.PolicySPP},
+	}.Sensitivity(ctx, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshal(schema.FromSensitivity(sdef)), marshal(schema.FromSensitivity(sspp)); a != b {
+		t.Errorf("sensitivity bytes differ between zero policy and explicit spp:\n%s\nvs\n%s", a, b)
+	}
+
+	// The simulator: SimConfig.Policy "spp" must replay the zero value's
+	// event sequence exactly (same RNG draw order).
+	cfg := repro.SimConfig{Horizon: 100_000, Arrivals: repro.RandomSpacing, Execution: repro.RandomExec, Seed: 9}
+	rdef, err := repro.Simulate(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = repro.PolicySPP
+	rspp, err := repro.Simulate(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rdef.Chains, rspp.Chains) {
+		t.Error("simulation differs between zero policy and explicit spp")
+	}
+}
+
+// TestPolicyUnsupportedAndInvalid pins the error taxonomy of the
+// redesigned API: simulation-only policies are ErrPolicyUnsupported on
+// analysis entry points, unknown names are ErrInvalidOptions, and
+// conflicting Policy/Latency.Policy settings are rejected.
+func TestPolicyUnsupportedAndInvalid(t *testing.T) {
+	sys := repro.CaseStudy()
+	ctx := context.Background()
+
+	req := repro.AnalysisRequest{System: sys, Chain: "sigma_c", Options: repro.Options{Policy: repro.PolicyJCL}}
+	if _, err := req.DMM(ctx); !errors.Is(err, repro.ErrPolicyUnsupported) {
+		t.Errorf("DMM under jcl: error = %v, want ErrPolicyUnsupported", err)
+	}
+	if _, err := req.Latency(ctx); !errors.Is(err, repro.ErrPolicyUnsupported) {
+		t.Errorf("Latency under jcl: error = %v, want ErrPolicyUnsupported", err)
+	}
+	if _, err := req.Sensitivity(ctx, repro.SensitivityOptions{
+		Constraint: repro.Constraint{M: 5, K: 10},
+	}); !errors.Is(err, repro.ErrPolicyUnsupported) {
+		t.Errorf("Sensitivity under jcl: error = %v, want ErrPolicyUnsupported", err)
+	}
+
+	// JCL simulates fine — that is its entire point.
+	if _, err := repro.Simulate(sys, repro.SimConfig{Horizon: 10_000, Policy: repro.PolicyJCL}); err != nil {
+		t.Errorf("Simulate under jcl: %v", err)
+	}
+
+	bad := repro.AnalysisRequest{System: sys, Chain: "sigma_c", Options: repro.Options{Policy: "fifo"}}
+	if _, err := bad.DMM(ctx); !errors.Is(err, repro.ErrInvalidOptions) {
+		t.Errorf("DMM under unknown policy: error = %v, want ErrInvalidOptions", err)
+	}
+
+	conflict := repro.Options{Policy: repro.PolicyEDF}
+	conflict.Latency.Policy = repro.PolicyNPSPP
+	if err := conflict.Validate(); err == nil {
+		t.Error("conflicting Policy vs Latency.Policy validated")
+	}
+	agree := repro.Options{Policy: repro.PolicyEDF}
+	agree.Latency.Policy = repro.PolicyEDF
+	if err := agree.Validate(); err != nil {
+		t.Errorf("matching Policy and Latency.Policy rejected: %v", err)
+	}
+}
+
+// TestPolicyNames pins the facade's advertised policy list.
+func TestPolicyNames(t *testing.T) {
+	want := []string{repro.PolicyEDF, repro.PolicyJCL, repro.PolicyNPSPP, repro.PolicySPP}
+	if got := repro.PolicyNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("PolicyNames() = %v, want %v", got, want)
+	}
+}

@@ -3,8 +3,11 @@
 // Henia, Rioux, "Bounding Deadline Misses in Weakly-Hard Real-Time
 // Systems with Task Dependencies", DATE 2017.
 //
-// The library analyzes uniprocessor Static Priority Preemptive (SPP)
-// systems whose workload consists of task chains and computes:
+// The library analyzes uniprocessor systems whose workload consists of
+// task chains — under Static Priority Preemptive (SPP) scheduling by
+// default, with pluggable alternatives (PolicyNPSPP, PolicyEDF for
+// analysis and simulation; PolicyJCL simulation-only) selected through
+// Options.Policy / SimConfig.Policy — and computes:
 //
 //   - worst-case end-to-end latencies (WCL) per chain, via the
 //     busy-window analysis of §IV of the paper;
@@ -46,9 +49,10 @@
 // Options.MaxCombinations), ErrUnschedulable (the busy-window analysis
 // cannot close — the priority level is overloaded),
 // ErrInfeasibleConstraint (a sensitivity query whose constraint fails
-// already on the nominal system), ErrInvalidOptions, and ErrCanceled
-// (see above). Messages keep the full detail; the sentinels make the
-// classes programmatic.
+// already on the nominal system), ErrPolicyUnsupported (an analysis
+// under a simulation-only scheduling policy), ErrInvalidOptions, and
+// ErrCanceled (see above). Messages keep the full detail; the sentinels
+// make the classes programmatic.
 //
 // # Requests
 //
@@ -85,6 +89,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/policy"
 	"repro/internal/sensitivity"
 	"repro/internal/sim"
 	"repro/internal/twca"
@@ -121,6 +126,12 @@ var (
 	// weakly-hard constraint does not verify on the nominal system —
 	// dmm(k) > m, so there is no slack to measure.
 	ErrInfeasibleConstraint = sensitivity.ErrInfeasibleConstraint
+	// ErrPolicyUnsupported reports a policy/operation mismatch: an
+	// analysis (DMM, latency, sensitivity) under a simulation-only
+	// policy such as PolicyJCL, or a non-preemptive policy on the
+	// multi-resource simulator. Unknown policy names are ErrInvalidOptions
+	// instead.
+	ErrPolicyUnsupported = policy.ErrUnsupported
 	// ErrWorkerPanic reports that a task in a parallel analysis driver
 	// panicked. The panic is recovered inside the worker pool, converted
 	// to an error carrying the panic value and stack, and fails only the
@@ -277,6 +288,29 @@ const (
 	RandomExec    = sim.RandomExec
 )
 
+// Scheduling policies, for Options.Policy, LatencyOptions.Policy and
+// SimConfig.Policy. The empty string means PolicySPP everywhere, so the
+// zero values keep their pre-policy behavior. PolicySPP, PolicyNPSPP
+// and PolicyEDF support both analysis and simulation; PolicyJCL is
+// simulation-only — analyzing under it fails with ErrPolicyUnsupported.
+const (
+	// PolicySPP is static-priority preemptive scheduling — the paper's
+	// model and the default.
+	PolicySPP = policy.SPP
+	// PolicyNPSPP is static-priority non-preemptive scheduling: a
+	// started task runs to completion; analysis adds a blocking term.
+	PolicyNPSPP = policy.NPSPP
+	// PolicyEDF is preemptive earliest-deadline-first over job absolute
+	// deadlines (chain deadline, else minimum inter-arrival distance).
+	PolicyEDF = policy.EDF
+	// PolicyJCL is job-class-level scheduling: per-job priorities keyed
+	// on the chain's recent deadline-hit streak. Simulation-only.
+	PolicyJCL = policy.JCL
+)
+
+// PolicyNames lists the scheduling-policy names in sorted order.
+func PolicyNames() []string { return policy.Names() }
+
 // NewBuilder starts a fluent system description.
 func NewBuilder(name string) *Builder { return model.NewBuilder(name) }
 
@@ -359,7 +393,14 @@ func (r AnalysisRequest) Latency(ctx context.Context) (*LatencyResult, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := latency.AnalyzeCtx(ctx, r.System, r.System.ChainByName(r.Chain), r.Options.Latency)
+	lopts := r.Options.Latency
+	if lopts.Policy == "" {
+		// Options.Policy names the policy for every analysis kind; the
+		// nested Latency.Policy only overrides it (Validate rejects a
+		// conflict between the two).
+		lopts.Policy = r.Options.Policy
+	}
+	res, err := latency.AnalyzeCtx(ctx, r.System, r.System.ChainByName(r.Chain), lopts)
 	return res, mapErr(err)
 }
 
@@ -495,8 +536,13 @@ func SimulateCtx(ctx context.Context, sys *System, cfg SimConfig) (*SimResult, e
 
 // SimulateMapped runs the multi-resource simulator with the given
 // task-to-resource mapping.
+//
+// Deprecated: set SimConfig.Mapping and use Simulate/SimulateCtx — the
+// mapping now travels with the rest of the configuration. This wrapper
+// remains for source compatibility.
 func SimulateMapped(sys *System, mapping map[string]string, cfg SimConfig) (*SimResult, error) {
-	return sim.RunMapped(sys, mapping, cfg)
+	r, err := sim.RunMapped(sys, mapping, cfg)
+	return r, mapErr(err)
 }
 
 // CaseStudy returns the paper's Thales case study (Fig. 4).
