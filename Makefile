@@ -10,7 +10,7 @@ GO ?= go
 # reproduces CI's verdict. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint verify policy-matrix bench bench-check chaos fuzz-smoke serve print-staticcheck-version
+.PHONY: build test lint verify policy-matrix bench bench-check chaos cluster-smoke fuzz-smoke serve print-staticcheck-version
 
 # print-staticcheck-version lets CI install exactly the pinned release
 # without duplicating the version string in the workflow file.
@@ -71,6 +71,15 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaosSuite|TestDrain|TestDegraded|TestBreaker' ./internal/service/
 	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/parallel/ ./internal/degrade/
 	$(GO) test -race -count=1 -run 'Degraded|Injection|Inject' ./internal/twca/ ./internal/latency/ ./internal/sensitivity/
+
+# cluster-smoke stands up a 3-replica in-process fleet (real listeners,
+# shared consistent-hash ring) under the race detector and checks the
+# sharded-store acceptance properties: a 50-system campaign computes
+# every artifact exactly once fleet-wide, a warm repeat is ≥10x faster,
+# concurrent identical queries coalesce to one computation, and killing
+# a replica mid-campaign completes the stream with byte-exact documents.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestCluster' ./internal/service/
 
 # fuzz-smoke gives each fuzz target a short adversarial run (the seed
 # corpora also run as plain tests under `make test`).

@@ -6,15 +6,18 @@
 // Usage:
 //
 //	twca-serve [-addr :8443] [-cache 128] [-inflight 0] [-timeout 30s] [-drain 30s] [-faults spec] [-pprof]
+//	           [-self URL -peers URL,URL,...]
 //
 // Endpoints (see docs/SERVICE.md for the full reference and a worked
 // curl session):
 //
-//	POST /v1/analyze/dmm      deadline miss model of one chain
-//	POST /v1/analyze/latency  worst-case end-to-end latency of one chain
-//	POST /v1/verify           weakly-hard (m, k) constraints
-//	GET  /healthz             liveness
-//	GET  /metrics             Prometheus text exposition
+//	POST /v1/analyze/dmm          deadline miss model of one chain
+//	POST /v1/analyze/latency      worst-case end-to-end latency of one chain
+//	POST /v1/analyze/sensitivity  sensitivity queries (slack, jitter, frontiers)
+//	POST /v1/verify               weakly-hard (m, k) constraints
+//	POST /v1/campaign             many systems, NDJSON-streamed results
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text exposition
 //
 // Request options carry a "policy" field selecting the scheduling
 // policy ("spp" — the default, "np-spp", "edf"); the simulation-only
@@ -22,7 +25,12 @@
 //
 // Identical concurrent queries are coalesced into one analysis, and
 // completed analyses are kept in a content-addressed LRU, so a repeat
-// query is answered in microseconds. SIGINT/SIGTERM drain gracefully:
+// query is answered in microseconds. With -self/-peers, a static set of
+// replicas shards that artifact tier by consistent hashing on the
+// system's canonical hash: the replica owning a system computes and
+// caches its artifacts exactly once fleet-wide while the others relay,
+// falling back to local compute when the owner is unreachable.
+// SIGINT/SIGTERM drain gracefully:
 // new analysis requests are refused with 503 + Retry-After, in-flight
 // ones get the -drain window to finish, and stragglers are canceled
 // cooperatively before the listener closes.
@@ -43,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,10 +77,22 @@ func run(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown window for in-flight analyses")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	self := fs.String("self", "", "this replica's base URL in -peers (enables the sharded fleet tier)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs, including -self")
+	maxCampaign := fs.Int("max-campaign-items", 0, "max systems per /v1/campaign request (0 = 1024)")
 	faults := fs.String("faults", os.Getenv("TWCA_FAULTS"),
 		"arm the fault-injection harness (rule spec, see internal/faultinject; default $TWCA_FAULTS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
 	}
 
 	if *faults != "" {
@@ -83,16 +104,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	svc, err := service.New(service.Config{
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		MaxInflight:    *inflight,
-		EnablePprof:    *pprofFlag,
-		DrainTimeout:   *drain,
+		CacheSize:        *cacheSize,
+		RequestTimeout:   *timeout,
+		MaxInflight:      *inflight,
+		EnablePprof:      *pprofFlag,
+		DrainTimeout:     *drain,
+		Self:             *self,
+		Peers:            peerList,
+		MaxCampaignItems: *maxCampaign,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+	if len(peerList) > 1 {
+		fmt.Fprintf(stdout, "twca-serve fleet: self %s, %d peers\n", *self, len(peerList))
+	}
 
 	// Catch shutdown signals before announcing the listener, so a SIGINT
 	// arriving at any point after "listening on" drains gracefully.

@@ -85,6 +85,13 @@ func DefaultConfig() Config {
 			// seeded engine RNG handed to NewScheduler (JCL's tie-break)
 			// — never through the shared global source.
 			"internal/policy",
+			// The artifact store's consistent-hash ring: every replica
+			// must compute identical key ownership from the same peer
+			// set, so map iteration or non-seeded randomness in routing
+			// would split the fleet's brain. (Its down-peer cooldown is
+			// timer-driven rather than clock-comparing, so no wall-clock
+			// read reaches a routing decision.)
+			"internal/store",
 		},
 		SaturatingTypes: []string{"repro/internal/curves.Time"},
 		SaturationPkgs: []string{

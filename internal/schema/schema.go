@@ -359,3 +359,45 @@ func FromSystem(ctx context.Context, sys *model.System, opts twca.Options, ks []
 	}
 	return rep, nil
 }
+
+// Campaign line kinds. A /v1/campaign stream emits one CampaignLine per
+// NDJSON line: a result line per item (kind "dmm" or "latency"), a
+// "campaign_partial" line for each failed item, and one final "summary"
+// line.
+const (
+	CampaignKindDMM     = "dmm"
+	CampaignKindLatency = "latency"
+	CampaignKindPartial = "campaign_partial"
+	CampaignKindSummary = "summary"
+)
+
+// CampaignLine is one NDJSON line of a /v1/campaign stream. Exactly one
+// of Analysis and Latency is set on a result line; Error/Cause are set
+// on campaign_partial lines; Items/Failed on the summary line. Index is
+// the item's position in the request (lines are emitted in request
+// order; the summary carries Index == Items). The embedded Analysis /
+// Latency documents are byte-identical to what the unary endpoints
+// return for the same item — batching, like cache warmth, must be
+// invisible in the document.
+type CampaignLine struct {
+	SchemaVersion int    `json:"schema_version"`
+	Index         int    `json:"index"`
+	ID            string `json:"id,omitempty"`
+	Kind          string `json:"kind"`
+	SystemHash    string `json:"system_hash,omitempty"`
+	// Cache is the artifact-store outcome that produced this line
+	// ("hit", "miss", "coalesced" — as observed on the replica that
+	// owned the artifact). Envelope metadata, not part of the analysis
+	// document.
+	Cache    string    `json:"cache,omitempty"`
+	Analysis *Analysis `json:"analysis,omitempty"`
+	Latency  *Latency  `json:"latency,omitempty"`
+	// Error/Cause describe a failed item: Cause is the sentinel kind
+	// from the service error taxonomy ("unschedulable", "no_chain",
+	// "deadline_exceeded", ...), Error the human-readable message.
+	Error string `json:"error,omitempty"`
+	Cause string `json:"cause,omitempty"`
+	// Items/Failed summarize the stream on the final summary line.
+	Items  int `json:"items,omitempty"`
+	Failed int `json:"failed,omitempty"`
+}

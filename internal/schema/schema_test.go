@@ -168,3 +168,47 @@ func TestCacheWarmthInvisible(t *testing.T) {
 		t.Errorf("cache warmth leaked into the wire format:\ncold: %s\nwarm: %s", a, b)
 	}
 }
+
+// TestGoldenCampaignLines pins the /v1/campaign stream vocabulary: a
+// result line (the unary analysis document embedded unchanged), a
+// campaign_partial error line, and the trailing summary. The stream is
+// NDJSON — one compact document per line — but the golden file uses the
+// suite's indented form so drift reads as a diff, not a wall of bytes.
+func TestGoldenCampaignLines(t *testing.T) {
+	sys := casestudy.New()
+	an, err := twca.New(sys, sys.ChainByName("sigma_c"), twca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := schema.FromAnalysis(context.Background(), an, []int64{1, 10, 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []schema.CampaignLine{
+		{
+			SchemaVersion: schema.Version,
+			Index:         0,
+			ID:            "sweep-000",
+			Kind:          schema.CampaignKindDMM,
+			SystemHash:    "a1b2c3d4e5f60718",
+			Cache:         "miss",
+			Analysis:      &doc,
+		},
+		{
+			SchemaVersion: schema.Version,
+			Index:         1,
+			ID:            "sweep-001",
+			Kind:          schema.CampaignKindPartial,
+			Error:         "repro: no chain named \"sigma_x\"",
+			Cause:         "no_chain",
+		},
+		{
+			SchemaVersion: schema.Version,
+			Index:         2,
+			Kind:          schema.CampaignKindSummary,
+			Items:         2,
+			Failed:        1,
+		},
+	}
+	golden(t, "campaign_lines", lines)
+}

@@ -203,8 +203,8 @@ func TestBreakerCooldownHalfOpen(t *testing.T) {
 	if doc["budget"] != "breaker" {
 		t.Fatalf("open breaker budget = %v, want breaker", doc["budget"])
 	}
-	degradedKey := "dmm|" + hash + "|sigma_c|" + req.Options.fingerprint() + "|degraded"
-	if _, ok := svc.cache.peek(degradedKey); !ok {
+	degradedKey := artifactKey("dmm", hash, "sigma_c", req.Options.fingerprint()) + "|degraded"
+	if _, ok := svc.store.Peek(degradedKey); !ok {
 		t.Fatal("degraded twin artifact not cached while breaker open")
 	}
 
@@ -222,7 +222,7 @@ func TestBreakerCooldownHalfOpen(t *testing.T) {
 	if svc.breaker.open(hash) {
 		t.Error("breaker still open after a successful exact analysis")
 	}
-	if _, ok := svc.cache.peek(degradedKey); ok {
+	if _, ok := svc.store.Peek(degradedKey); ok {
 		t.Error("degraded twin artifact lingers after the exact analysis")
 	}
 }

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// perturb sets field i of the struct pointed to by v to a non-zero
+// value, so the fingerprint tests can prove every field reaches the
+// rendered key.
+func perturb(t *testing.T, v reflect.Value, i int) {
+	t.Helper()
+	f := v.Field(i)
+	switch f.Kind() {
+	case reflect.Bool:
+		f.SetBool(true)
+	case reflect.Int, reflect.Int64:
+		f.SetInt(7)
+	case reflect.String:
+		f.SetString("x")
+	case reflect.Slice:
+		f.Set(reflect.Append(reflect.MakeSlice(f.Type(), 0, 1), reflect.ValueOf("x")))
+	default:
+		t.Fatalf("field %s has kind %s — teach perturb about it", v.Type().Field(i).Name, f.Kind())
+	}
+}
+
+// fieldNames returns the struct's field names in declaration order.
+func fieldNames(typ reflect.Type) []string {
+	names := make([]string, typ.NumField())
+	for i := range names {
+		names[i] = typ.Field(i).Name
+	}
+	return names
+}
+
+// TestFingerprintPinned pins the composition of the artifact-cache
+// fingerprint. The fingerprint is a total %+v rendering of the request
+// options; this test (a) pins the exact rendered form of the zero
+// value, (b) takes a census of the struct fields so that adding one
+// forces a deliberate decision here, and (c) proves each field's value
+// actually changes the fingerprint — no field can silently alias
+// artifacts across, say, scheduling policies or degrade modes.
+func TestFingerprintPinned(t *testing.T) {
+	wantOptFields := []string{
+		"MaxCombinations", "ExactCriterion", "Flat", "Baseline",
+		"NoCarryIn", "MaxQ", "Horizon", "MaxIterations", "NoDegrade", "Policy",
+	}
+	if got := fieldNames(reflect.TypeOf(reqOptions{})); !reflect.DeepEqual(got, wantOptFields) {
+		t.Fatalf("reqOptions fields changed: %v\nwant %v\nIf a field was added it is now part of every cache key "+
+			"(good — old artifacts cannot alias); update this census and the pinned rendering.", got, wantOptFields)
+	}
+	const wantZero = "{MaxCombinations:0 ExactCriterion:false Flat:false Baseline:false NoCarryIn:false MaxQ:0 Horizon:0 MaxIterations:0 NoDegrade:false Policy:}"
+	if got := (reqOptions{}).fingerprint(); got != wantZero {
+		t.Fatalf("zero reqOptions fingerprint = %q, want %q", got, wantZero)
+	}
+	base := (reqOptions{}).fingerprint()
+	for i, name := range wantOptFields {
+		var o reqOptions
+		perturb(t, reflect.ValueOf(&o).Elem(), i)
+		if o.fingerprint() == base {
+			t.Errorf("reqOptions.%s does not reach the fingerprint — artifacts would alias across its values", name)
+		}
+	}
+
+	wantSensFields := []string{
+		"M", "K", "FrontierMaxK", "ScaleDenom", "MaxScale", "MaxJitter", "Tasks", "NoWarmStart",
+	}
+	if got := fieldNames(reflect.TypeOf(reqSensitivity{})); !reflect.DeepEqual(got, wantSensFields) {
+		t.Fatalf("reqSensitivity fields changed: %v\nwant %v\nUpdate the census and pinned rendering.", got, wantSensFields)
+	}
+	const wantSensZero = "{M:0 K:0 FrontierMaxK:0 ScaleDenom:0 MaxScale:0 MaxJitter:0 Tasks:[] NoWarmStart:false}"
+	if got := (reqSensitivity{}).fingerprint(); got != wantSensZero {
+		t.Fatalf("zero reqSensitivity fingerprint = %q, want %q", got, wantSensZero)
+	}
+	sensBase := (reqSensitivity{}).fingerprint()
+	for i, name := range wantSensFields {
+		var rs reqSensitivity
+		perturb(t, reflect.ValueOf(&rs).Elem(), i)
+		if rs.fingerprint() == sensBase {
+			t.Errorf("reqSensitivity.%s does not reach the fingerprint", name)
+		}
+	}
+}
+
+// TestArtifactKeyPinned pins the full key layout: kind, schema
+// generation, model hash, chain, fingerprint — in that order, pipe
+// separated. The schema version term means a wire-format bump
+// invalidates every artifact fleet-wide instead of serving documents
+// minted under the old generation.
+func TestArtifactKeyPinned(t *testing.T) {
+	want := fmt.Sprintf("dmm|v%d|h|c|fp", schema.Version)
+	if got := artifactKey("dmm", "h", "c", "fp"); got != want {
+		t.Fatalf("artifactKey = %q, want %q", got, want)
+	}
+	if schema.Version != 2 {
+		t.Fatalf("schema.Version = %d; if this bump is intentional, every cached artifact is now "+
+			"invalidated by design — update this pin to acknowledge it", schema.Version)
+	}
+	// Distinct option fingerprints must yield distinct keys even when
+	// kind/hash/chain agree (the aliasing TestFingerprintPinned guards
+	// against at the fingerprint layer).
+	a := artifactKey("dmm", "h", "c", (reqOptions{}).fingerprint())
+	b := artifactKey("dmm", "h", "c", (reqOptions{Policy: "edf"}).fingerprint())
+	if a == b {
+		t.Fatal("policy does not separate artifact keys")
+	}
+}

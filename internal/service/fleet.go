@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// The fleet layer shards the analysis tier across a static peer set by
+// relaying whole requests: the replica owning a system's model hash
+// (store.Route over the consistent-hash ring) computes and caches its
+// artifacts; every other replica forwards the original request body to
+// the owner's same endpoint and streams the response back verbatim.
+// Relaying requests instead of shipping artifacts keeps the store a
+// plain in-memory structure holding live analysis values — nothing is
+// ever serialized except what the public API already serializes — and
+// makes fleet-wide singleflight fall out for free: all replicas funnel
+// one key to one owner, and the owner's store coalesces concurrent
+// twins.
+//
+// Failure handling is local fallback: if the owner is unreachable (or
+// answering 502/503/504 — draining, overloaded), the requester marks it
+// down for a cooldown, recomputes locally, and the ring re-hashes the
+// owner's keys to the next arc until the cooldown expires. Bounds stay
+// sound either way — a fallback costs duplicated work, never a
+// wrong-side answer.
+
+// forwardHeader marks a relayed request with the sender's identity. Its
+// presence is the loop guard: an owner never re-forwards a relayed
+// request, even if a stale ring disagrees about ownership.
+const forwardHeader = "X-Twca-Forward"
+
+// servedByHeader names the replica whose store actually answered a
+// relayed request — observability for multi-replica deployments.
+const servedByHeader = "X-Twca-Served-By"
+
+// relayed reports whether r is a relay from a peer replica.
+func relayed(r *http.Request) bool { return r.Header.Get(forwardHeader) != "" }
+
+// relayToOwner routes one unary request by its system hash. It returns
+// true when the request was fully answered by the owning peer (the
+// response has been streamed to w); false means the caller must handle
+// the request locally — because this replica owns the key, the request
+// is already a relay, the fleet is disabled, or the owner is
+// unreachable and local fallback is in order.
+func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, endpoint, hash string, body []byte) bool {
+	if !s.store.Fleet() {
+		return false
+	}
+	if relayed(r) {
+		// This replica is the owner serving a peer's relay (or the
+		// peer's ring disagreed — either way the loop stops here).
+		s.store.CountSharedServe()
+		return false
+	}
+	owner, local := s.store.Route(routeKey(hash))
+	if local {
+		return false
+	}
+	resp, err := s.forward(r.Context(), owner, r.URL.Path, body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away mid-relay; the local path will fail
+			// with the cancellation mapping. Not the peer's fault.
+			return false
+		}
+		s.peerFailed(owner)
+		return false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		// The owner is draining, overloaded or itself cut off — treat
+		// like unreachable and fall back to local compute.
+		io.Copy(io.Discard, resp.Body)
+		s.peerFailed(owner)
+		return false
+	}
+	// Answered by the owner: stream the body through byte-for-byte so a
+	// relayed document is indistinguishable from a locally served one.
+	s.store.CountPeerHit()
+	s.met.cacheOutcome(store.OutcomePeer)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(servedByHeader, owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	s.met.request(endpoint, resp.StatusCode)
+	return true
+}
+
+// forward POSTs body to the peer's endpoint at path, tagged as a relay.
+func (s *Server) forward(ctx context.Context, peer, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, s.store.Self())
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, peer, err)
+	}
+	return resp, nil
+}
+
+// peerFailed records one failed relay: the peer sits out routing for
+// the down cooldown (its keys re-hash to the next ring arc) and this
+// request is computed locally.
+func (s *Server) peerFailed(peer string) {
+	s.store.MarkDown(peer)
+	s.store.CountPeerUnavailable()
+	s.store.CountLocalFallback()
+}
+
+// relayItemDMM evaluates one campaign item on the owning peer via the
+// unary DMM endpoint, returning the analysis document and the peer's
+// cache outcome. A store.ErrPeerUnavailable-wrapped error asks the
+// caller to fall back to local compute; any other error is the item's
+// real outcome as classified by the owner.
+func (s *Server) relayItemDMM(ctx context.Context, owner string, req *analyzeRequest) (schema.Analysis, string, error) {
+	var out dmmResponse
+	if err := s.relayItem(ctx, owner, "/v1/analyze/dmm", req, &out); err != nil {
+		return schema.Analysis{}, "", err
+	}
+	return out.Analysis, out.Cache, nil
+}
+
+// relayItemLatency is relayItemDMM for latency items.
+func (s *Server) relayItemLatency(ctx context.Context, owner string, req *analyzeRequest) (schema.Latency, string, error) {
+	var out latencyResponse
+	if err := s.relayItem(ctx, owner, "/v1/analyze/latency", req, &out); err != nil {
+		return schema.Latency{}, "", err
+	}
+	return out.Latency, out.Cache, nil
+}
+
+// relayItem performs one item relay and decodes the 200 response into
+// out. Non-200 answers from the owner are returned as remoteItemError
+// so the campaign line preserves the owner's error classification.
+func (s *Server) relayItem(ctx context.Context, owner, path string, req *analyzeRequest, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := s.forward(ctx, owner, path, body)
+	if err != nil {
+		if ctx.Err() == nil {
+			s.peerFailed(owner)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		io.Copy(io.Discard, resp.Body)
+		s.peerFailed(owner)
+		return fmt.Errorf("%w: %s answered %d", ErrPeerUnavailable, owner, resp.StatusCode)
+	case http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			// A half-written or garbled body is a peer failure, not an
+			// item failure: recompute locally rather than guess.
+			s.peerFailed(owner)
+			return fmt.Errorf("%w: %s: bad relay body: %v", ErrPeerUnavailable, owner, err)
+		}
+		s.store.CountPeerHit()
+		s.met.cacheOutcome(store.OutcomePeer)
+		return nil
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		return remoteItemError{kind: "", msg: fmt.Sprintf("peer %s answered status %d", owner, resp.StatusCode)}
+	}
+	return remoteItemError{kind: e.Kind, msg: e.Error}
+}
+
+// remoteItemError carries a peer's error classification through to a
+// campaign_partial line without re-deriving it from a local error
+// chain.
+type remoteItemError struct {
+	kind string
+	msg  string
+}
+
+func (e remoteItemError) Error() string { return e.msg }

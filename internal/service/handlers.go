@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/degrade"
 	"repro/internal/faultinject"
 	"repro/internal/schema"
+	"repro/internal/store"
 )
 
 // StatusClientClosedRequest is the (nginx-convention) status reported
@@ -20,9 +23,40 @@ import (
 // sees it — it exists for the request log and /metrics.
 const StatusClientClosedRequest = 499
 
+// ErrPeerUnavailable reports that the replica owning an artifact could
+// not be reached (connection refused, draining 503, relay timeout).
+// The service treats it as a routing event, not a request failure — the
+// artifact is recomputed locally — so clients only ever see it wrapped
+// in an error whose primary cause is something else. errors.Is-able.
+var ErrPeerUnavailable = store.ErrPeerUnavailable
+
+// ErrCampaignPartial reports that a campaign stream completed but some
+// items failed (their lines carry kind "campaign_partial"). The stream
+// itself stays 200 — the sentinel exists so programmatic consumers of
+// the summary line have an errors.Is-able class, mirroring the wire
+// taxonomy. errors.Is-able.
+var ErrCampaignPartial = errors.New("campaign completed with failed items")
+
 func errNegative(field string, v int64) error {
 	return fmt.Errorf("%w: service config: %s %d is negative", repro.ErrInvalidOptions, field, v)
 }
+
+// artifactKey addresses one analysis artifact in the two-tier store.
+// Every key embeds the wire schema version: a version bump changes what
+// documents derive from an artifact, and a key carrying the version
+// makes it structurally impossible for a new binary to serve artifacts
+// a different schema generation cached — across a mixed-version fleet
+// as much as across a local restart. The fingerprint term must include
+// everything that changes the artifact (policy, degrade policy, every
+// option); TestFingerprintPinned pins that composition.
+func artifactKey(kind, hash, chain, fp string) string {
+	return fmt.Sprintf("%s|v%d|%s|%s|%s", kind, schema.Version, hash, chain, fp)
+}
+
+// routeKey is the consistent-hashing key for a system: ownership is by
+// model content hash alone, so every artifact kind, chain and option
+// set of one system lives on (and warms) the same replica.
+func routeKey(hash string) string { return "m:" + hash }
 
 // reqOptions is the wire form of the analysis options, a strict subset
 // of repro.Options/LatencyOptions with snake_case keys. Zero values
@@ -74,7 +108,11 @@ func (o reqOptions) twca() repro.Options {
 }
 
 // fingerprint is the options part of the cache key. The struct has no
-// reference fields, so %+v is a stable, total rendering.
+// reference fields, so %+v is a stable, total rendering: every field —
+// including Policy and the NoDegrade degrade-policy switch — is part of
+// the key, and adding a field automatically extends it. The rendered
+// composition is pinned by TestFingerprintPinned so an accidental move
+// to a partial rendering cannot alias artifacts across policies.
 func (o reqOptions) fingerprint() string { return fmt.Sprintf("%+v", o) }
 
 // analyzeRequest is the common request envelope: a system in exactly
@@ -138,7 +176,7 @@ func (rs reqSensitivity) options() repro.SensitivityOptions {
 }
 
 // fingerprint is the sensitivity part of the cache key; like reqOptions,
-// %+v is a stable, total rendering.
+// %+v is a stable, total rendering (pinned by TestFingerprintPinned).
 func (rs reqSensitivity) fingerprint() string { return fmt.Sprintf("%+v", rs) }
 
 // system materializes the request's system description and its
@@ -180,7 +218,8 @@ type errorResponse struct {
 	Kind string `json:"kind,omitempty"`
 }
 
-// classify maps a facade error to its HTTP status and sentinel name.
+// classify maps a facade or service error to its HTTP status and
+// sentinel name.
 func classify(err error) (int, string) {
 	switch {
 	case errors.Is(err, repro.ErrNoChain):
@@ -197,6 +236,8 @@ func classify(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "infeasible_constraint"
 	case errors.Is(err, repro.ErrPolicyUnsupported):
 		return http.StatusUnprocessableEntity, "policy_unsupported"
+	case errors.Is(err, ErrCampaignPartial):
+		return http.StatusMultiStatus, "campaign_partial"
 	case errors.Is(err, repro.ErrWorkerPanic):
 		return http.StatusInternalServerError, "worker_panic"
 	case errors.Is(err, faultinject.ErrInjected):
@@ -205,6 +246,11 @@ func classify(err error) (int, string) {
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, repro.ErrCanceled) || errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest, "canceled"
+	case errors.Is(err, ErrPeerUnavailable):
+		// Checked after the cancellation classes: a relay abandoned
+		// because the *client* left must read as canceled, not as a peer
+		// outage.
+		return http.StatusBadGateway, "peer_unavailable"
 	}
 	return http.StatusInternalServerError, ""
 }
@@ -257,22 +303,43 @@ func (s *Server) fail(w http.ResponseWriter, endpoint string, err error) {
 	s.writeJSON(w, status, errorResponse{SchemaVersion: schema.Version, Error: err.Error(), Kind: kind})
 }
 
-// decode reads the request body into req with the configured size cap.
-// Unknown fields are rejected: silently ignoring a typo like
-// "max_combination" would analyze with defaults and report a wrong
-// answer as a right one.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *analyzeRequest) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+// readBody slurps the request body under the configured size cap. The
+// raw bytes are kept because a fleet relay forwards them verbatim —
+// re-encoding the parsed struct could normalize the JSON and change
+// what the owner hashes.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, badRequestError{fmt.Errorf("bad request body: %w", err)}
+	}
+	return body, nil
+}
+
+// decodeStrict parses data into v. Unknown fields are rejected:
+// silently ignoring a typo like "max_combination" would analyze with
+// defaults and report a wrong answer as a right one.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(req); err != nil {
+	if err := dec.Decode(v); err != nil {
 		return badRequestError{fmt.Errorf("bad request body: %w", err)}
 	}
 	return nil
 }
 
+// decode reads and strictly parses the request body, returning the raw
+// bytes alongside for relaying.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *analyzeRequest) ([]byte, error) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return nil, err
+	}
+	return body, decodeStrict(body, req)
+}
+
 // dmmArtifact returns the prepared DMM analysis for the request's
-// (system, chain, options), from cache, an in-flight twin, or a fresh
-// gate-admitted analysis.
+// (system, chain, options), from the store's LRU, an in-flight twin, or
+// a fresh gate-admitted analysis.
 //
 // When the system's circuit breaker is open (its exact analysis tripped
 // budgets on consecutive requests), the analysis starts directly on the
@@ -281,21 +348,21 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *analyzeRequ
 // shadow, an exact one. Before going degraded, the exact key is peeked:
 // a cached exact artifact always wins over running a degraded analysis.
 func (s *Server) dmmArtifact(ctx context.Context, req *analyzeRequest, sys *repro.System, hash string) (*repro.Analysis, string, string, error) {
-	key := "dmm|" + hash + "|" + req.Chain + "|" + req.Options.fingerprint()
+	key := artifactKey("dmm", hash, req.Chain, req.Options.fingerprint())
 	opts := req.Options.twca()
 	if !req.Options.NoDegrade && s.breaker.open(hash) {
-		if val, ok := s.cache.peek(key); ok {
-			s.met.cacheOutcome(cacheHit)
-			return val.(*repro.Analysis), key, cacheHit, nil
+		if val, ok := s.store.Peek(key); ok {
+			s.met.cacheOutcome(store.OutcomeHit)
+			return val.(*repro.Analysis), key, store.OutcomeHit, nil
 		}
 		opts.Degrade.SkipExact = true
 		key += "|degraded"
 	} else {
 		// Breaker closed: stale degraded twins must not linger past the
 		// next exact artifact.
-		defer s.cache.forget(key + "|degraded")
+		defer s.store.Forget(key + "|degraded")
 	}
-	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+	val, state, err := s.store.Do(ctx, key, func(fctx context.Context) (any, error) {
 		if err := s.gate.Acquire(fctx); err != nil {
 			return nil, err
 		}
@@ -322,13 +389,50 @@ type dmmDoc struct {
 	stats schema.Stats
 }
 
+// dmmKs resolves the requested dmm(k) points (default 1, 10, 100 when
+// neither points nor a breakpoint sweep were asked for).
+func (req *analyzeRequest) dmmKs() []int64 {
+	if len(req.K) == 0 && req.BreakpointsMaxK == 0 {
+		return []int64{1, 10, 100}
+	}
+	return req.K
+}
+
+// dmmDocument produces the full schema document for a DMM request —
+// artifact (cached/coalesced/fresh) plus the assembled dmm sweep — and
+// is the one path shared by /v1/analyze/dmm and campaign items, so a
+// campaign line is byte-identical to the unary document.
+func (s *Server) dmmDocument(ctx context.Context, req *analyzeRequest, sys *repro.System, hash string) (schema.Analysis, schema.Stats, string, error) {
+	an, key, state, err := s.dmmArtifact(ctx, req, sys, hash)
+	if err != nil {
+		return schema.Analysis{}, schema.Stats{}, state, err
+	}
+	ks := req.dmmKs()
+	// The response document is a deterministic function of the artifact
+	// and the requested points, so repeat queries reuse the assembled
+	// document instead of re-sweeping the dmm curve.
+	docKey := fmt.Sprintf("doc|%s|%v|%d", key, ks, req.BreakpointsMaxK)
+	if v, ok := s.store.Peek(docKey); ok {
+		cached := v.(dmmDoc)
+		return cached.doc, cached.stats, state, nil
+	}
+	doc, stats, err := schema.FromAnalysisStats(ctx, an, ks, req.BreakpointsMaxK)
+	if err != nil {
+		return schema.Analysis{}, schema.Stats{}, state, err
+	}
+	s.met.addILPNodes(stats.ILPNodes)
+	s.store.Add(docKey, dmmDoc{doc: doc, stats: stats})
+	return doc, stats, state, nil
+}
+
 // accountQuality does the per-response degradation bookkeeping shared
-// by the endpoints: count each degraded result in /metrics, feed the
-// system's circuit breaker (a budget trip opens it after enough
-// consecutive failures; an exact answer closes it), and advertise
-// Retry-After on degraded responses — the budget pressure is transient,
-// so a later retry may earn an exact answer.
-func (s *Server) accountQuality(w http.ResponseWriter, hash string, degradedBudgets map[string]int64) {
+// by the endpoints and campaign items: count each degraded result in
+// /metrics and feed the system's circuit breaker (a budget trip opens
+// it after enough consecutive failures; an exact answer closes it). The
+// return value reports whether the result was degraded at all — the
+// budget pressure is transient, so unary handlers advertise Retry-After
+// and a later retry may earn an exact answer.
+func (s *Server) accountQuality(hash string, degradedBudgets map[string]int64) (degradedAtAll bool) {
 	tripped := false
 	for budget, n := range degradedBudgets {
 		s.met.degraded(budget, n)
@@ -336,18 +440,15 @@ func (s *Server) accountQuality(w http.ResponseWriter, hash string, degradedBudg
 			tripped = true
 		}
 	}
-	if hash == "" {
-		return
+	if hash != "" {
+		switch {
+		case tripped:
+			s.breaker.recordTrip(hash)
+		case len(degradedBudgets) == 0:
+			s.breaker.recordOK(hash)
+		}
 	}
-	switch {
-	case tripped:
-		s.breaker.recordTrip(hash)
-	case len(degradedBudgets) == 0:
-		s.breaker.recordOK(hash)
-	}
-	if len(degradedBudgets) > 0 {
-		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
-	}
+	return len(degradedBudgets) > 0
 }
 
 // dmmResponse is schema.Analysis plus service envelope fields.
@@ -361,7 +462,8 @@ type dmmResponse struct {
 func (s *Server) handleDMM(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req analyzeRequest
-	if err := s.decode(w, r, &req); err != nil {
+	body, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, "dmm", err)
 		return
 	}
@@ -370,36 +472,19 @@ func (s *Server) handleDMM(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "dmm", badRequestError{err})
 		return
 	}
+	if s.relayToOwner(w, r, "dmm", hash, body) {
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	an, key, state, err := s.dmmArtifact(ctx, &req, sys, hash)
+	doc, stats, state, err := s.dmmDocument(ctx, &req, sys, hash)
 	if err != nil {
 		s.fail(w, "dmm", err)
 		return
 	}
-	ks := req.K
-	if len(ks) == 0 && req.BreakpointsMaxK == 0 {
-		ks = []int64{1, 10, 100}
+	if s.accountQuality(hash, stats.Degraded) {
+		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
 	}
-	// The response document is a deterministic function of the artifact
-	// and the requested points, so repeat queries reuse the assembled
-	// document instead of re-sweeping the dmm curve.
-	docKey := fmt.Sprintf("doc|%s|%v|%d", key, ks, req.BreakpointsMaxK)
-	var doc schema.Analysis
-	var stats schema.Stats
-	if v, ok := s.cache.peek(docKey); ok {
-		cached := v.(dmmDoc)
-		doc, stats = cached.doc, cached.stats
-	} else {
-		doc, stats, err = schema.FromAnalysisStats(ctx, an, ks, req.BreakpointsMaxK)
-		if err != nil {
-			s.fail(w, "dmm", err)
-			return
-		}
-		s.met.addILPNodes(stats.ILPNodes)
-		s.cache.add(docKey, dmmDoc{doc: doc, stats: stats})
-	}
-	s.accountQuality(w, hash, stats.Degraded)
 	s.met.request("dmm", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, dmmResponse{
 		Analysis:   doc,
@@ -416,23 +501,13 @@ type latencyResponse struct {
 	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
-func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	var req analyzeRequest
-	if err := s.decode(w, r, &req); err != nil {
-		s.fail(w, "latency", err)
-		return
-	}
-	sys, hash, err := req.system()
-	if err != nil {
-		s.fail(w, "latency", badRequestError{err})
-		return
-	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	key := "latency|" + hash + "|" + req.Chain + "|" + req.Options.fingerprint()
+// latencyResult returns the latency analysis for the request, from the
+// store or a fresh gate-admitted run — the path shared by
+// /v1/analyze/latency and campaign items.
+func (s *Server) latencyResult(ctx context.Context, req *analyzeRequest, sys *repro.System, hash string) (*repro.LatencyResult, string, error) {
+	key := artifactKey("latency", hash, req.Chain, req.Options.fingerprint())
 	opts := req.Options.twca()
-	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+	val, state, err := s.store.Do(ctx, key, func(fctx context.Context) (any, error) {
 		if err := s.gate.Acquire(fctx); err != nil {
 			return nil, err
 		}
@@ -444,18 +519,43 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 	})
 	s.met.cacheOutcome(state)
 	if err != nil {
+		return nil, state, err
+	}
+	return val.(*repro.LatencyResult), state, nil
+}
+
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req analyzeRequest
+	body, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, "latency", err)
 		return
 	}
-	if q := val.(*repro.LatencyResult).Quality; q.Degraded() {
+	sys, hash, err := req.system()
+	if err != nil {
+		s.fail(w, "latency", badRequestError{err})
+		return
+	}
+	if s.relayToOwner(w, r, "latency", hash, body) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, state, err := s.latencyResult(ctx, &req, sys, hash)
+	if err != nil {
+		s.fail(w, "latency", err)
+		return
+	}
+	if q := res.Quality; q.Degraded() {
 		// Metrics + Retry-After only: a latency trip says nothing about
 		// the DMM combination space, so it does not feed the breaker.
-		s.accountQuality(w, "", map[string]int64{q.Budget: 1})
+		s.accountQuality("", map[string]int64{q.Budget: 1})
 		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
 	}
 	s.met.request("latency", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, latencyResponse{
-		Latency:    schema.FromLatency(val.(*repro.LatencyResult)),
+		Latency:    schema.FromLatency(res),
 		SystemHash: hash,
 		Cache:      state,
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
@@ -485,7 +585,8 @@ type verifyResult struct {
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if err := s.decode(w, r, &req); err != nil {
+	body, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, "verify", err)
 		return
 	}
@@ -502,6 +603,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	sys, hash, err := req.system()
 	if err != nil {
 		s.fail(w, "verify", badRequestError{err})
+		return
+	}
+	// Verification rides the DMM artifact, so it routes to the replica
+	// owning the system like the DMM endpoint does.
+	if s.relayToOwner(w, r, "verify", hash, body) {
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
@@ -533,7 +639,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			Quality: r.Quality.Quality.String(), Budget: r.Quality.Budget,
 		})
 	}
-	s.accountQuality(w, hash, degraded)
+	if s.accountQuality(hash, degraded) {
+		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
+	}
 	s.met.request("verify", http.StatusOK)
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -554,13 +662,19 @@ type sensitivityResponse struct {
 
 // probeAnalyze builds the AnalyzeFunc a sensitivity query's probes run
 // through: each perturbed system is addressed in the shared artifact
-// cache under the same "dmm|hash|chain|options" key scheme as the DMM
+// cache under the same artifactKey("dmm", ...) scheme as the DMM
 // endpoint, so the nominal probe reuses (and seeds) /v1/analyze/dmm
 // artifacts and probes shared between overlapping sensitivity queries
 // are computed once. Cache misses take an admission slot like any other
 // analysis and solve warm-started from the engine's hints (warm changes
 // only the work spent, never the artifact, so the cache still keys on
 // content alone); probes on unhashable perturbations bypass the cache.
+//
+// Probes stay node-local on purpose: a sensitivity query relays as a
+// whole to the replica owning the nominal system (see
+// handleSensitivity), and once there, fanning its probes back out over
+// the ring would trade warm-start locality — the dominant cost saver —
+// for cross-replica LRU space of perturbed one-off systems.
 func (s *Server) probeAnalyze(optfp string) repro.ProbeFunc {
 	return func(ctx context.Context, sys *repro.System, hash, chain string, opts repro.Options, warm *repro.WarmStart) (*repro.Analysis, error) {
 		run := func(fctx context.Context) (any, error) {
@@ -578,7 +692,7 @@ func (s *Server) probeAnalyze(optfp string) repro.ProbeFunc {
 			}
 			return val.(*repro.Analysis), nil
 		}
-		val, state, err := s.cache.do(ctx, "dmm|"+hash+"|"+chain+"|"+optfp, run)
+		val, state, err := s.store.Do(ctx, artifactKey("dmm", hash, chain, optfp), run)
 		s.met.sensitivityProbe(state)
 		if err != nil {
 			return nil, err
@@ -590,7 +704,8 @@ func (s *Server) probeAnalyze(optfp string) repro.ProbeFunc {
 func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req analyzeRequest
-	if err := s.decode(w, r, &req); err != nil {
+	body, err := s.decode(w, r, &req)
+	if err != nil {
 		s.fail(w, "sensitivity", err)
 		return
 	}
@@ -603,14 +718,17 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "sensitivity", badRequestError{err})
 		return
 	}
+	if s.relayToOwner(w, r, "sensitivity", hash, body) {
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	// The whole result is cached under the query fingerprint; the gate is
 	// taken per probe inside probeAnalyze, not here, so a query's fan-out
 	// cannot deadlock against its own admission slot.
 	optfp := req.Options.fingerprint()
-	key := "sens|" + hash + "|" + req.Chain + "|" + optfp + "|" + req.Sensitivity.fingerprint()
-	val, state, err := s.cache.do(ctx, key, func(fctx context.Context) (any, error) {
+	key := artifactKey("sens", hash, req.Chain, optfp+"|"+req.Sensitivity.fingerprint())
+	val, state, err := s.store.Do(ctx, key, func(fctx context.Context) (any, error) {
 		t0 := time.Now()
 		res, err := repro.AnalysisRequest{System: sys, Chain: req.Chain, Options: req.Options.twca()}.
 			SensitivityWarm(fctx, req.Sensitivity.options(), s.probeAnalyze(optfp), s.warm)
@@ -626,7 +744,7 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if q := val.(*repro.SensitivityResult).Quality; q.Degraded() {
-		s.accountQuality(w, "", map[string]int64{q.Budget: 1})
+		s.accountQuality("", map[string]int64{q.Budget: 1})
 		w.Header().Set("Retry-After", retryAfterSeconds(breakerCooldown))
 	}
 	s.met.request("sensitivity", http.StatusOK)
@@ -645,11 +763,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	s.met.request("healthz", http.StatusOK)
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         status,
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
-		"cache_entries":  s.cache.len(),
-	})
+		"cache_entries":  s.store.Len(),
+	}
+	if s.store.Fleet() {
+		resp["fleet_self"] = s.store.Self()
+		resp["fleet_peers"] = len(s.store.Peers())
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // metrics is the service's observability surface, exposed in
@@ -21,8 +23,13 @@ type metrics struct {
 	// requests counts finished HTTP requests by "endpoint|status".
 	requests map[string]int64
 	// cache effectiveness: a hit answered from the LRU, a miss ran the
-	// analysis, a coalesced request piggybacked on an in-flight one.
-	cacheHits, cacheMisses, cacheCoalesced int64
+	// analysis, a coalesced request piggybacked on an in-flight one, a
+	// peer outcome was relayed to (and answered by) the replica owning
+	// the model hash.
+	cacheHits, cacheMisses, cacheCoalesced, cachePeer int64
+	// campaign item outcomes: ok lines versus campaign_partial lines
+	// across all /v1/campaign streams.
+	campaignOK, campaignFailed int64
 	// ilpNodes accumulates branch-and-bound nodes across all DMM
 	// queries — the "how hard is the solver working" counter.
 	ilpNodes int64
@@ -51,6 +58,9 @@ type metrics struct {
 	// breaker at scrape time.
 	breakerOpen  func() int
 	breakerTrips func() int64
+	// storeStats is sampled from the two-tier artifact store at scrape
+	// time (local LRU counters plus fleet routing counters).
+	storeStats func() store.Stats
 	// warmStats is sampled from the process-wide sensitivity warm store
 	// at scrape time: hits are probes answered from a stored artifact at
 	// the exact perturbation coordinate (they never reach the artifact
@@ -103,12 +113,26 @@ func (m *metrics) cacheOutcome(state string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch state {
-	case cacheHit:
+	case store.OutcomeHit:
 		m.cacheHits++
-	case cacheMiss:
+	case store.OutcomeMiss:
 		m.cacheMisses++
-	case cacheCoalesced:
+	case store.OutcomeCoalesced:
 		m.cacheCoalesced++
+	case store.OutcomePeer:
+		m.cachePeer++
+	}
+}
+
+// campaignItem accounts one streamed campaign line: a result document
+// (ok) or a campaign_partial error line.
+func (m *metrics) campaignItem(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.campaignOK++
+	} else {
+		m.campaignFailed++
 	}
 }
 
@@ -137,11 +161,11 @@ func (m *metrics) sensitivityProbe(state string) {
 	defer m.mu.Unlock()
 	m.sensProbes++
 	switch state {
-	case cacheHit:
+	case store.OutcomeHit:
 		m.probeHits++
-	case cacheMiss:
+	case store.OutcomeMiss:
 		m.probeMisses++
-	case cacheCoalesced:
+	case store.OutcomeCoalesced:
 		m.probeCoalesced++
 	}
 }
@@ -223,6 +247,7 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"hit\"} %d\n", m.cacheHits)
 	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"miss\"} %d\n", m.cacheMisses)
 	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"coalesced\"} %d\n", m.cacheCoalesced)
+	fmt.Fprintf(w, "twca_cache_requests_total{outcome=\"peer\"} %d\n", m.cachePeer)
 
 	hits, total := m.cacheHits, m.cacheHits+m.cacheMisses+m.cacheCoalesced
 	ratio := 0.0
@@ -232,6 +257,33 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP twca_cache_hit_ratio Fraction of cacheable requests answered from the LRU.\n")
 	fmt.Fprintf(w, "# TYPE twca_cache_hit_ratio gauge\n")
 	fmt.Fprintf(w, "twca_cache_hit_ratio %g\n", ratio)
+
+	if m.storeStats != nil {
+		st := m.storeStats()
+		fmt.Fprintf(w, "# HELP twca_store_local_hits_total Artifact requests answered from this replica's LRU.\n")
+		fmt.Fprintf(w, "# TYPE twca_store_local_hits_total counter\n")
+		fmt.Fprintf(w, "twca_store_local_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# HELP twca_store_misses_total Artifact requests that ran an analysis on this replica.\n")
+		fmt.Fprintf(w, "# TYPE twca_store_misses_total counter\n")
+		fmt.Fprintf(w, "twca_store_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# HELP twca_store_shared_hits_total Requests this replica served to peers as the artifact owner.\n")
+		fmt.Fprintf(w, "# TYPE twca_store_shared_hits_total counter\n")
+		fmt.Fprintf(w, "twca_store_shared_hits_total %d\n", st.SharedServes)
+		fmt.Fprintf(w, "# HELP twca_store_peer_hits_total Requests this replica relayed to the owning peer and got answered.\n")
+		fmt.Fprintf(w, "# TYPE twca_store_peer_hits_total counter\n")
+		fmt.Fprintf(w, "twca_store_peer_hits_total %d\n", st.PeerHits)
+		fmt.Fprintf(w, "# HELP twca_store_peer_unavailable_total Relays that failed because the owning peer was unreachable or refusing.\n")
+		fmt.Fprintf(w, "# TYPE twca_store_peer_unavailable_total counter\n")
+		fmt.Fprintf(w, "twca_store_peer_unavailable_total %d\n", st.PeerUnavailable)
+		fmt.Fprintf(w, "# HELP twca_store_local_fallbacks_total Requests computed locally after their owning peer was unreachable.\n")
+		fmt.Fprintf(w, "# TYPE twca_store_local_fallbacks_total counter\n")
+		fmt.Fprintf(w, "twca_store_local_fallbacks_total %d\n", st.LocalFallbacks)
+	}
+
+	fmt.Fprintf(w, "# HELP twca_campaign_items_total Streamed campaign lines by result.\n")
+	fmt.Fprintf(w, "# TYPE twca_campaign_items_total counter\n")
+	fmt.Fprintf(w, "twca_campaign_items_total{result=\"ok\"} %d\n", m.campaignOK)
+	fmt.Fprintf(w, "twca_campaign_items_total{result=\"partial\"} %d\n", m.campaignFailed)
 
 	fmt.Fprintf(w, "# HELP twca_ilp_nodes_total Branch-and-bound nodes explored by DMM queries.\n")
 	fmt.Fprintf(w, "# TYPE twca_ilp_nodes_total counter\n")

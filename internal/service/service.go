@@ -4,30 +4,39 @@
 // latency / deadline-miss-model / weakly-hard-verify analyses of the
 // paper plus sensitivity queries (WCET slack, breakdown jitter and
 // distance, (m,k) frontiers), and answers dmm(k) and breakpoint-sweep
-// queries.
+// queries — one at a time, or many per request over the streaming
+// /v1/campaign endpoint.
 //
-// Three properties make it a service rather than a CGI wrapper around
+// Four properties make it a service rather than a CGI wrapper around
 // the library:
 //
-//   - Content-addressed caching. The canonical hash of the system
-//     (model.CanonicalHash) plus the analysis kind, target chain and
-//     option fingerprint addresses a completed analysis artifact in an
-//     LRU. A repeat query skips the analysis entirely, and the
-//     retained *twca.Analysis keeps its internal DMM memo cache, so
-//     even new k's against a cached system cost at most a few
-//     incremental ILP solves. In-flight analyses are coalesced: N
-//     concurrent identical requests cost one analysis.
+//   - Content-addressed caching, fleet-wide. The canonical hash of the
+//     system (model.CanonicalHash) plus the analysis kind, target chain
+//     and option fingerprint addresses a completed analysis artifact in
+//     a two-tier store (internal/store): a per-node LRU in front of a
+//     consistent-hash-sharded fleet of replicas. A repeat query skips
+//     the analysis entirely; on a multi-replica deployment (Config.Self
+//     / Config.Peers) the replica owning the model hash computes and
+//     caches each artifact once while the others relay its responses.
+//     In-flight analyses are coalesced: N concurrent identical requests
+//     — on any mix of replicas — cost one analysis.
 //
 //   - Bounded concurrency and cancellation. Analyses are admitted
 //     through a parallel.Gate; beyond the limit, requests queue
 //     (FIFO-ish) instead of piling up goroutines. Every analysis runs
 //     under a context canceled by client disconnect, the per-request
 //     deadline, or server shutdown — and the analysis engine
-//     cooperates (see repro.AnalyzeDMMCtx).
+//     cooperates (see repro.AnalysisRequest).
+//
+//   - Batch streaming. POST /v1/campaign accepts many systems in one
+//     request and streams one NDJSON result line per item as analyses
+//     complete, through the same worker pool, cache tier and
+//     degradation ladder as the unary endpoints; item failures become
+//     campaign_partial lines instead of aborting the stream.
 //
 //   - Observability. /healthz for liveness, /metrics in Prometheus
-//     text format (request counts, cache hit ratio, analysis latency
-//     histograms, ILP node counters), optional net/http/pprof.
+//     text format (request counts, store hit ratios per tier, analysis
+//     latency histograms, ILP node counters), optional net/http/pprof.
 //
 // See docs/SERVICE.md for the endpoint reference and a worked curl
 // session.
@@ -35,14 +44,17 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/parallel"
 	"repro/internal/schema"
+	"repro/internal/store"
 )
 
 // Config tunes the service. The zero value picks sensible defaults.
@@ -52,7 +64,8 @@ type Config struct {
 	// (system, chain, options) triple.
 	CacheSize int
 	// RequestTimeout is the per-request analysis deadline (default
-	// 30s). Requests exceeding it fail with 504.
+	// 30s). Requests exceeding it fail with 504. Campaign requests
+	// apply it per item, not to the whole stream.
 	RequestTimeout time.Duration
 	// MaxInflight bounds concurrently running analyses (default
 	// GOMAXPROCS). Excess requests wait at the admission gate.
@@ -68,6 +81,23 @@ type Config struct {
 	// the restart, not to the system — a retry after Retry-After hits a
 	// healthy instance).
 	DrainTimeout time.Duration
+	// Self and Peers configure the sharded analysis tier: Peers is the
+	// static set of replica base URLs (e.g. "http://10.0.0.1:8443"),
+	// Self this replica's own entry in it. Artifact ownership is
+	// consistent-hashed on the model hash across Peers; requests for
+	// models owned elsewhere are relayed to the owner, with local
+	// fallback when it is unreachable. Fewer than two peers disables
+	// routing entirely.
+	Self  string
+	Peers []string
+	// MaxCampaignItems bounds the items of one /v1/campaign request
+	// (default 1024).
+	MaxCampaignItems int
+	// CampaignWorkers bounds how many campaign items one request
+	// evaluates concurrently (default MaxInflight's resolved value).
+	// Item analyses still pass the global admission gate, so a
+	// campaign cannot starve unary requests.
+	CampaignWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,11 +113,19 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.MaxCampaignItems <= 0 {
+		c.MaxCampaignItems = 1024
+	}
+	c.Self = strings.TrimRight(c.Self, "/")
+	for i, p := range c.Peers {
+		c.Peers[i] = strings.TrimRight(p, "/")
+	}
 	return c
 }
 
 // Validate rejects nonsensical configurations (negative sizes or
-// timeouts); zero values select the defaults.
+// timeouts, a fleet without a self identity); zero values select the
+// defaults.
 func (c Config) Validate() error {
 	if c.CacheSize < 0 {
 		return errNegative("CacheSize", int64(c.CacheSize))
@@ -104,6 +142,28 @@ func (c Config) Validate() error {
 	if c.DrainTimeout < 0 {
 		return errNegative("DrainTimeout", int64(c.DrainTimeout))
 	}
+	if c.MaxCampaignItems < 0 {
+		return errNegative("MaxCampaignItems", int64(c.MaxCampaignItems))
+	}
+	if c.CampaignWorkers < 0 {
+		return errNegative("CampaignWorkers", int64(c.CampaignWorkers))
+	}
+	if len(c.Peers) > 0 {
+		if c.Self == "" {
+			return fmt.Errorf("%w: service config: Peers set without Self", repro.ErrInvalidOptions)
+		}
+		self := strings.TrimRight(c.Self, "/")
+		found := false
+		for _, p := range c.Peers {
+			if strings.TrimRight(p, "/") == self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: service config: Self %q is not in Peers", repro.ErrInvalidOptions, c.Self)
+		}
+	}
 	return nil
 }
 
@@ -112,11 +172,12 @@ func (c Config) Validate() error {
 // analyses.
 type Server struct {
 	cfg      Config
-	cache    *cache
+	store    *store.Store
 	gate     *parallel.Gate
 	met      *metrics
 	breaker  *breaker
 	warm     *repro.SensitivityWarmStore
+	client   *http.Client
 	mux      *http.ServeMux
 	root     context.Context
 	stop     context.CancelFunc
@@ -131,13 +192,19 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:  cfg,
-		gate: parallel.NewGate(cfg.MaxInflight),
-		root: root,
-		stop: stop,
-		mux:  http.NewServeMux(),
+		cfg:    cfg,
+		gate:   parallel.NewGate(cfg.MaxInflight),
+		client: &http.Client{},
+		root:   root,
+		stop:   stop,
+		mux:    http.NewServeMux(),
 	}
-	s.cache = newCache(root, cfg.CacheSize)
+	s.store = store.New(store.Config{
+		Base:     root,
+		Capacity: cfg.CacheSize,
+		Self:     cfg.Self,
+		Peers:    cfg.Peers,
+	})
 	s.breaker = newBreaker(breakerThreshold, breakerCooldown)
 	// One process-wide warm store: sensitivity queries across requests
 	// warm-start each other's probes (purely an optimization — responses
@@ -146,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 	s.met = newMetrics(s.gate.InUse)
 	s.met.breakerOpen = s.breaker.openCount
 	s.met.breakerTrips = s.breaker.tripCount
+	s.met.storeStats = s.store.Stats
 	s.met.warmStats = func() (hits, misses, injected int64) {
 		st := s.warm.Stats()
 		return st.Hits, st.Misses, st.Injected
@@ -155,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/analyze/latency", s.handleLatency)
 	s.mux.HandleFunc("POST /v1/analyze/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -184,7 +253,10 @@ func (s *Server) Handler() http.Handler {
 // are refused with 503 + Retry-After, while in-flight ones continue.
 // The caller (cmd/twca-serve) follows with http.Server.Shutdown bounded
 // by Config.DrainTimeout and calls Close when the bound expires, which
-// cancels the stragglers — their requests also answer 503. Idempotent.
+// cancels the stragglers — their requests also answer 503. Peers that
+// relay to a draining replica treat the 503 as peer_unavailable and
+// fall back, so a rolling restart drains out of the fleet
+// automatically. Idempotent.
 func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // Draining reports whether StartDrain has been called.
@@ -211,3 +283,7 @@ func (s *Server) Close() { s.stop() }
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
+
+// StoreStats exposes the artifact store's counters (cluster tests and
+// smoke tooling read them without scraping /metrics).
+func (s *Server) StoreStats() store.Stats { return s.store.Stats() }

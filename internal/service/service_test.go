@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/casestudy"
 	"repro/internal/schema"
+	"repro/internal/store"
 )
 
 // thalesJSON returns the paper's case study in the native JSON format,
@@ -321,12 +322,12 @@ func TestCoalescingOverHTTP(t *testing.T) {
 	for _, st := range states {
 		counts[st]++
 	}
-	if counts[cacheMiss] != 1 {
+	if counts[store.OutcomeMiss] != 1 {
 		t.Errorf("cache outcomes %v, want exactly 1 miss", counts)
 	}
 	// One analysis artifact plus the assembled response document.
-	if svc.cache.len() != 2 {
-		t.Errorf("cache holds %d artifacts, want 2", svc.cache.len())
+	if svc.store.Len() != 2 {
+		t.Errorf("cache holds %d artifacts, want 2", svc.store.Len())
 	}
 }
 

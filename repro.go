@@ -26,19 +26,19 @@
 //		Task("isr", 4, 10).Task("dsr", 3, 10)
 //	sys, err := b.Build()
 //	...
-//	an, err := repro.AnalyzeDMM(sys, "video", repro.Options{})
+//	req := repro.AnalysisRequest{System: sys, Chain: "video"}
+//	an, err := req.DMM(context.Background())
 //	r, err := an.DMM(10) // bound on misses out of 10 activations
 //
 // # Contexts, cancellation and deadlines
 //
-// Every analysis entry point has a context-aware variant
-// (AnalyzeDMMCtx, AnalyzeLatencyCtx, SimulateCtx) whose computation
-// polls the context cooperatively — inside the busy-window fixed
-// points, the combination classification, the ILP branch-and-bound and
-// the simulator event loop — and returns an error wrapping ErrCanceled
-// (and the underlying context.Canceled or context.DeadlineExceeded)
-// when the context ends the work early. The context-free functions are
-// thin wrappers over context.Background() and never fail this way.
+// Every analysis runs under a context and polls it cooperatively —
+// inside the busy-window fixed points, the combination classification,
+// the ILP branch-and-bound and the simulator event loop — returning an
+// error wrapping ErrCanceled (and the underlying context.Canceled or
+// context.DeadlineExceeded) when the context ends the work early. The
+// context-free convenience wrappers (Simulate, the deprecated
+// Analyze*) run over context.Background() and never fail this way.
 //
 // # Errors
 //
@@ -56,11 +56,14 @@
 //
 // # Requests
 //
-// AnalysisRequest bundles the inputs every analysis shares — system,
-// target chain, options — and carries methods for each analysis kind
-// (DMM, Latency, Sensitivity). The per-kind functions remain as thin
-// wrappers; new code should prefer the request form, which validates
-// once and keeps call sites uniform across the service, CLI and tests.
+// AnalysisRequest is the single programmatic entry point: it bundles
+// the inputs every analysis shares — system, target chain, options —
+// and carries methods for each analysis kind (DMM, Latency,
+// Sensitivity). It validates once and keeps call sites uniform across
+// the service, CLI and tests. The older per-kind Analyze* functions are
+// deprecated thin wrappers kept for source compatibility; they gain no
+// new capabilities (SimulateMapped, the first of them to be folded in,
+// is already gone — use SimConfig.Mapping with Simulate).
 //
 // # Options
 //
@@ -511,12 +514,18 @@ func AnalyzeDMMBaseline(sys *System, chain string, opts Options) (*Analysis, err
 // AnalyzeSensitivity measures the named chain's distance to violating a
 // weakly-hard constraint; see AnalysisRequest.Sensitivity for the full
 // contract.
+//
+// Deprecated: use AnalysisRequest.Sensitivity, which bundles the inputs
+// shared by every analysis kind. This wrapper remains for source
+// compatibility.
 func AnalyzeSensitivity(sys *System, chain string, opts Options, sopts SensitivityOptions) (*SensitivityResult, error) {
 	return AnalyzeSensitivityCtx(context.Background(), sys, chain, opts, sopts)
 }
 
 // AnalyzeSensitivityCtx is AnalyzeSensitivity with cooperative
 // cancellation; see AnalysisRequest.DMM for the error contract.
+//
+// Deprecated: use AnalysisRequest.Sensitivity.
 func AnalyzeSensitivityCtx(ctx context.Context, sys *System, chain string, opts Options, sopts SensitivityOptions) (*SensitivityResult, error) {
 	return AnalysisRequest{System: sys, Chain: chain, Options: opts}.Sensitivity(ctx, sopts)
 }
@@ -531,17 +540,6 @@ func Simulate(sys *System, cfg SimConfig) (*SimResult, error) {
 // for the error contract.
 func SimulateCtx(ctx context.Context, sys *System, cfg SimConfig) (*SimResult, error) {
 	r, err := sim.RunCtx(ctx, sys, cfg)
-	return r, mapErr(err)
-}
-
-// SimulateMapped runs the multi-resource simulator with the given
-// task-to-resource mapping.
-//
-// Deprecated: set SimConfig.Mapping and use Simulate/SimulateCtx — the
-// mapping now travels with the rest of the configuration. This wrapper
-// remains for source compatibility.
-func SimulateMapped(sys *System, mapping map[string]string, cfg SimConfig) (*SimResult, error) {
-	r, err := sim.RunMapped(sys, mapping, cfg)
 	return r, mapErr(err)
 }
 

@@ -135,8 +135,9 @@ func TestFacadeExtensions(t *testing.T) {
 	if err != nil || c != 3 {
 		t.Errorf("MaxConsecutiveMisses = %d, %v, want 3", c, err)
 	}
-	// Mapped simulation via facade (single resource = plain run).
-	res, err := repro.SimulateMapped(sys, nil, repro.SimConfig{Horizon: 10_000})
+	// Mapped simulation via facade (single resource = plain run); the
+	// mapping travels inside SimConfig since SimulateMapped was removed.
+	res, err := repro.Simulate(sys, repro.SimConfig{Horizon: 10_000, Mapping: nil})
 	if err != nil {
 		t.Fatal(err)
 	}
