@@ -10,7 +10,7 @@ GO ?= go
 # reproduces CI's verdict. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint verify policy-matrix bench bench-check chaos cluster-smoke fuzz-smoke serve print-staticcheck-version
+.PHONY: build test lint lint-fix lint-sarif verify policy-matrix bench bench-check chaos cluster-smoke fuzz-smoke serve print-staticcheck-version
 
 # print-staticcheck-version lets CI install exactly the pinned release
 # without duplicating the version string in the workflow file.
@@ -24,10 +24,24 @@ test:
 	$(GO) test ./...
 
 # lint runs the repository's own analyzer suite (internal/analyzers,
-# cmd/twca-lint): determinism, ctxflow, sentinels, saturation. It needs
-# only the Go toolchain — no module dependencies.
+# cmd/twca-lint): determinism, ctxflow, sentinels, saturation, plus the
+# CFG/dataflow families soundflow, concurrency and errretain. It needs
+# only the Go toolchain — no module dependencies. Exit 1 means
+# findings, 3 means a package failed to load (and was not checked).
 lint:
 	$(GO) run ./cmd/twca-lint ./...
+
+# lint-fix applies the machine-applicable suggested fixes (saturating
+# helper rewrites, %w wrapping, collect-then-sort) in place, then
+# reports what remains. A no-op on a clean tree.
+lint-fix:
+	$(GO) run ./cmd/twca-lint -fix ./...
+
+# lint-sarif writes the findings as SARIF 2.1.0 for GitHub code
+# scanning; exit 1 (findings exist) still produces the report, so CI
+# uploads it before failing.
+lint-sarif:
+	$(GO) run ./cmd/twca-lint -format=sarif ./... > twca-lint.sarif || [ $$? -eq 1 ]
 
 verify:
 	$(GO) build ./...

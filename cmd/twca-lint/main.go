@@ -7,53 +7,114 @@
 //	ctxflow      context.Context parameters that drop cancellation
 //	sentinels    Err* sentinels wrapped without %w or compared with ==
 //	saturation   raw + or * on math.MaxInt64-sentinel values
+//	soundflow    upper-bound-tainted values flowing through tightening
+//	             operations (min, minuend subtraction, clamp-down)
+//	concurrency  goroutines with no termination path; mutexes held
+//	             across blocking operations
+//	errretain    error values reaching store/warm-store retain sinks
 //	suppression  //twcalint:ignore directives without a reason
 //
 // Usage:
 //
-//	twca-lint [-json] [packages...]
+//	twca-lint [-format=text|json|sarif] [-fix] [packages...]
 //
 // Packages default to ./... . The exit status is 1 when any
-// unsuppressed finding exists, 2 on operational errors. Findings are
-// suppressed inline with `//twcalint:ignore <rule> <reason>` on the
-// offending line or the line above; the reason is mandatory. With
-// -json the run emits the internal/analyzers Report schema
-// (schema_version 1, golden-pinned) instead of the file:line:column
-// text form.
+// unsuppressed finding exists, 2 on operational errors, and 3 when one
+// or more packages failed to load (those packages were not checked, so
+// a clean exit would be a lie). Findings are suppressed inline with
+// `//twcalint:ignore <rule> <reason>` on the offending line or the
+// line above; the reason is mandatory.
+//
+// -format=json emits the internal/analyzers Report schema
+// (schema_version 1, golden-pinned); -json is kept as an alias.
+// -format=sarif emits SARIF 2.1.0 for GitHub code scanning.
+// -fix applies the machine-applicable suggested fixes (saturating
+// helper rewrites, %w wrapping, collect-then-sort) in place and then
+// reports what remains; on a clean tree it is a no-op.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analyzers"
 )
 
+// Exit codes. Distinct codes let CI distinguish "the tree has
+// findings" from "the tool could not do its job".
+const (
+	exitClean       = 0
+	exitFindings    = 1
+	exitOperational = 2
+	exitLoadFailure = 3
+)
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit the machine-readable findings report (schema_version 1)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: twca-lint [-json] [packages...]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Rules (suppress with //twcalint:ignore <rule> <reason>):\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("twca-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, json (Report schema_version 1), or sarif (SARIF 2.1.0)")
+	jsonAlias := fs.Bool("json", false, "alias for -format=json")
+	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes in place before reporting")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: twca-lint [-format=text|json|sarif] [-fix] [packages...]\n\n")
+		fmt.Fprintf(stderr, "Rules (suppress with //twcalint:ignore <rule> <reason>):\n")
 		for _, a := range analyzers.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return exitOperational
+	}
+	if *jsonAlias {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "twca-lint: unknown -format %q (want text, json or sarif)\n", *format)
+		return exitOperational
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	passes, err := analyzers.LoadPackages(analyzers.DefaultConfig(), patterns...)
+	passes, loadErrs, err := analyzers.LoadPackages(analyzers.DefaultConfig(), patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "twca-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "twca-lint:", err)
+		return exitOperational
 	}
-	var findings []analyzers.Finding
-	for _, p := range passes {
-		findings = append(findings, analyzers.Analyze(p, analyzers.All())...)
+	findings := analyzers.AnalyzeAll(passes, analyzers.All())
+
+	if *fix {
+		changed, dropped, err := analyzers.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "twca-lint:", err)
+			return exitOperational
+		}
+		for _, name := range changed {
+			fmt.Fprintf(stderr, "twca-lint: fixed %s\n", name)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(stderr, "twca-lint: %d overlapping fix(es) skipped; re-run -fix after review\n", dropped)
+		}
+		// Re-analyze so the report reflects the rewritten tree.
+		if len(changed) > 0 {
+			passes, loadErrs, err = analyzers.LoadPackages(analyzers.DefaultConfig(), patterns...)
+			if err != nil {
+				fmt.Fprintln(stderr, "twca-lint:", err)
+				return exitOperational
+			}
+			findings = analyzers.AnalyzeAll(passes, analyzers.All())
+		}
 	}
 
 	failing := 0
@@ -63,26 +124,42 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
-		wd, _ := os.Getwd()
+	wd, _ := os.Getwd()
+	switch *format {
+	case "json":
 		b, err := analyzers.NewReport(wd, findings).Marshal()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "twca-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "twca-lint:", err)
+			return exitOperational
 		}
-		os.Stdout.Write(b)
-	} else {
+		stdout.Write(b)
+	case "sarif":
+		b, err := analyzers.NewSARIF(wd, analyzers.All(), findings).Marshal()
+		if err != nil {
+			fmt.Fprintln(stderr, "twca-lint:", err)
+			return exitOperational
+		}
+		stdout.Write(b)
+	default:
 		for _, f := range findings {
 			if f.Suppressed {
 				continue
 			}
-			fmt.Printf("%s: %s: %s\n", f.Pos, f.Rule, f.Message)
+			fmt.Fprintf(stdout, "%s: %s: %s\n", f.Pos, f.Rule, f.Message)
 		}
 		if failing > 0 {
-			fmt.Fprintf(os.Stderr, "twca-lint: %d finding(s) in %d package(s)\n", failing, len(passes))
+			fmt.Fprintf(stderr, "twca-lint: %d finding(s) in %d package(s)\n", failing, len(passes))
 		}
 	}
-	if failing > 0 {
-		os.Exit(1)
+
+	for _, le := range loadErrs {
+		fmt.Fprintf(stderr, "twca-lint: load failure (package not checked): %v\n", le)
 	}
+	if len(loadErrs) > 0 {
+		return exitLoadFailure
+	}
+	if failing > 0 {
+		return exitFindings
+	}
+	return exitClean
 }

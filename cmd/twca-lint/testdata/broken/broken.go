@@ -1,0 +1,8 @@
+// Package broken does not type-check. It exists so the CLI tests can
+// pin exit code 3: a package that fails to load was not checked, and a
+// clean exit would be a lie.
+package broken
+
+func oops() int {
+	return "not an int"
+}

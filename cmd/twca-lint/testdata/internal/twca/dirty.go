@@ -1,0 +1,15 @@
+// Package twca is twca-lint CLI test data. Its import path ends in
+// internal/twca, so DefaultConfig's deterministic scope applies to it
+// without any test-only configuration; the seeded map range keeps the
+// exit-1 and output-determinism tests honest. The wildcard patterns
+// used by builds and `make lint` never descend into testdata.
+package twca
+
+// Leak observes map iteration order: the seeded violation.
+func Leak(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

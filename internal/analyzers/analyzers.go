@@ -40,6 +40,9 @@ const (
 	RuleSentinels   = "sentinels"
 	RuleSaturation  = "saturation"
 	RuleSuppression = "suppression"
+	RuleSoundflow   = "soundflow"
+	RuleConcurrency = "concurrency"
+	RuleErrRetain   = "errretain"
 )
 
 // Config scopes the rules to the packages and types they guard. The
@@ -64,6 +67,33 @@ type Config struct {
 	// internal/sim whose Time values are finite by construction
 	// (bounded by the simulation horizon).
 	SaturationPkgs []string
+
+	// SoundflowPkgs scopes the soundflow rule: packages where reported
+	// bounds are computed and an accidentally tightened upper bound
+	// becomes an unsound result.
+	SoundflowPkgs []string
+	// UpperSources are the qualified names (pkgpath.Name, or func IDs
+	// like pkgpath.(*Recv).Name; module-path prefixes may be omitted)
+	// whose values carry upper-bound taint: saturation sentinels,
+	// degradation-ladder bound producers, Ω capacities.
+	UpperSources []string
+	// SoundflowAllow lists func IDs exempt from soundflow because a
+	// dedicated dominance property test proves the reduction sound
+	// (e.g. clamping dmm(k) to k, which is itself a Lemma-3 bound).
+	SoundflowAllow []string
+
+	// ConcurrencyPkgs scopes the concurrency rule: the service/store
+	// tier where goroutine leaks and lock-holding blocking calls turn
+	// into fleet-wide stalls.
+	ConcurrencyPkgs []string
+
+	// RetainPkgs scopes the errretain rule.
+	RetainPkgs []string
+	// RetainSinks are func IDs of cache/retain entry points that must
+	// never receive an error value in any argument. Functions that
+	// forward a parameter into a sink become sinks in that parameter
+	// transitively.
+	RetainSinks []string
 }
 
 // DefaultConfig is the contract twca-lint enforces on this repository.
@@ -94,6 +124,45 @@ func DefaultConfig() Config {
 			"internal/store",
 		},
 		SaturatingTypes: []string{"repro/internal/curves.Time"},
+		SoundflowPkgs: []string{
+			"internal/twca",
+			"internal/latency",
+			"internal/holistic",
+			"internal/sensitivity",
+		},
+		UpperSources: []string{
+			// The saturation sentinels: both stand for "unbounded", the
+			// loosest possible upper bound. Producers whose results derive
+			// from them (Ω, the omega-sum rung) become sources through the
+			// call-graph summaries automatically.
+			"internal/curves.Infinity",
+			"internal/twca.OmegaUnbounded",
+		},
+		SoundflowAllow: []string{
+			// The k-clamps: dmm(k) ≤ k is Lemma 3 (at most k misses in a
+			// window of k), so clamping an Ω-derived value to k replaces
+			// one upper bound with a provably tighter-but-still-sound one.
+			// TestDegradedDominatesExact and the twca property tests pin
+			// the dominance direction for these.
+			"internal/twca.(*Analysis).DMMCtx",
+			"internal/twca.(*Analysis).omegaSum",
+			"internal/twca.(*Analysis).dmmValue",
+		},
+		ConcurrencyPkgs: []string{
+			"internal/service",
+			"internal/store",
+			"internal/parallel",
+			"internal/sim",
+		},
+		RetainPkgs: []string{
+			"internal/store",
+			"internal/sensitivity",
+			"internal/service",
+		},
+		RetainSinks: []string{
+			"internal/store.(*Store).Add",
+			"internal/sensitivity.(*scopeStore).put",
+		},
 		SaturationPkgs: []string{
 			"internal/latency",
 			"internal/twca",
@@ -117,6 +186,9 @@ type Finding struct {
 	// directive. They are kept (for -json reporting and for the
 	// bare-directive check) but do not fail the run.
 	Suppressed bool
+	// Fix, when non-nil, is a machine-applicable rewrite that resolves
+	// the finding (applied by `twca-lint -fix`).
+	Fix *Fix
 }
 
 // Analyzer is one rule family: a name, a one-line contract, and the
@@ -129,7 +201,7 @@ type Analyzer struct {
 
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, CtxFlow, Sentinels, Saturation}
+	return []*Analyzer{Determinism, CtxFlow, Sentinels, Saturation, Soundflow, Concurrency, ErrRetain}
 }
 
 // Pass is one analyzed package: its syntax, type information and the
@@ -141,6 +213,11 @@ type Pass struct {
 	Pkg        *types.Package
 	Info       *types.Info
 	Files      []*ast.File
+
+	// Prog is the interprocedural summary layer over every pass of the
+	// run (see callgraph.go). AnalyzeAll fills it; a nil Prog degrades
+	// the interprocedural rules to their intraprocedural core.
+	Prog *Program
 
 	findings []Finding
 }
@@ -254,6 +331,19 @@ func Analyze(p *Pass, suite []*Analyzer) []Finding {
 	}
 	sortFindings(p.findings)
 	return p.findings
+}
+
+// AnalyzeAll builds the interprocedural summary layer over all passes
+// and then runs the suite on each, returning the concatenated findings
+// in pass order (each pass's findings position-sorted by Analyze).
+func AnalyzeAll(passes []*Pass, suite []*Analyzer) []Finding {
+	prog := BuildProgram(passes)
+	var all []Finding
+	for _, p := range passes {
+		p.Prog = prog
+		all = append(all, Analyze(p, suite)...)
+	}
+	return all
 }
 
 // sortFindings orders findings by file, line, column, rule, message so

@@ -1,0 +1,254 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callgraph.go: the interprocedural summary layer. Every function
+// declared in the analyzed packages gets a FuncInfo keyed by its
+// canonical ID string ("pkg/path.Name" or "pkg/path.(*Recv).Name");
+// keys are strings rather than types.Object so summaries compose
+// across passes even when packages were type-checked under different
+// FileSets (the parallel loader gives each shard its own). Summary
+// bits are propagated to a fixed point over the static call graph, so
+// the rules see through call chains: a function that calls a function
+// that blocks on a channel is itself blocking.
+
+// FuncInfo is the per-function node of the program call graph.
+type FuncInfo struct {
+	ID   string
+	Pass *Pass
+	Decl *ast.FuncDecl
+
+	// Summary bits, valid after BuildProgram returns.
+
+	// Blocks: the function may block on a channel operation, select
+	// without default, sync.WaitGroup/Cond.Wait, time.Sleep, an HTTP
+	// round-trip, or a callee that does.
+	Blocks bool
+	// BlockReason names the primitive or callee that makes Blocks true
+	// (for diagnostics).
+	BlockReason string
+	// InescapableLoop: the function's CFG contains a reachable block
+	// from which the exit is unreachable — once entered, the function
+	// can never return (`for { work() }` with no break/return).
+	InescapableLoop bool
+	// UpperResult: the function returns a value tainted "upper" (an
+	// over-approximating bound or saturation sentinel) — see soundflow.
+	UpperResult bool
+	// SinkParams marks parameters that the function passes (directly or
+	// transitively) to a configured retain sink — see errretain.
+	SinkParams []bool
+
+	cfg *CFG
+}
+
+// CFG returns the function's control-flow graph, built on first use.
+func (f *FuncInfo) CFG() *CFG {
+	if f.cfg == nil {
+		f.cfg = NewCFG(f.Decl.Body)
+	}
+	return f.cfg
+}
+
+// Program is the whole analyzed package set: the function table plus
+// the config the summaries were computed under.
+type Program struct {
+	Config Config
+	funcs  map[string]*FuncInfo
+}
+
+// Func returns the summary for the given canonical ID, or nil.
+func (pr *Program) Func(id string) *FuncInfo {
+	if pr == nil {
+		return nil
+	}
+	return pr.funcs[id]
+}
+
+// FuncIDOf returns the canonical ID of a *types.Func (methods include
+// their receiver type), or "" for nil/builtin objects.
+func FuncIDOf(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+		ptr = "*"
+	}
+	name := "?"
+	if named, ok := recv.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return fn.Pkg().Path() + ".(" + ptr + name + ")." + fn.Name()
+}
+
+// callee resolves the static callee of a call expression to its
+// *types.Func (package function, method, or imported function), or nil
+// for builtins, function values and interface dispatch through
+// non-constant receivers.
+func (p *Pass) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeID is callee composed with FuncIDOf.
+func (p *Pass) calleeID(call *ast.CallExpr) string {
+	return FuncIDOf(p.callee(call))
+}
+
+// BuildProgram indexes every function declaration of the passes and
+// computes the interprocedural summaries to a fixed point. The passes'
+// shared Config (taken from the first pass) scopes the sink and source
+// tables.
+func BuildProgram(passes []*Pass) *Program {
+	pr := &Program{funcs: make(map[string]*FuncInfo)}
+	if len(passes) > 0 {
+		pr.Config = passes[0].Config
+	}
+	for _, p := range passes {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := p.Info.Defs[fd.Name]
+				id := FuncIDOf(obj)
+				if id == "" {
+					continue
+				}
+				pr.funcs[id] = &FuncInfo{ID: id, Pass: p, Decl: fd}
+			}
+		}
+	}
+
+	// Deterministic iteration order for the fixed point.
+	ids := make([]string, 0, len(pr.funcs))
+	for id := range pr.funcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Seed the intraprocedural bits.
+	for _, id := range ids {
+		fi := pr.funcs[id]
+		if reason := blockingPrimitiveIn(fi.Pass, fi.Decl.Body); reason != "" {
+			fi.Blocks, fi.BlockReason = true, reason
+		}
+		fi.InescapableLoop = hasInescapableLoop(fi.CFG())
+		fi.SinkParams = directSinkParams(pr, fi)
+		fi.UpperResult = returnsUpper(pr, fi)
+	}
+
+	// Propagate Blocks, SinkParams and UpperResult through the call
+	// graph until nothing changes. All three are monotone bits, so the
+	// loop terminates; the function count bounds the round count.
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			fi := pr.funcs[id]
+			if !fi.Blocks {
+				if reason := blockingCalleeIn(pr, fi.Pass, fi.Decl.Body); reason != "" {
+					fi.Blocks, fi.BlockReason = true, reason
+					changed = true
+				}
+			}
+			if next := transitiveSinkParams(pr, fi); growBools(&fi.SinkParams, next) {
+				changed = true
+			}
+			if !fi.UpperResult && returnsUpper(pr, fi) {
+				fi.UpperResult = true
+				changed = true
+			}
+		}
+	}
+	return pr
+}
+
+// growBools ORs next into dst, reporting whether anything flipped.
+func growBools(dst *[]bool, next []bool) bool {
+	changed := false
+	for i, v := range next {
+		if i >= len(*dst) {
+			*dst = append(*dst, false)
+		}
+		if v && !(*dst)[i] {
+			(*dst)[i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// hasInescapableLoop reports whether some block reachable from the
+// entry cannot reach the exit — the graph shape of a loop with no
+// break, return or cancellation escape.
+func hasInescapableLoop(g *CFG) bool {
+	reach := g.Reachable()
+	exits := g.ReachesExit()
+	for b := range reach {
+		if !exits[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// paramObjects returns the declared parameter objects of fn in order.
+func paramObjects(p *Pass, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, p.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// qualifiedName renders pkgpath.Name for a package-level object, or ""
+// when obj is not package-scoped.
+func qualifiedName(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// matchesQualified reports whether the qualified name (or func ID)
+// matches one of the configured patterns. Patterns are matched as
+// suffixes on a package-path element boundary so configs can say
+// "internal/store.(*Store).Add" without hard-coding the module path.
+func matchesQualified(name string, patterns []string) bool {
+	if name == "" {
+		return false
+	}
+	for _, pat := range patterns {
+		if name == pat || strings.HasSuffix(name, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,470 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the lightweight per-function control-flow graph
+// the dataflow rules (soundflow, concurrency, errretain) run on. It is
+// deliberately small: blocks hold the statements and condition
+// expressions in execution order, edges follow Go's structured control
+// flow (if/for/range/switch/select, break/continue/goto with labels,
+// return, panic), and deferred calls are modeled as running in the
+// virtual exit block. That is enough for forward may-analyses; no
+// dominators, no SSA.
+
+// Block is one basic block: nodes in execution order plus successor
+// edges. Nodes are statements, plus the condition expressions of if and
+// for headers (so transfer functions see them in flow order).
+type Block struct {
+	// Index is the block's creation order, used for deterministic
+	// worklist iteration.
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is the
+// first block executed; Exit is a virtual block every return (and the
+// body's natural end) feeds into. Deferred call expressions are
+// appended to Exit's node list in reverse (LIFO) order, matching Go's
+// semantics closely enough for forward may-analyses.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Comm marks select communication statements. They appear as nodes
+	// in their clause's block (their effects are visible to transfer
+	// functions), but they execute only after the select has chosen
+	// them, so they never block by themselves — whether the select can
+	// block is read off the SelectStmt node in the dispatch block.
+	Comm map[ast.Node]bool
+}
+
+// cfgBuilder carries the construction state: the current block, the
+// break/continue target stacks, and the label tables for goto and
+// labeled break/continue resolution.
+type cfgBuilder struct {
+	g            *CFG
+	cur          *Block
+	breaks       []*Block // innermost-last; nil entries are switch-only frames
+	conts        []*Block
+	labelStart   map[string]*Block // label -> first block of the labeled stmt (goto target)
+	labelBreak   map[string]*Block // label -> join after the labeled stmt (break target)
+	labelCont    map[string]*Block // label -> loop continue target
+	pendingLabel []string          // labels attached to the statement being lowered
+	gotos        []gotoFixup
+	defers       []ast.Node
+}
+
+type gotoFixup struct {
+	from  *Block
+	label string
+}
+
+// NewCFG builds the control-flow graph of body. A nil body (external
+// function) yields a graph whose entry flows straight to its exit.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{Comm: make(map[ast.Node]bool)}
+	b := &cfgBuilder{
+		g:          g,
+		labelStart: make(map[string]*Block),
+		labelBreak: make(map[string]*Block),
+		labelCont:  make(map[string]*Block),
+	}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(g.Exit)
+	for _, fix := range b.gotos {
+		if target, ok := b.labelStart[fix.label]; ok {
+			fix.from.Succs = append(fix.from.Succs, target)
+		}
+	}
+	// Deferred calls run after every return path converges on Exit, in
+	// LIFO order.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		g.Exit.Nodes = append(g.Exit.Nodes, b.defers[i])
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge from the current block to target and terminates
+// the current block: statements after an unconditional jump are dead
+// until a new block starts.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// startBlock begins blk, linking it from the current block when the
+// latter can fall through.
+func (b *cfgBuilder) startBlock(blk *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, blk)
+	}
+	b.cur = blk
+}
+
+// add appends a node to the current block, starting a fresh block if
+// the previous one was terminated (unreachable code still gets a
+// block; it is simply never reached from Entry).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabels consumes the labels attached to the loop/switch being
+// lowered, registering brk (and cont, when non-nil) as their targets.
+func (b *cfgBuilder) takeLabels(brk, cont *Block) {
+	for _, name := range b.pendingLabel {
+		b.labelBreak[name] = brk
+		if cont != nil {
+			b.labelCont[name] = cont
+		}
+	}
+	b.pendingLabel = nil
+}
+
+// stmt translates one statement into blocks and edges.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement other than the directly labeled loop/switch clears
+	// pending labels after it is lowered; the loop constructs consume
+	// them explicitly via takeLabels.
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		join := b.newBlock()
+		condBlk.Succs = append(condBlk.Succs, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			condBlk.Succs = append(condBlk.Succs, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.jump(join)
+		} else {
+			condBlk.Succs = append(condBlk.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.takeLabels(exit, post)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs, body, exit)
+		} else {
+			// `for { ... }`: no exit edge from the head; the loop leaves
+			// only through break/return/goto/panic.
+			head.Succs = append(head.Succs, body)
+		}
+		b.pushLoop(exit, post)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		b.popLoop()
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.jump(head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.takeLabels(exit, head)
+		b.startBlock(head)
+		// The range operand is evaluated (and, for channels, received
+		// from) at the head. Ranging always has a structural exit edge:
+		// slices/maps end, channel ranges end on close.
+		b.add(s)
+		head.Succs = append(head.Succs, body, exit)
+		b.pushLoop(exit, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popLoop()
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+
+	case *ast.SelectStmt:
+		// The select statement itself is a node (the blocking-op rule
+		// inspects it), then each communication clause branches.
+		b.add(s)
+		b.switchBody(s.Body, true)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.startBlock(target)
+		b.labelStart[s.Label.Name] = target
+		b.pendingLabel = append(b.pendingLabel, s.Label.Name)
+		b.stmt(s.Stmt)
+		// For a labeled non-loop statement the label was never consumed;
+		// a labeled break then behaves like a plain fallthrough to the
+		// next statement, which the normal flow already models.
+		b.pendingLabel = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t, ok := b.labelBreak[s.Label.Name]; ok {
+					b.jump(t)
+					return
+				}
+			}
+			if t := b.breakTarget(); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t, ok := b.labelCont[s.Label.Name]; ok {
+					b.jump(t)
+					return
+				}
+			}
+			if t := b.contTarget(); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			if b.cur == nil {
+				b.cur = b.newBlock()
+			}
+			b.gotos = append(b.gotos, gotoFixup{from: b.cur, label: s.Label.Name})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody's clause chaining.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.ExprStmt:
+		b.add(s.X)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assignments, declarations, go/send/incdec statements, empty
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchBody lowers the clause list of a switch, type switch or
+// select: every clause body starts from the dispatch block, all bodies
+// join after the statement. A missing default adds a direct
+// dispatch→join edge (the no-match path) for switches; for select the
+// absence of a default means the statement blocks, which the
+// concurrency rule reads off the SelectStmt node itself.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, isSelect bool) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+	}
+	join := b.newBlock()
+	b.takeLabels(join, nil)
+	b.pushBreakOnly(join)
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauseBodies [][]ast.Stmt
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		dispatch.Succs = append(dispatch.Succs, blk)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cs.Body)
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cs.Comm)
+				b.g.Comm[cs.Comm] = true
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cs.Body)
+		}
+	}
+	for i, blk := range clauseBlocks {
+		b.cur = blk
+		if endsInFallthrough(clauseBodies[i]) && i+1 < len(clauseBlocks) {
+			b.stmtList(clauseBodies[i][:len(clauseBodies[i])-1])
+			b.jump(clauseBlocks[i+1])
+			continue
+		}
+		b.stmtList(clauseBodies[i])
+		b.jump(join)
+	}
+	if !hasDefault && !isSelect {
+		dispatch.Succs = append(dispatch.Succs, join)
+	}
+	b.popLoop()
+	b.cur = join
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// Break/continue target stacks: loops push both, switches and selects
+// push only a break frame (nil continue entry keeps `continue` bound
+// to the enclosing loop).
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, cont)
+}
+
+func (b *cfgBuilder) pushBreakOnly(brk *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, nil)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+func (b *cfgBuilder) breakTarget() *Block {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i] != nil {
+			return b.breaks[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) contTarget() *Block {
+	for i := len(b.conts) - 1; i >= 0; i-- {
+		if b.conts[i] != nil {
+			return b.conts[i]
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// ReachesExit returns the set of blocks from which Exit is reachable
+// (computed over reverse edges).
+func (g *CFG) ReachesExit() map[*Block]bool {
+	preds := make(map[*Block][]*Block)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, p := range preds[b] {
+			walk(p)
+		}
+	}
+	walk(g.Exit)
+	return seen
+}

@@ -1,0 +1,174 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body for CFG shape tests. Parse-only (no
+// type checking): the CFG is purely syntactic.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "body.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// TestCFGEscapes pins the loop-escape semantics the goroutine-leak
+// rule depends on: a reachable block that cannot reach the exit exists
+// exactly when the function can get stuck.
+func TestCFGEscapes(t *testing.T) {
+	cases := []struct {
+		name        string
+		body        string
+		inescapable bool
+	}{
+		{"straight-line", "x := 1\n_ = x", false},
+		{"if-else-returns", "if x := 1; x > 0 {\nreturn\n}\nreturn", false},
+		{"forever", "for {\n}", true},
+		{"forever-work", "ch := make(chan int)\nfor {\n<-ch\n}", true},
+		{"forever-break", "for {\nbreak\n}", false},
+		{"forever-cond-break", "for {\nif true {\nbreak\n}\n}", false},
+		{"cond-loop", "for i := 0; i < 10; i++ {\n}", false},
+		{"labeled-break-escapes-both", "outer:\nfor {\nfor {\nbreak outer\n}\n}", false},
+		{"inner-break-only", "for {\nfor {\nbreak\n}\n}", true},
+		{"goto-self", "loop:\ngoto loop", true},
+		{"forever-return", "for {\nreturn\n}", false},
+		{"range-channel", "ch := make(chan int)\nfor v := range ch {\n_ = v\n}", false},
+		{"select-cancel-escape", "ch := make(chan int)\ndone := make(chan int)\nfor {\nselect {\ncase <-ch:\ncase <-done:\nreturn\n}\n}", false},
+		{"forever-panic", "for {\npanic(\"stuck\")\n}", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewCFG(parseBody(t, tc.body))
+			if got := hasInescapableLoop(g); got != tc.inescapable {
+				t.Errorf("hasInescapableLoop = %v, want %v", got, tc.inescapable)
+			}
+		})
+	}
+}
+
+// TestCFGDeferLIFO pins deferred calls running in the exit block in
+// reverse registration order — the property that lets the held-locks
+// analysis apply a deferred Unlock at function end rather than at the
+// defer statement.
+func TestCFGDeferLIFO(t *testing.T) {
+	g := NewCFG(parseBody(t, "defer a()\ndefer b()\nx := 1\n_ = x"))
+	var names []string
+	for _, n := range g.Exit.Nodes {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			t.Fatalf("exit node %T, want *ast.CallExpr", n)
+		}
+		names = append(names, call.Fun.(*ast.Ident).Name)
+	}
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("exit defers = %v, want [b a]", names)
+	}
+}
+
+// TestCFGSelectEdges pins the select lowering: without a default the
+// dispatch block's only successors are the clause blocks (no no-match
+// edge — the statement blocks instead), and the communication
+// statements are marked Comm; with a default the extra clause makes
+// the select non-blocking.
+func TestCFGSelectEdges(t *testing.T) {
+	g := NewCFG(parseBody(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n_ = v\n}"))
+	dispatch := blockWithSelect(t, g)
+	if len(dispatch.Succs) != 1 {
+		t.Errorf("defaultless select dispatch has %d successors, want 1 (clause only)", len(dispatch.Succs))
+	}
+	if len(g.Comm) != 1 {
+		t.Errorf("Comm marks %d nodes, want 1", len(g.Comm))
+	}
+
+	g = NewCFG(parseBody(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n_ = v\ndefault:\n}"))
+	dispatch = blockWithSelect(t, g)
+	if len(dispatch.Succs) != 2 {
+		t.Errorf("select-with-default dispatch has %d successors, want 2", len(dispatch.Succs))
+	}
+}
+
+func blockWithSelect(t *testing.T, g *CFG) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				return b
+			}
+		}
+	}
+	t.Fatal("no block holds the SelectStmt")
+	return nil
+}
+
+// TestCFGSwitchNoDefault pins the no-match edge: a switch without a
+// default can fall through to the join directly.
+func TestCFGSwitchNoDefault(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\nswitch x {\ncase 1:\nx = 2\n}\n_ = x"))
+	reach := g.Reachable()
+	exits := g.ReachesExit()
+	for b := range reach {
+		if !exits[b] {
+			t.Errorf("block %d reachable but cannot reach exit", b.Index)
+		}
+	}
+}
+
+// TestForwardJoinsBranches runs the worklist solver over a diamond and
+// checks the exit fact is the union of both arms — the may-analysis
+// join the held-locks rule relies on.
+func TestForwardJoinsBranches(t *testing.T) {
+	body := parseBody(t, "if x := 1; x > 0 {\na()\n} else {\nb()\n}\nafter()")
+	g := NewCFG(body)
+	in := Forward(g, objSetLattice(collectCallNames))
+	got := in[g.Exit]
+	for _, want := range []string{"a", "b", "after"} {
+		if !got[want] {
+			t.Errorf("exit fact missing %q (have %v)", want, got.sortedKeys())
+		}
+	}
+}
+
+// collectCallNames is a toy transfer function: it accumulates the
+// names of called functions, recursing because CFG nodes are whole
+// statements (an ExprStmt wraps its CallExpr).
+func collectCallNames(n ast.Node, in objSet) objSet {
+	out := in
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				out = out.with(id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TestForwardDeterministic pins the solver's fixed iteration order:
+// two runs over the same loop-heavy body yield identical facts.
+func TestForwardDeterministic(t *testing.T) {
+	body := parseBody(t, "for i := 0; i < 3; i++ {\nif i > 1 {\na()\n} else {\nb()\n}\n}\nafter()")
+	run := func() string {
+		g := NewCFG(body)
+		in := Forward(g, objSetLattice(collectCallNames))
+		out := ""
+		for _, b := range g.Blocks {
+			out += "|"
+			for _, k := range in[b].sortedKeys() {
+				out += k + ","
+			}
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two solver runs disagree:\n%s\nvs\n%s", a, b)
+	}
+}

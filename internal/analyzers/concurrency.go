@@ -1,0 +1,344 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency guards the service/store/fleet tier's two recurring
+// concurrent-bug classes:
+//
+//   - goroutine-leak: a goroutine spawned in the scoped packages must
+//     be able to terminate on every control-flow path. A body (or
+//     called function) whose CFG contains a loop with no break,
+//     return or cancellation escape outlives its work forever — under
+//     heavy traffic that is an unbounded goroutine pile-up.
+//   - mutex-held-across-blocking-op: performing a channel operation, a
+//     select without default, sync.WaitGroup/Cond.Wait, time.Sleep or
+//     an HTTP round-trip while holding a sync.Mutex/RWMutex serializes
+//     every other critical-section entrant behind an unbounded wait —
+//     exactly the failure mode of a relay call made under the store
+//     lock. The check is interprocedural: calling a function that
+//     blocks (per its call-graph summary) counts.
+var Concurrency = &Analyzer{
+	Name: RuleConcurrency,
+	Doc:  "goroutines must have a termination path; mutexes must not be held across blocking operations",
+	Run:  runConcurrency,
+}
+
+func runConcurrency(p *Pass) {
+	if !p.pathMatches(p.Config.ConcurrencyPkgs) {
+		return
+	}
+	pr := p.Prog
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.checkGoroutineEscape(pr, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					p.checkLockedBlocking(pr, NewCFG(n.Body), n.Name.Name)
+				}
+			case *ast.FuncLit:
+				p.checkLockedBlocking(pr, NewCFG(n.Body), "function literal")
+			}
+			return true
+		})
+	}
+}
+
+// checkGoroutineEscape flags `go` statements whose target can enter a
+// loop it can never leave.
+func (p *Pass) checkGoroutineEscape(pr *Program, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if hasInescapableLoop(NewCFG(lit.Body)) {
+			p.report(g, RuleConcurrency,
+				"goroutine body contains a loop with no break, return or cancellation escape; give every path a ctx/done exit so the goroutine can terminate")
+		}
+		return
+	}
+	id := p.calleeID(g.Call)
+	if fi := pr.Func(id); fi != nil && fi.InescapableLoop {
+		p.report(g, RuleConcurrency,
+			"goroutine runs %s, which contains a loop with no break, return or cancellation escape; give every path a ctx/done exit so the goroutine can terminate", shortFuncID(id))
+	}
+}
+
+// checkLockedBlocking runs the held-locks dataflow over one function
+// body and reports blocking operations reached with a non-empty held
+// set.
+func (p *Pass) checkLockedBlocking(pr *Program, g *CFG, where string) {
+	lat := objSetLattice(func(n ast.Node, in objSet) objSet { return p.lockTransfer(n, in) })
+	in := Forward(g, lat)
+	reach := g.Reachable()
+	reported := make(map[ast.Node]bool)
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		held := in[b]
+		for _, n := range b.Nodes {
+			if len(held) > 0 && !reported[n] && !g.Comm[n] {
+				if reason := p.nodeBlocks(pr, n); reason != "" {
+					reported[n] = true
+					p.report(n, RuleConcurrency,
+						"%s while holding %s in %s; a blocked critical section stalls every other entrant — release the lock before %s",
+						reason, joinQuoted(held.sortedKeys()), where, reason)
+				}
+			}
+			held = p.lockTransfer(n, held)
+		}
+	}
+}
+
+// lockTransfer updates the held-lock set for one CFG node: Lock/RLock
+// adds the receiver path, Unlock/RUnlock removes it. Deferred unlocks
+// are applied where they run (the exit block), so the lock correctly
+// stays held for the rest of the body. Nested function literals are
+// opaque (their bodies get their own check).
+func (p *Pass) lockTransfer(n ast.Node, in objSet) objSet {
+	// A RangeStmt node in a CFG head carries its whole body, but the
+	// body statements are separate nodes in the loop's body blocks:
+	// only the range operand executes here. Select clause bodies are
+	// likewise successor blocks of the select node.
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		return p.lockTransfer(rng.X, in)
+	}
+	if _, ok := n.(*ast.SelectStmt); ok {
+		return in
+	}
+	out := in
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch lockMethod(p, m) {
+			case "Lock", "RLock":
+				out = out.with(types.ExprString(sel.X))
+			case "Unlock", "RUnlock":
+				out = out.without(types.ExprString(sel.X))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockMethod returns the sync lock/unlock method name the call invokes
+// ("Lock", "RLock", "Unlock", "RUnlock") or "".
+func lockMethod(p *Pass, call *ast.CallExpr) string {
+	fn := p.callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return fn.Name()
+	}
+	return ""
+}
+
+// nodeBlocks reports why executing n may block ("" when it cannot).
+// The check is interprocedural: a call to a function whose summary
+// says it blocks counts, with the callee named in the reason.
+func (p *Pass) nodeBlocks(pr *Program, n ast.Node) string {
+	// See lockTransfer: a RangeStmt head node executes only its
+	// operand (plus the implicit receive for channel ranges).
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		if r := blockingPrimitive(p, rng); r != "" {
+			return r
+		}
+		return p.nodeBlocks(pr, rng.X)
+	}
+	reason := ""
+	ast.Inspect(n, func(m ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			// The select node reached via the CFG is the statement
+			// itself; its clause bodies live in successor blocks.
+			if !hasDefaultClause(m) {
+				reason = "blocking select"
+			}
+			return false
+		default:
+			reason = blockingPrimitive(p, m)
+			if reason == "" {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id := p.calleeID(call); id != "" {
+						if fi := pr.Func(id); fi != nil && fi.Blocks {
+							reason = fmt.Sprintf("calling %s (which may block on %s)", shortFuncID(id), fi.BlockReason)
+						}
+					}
+				}
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// blockingPrimitive reports why the single node m blocks by itself:
+// channel operations and the well-known blocking calls of the standard
+// library.
+func blockingPrimitive(p *Pass, m ast.Node) string {
+	switch m := m.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if m.Op == token.ARROW {
+			return "channel receive"
+		}
+	case *ast.RangeStmt:
+		if t := p.TypeOf(m.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel"
+			}
+		}
+	case *ast.CallExpr:
+		if id := p.calleeID(m); blockingStdCalls[id] {
+			return "calling " + shortFuncID(id)
+		}
+	}
+	return ""
+}
+
+// blockingStdCalls are standard-library calls that park the goroutine
+// until an external event: waitpoints, sleeps, and network
+// round-trips.
+var blockingStdCalls = map[string]bool{
+	"sync.(*WaitGroup).Wait":      true,
+	"sync.(*Cond).Wait":           true,
+	"time.Sleep":                  true,
+	"net/http.(*Client).Do":       true,
+	"net/http.(*Client).Get":      true,
+	"net/http.(*Client).Post":     true,
+	"net/http.(*Client).PostForm": true,
+	"net/http.(*Client).Head":     true,
+	"net/http.Get":                true,
+	"net/http.Post":               true,
+	"net/http.PostForm":           true,
+	"net/http.Head":               true,
+}
+
+// blockingPrimitiveIn scans a body for a directly blocking operation,
+// skipping nested function literals and spawned goroutines (their
+// blocking is their own, not the enclosing function's).
+func blockingPrimitiveIn(p *Pass, body *ast.BlockStmt) string {
+	// Communication statements of selects execute only once the select
+	// has chosen them; they never block by themselves.
+	comm := make(map[ast.Node]bool)
+	ast.Inspect(body, func(m ast.Node) bool {
+		if cc, ok := m.(*ast.CommClause); ok && cc.Comm != nil {
+			comm[cc.Comm] = true
+		}
+		return true
+	})
+	reason := ""
+	ast.Inspect(body, func(m ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		if comm[m] {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if !hasDefaultClause(m) {
+				reason = "blocking select"
+				return false
+			}
+			return true
+		default:
+			reason = blockingPrimitive(p, m)
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// blockingCalleeIn scans a body for a call to an in-program function
+// whose summary blocks, returning the diagnostic reason.
+func blockingCalleeIn(pr *Program, p *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(m ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if id := p.calleeID(m); id != "" {
+				if fi := pr.Func(id); fi != nil && fi.Blocks {
+					reason = shortFuncID(id)
+				}
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// hasDefaultClause reports whether the select has a default case (and
+// therefore cannot block).
+func hasDefaultClause(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// shortFuncID strips the package path down to its last element for
+// readable diagnostics: "repro/internal/store.(*Store).Do" →
+// "store.(*Store).Do".
+func shortFuncID(id string) string {
+	dot := -1
+	for i := 0; i < len(id); i++ {
+		if id[i] == '.' {
+			dot = i
+			break
+		}
+		if id[i] == '(' {
+			break
+		}
+	}
+	if dot < 0 {
+		return id
+	}
+	path := id[:dot]
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return id[i+1:]
+		}
+	}
+	return id
+}
+
+// joinQuoted renders a sorted key list as `"a", "b"`.
+func joinQuoted(keys []string) string {
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%q", k)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// dataflow.go: a small forward worklist solver over the CFG of cfg.go.
+// Facts are whatever the rule needs (sets of tainted objects, held
+// locks, unchecked error pairs); the solver only requires bottom, join,
+// equality and a per-node transfer function. Iteration order is fixed
+// (block creation order drives the worklist), so two runs over the
+// same function produce identical results — the analyzers' own
+// determinism contract.
+
+// FlowLattice describes one forward may-analysis.
+type FlowLattice[F any] struct {
+	// Bottom returns the "no information" fact blocks start from.
+	Bottom func() F
+	// Join merges the facts of two predecessors.
+	Join func(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// fixed point is reached when no block's entry fact changes.
+	Equal func(a, b F) bool
+	// Transfer applies one CFG node to the incoming fact and returns
+	// the outgoing fact. It must not mutate in.
+	Transfer func(n ast.Node, in F) F
+}
+
+// Forward runs the lattice to a fixed point over g and returns the
+// entry fact of every block (the fact holding before the block's first
+// node executes). Blocks unreachable from Entry keep Bottom.
+func Forward[F any](g *CFG, l FlowLattice[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = l.Bottom()
+	}
+	// Worklist ordered by block index: deterministic and close enough
+	// to reverse postorder for the shallow CFGs of real functions.
+	queued := make(map[*Block]bool, len(g.Blocks))
+	var list []*Block
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			list = append(list, b)
+		}
+	}
+	// Seed every reachable block, not just Entry: a block must run its
+	// transfer at least once even when its entry fact never rises above
+	// Bottom, or facts it generates would never reach its successors.
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if reach[b] {
+			push(b)
+		}
+	}
+	for len(list) > 0 {
+		sort.Slice(list, func(i, j int) bool { return list[i].Index < list[j].Index })
+		b := list[0]
+		list = list[1:]
+		queued[b] = false
+		out := in[b]
+		for _, n := range b.Nodes {
+			out = l.Transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			merged := l.Join(in[s], out)
+			if !l.Equal(merged, in[s]) {
+				in[s] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// objSet is the workhorse fact: a set of opaque string keys (object
+// IDs, lock paths). The nil map is the bottom element.
+type objSet map[string]bool
+
+func (s objSet) clone() objSet {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(objSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s objSet) with(k string) objSet {
+	out := s.clone()
+	if out == nil {
+		out = make(objSet, 1)
+	}
+	out[k] = true
+	return out
+}
+
+func (s objSet) without(k string) objSet {
+	if !s[k] {
+		return s
+	}
+	out := s.clone()
+	delete(out, k)
+	return out
+}
+
+func (s objSet) union(t objSet) objSet {
+	if len(t) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return t.clone()
+	}
+	out := s.clone()
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+func (s objSet) equal(t objSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys returns the set's keys in sorted order (for deterministic
+// messages).
+func (s objSet) sortedKeys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// objSetLattice builds the standard union/may lattice over objSet with
+// the given transfer function.
+func objSetLattice(transfer func(n ast.Node, in objSet) objSet) FlowLattice[objSet] {
+	return FlowLattice[objSet]{
+		Bottom:   func() objSet { return nil },
+		Join:     func(a, b objSet) objSet { return a.union(b) },
+		Equal:    func(a, b objSet) bool { return a.equal(b) },
+		Transfer: transfer,
+	}
+}

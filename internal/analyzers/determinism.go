@@ -44,7 +44,7 @@ func runDeterminism(p *Pass) {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					p.checkMapRanges(n.Body)
+					p.checkMapRanges(f, n.Body)
 				}
 			case *ast.SelectorExpr:
 				p.checkNondeterministicCall(n)
@@ -59,7 +59,7 @@ func runDeterminism(p *Pass) {
 // collect-then-sort idiom stays exempt; nested function literals are
 // scanned as part of their enclosing body (a sort call anywhere in the
 // function counts).
-func (p *Pass) checkMapRanges(body *ast.BlockStmt) {
+func (p *Pass) checkMapRanges(f *ast.File, body *ast.BlockStmt) {
 	sorted := p.sortedSliceObjects(body)
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
@@ -79,7 +79,7 @@ func (p *Pass) checkMapRanges(body *ast.BlockStmt) {
 		if p.isKeyCollect(rng, sorted) || p.isMapStore(rng) {
 			return true
 		}
-		p.report(rng, RuleDeterminism,
+		p.reportFix(rng, RuleDeterminism, p.collectSortFix(f, rng),
 			"iteration over map %s observes randomized order in a deterministic package; range over sorted keys instead",
 			types.ExprString(rng.X))
 		return true

@@ -1,0 +1,194 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrRetain guards the cache tiers: the memo store, warm store and
+// fleet artifact caches must hold verdicts, never error values. An
+// error that reaches a retain sink is replayed to every later reader
+// as if it were a result — the one failure mode a retry cannot fix,
+// because the poisoned entry satisfies all subsequent lookups. The
+// check is interprocedural: a function that forwards a parameter into
+// a sink becomes a sink in that parameter itself (call-graph summary),
+// so the rule sees `put(..., err)` through arbitrarily many wrapper
+// layers.
+//
+// Deliberate retention of deterministic failure verdicts (the warm
+// store's negative caching) is waived at the call site with a reasoned
+// //twcalint:ignore directive.
+var ErrRetain = &Analyzer{
+	Name: RuleErrRetain,
+	Doc:  "error values must not reach store/warm-store retain sinks",
+	Run:  runErrRetain,
+}
+
+func runErrRetain(p *Pass) {
+	if !p.pathMatches(p.Config.RetainPkgs) {
+		return
+	}
+	pr := p.Prog
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tainted := p.errTaint(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id := p.calleeID(call)
+				if id == "" {
+					return true
+				}
+				configured := matchesQualified(id, p.Config.RetainSinks)
+				var summary []bool
+				if fi := pr.Func(id); fi != nil {
+					summary = fi.SinkParams
+				}
+				for i, arg := range call.Args {
+					sink := configured || (i < len(summary) && summary[i])
+					if !sink || !p.isErrValue(arg, tainted) {
+						continue
+					}
+					p.report(arg, RuleErrRetain,
+						"error value %s reaches retain sink %s; a cached error satisfies every later lookup — store a verdict, or waive deliberate negative caching with a reasoned //twcalint:ignore",
+						types.ExprString(arg), shortFuncID(id))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// errTaint computes the local objects that may hold an error value:
+// assigned from an error-typed expression or from another tainted
+// object (catches laundering through interface{}/any variables).
+func (p *Pass) errTaint(body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if p.isErrValue(as.Rhs[i], tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// isErrValue reports whether e may carry an error value: its static
+// type implements error (the untyped nil literal does not), or it is a
+// local tainted by an error assignment.
+func (p *Pass) isErrValue(e ast.Expr, tainted map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil && tainted[obj] {
+			return true
+		}
+	}
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// directSinkParams marks the parameters of fi that the body passes
+// straight into a configured retain sink (seed facts for the
+// call-graph fixed point).
+func directSinkParams(pr *Program, fi *FuncInfo) []bool {
+	return sinkParamsWhere(pr, fi, func(id string) []bool {
+		if matchesQualified(id, pr.Config.RetainSinks) {
+			return nil // nil marks "every position is a sink"
+		}
+		return []bool{}
+	})
+}
+
+// transitiveSinkParams marks the parameters of fi that flow into a
+// callee's sink parameter (per the callee's current summary); the
+// fixed point in BuildProgram ORs these in until stable.
+func transitiveSinkParams(pr *Program, fi *FuncInfo) []bool {
+	return sinkParamsWhere(pr, fi, func(id string) []bool {
+		if callee := pr.Func(id); callee != nil {
+			return callee.SinkParams
+		}
+		return []bool{}
+	})
+}
+
+// sinkParamsWhere is the shared walk: for every call in fi's body,
+// sinkPos(calleeID) describes which argument positions are sinks (nil
+// = all, empty = none); a parameter identifier in a sink position
+// marks that parameter.
+func sinkParamsWhere(pr *Program, fi *FuncInfo, sinkPos func(id string) []bool) []bool {
+	p := fi.Pass
+	params := paramObjects(p, fi.Decl)
+	index := make(map[types.Object]int, len(params))
+	for i, obj := range params {
+		if obj != nil {
+			index[obj] = i
+		}
+	}
+	out := make([]bool, len(params))
+	if len(params) == 0 {
+		return out
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id := p.calleeID(call)
+		if id == "" {
+			return true
+		}
+		pos := sinkPos(id)
+		if pos != nil && len(pos) == 0 {
+			return true
+		}
+		for i, arg := range call.Args {
+			if pos != nil && (i >= len(pos) || !pos[i]) {
+				continue
+			}
+			ident, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pi, ok := index[p.Info.Uses[ident]]; ok {
+				out[pi] = true
+			}
+		}
+		return true
+	})
+	return out
+}

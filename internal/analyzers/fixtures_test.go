@@ -15,9 +15,15 @@ import (
 // way DefaultConfig scopes them onto the real tree.
 func fixtureConfig() analyzers.Config {
 	return analyzers.Config{
-		DeterministicPkgs: []string{"fixture/determinism", "fixture/jclstate"},
-		SaturatingTypes:   []string{"fixture/saturation.Time"},
-		SaturationPkgs:    []string{"fixture/saturation"},
+		DeterministicPkgs: []string{"fixture/determinism", "fixture/jclstate", "fixture/fixable"},
+		SaturatingTypes:   []string{"fixture/saturation.Time", "fixture/fixable.Time"},
+		SaturationPkgs:    []string{"fixture/saturation", "fixture/fixable"},
+		SoundflowPkgs:     []string{"fixture/soundflow"},
+		UpperSources:      []string{"fixture/soundflow.Infinity"},
+		SoundflowAllow:    []string{"fixture/soundflow.AllowedClamp"},
+		ConcurrencyPkgs:   []string{"fixture/concurrency"},
+		RetainPkgs:        []string{"fixture/errretain"},
+		RetainSinks:       []string{"fixture/errretain.(*Cache).Put"},
 	}
 }
 
@@ -82,7 +88,7 @@ func checkFixture(t *testing.T, name string, extraWants map[int]*regexp.Regexp) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := analyzers.Analyze(pass, analyzers.All())
+	findings := analyzers.AnalyzeAll([]*analyzers.Pass{pass}, analyzers.All())
 
 	wants := make(map[int][]*regexp.Regexp)
 	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
@@ -188,17 +194,49 @@ func TestSaturationFixture(t *testing.T) {
 	}
 }
 
+// TestSoundflowFixture covers the bound-direction taint: min against
+// unproven operands, minuend subtraction and clamp-downs fire; the
+// guard idiom, min/max of proven bounds and the allowlisted clamp do
+// not.
+func TestSoundflowFixture(t *testing.T) {
+	findings := checkFixture(t, "soundflow", nil)
+	if got := suppressedCount(findings); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1", got)
+	}
+}
+
+// TestConcurrencyFixture covers goroutine-leak shapes (literal and
+// named, with ctx/range escapes staying clean) and
+// mutex-held-across-blocking-op, including the interprocedural callee
+// case and the select-with-default exemption.
+func TestConcurrencyFixture(t *testing.T) {
+	findings := checkFixture(t, "concurrency", nil)
+	if got := suppressedCount(findings); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1", got)
+	}
+}
+
+// TestErrRetainFixture covers error values reaching retain sinks:
+// direct, laundered through any, and transitive through a wrapper the
+// summary marks as a sink.
+func TestErrRetainFixture(t *testing.T) {
+	findings := checkFixture(t, "errretain", nil)
+	if got := suppressedCount(findings); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1", got)
+	}
+}
+
 // TestFixturesFailTheRun mirrors the CLI contract: every rule family's
 // fixture must yield at least one unsuppressed finding of that family
 // (the seeded violations), so `twca-lint` exits non-zero on each.
 func TestFixturesFailTheRun(t *testing.T) {
-	for _, name := range []string{"determinism", "ctxflow", "sentinels", "saturation"} {
+	for _, name := range []string{"determinism", "ctxflow", "sentinels", "saturation", "soundflow", "concurrency", "errretain"} {
 		pass, err := analyzers.LoadDir(fixtureConfig(), filepath.Join("testdata", "src", name), "fixture/"+name)
 		if err != nil {
 			t.Fatal(err)
 		}
 		unsuppressed := 0
-		for _, f := range analyzers.Analyze(pass, analyzers.All()) {
+		for _, f := range analyzers.AnalyzeAll([]*analyzers.Pass{pass}, analyzers.All()) {
 			if !f.Suppressed && f.Rule == name {
 				unsuppressed++
 			}

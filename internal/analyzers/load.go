@@ -13,7 +13,10 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -24,24 +27,45 @@ type listedPackage struct {
 	GoFiles    []string
 }
 
+// LoadError is one package that failed to parse or type-check. Load
+// failures are not fatal to the run — the remaining packages are still
+// analyzed — but the driver reports them and exits nonzero, because a
+// package the suite could not see is a package the suite did not
+// check.
+type LoadError struct {
+	ImportPath string
+	Err        error
+}
+
+func (e LoadError) Error() string {
+	return fmt.Sprintf("%s: %v", e.ImportPath, e.Err)
+}
+
 // LoadPackages resolves the given `go list` patterns (e.g. "./...")
 // and type-checks every matched package from source, returning one
-// Pass per package in import-path order. Test files are not analyzed:
-// the contract the suite guards is about what ships, and the fixtures
-// under testdata exercise the analyzers themselves.
-func LoadPackages(cfg Config, patterns ...string) ([]*Pass, error) {
+// Pass per package in import-path order plus the packages that failed
+// to load. Test files are not analyzed: the contract the suite guards
+// is about what ships, and the fixtures under testdata exercise the
+// analyzers themselves.
+//
+// Loading is sharded across GOMAXPROCS workers, each with its own
+// FileSet and source importer (the importer's cache is not safe for
+// concurrent use). Positions in findings are plain file/line/column,
+// so per-shard FileSets are invisible to callers; the interprocedural
+// layer keys functions by canonical ID strings for the same reason.
+func LoadPackages(cfg Config, patterns ...string) ([]*Pass, []LoadError, error) {
 	// Type-checking from source must not require cgo: the source
 	// importer would otherwise need generated cgo output for packages
 	// like net. The pure-Go variants type-check identically.
 	build.Default.CgoEnabled = false
 
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("analyzers: go list %v: %v: %s", patterns, err, stderr.Bytes())
+		return nil, nil, fmt.Errorf("analyzers: go list %v: %v: %s", patterns, err, stderr.Bytes())
 	}
 	var metas []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -50,30 +74,56 @@ func LoadPackages(cfg Config, patterns ...string) ([]*Pass, error) {
 		if err := dec.Decode(&m); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("analyzers: decoding go list output: %v", err)
+			return nil, nil, fmt.Errorf("analyzers: decoding go list output: %v", err)
 		}
-		metas = append(metas, m)
+		if len(m.GoFiles) > 0 {
+			metas = append(metas, m)
+		}
 	}
 	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	var passes []*Pass
-	for _, m := range metas {
-		if len(m.GoFiles) == 0 {
-			continue
-		}
-		files := make([]string, len(m.GoFiles))
-		for i, f := range m.GoFiles {
-			files[i] = filepath.Join(m.Dir, f)
-		}
-		p, err := loadFiles(cfg, fset, imp, m.ImportPath, files)
-		if err != nil {
-			return nil, err
-		}
-		passes = append(passes, p)
+	type shardOut struct {
+		passes []*Pass
+		errs   []LoadError
 	}
-	return passes, nil
+	shards := runtime.GOMAXPROCS(0)
+	if shards > len(metas) {
+		shards = len(metas)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	results, _ := parallel.Map(shards, shards, func(s int) (shardOut, error) {
+		fset := token.NewFileSet()
+		imp := importer.ForCompiler(fset, "source", nil)
+		var o shardOut
+		// Strided assignment over the sorted metas: deterministic, and
+		// it interleaves the big and small packages across shards.
+		for i := s; i < len(metas); i += shards {
+			m := metas[i]
+			files := make([]string, len(m.GoFiles))
+			for j, f := range m.GoFiles {
+				files[j] = filepath.Join(m.Dir, f)
+			}
+			p, err := loadFiles(cfg, fset, imp, m.ImportPath, files)
+			if err != nil {
+				o.errs = append(o.errs, LoadError{ImportPath: m.ImportPath, Err: err})
+				continue
+			}
+			o.passes = append(o.passes, p)
+		}
+		return o, nil
+	})
+
+	var passes []*Pass
+	var errs []LoadError
+	for _, r := range results {
+		passes = append(passes, r.passes...)
+		errs = append(errs, r.errs...)
+	}
+	sort.Slice(passes, func(i, j int) bool { return passes[i].ImportPath < passes[j].ImportPath })
+	sort.Slice(errs, func(i, j int) bool { return errs[i].ImportPath < errs[j].ImportPath })
+	return passes, errs, nil
 }
 
 // LoadDir parses and type-checks every .go file directly under dir as
@@ -96,9 +146,10 @@ func LoadDir(cfg Config, dir, importPath string) (*Pass, error) {
 }
 
 // loadFiles parses the named files and type-checks them as one
-// package. Type errors are fatal: the suite analyzes trees that
-// already build, so a failure here means the loader itself is broken
-// (or a fixture does not compile).
+// package. Parse and type errors are returned to the caller: the suite
+// analyzes trees that already build, so a failure here means either a
+// broken package (reported as a LoadError by LoadPackages) or a
+// fixture that does not compile.
 func loadFiles(cfg Config, fset *token.FileSet, imp types.Importer, importPath string, filenames []string) (*Pass, error) {
 	var files []*ast.File
 	for _, name := range filenames {

@@ -44,12 +44,7 @@ func NewReport(base string, findings []Finding) Report {
 	}
 	summary := make(map[string]int)
 	for _, f := range findings {
-		file := f.Pos.Filename
-		if base != "" {
-			if rel, err := filepath.Rel(base, file); err == nil && filepath.IsLocal(rel) {
-				file = filepath.ToSlash(rel)
-			}
-		}
+		file := relPath(base, f.Pos.Filename)
 		r.Findings = append(r.Findings, ReportEntry{
 			Rule:       f.Rule,
 			File:       file,
@@ -66,6 +61,19 @@ func NewReport(base string, findings []Finding) Report {
 		r.Summary = summary
 	}
 	return r
+}
+
+// relPath makes file relative to base (slash-separated) when it lies
+// inside it, so reports are stable across checkouts; other paths pass
+// through unchanged.
+func relPath(base, file string) string {
+	if base == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(base, file); err == nil && filepath.IsLocal(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return file
 }
 
 // Marshal renders the report in its canonical indented form (trailing

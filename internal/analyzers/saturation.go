@@ -38,7 +38,11 @@ func runSaturation(p *Pass) {
 					if tv, ok := p.Info.Types[n]; ok && tv.Value != nil {
 						return true
 					}
-					p.report(n, RuleSaturation,
+					helper := "AddSat"
+					if n.Op == token.MUL {
+						helper = "MulSat"
+					}
+					p.reportFix(n, RuleSaturation, p.satBinaryFix(f, n, helper),
 						"raw %s on saturating type %s; use the saturating helpers (curves.AddSat/MulSat) so Infinity stays absorbing",
 						n.Op, p.saturatingTypeName(n))
 					return true
@@ -55,7 +59,11 @@ func runSaturation(p *Pass) {
 					return true
 				}
 				if p.isSaturatingType(p.TypeOf(n.Lhs[0])) || p.isSaturatingType(p.TypeOf(n.Rhs[0])) {
-					p.report(n, RuleSaturation,
+					helper := "AddSat"
+					if n.Tok == token.MUL_ASSIGN {
+						helper = "MulSat"
+					}
+					p.reportFix(n, RuleSaturation, p.satAssignFix(f, n, helper),
 						"raw %s on saturating type %s; use the saturating helpers (curves.AddSat/MulSat) so Infinity stays absorbing",
 						n.Tok, types.TypeString(p.TypeOf(n.Lhs[0]), nil))
 				}

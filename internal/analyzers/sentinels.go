@@ -106,7 +106,7 @@ func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
 			verb = verbs[i]
 		}
 		if verb != 'w' {
-			p.report(arg, RuleSentinels,
+			p.reportFix(arg, RuleSentinels, p.wrapVerbFix(call, i),
 				"sentinel %s passed to fmt.Errorf without %%w; the wrap drops it from the errors.Is chain", name)
 		}
 	}

@@ -1,0 +1,117 @@
+// Package concurrency seeds violations of the service/store tier's
+// concurrency contract: goroutines must have a termination path on
+// every CFG route (a ctx/done escape, a breakable loop, or a channel
+// range that ends on close), and no mutex may be held across a
+// blocking operation — directly or through a callee the call-graph
+// summary marks as blocking.
+package concurrency
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LeakyLoop spawns a goroutine whose loop has no escape.
+func LeakyLoop(ch chan int) {
+	go func() { // want "no break, return or cancellation escape"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// spin can never return once entered.
+func spin(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// LeakyNamed leaks through the named function's summary.
+func LeakyNamed(ch chan int) {
+	go spin(ch) // want "contains a loop with no break"
+}
+
+// CleanCtxLoop exits on cancellation.
+func CleanCtxLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// CleanRange terminates when the producer closes the channel.
+func CleanRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// SendLocked performs a channel send while holding the mutex.
+func (c *counter) SendLocked(out chan int) {
+	c.mu.Lock()
+	out <- c.n // want "channel send while holding"
+	c.mu.Unlock()
+}
+
+// SleepLocked parks under the lock; the deferred unlock runs too late.
+func (c *counter) SleepLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "calling time.Sleep while holding"
+}
+
+// waitAll blocks on the WaitGroup; callers holding a lock inherit the
+// blockage through the call-graph summary.
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// WaitLocked blocks interprocedurally: the lock is held across a call
+// to a function whose summary blocks.
+func (c *counter) WaitLocked(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	waitAll(wg) // want "which may block"
+	c.n++
+}
+
+// UnlockFirst releases the lock before blocking — clean.
+func (c *counter) UnlockFirst(out chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	out <- n
+}
+
+// SelectDefaultOK polls without blocking, so holding the lock is fine.
+func (c *counter) SelectDefaultOK(in chan int) {
+	c.mu.Lock()
+	select {
+	case v := <-in:
+		c.n = v
+	default:
+	}
+	c.mu.Unlock()
+}
+
+// Waived documents a known-bounded wait.
+func (c *counter) Waived(out chan int) {
+	c.mu.Lock()
+	//twcalint:ignore concurrency send is to a buffered channel sized for the worker count
+	out <- c.n
+	c.mu.Unlock()
+}

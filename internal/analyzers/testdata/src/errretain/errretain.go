@@ -1,0 +1,77 @@
+// Package errretain seeds violations of the cache-tier contract: no
+// error value may reach a retain sink (the fixture Cache.Put stands in
+// for the store and warm-store entry points). The rule must catch the
+// direct store, the any-variable laundering, and the flow through a
+// wrapper function that the call-graph summary marks as a sink in its
+// value parameter — while accepting derived verdicts and reasoned
+// negative-caching waivers.
+package errretain
+
+import "errors"
+
+// Cache stands in for the memo/warm stores.
+type Cache struct {
+	items map[string]any
+}
+
+// Put is the configured retain sink.
+func (c *Cache) Put(key string, val any) {
+	c.items[key] = val
+}
+
+// retain forwards its value into the sink, becoming a sink in val.
+func retain(c *Cache, key string, val any) {
+	c.Put(key, val)
+}
+
+var errBoom = errors.New("boom")
+
+func compute() (any, error) {
+	return nil, errBoom
+}
+
+// BadDirect stores the error itself.
+func BadDirect(c *Cache, key string) {
+	v, verr := compute()
+	if verr != nil {
+		c.Put(key, verr) // want "error value verr reaches retain sink"
+		return
+	}
+	c.Put(key, v)
+}
+
+// BadLaundered hides the error in an any variable first.
+func BadLaundered(c *Cache, key string) {
+	_, verr := compute()
+	var payload any
+	payload = verr
+	c.Put(key, payload) // want "error value payload reaches retain sink"
+}
+
+// BadTransitive reaches the sink through the wrapper.
+func BadTransitive(c *Cache, key string) {
+	_, verr := compute()
+	retain(c, key, verr) // want "error value verr reaches retain sink"
+}
+
+// CleanVerdict stores a derived verdict, not the error.
+func CleanVerdict(c *Cache, key string) {
+	_, verr := compute()
+	c.Put(key, verr == nil)
+}
+
+// CleanMessage stores the rendered text; readers cannot mistake it for
+// a live error.
+func CleanMessage(c *Cache, key string) {
+	_, verr := compute()
+	if verr != nil {
+		c.Put(key, verr.Error())
+	}
+}
+
+// Waived documents deliberate negative caching.
+func Waived(c *Cache, key string) {
+	_, verr := compute()
+	//twcalint:ignore errretain deterministic failure verdicts are cached deliberately; see the warm-store design note
+	c.Put(key, verr)
+}

@@ -599,12 +599,14 @@ func (q *query) resolve(ctx context.Context, c coord) (*twca.Analysis, error) {
 		q.chargeHash("")
 		an, err := q.analyze(ctx, sys, "", q.chain, q.aopts, q.warm.nearest(c))
 		if err == nil || deterministicErr(err) {
+			//twcalint:ignore errretain deliberate negative caching: deterministicErr gates retention to errors that recur identically on re-analysis
 			q.warm.put(c, "", an, err, q.denom)
 		}
 		return an, err
 	}
 	an, err := q.analysisByHash(ctx, sys, key, c)
 	if err == nil || deterministicErr(err) {
+		//twcalint:ignore errretain deliberate negative caching: deterministicErr gates retention to errors that recur identically on re-analysis
 		q.warm.put(c, key, an, err, q.denom)
 	}
 	return an, err

@@ -57,6 +57,7 @@ func (a *Analysis) Explain(w io.Writer, k int64) error {
 	fmt.Fprintf(w, "  %3s %10s %10s %10s %10s\n", "q", "B(q)", "δ-(q)", "L(q)", "slack")
 	for q := int64(1); q <= a.Latency.K; q++ {
 		d := b.Activation.DeltaMin(q)
+		//twcalint:ignore soundflow diagnostic echo of the Thm. 2 slack table; the window is exact model arithmetic and AddSat only guards int64 overflow
 		slack := curves.AddSat(d, b.Deadline) - a.L[q-1]
 		fmt.Fprintf(w, "  %3d %10d %10d %10d %10d\n",
 			q, a.Latency.BusyTimes[q-1], d, a.L[q-1], slack)

@@ -276,6 +276,7 @@ func newCtx(ctx context.Context, sys *model.System, b *model.Chain, opts Options
 		window := curves.AddSat(b.Activation.DeltaMin(q), b.Deadline)
 		lq := pol.Demand(info, q, window, true)
 		a.L = append(a.L, lq)
+		//twcalint:ignore soundflow window is exact model arithmetic (delta-min plus deadline); AddSat only guards int64 overflow and saturates exactly when the window is genuinely unbounded, where slack cannot undercut MinSlack
 		if slack := window - lq; slack < a.MinSlack {
 			a.MinSlack = slack
 		}
