@@ -92,6 +92,12 @@ chaos:
 # every artifact exactly once fleet-wide, a warm repeat is ≥10x faster,
 # concurrent identical queries coalesce to one computation, and killing
 # a replica mid-campaign completes the stream with byte-exact documents.
+# It also runs the self-healing rounds: the admin join/leave surface
+# with fleet-wide propagation, retry/hedge relay resilience under
+# injected faults, and the membership-churn chaos round (join a fourth
+# replica mid-campaign, drain one, kill one and let heartbeats evict
+# it) — all asserting byte-exact documents against single-node ground
+# truth.
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestCluster' ./internal/service/
 
@@ -101,6 +107,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzOptionsValidate -fuzztime 10s -run NONE .
 	$(GO) test -fuzz FuzzLatencyOptionsValidate -fuzztime 10s -run NONE .
 	$(GO) test -fuzz FuzzDecodeRequest -fuzztime 10s -run NONE ./internal/service/
+	$(GO) test -fuzz FuzzDecodeClusterRequest -fuzztime 10s -run NONE ./internal/service/
 
 serve:
 	$(GO) run ./cmd/twca-serve

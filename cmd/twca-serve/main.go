@@ -7,6 +7,7 @@
 //
 //	twca-serve [-addr :8443] [-cache 128] [-inflight 0] [-timeout 30s] [-drain 30s] [-faults spec] [-pprof]
 //	           [-self URL -peers URL,URL,...]
+//	           [-heartbeat 2s] [-hedge-after 150ms] [-relay-retries 2] [-relay-backoff 25ms]
 //
 // Endpoints (see docs/SERVICE.md for the full reference and a worked
 // curl session):
@@ -16,6 +17,9 @@
 //	POST /v1/analyze/sensitivity  sensitivity queries (slack, jitter, frontiers)
 //	POST /v1/verify               weakly-hard (m, k) constraints
 //	POST /v1/campaign             many systems, NDJSON-streamed results
+//	POST /v1/cluster/join         admit a replica to the fleet (loopback only)
+//	POST /v1/cluster/leave        remove a replica from the fleet (loopback only)
+//	GET  /v1/cluster              versioned membership view with peer health
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus text exposition
 //
@@ -25,11 +29,18 @@
 //
 // Identical concurrent queries are coalesced into one analysis, and
 // completed analyses are kept in a content-addressed LRU, so a repeat
-// query is answered in microseconds. With -self/-peers, a static set of
+// query is answered in microseconds. With -self/-peers, a fleet of
 // replicas shards that artifact tier by consistent hashing on the
 // system's canonical hash: the replica owning a system computes and
-// caches its artifacts exactly once fleet-wide while the others relay,
-// falling back to local compute when the owner is unreachable.
+// caches its artifacts exactly once fleet-wide while the others relay.
+// The fleet self-heals: membership is dynamic (POST /v1/cluster/join
+// and /v1/cluster/leave from loopback reshape the ring at runtime, one
+// call propagating fleet-wide), a jittered -heartbeat loop probes peer
+// /healthz and evicts dead or draining replicas from routing, and
+// relays retry the next ring arc with backoff (-relay-retries,
+// -relay-backoff), hedge a second attempt when the owner is slower
+// than -hedge-after, and fall back to local compute when every arc is
+// exhausted — duplicated work at worst, never a wrong-side bound.
 // SIGINT/SIGTERM drain gracefully:
 // new analysis requests are refused with 503 + Retry-After, in-flight
 // ones get the -drain window to finish, and stragglers are canceled
@@ -80,6 +91,10 @@ func run(args []string, stdout io.Writer) error {
 	self := fs.String("self", "", "this replica's base URL in -peers (enables the sharded fleet tier)")
 	peers := fs.String("peers", "", "comma-separated replica base URLs, including -self")
 	maxCampaign := fs.Int("max-campaign-items", 0, "max systems per /v1/campaign request (0 = 1024)")
+	heartbeat := fs.Duration("heartbeat", 0, "peer health-probe interval (0 = 2s, negative disables)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "slow-peer threshold before a hedged relay attempt (0 = 150ms, negative disables)")
+	relayRetries := fs.Int("relay-retries", 0, "extra relay attempts onto the next ring arcs (0 = 2, negative disables)")
+	relayBackoff := fs.Duration("relay-backoff", 0, "base decorrelated-jitter backoff between relay retries (0 = 25ms)")
 	faults := fs.String("faults", os.Getenv("TWCA_FAULTS"),
 		"arm the fault-injection harness (rule spec, see internal/faultinject; default $TWCA_FAULTS)")
 	if err := fs.Parse(args); err != nil {
@@ -104,14 +119,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	svc, err := service.New(service.Config{
-		CacheSize:        *cacheSize,
-		RequestTimeout:   *timeout,
-		MaxInflight:      *inflight,
-		EnablePprof:      *pprofFlag,
-		DrainTimeout:     *drain,
-		Self:             *self,
-		Peers:            peerList,
-		MaxCampaignItems: *maxCampaign,
+		CacheSize:         *cacheSize,
+		RequestTimeout:    *timeout,
+		MaxInflight:       *inflight,
+		EnablePprof:       *pprofFlag,
+		DrainTimeout:      *drain,
+		Self:              *self,
+		Peers:             peerList,
+		MaxCampaignItems:  *maxCampaign,
+		HeartbeatInterval: *heartbeat,
+		HedgeDelay:        *hedgeAfter,
+		RelayRetries:      *relayRetries,
+		RelayBackoff:      *relayBackoff,
 	})
 	if err != nil {
 		return err

@@ -42,6 +42,7 @@ func TestCFGEscapes(t *testing.T) {
 		{"forever-return", "for {\nreturn\n}", false},
 		{"range-channel", "ch := make(chan int)\nfor v := range ch {\n_ = v\n}", false},
 		{"select-cancel-escape", "ch := make(chan int)\ndone := make(chan int)\nfor {\nselect {\ncase <-ch:\ncase <-done:\nreturn\n}\n}", false},
+		{"heartbeat-loop", "done := make(chan int)\ntick := make(chan int)\nfor round := 0; ; round++ {\nselect {\ncase <-done:\nreturn\ncase <-tick:\n}\nwork()\n}", false},
 		{"forever-panic", "for {\npanic(\"stuck\")\n}", false},
 	}
 	for _, tc := range cases {

@@ -115,3 +115,31 @@ func (c *counter) Waived(out chan int) {
 	out <- c.n
 	c.mu.Unlock()
 }
+
+// prober mirrors the service heartbeat loop's shutdown idiom: a
+// goroutine running an unconditional for with a per-round counter,
+// whose only blocking point is a select racing the done channel
+// (return) against a timer source, with per-round work after the
+// select. Every CFG route escapes through done, so the named-function
+// summary must classify the loop as escapable and the spawn stays
+// clean — this pins the idiom the service's heartbeatLoop relies on.
+type prober struct {
+	done chan struct{}
+	work func()
+}
+
+func (p *prober) loop(after func(time.Duration) <-chan time.Time) {
+	for round := 0; ; round++ {
+		select {
+		case <-p.done:
+			return
+		case <-after(time.Millisecond):
+		}
+		p.work()
+	}
+}
+
+// StartProber spawns the heartbeat-shaped loop — clean.
+func StartProber(p *prober, after func(time.Duration) <-chan time.Time) {
+	go p.loop(after)
+}

@@ -49,6 +49,17 @@ const (
 	// store report a miss, so the probe silently falls back to a cold
 	// solve — never a wrong-side bound.
 	PointSensitivityWarmStore Point = "sensitivity.warmstore"
+	// PointServiceRelay fires at the start of every fleet relay
+	// attempt. An injected error makes the attempt fail as if the peer
+	// were unreachable (driving retry, hedging and local fallback); an
+	// injected delay simulates a slow peer, which is what arms the
+	// hedged second attempt deterministically in tests.
+	PointServiceRelay Point = "service.relay"
+	// PointServiceHeartbeat fires at every peer health probe of the
+	// service's heartbeat loop. An injected error fails the probe,
+	// letting chaos tests drive the per-peer state machine to eviction
+	// without killing a listener.
+	PointServiceHeartbeat Point = "service.heartbeat"
 )
 
 // Points lists every compiled-in seam, for spec validation and docs.
@@ -59,6 +70,8 @@ var Points = []Point{
 	PointServiceCache,
 	PointSensitivityProbe,
 	PointSensitivityWarmStore,
+	PointServiceRelay,
+	PointServiceHeartbeat,
 }
 
 // Action is what a firing rule does to the seam.

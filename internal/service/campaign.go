@@ -170,10 +170,10 @@ func (s *Server) campaignLine(ctx context.Context, item campaignItem, i int, def
 	defer cancel()
 
 	if s.store.Fleet() {
-		if owner, local := s.store.Route(routeKey(hash)); !local {
+		if cands := s.store.RemoteCandidates(routeKey(hash)); len(cands) > 0 {
 			switch kind {
 			case schema.CampaignKindDMM:
-				doc, state, err := s.relayItemDMM(ictx, owner, &item.analyzeRequest)
+				doc, state, err := s.relayItemDMM(ictx, cands, &item.analyzeRequest)
 				if err == nil {
 					line.Analysis, line.Cache = &doc, state
 					return line
@@ -182,7 +182,7 @@ func (s *Server) campaignLine(ctx context.Context, item campaignItem, i int, def
 					return line
 				}
 			case schema.CampaignKindLatency:
-				doc, state, err := s.relayItemLatency(ictx, owner, &item.analyzeRequest)
+				doc, state, err := s.relayItemLatency(ictx, cands, &item.analyzeRequest)
 				if err == nil {
 					line.Latency, line.Cache = &doc, state
 					return line
@@ -191,9 +191,11 @@ func (s *Server) campaignLine(ctx context.Context, item campaignItem, i int, def
 					return line
 				}
 			}
-			// Peer unreachable: fall through to local compute. The bound
-			// is recomputed from scratch here, so a replica death
+			// Every candidate arc exhausted (or the owner is shedding
+			// load): fall through to local compute. The bound is
+			// recomputed from scratch here, so a replica death
 			// mid-campaign costs duplicated work, never soundness.
+			s.store.CountLocalFallback()
 		}
 	}
 

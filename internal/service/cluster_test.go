@@ -26,7 +26,22 @@ import (
 type cluster struct {
 	svcs     []*Server
 	servers  []*httptest.Server
-	handlers []atomic.Value // always holds an http.HandlerFunc
+	handlers []*atomic.Value // each always holds an http.HandlerFunc
+}
+
+// listener spawns one httptest server whose handler is swappable
+// through the returned atomic.Value (chaos tests store a corpse there).
+func clusterListener() (*httptest.Server, *atomic.Value) {
+	hv := &atomic.Value{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, _ := hv.Load().(http.HandlerFunc)
+		if h == nil {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}))
+	return ts, hv
 }
 
 func newCluster(t testing.TB, n int, cfg Config) *cluster {
@@ -34,19 +49,11 @@ func newCluster(t testing.TB, n int, cfg Config) *cluster {
 	c := &cluster{
 		svcs:     make([]*Server, n),
 		servers:  make([]*httptest.Server, n),
-		handlers: make([]atomic.Value, n),
+		handlers: make([]*atomic.Value, n),
 	}
 	urls := make([]string, n)
 	for i := range c.servers {
-		i := i
-		c.servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			h, _ := c.handlers[i].Load().(http.HandlerFunc)
-			if h == nil {
-				http.Error(w, "starting", http.StatusServiceUnavailable)
-				return
-			}
-			h(w, r)
-		}))
+		c.servers[i], c.handlers[i] = clusterListener()
 		urls[i] = c.servers[i].URL
 	}
 	for i := range c.svcs {
@@ -61,12 +68,40 @@ func newCluster(t testing.TB, n int, cfg Config) *cluster {
 		c.handlers[i].Store(http.HandlerFunc(svc.Handler().ServeHTTP))
 	}
 	t.Cleanup(func() {
+		// Ranges the slices at cleanup time, so replicas added by
+		// expand() are torn down too.
 		for i := range c.servers {
 			c.servers[i].Close()
 			c.svcs[i].Close()
 		}
 	})
 	return c
+}
+
+// expand spins up one more replica whose own membership view already
+// includes the whole fleet plus itself, the way an operator boots a
+// joiner before POSTing /v1/cluster/join to a member. It does NOT
+// touch the existing replicas' rings — that is the join call's job.
+func (c *cluster) expand(t testing.TB, cfg Config) int {
+	t.Helper()
+	ts, hv := clusterListener()
+	peers := make([]string, 0, len(c.servers)+1)
+	for _, s := range c.servers {
+		peers = append(peers, s.URL)
+	}
+	peers = append(peers, ts.URL)
+	cfg.Self = ts.URL
+	cfg.Peers = peers
+	svc, err := New(cfg)
+	if err != nil {
+		ts.Close()
+		t.Fatal(err)
+	}
+	hv.Store(http.HandlerFunc(svc.Handler().ServeHTTP))
+	c.svcs = append(c.svcs, svc)
+	c.servers = append(c.servers, ts)
+	c.handlers = append(c.handlers, hv)
+	return len(c.svcs) - 1
 }
 
 func (c *cluster) url(i int) string { return c.servers[i].URL }
@@ -170,7 +205,12 @@ func runCampaign(t testing.TB, url string, req campaignRequest) ([]schema.Campai
 // repeat answers entirely from the sharded stores — at least 10x faster
 // and with zero new computation.
 func TestClusterSharing(t *testing.T) {
-	c := newCluster(t, 3, Config{})
+	// Hedging deliberately trades duplicate computation for tail
+	// latency (a hedged attempt lands on a non-owner, which computes
+	// the artifact itself), so it is disabled here: this test pins the
+	// exactly-once property of the un-hedged fleet. The hedge path has
+	// its own pin in TestClusterRelayHedge.
+	c := newCluster(t, 3, Config{HedgeDelay: -1})
 	req := fleetCampaign(fleetSystems(t, 50))
 
 	lines, cold := runCampaign(t, c.url(0), req)
@@ -234,7 +274,10 @@ func TestClusterSharing(t *testing.T) {
 // relay to the owner, and the owner's in-flight coalescing absorbs the
 // stampede. This is the fleet-wide singleflight property.
 func TestClusterSingleflight(t *testing.T) {
-	c := newCluster(t, 3, Config{})
+	// Hedging off for the same reason as TestClusterSharing: a hedge
+	// fired during a slow cold solve would compute a duplicate on a
+	// non-owner, and this test pins exactly-once.
+	c := newCluster(t, 3, Config{HedgeDelay: -1})
 	sys := thalesJSON(t)
 	req := analyzeRequest{System: sys, Chain: "sigma_c", K: []int64{1, 10, 100}}
 
@@ -326,14 +369,31 @@ func TestClusterChaosKillReplica(t *testing.T) {
 			t.Errorf("item %d document differs from ground truth after replica kill:\ngot:  %s\nwant: %s", i, got, want)
 		}
 	}
-	// The kill was observed: at least one relay failed over. (The
-	// survivors' counters, not the dead node's, carry the evidence.)
-	st := c.svcs[0].StoreStats()
-	st2 := c.svcs[2].StoreStats()
-	if st.PeerUnavailable+st2.PeerUnavailable == 0 {
-		t.Error("no peer failures recorded — the kill never touched the campaign (timing too fast?)")
+	// Observe the kill deterministically (whether the campaign itself
+	// raced the kill is timing): restore the corpse into replica 0's
+	// routing, then send one request it owns — the relay attempt must
+	// fail, mark it down again, and still answer 200 via the next arc
+	// or local fallback.
+	c.svcs[0].store.MarkUp(c.url(1))
+	before := c.svcs[0].StoreStats()
+	probed := false
+	for i, line := range lines[:len(req.Items)] {
+		if owner, local := c.svcs[0].store.Route(routeKey(line.SystemHash)); !local && owner == c.url(1) {
+			status, doc := post(t, c.url(0)+"/v1/analyze/dmm", req.Items[i].analyzeRequest)
+			if status != http.StatusOK {
+				t.Fatalf("request owned by dead replica answered %d %v — failover broken", status, doc)
+			}
+			probed = true
+			break
+		}
 	}
-	if st.LocalFallbacks+st2.LocalFallbacks == 0 {
-		t.Error("no local fallbacks recorded after replica death")
+	if !probed {
+		t.Fatal("no campaign item routes to the killed replica — fixture is degenerate")
+	}
+	if st := c.svcs[0].StoreStats(); st.PeerUnavailable == before.PeerUnavailable {
+		t.Error("no peer failure recorded for a relay to the killed replica")
+	}
+	if !c.svcs[0].store.Down(c.url(1)) {
+		t.Error("killed replica not marked down after the failed relay")
 	}
 }

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/schema"
 	"repro/internal/store"
 )
 
-// The fleet layer shards the analysis tier across a static peer set by
+// The fleet layer shards the analysis tier across the peer set by
 // relaying whole requests: the replica owning a system's model hash
 // (store.Route over the consistent-hash ring) computes and caches its
 // artifacts; every other replica forwards the original request body to
@@ -24,30 +26,52 @@ import (
 // one key to one owner, and the owner's store coalesces concurrent
 // twins.
 //
-// Failure handling is local fallback: if the owner is unreachable (or
-// answering 502/503/504 — draining, overloaded), the requester marks it
-// down for a cooldown, recomputes locally, and the ring re-hashes the
-// owner's keys to the next arc until the cooldown expires. Bounds stay
-// sound either way — a fallback costs duplicated work, never a
-// wrong-side answer.
+// Relays are resilient, in three layers, all safe by construction
+// because every replica computes byte-identical documents:
+//
+//   - Retry: a failed attempt (unreachable, or answering 502/503/504)
+//     marks the peer down and retries the next ring arc after a
+//     decorrelated-jitter backoff, bounded by Config.RelayRetries and
+//     by the request's remaining deadline budget.
+//   - Hedge: if the first attempt is still pending after
+//     Config.HedgeDelay, one hedged attempt races it on the next arc;
+//     the first byte-complete response wins and the loser is canceled.
+//   - Throttle propagation: a 429 from the owner is admission control,
+//     not death — it is never a reason to mark the peer down. Unary
+//     relays stream the 429 (with its Retry-After) to the client;
+//     campaign items fall back to local compute.
+//
+// Exhausting every layer is still only a performance event: the
+// requester marks the owner down for a cooldown, recomputes locally,
+// and the ring re-hashes the owner's keys to the next arc until the
+// cooldown expires. Bounds stay sound either way — a fallback costs
+// duplicated work, never a wrong-side answer.
 
 // forwardHeader marks a relayed request with the sender's identity. Its
 // presence is the loop guard: an owner never re-forwards a relayed
-// request, even if a stale ring disagrees about ownership.
+// request, even if a stale ring disagrees about ownership — which is
+// what makes membership churn safe: during the window where replicas
+// hold different membership versions, the worst case is one extra hop
+// ending in a local compute.
 const forwardHeader = "X-Twca-Forward"
 
 // servedByHeader names the replica whose store actually answered a
 // relayed request — observability for multi-replica deployments.
 const servedByHeader = "X-Twca-Served-By"
 
+// relayHeadroom pads the relay deadline over the owner's own analysis
+// budget, so an owner that degrades-and-answers right at its deadline
+// beats the requester's timeout instead of racing it.
+const relayHeadroom = 2 * time.Second
+
 // relayed reports whether r is a relay from a peer replica.
 func relayed(r *http.Request) bool { return r.Header.Get(forwardHeader) != "" }
 
 // relayToOwner routes one unary request by its system hash. It returns
-// true when the request was fully answered by the owning peer (the
-// response has been streamed to w); false means the caller must handle
-// the request locally — because this replica owns the key, the request
-// is already a relay, the fleet is disabled, or the owner is
+// true when the request was fully answered by a peer (the response has
+// been streamed to w); false means the caller must handle the request
+// locally — because this replica owns the key, the request is already
+// a relay, the fleet is disabled, or every candidate owner is
 // unreachable and local fallback is in order.
 func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, endpoint, hash string, body []byte) bool {
 	if !s.store.Fleet() {
@@ -59,44 +83,227 @@ func (s *Server) relayToOwner(w http.ResponseWriter, r *http.Request, endpoint, 
 		s.store.CountSharedServe()
 		return false
 	}
-	owner, local := s.store.Route(routeKey(hash))
-	if local {
+	cands := s.store.RemoteCandidates(routeKey(hash))
+	if len(cands) == 0 {
 		return false
 	}
-	resp, err := s.forward(r.Context(), owner, r.URL.Path, body)
+	// The relay budget mirrors the local-compute budget (plus headroom
+	// for the wire), bounded by the client's own context: retries and
+	// hedges never outlive what the caller was willing to wait for a
+	// local analysis.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout+relayHeadroom)
+	defer cancel()
+	resp, peer, release, err := s.relay(ctx, cands, r.URL.Path, body)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client went away mid-relay; the local path will fail
-			// with the cancellation mapping. Not the peer's fault.
+			// with the cancellation mapping. Not the peers' fault.
 			return false
 		}
-		s.peerFailed(owner)
+		s.store.CountLocalFallback()
 		return false
 	}
+	defer release()
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-		// The owner is draining, overloaded or itself cut off — treat
-		// like unreachable and fall back to local compute.
-		io.Copy(io.Discard, resp.Body)
-		s.peerFailed(owner)
-		return false
+	if resp.StatusCode == http.StatusTooManyRequests {
+		s.met.relayThrottle()
+	} else {
+		// Answered by the owner: a relayed artifact document.
+		s.store.CountPeerHit()
+		s.met.cacheOutcome(store.OutcomePeer)
 	}
-	// Answered by the owner: stream the body through byte-for-byte so a
-	// relayed document is indistinguishable from a locally served one.
-	s.store.CountPeerHit()
-	s.met.cacheOutcome(store.OutcomePeer)
+	// Stream the body through byte-for-byte so a relayed document is
+	// indistinguishable from a locally served one.
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
-	w.Header().Set(servedByHeader, owner)
+	w.Header().Set(servedByHeader, peer)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil && r.Context().Err() == nil {
+		// The peer died mid-stream. The status line is already on the
+		// wire, so the client sees a short body — all we can do is
+		// refuse to count it as a healthy peer serve and route around
+		// the peer for the cooldown.
+		s.met.relayTruncated()
+		s.attemptFailed(peer)
+	}
 	s.met.request(endpoint, resp.StatusCode)
 	return true
+}
+
+// relay races body against the candidate peers: a primary attempt on
+// cands[0], bounded retries walking the next arcs after decorrelated-
+// jitter backoffs, and at most one hedged attempt launched when the
+// primary is still pending after HedgeDelay. The winner is the first
+// attempt to complete with a non-failure status; its response, the
+// peer that served it, and a release func (call after the body is
+// consumed) are returned. Losing attempts are canceled and drained in
+// the background.
+func (s *Server) relay(ctx context.Context, cands []string, path string, body []byte) (*http.Response, string, context.CancelFunc, error) {
+	maxAttempts := 1 + s.cfg.RelayRetries + 1 // primary + retries + hedge
+	results := make(chan relayAttempt, maxAttempts)
+	launched, received, next := 0, 0, 0
+	start := func() {
+		idx := launched
+		peer := cands[next%len(cands)]
+		next++
+		launched++
+		actx, acancel := context.WithCancel(ctx)
+		go func() {
+			resp, err := s.attempt(actx, peer, path, body)
+			results <- relayAttempt{resp: resp, err: err, peer: peer, idx: idx, cancel: acancel}
+		}()
+	}
+	start()
+
+	var hedgeC <-chan time.Time
+	if s.cfg.HedgeDelay > 0 && len(cands) > 1 {
+		hedgeC = time.After(s.cfg.HedgeDelay)
+	}
+	hedgeIdx := -1
+	retriesLeft := s.cfg.RelayRetries
+	backoff := s.cfg.RelayBackoff
+	var backoffC <-chan time.Time
+	var lastErr error
+	for {
+		select {
+		case res := <-results:
+			received++
+			if res.err == nil {
+				if res.idx == hedgeIdx {
+					// The hedged attempt beat every earlier one to a
+					// usable response: the hedge won the race.
+					s.met.relayHedge(true)
+				}
+				reapAttempts(results, launched-received)
+				return res.resp, res.peer, res.cancel, nil
+			}
+			res.cancel()
+			lastErr = res.err
+			if retriesLeft > 0 && backoffC == nil && ctx.Err() == nil && budgetAllows(ctx, backoff) {
+				retriesLeft--
+				s.met.relayRetry()
+				backoffC = time.After(backoff)
+				backoff = s.nextBackoff(backoff)
+				continue
+			}
+			if received == launched && backoffC == nil {
+				return nil, "", nil, lastErr
+			}
+		case <-backoffC:
+			backoffC = nil
+			start()
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < maxAttempts && ctx.Err() == nil {
+				hedgeIdx = launched
+				s.met.relayHedge(false)
+				start()
+			}
+		case <-ctx.Done():
+			reapAttempts(results, launched-received)
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: relay: %v", ErrPeerUnavailable, ctx.Err())
+			}
+			return nil, "", nil, lastErr
+		}
+	}
+}
+
+// relayAttempt is one in-flight relay attempt's outcome. cancel is the
+// attempt context's cancel func: the winner's is released only after
+// its body has been consumed; losers' are called on reaping.
+type relayAttempt struct {
+	resp *http.Response
+	err  error
+	peer string
+	// idx is the attempt's launch ordinal (0 = primary), used to
+	// attribute a win to the hedged attempt.
+	idx    int
+	cancel context.CancelFunc
+}
+
+// reapAttempts cancels and drains n outstanding attempts in the
+// background so their transport resources are reclaimed without
+// blocking the winner's response.
+func reapAttempts(results chan relayAttempt, n int) {
+	if n <= 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			res := <-results
+			res.cancel()
+			if res.resp != nil {
+				res.resp.Body.Close()
+			}
+		}
+	}()
+}
+
+// budgetAllows reports whether ctx's deadline leaves room to sleep d
+// and still make an attempt worth starting.
+func budgetAllows(ctx context.Context, d time.Duration) bool {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return time.Until(deadline) > d+10*time.Millisecond
+}
+
+// nextBackoff advances the decorrelated-jitter schedule: each sleep is
+// drawn from [base, 3·prev), capped, with the draw taken from a
+// splitmix64 stream (deterministic per process, no math/rand).
+func (s *Server) nextBackoff(prev time.Duration) time.Duration {
+	base := s.cfg.RelayBackoff
+	span := 3*prev - base
+	if span <= 0 {
+		return base
+	}
+	d := base + time.Duration(splitmix64(s.relaySeq.Add(1))%uint64(span))
+	if cap := 50 * base; d > cap {
+		d = cap
+	}
+	return d
+}
+
+// attempt performs one relay attempt against peer. Transport errors
+// and 502/503/504 answers mark the peer down (its keys re-hash to the
+// next arc) and report ErrPeerUnavailable; every other status — 200,
+// client errors, 429 — is the peer's answer and is returned for the
+// caller to interpret.
+func (s *Server) attempt(ctx context.Context, peer, path string, body []byte) (*http.Response, error) {
+	// Fault-injection seam: an injected error makes this attempt fail
+	// as if the peer were unreachable (exercising retry/hedge/fallback
+	// without killing a listener); an injected delay simulates a slow
+	// peer, which is what arms the hedging path deterministically.
+	if f := faultinject.At(faultinject.PointServiceRelay); f != nil {
+		if err := f.Apply(); err != nil {
+			s.attemptFailed(peer)
+			return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, peer, err)
+		}
+	}
+	resp, err := s.forward(ctx, peer, path, body)
+	if err != nil {
+		if ctx.Err() == nil {
+			s.attemptFailed(peer)
+		}
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		// The peer is draining, overloaded or itself cut off — treat
+		// like unreachable so the next arc (or local compute) takes the
+		// key.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		s.attemptFailed(peer)
+		return nil, fmt.Errorf("%w: %s answered %d", ErrPeerUnavailable, peer, resp.StatusCode)
+	}
+	return resp, nil
 }
 
 // forward POSTs body to the peer's endpoint at path, tagged as a relay.
@@ -114,72 +321,74 @@ func (s *Server) forward(ctx context.Context, peer, path string, body []byte) (*
 	return resp, nil
 }
 
-// peerFailed records one failed relay: the peer sits out routing for
-// the down cooldown (its keys re-hash to the next ring arc) and this
-// request is computed locally.
-func (s *Server) peerFailed(peer string) {
+// attemptFailed records one failed relay attempt: the peer sits out
+// routing for the down cooldown (its keys re-hash to the next ring
+// arc). Unlike a local fallback this is per-attempt accounting — the
+// relay as a whole may still succeed on another arc.
+func (s *Server) attemptFailed(peer string) {
 	s.store.MarkDown(peer)
 	s.store.CountPeerUnavailable()
-	s.store.CountLocalFallback()
 }
 
-// relayItemDMM evaluates one campaign item on the owning peer via the
-// unary DMM endpoint, returning the analysis document and the peer's
-// cache outcome. A store.ErrPeerUnavailable-wrapped error asks the
-// caller to fall back to local compute; any other error is the item's
-// real outcome as classified by the owner.
-func (s *Server) relayItemDMM(ctx context.Context, owner string, req *analyzeRequest) (schema.Analysis, string, error) {
+// relayItemDMM evaluates one campaign item on the owning peer (or its
+// retry/hedge arcs) via the unary DMM endpoint, returning the analysis
+// document and the peer's cache outcome. A store.ErrPeerUnavailable-
+// wrapped error asks the caller to fall back to local compute; any
+// other error is the item's real outcome as classified by the owner.
+func (s *Server) relayItemDMM(ctx context.Context, cands []string, req *analyzeRequest) (schema.Analysis, string, error) {
 	var out dmmResponse
-	if err := s.relayItem(ctx, owner, "/v1/analyze/dmm", req, &out); err != nil {
+	if err := s.relayItem(ctx, cands, "/v1/analyze/dmm", req, &out); err != nil {
 		return schema.Analysis{}, "", err
 	}
 	return out.Analysis, out.Cache, nil
 }
 
 // relayItemLatency is relayItemDMM for latency items.
-func (s *Server) relayItemLatency(ctx context.Context, owner string, req *analyzeRequest) (schema.Latency, string, error) {
+func (s *Server) relayItemLatency(ctx context.Context, cands []string, req *analyzeRequest) (schema.Latency, string, error) {
 	var out latencyResponse
-	if err := s.relayItem(ctx, owner, "/v1/analyze/latency", req, &out); err != nil {
+	if err := s.relayItem(ctx, cands, "/v1/analyze/latency", req, &out); err != nil {
 		return schema.Latency{}, "", err
 	}
 	return out.Latency, out.Cache, nil
 }
 
-// relayItem performs one item relay and decodes the 200 response into
-// out. Non-200 answers from the owner are returned as remoteItemError
-// so the campaign line preserves the owner's error classification.
-func (s *Server) relayItem(ctx context.Context, owner, path string, req *analyzeRequest, out any) error {
+// relayItem performs one item relay — with the same retry/hedge
+// resilience as unary relays — and decodes the 200 response into out.
+// Non-200 answers from the serving peer are returned as
+// remoteItemError so the campaign line preserves the owner's error
+// classification; a 429 asks for local fallback without marking the
+// peer down (it is alive, just shedding load).
+func (s *Server) relayItem(ctx context.Context, cands []string, path string, req *analyzeRequest, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := s.forward(ctx, owner, path, body)
+	resp, peer, release, err := s.relay(ctx, cands, path, body)
 	if err != nil {
-		if ctx.Err() == nil {
-			s.peerFailed(owner)
-		}
 		return err
 	}
+	defer release()
 	defer resp.Body.Close()
 	switch resp.StatusCode {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-		io.Copy(io.Discard, resp.Body)
-		s.peerFailed(owner)
-		return fmt.Errorf("%w: %s answered %d", ErrPeerUnavailable, owner, resp.StatusCode)
 	case http.StatusOK:
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			// A half-written or garbled body is a peer failure, not an
 			// item failure: recompute locally rather than guess.
-			s.peerFailed(owner)
-			return fmt.Errorf("%w: %s: bad relay body: %v", ErrPeerUnavailable, owner, err)
+			s.met.relayTruncated()
+			s.attemptFailed(peer)
+			return fmt.Errorf("%w: %s: bad relay body: %v", ErrPeerUnavailable, peer, err)
 		}
 		s.store.CountPeerHit()
 		s.met.cacheOutcome(store.OutcomePeer)
 		return nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		s.met.relayThrottle()
+		return fmt.Errorf("%w: %s throttled the relay", ErrPeerUnavailable, peer)
 	}
 	var e errorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-		return remoteItemError{kind: "", msg: fmt.Sprintf("peer %s answered status %d", owner, resp.StatusCode)}
+		return remoteItemError{kind: "", msg: fmt.Sprintf("peer %s answered status %d", peer, resp.StatusCode)}
 	}
 	return remoteItemError{kind: e.Kind, msg: e.Error}
 }
@@ -193,3 +402,17 @@ type remoteItemError struct {
 }
 
 func (e remoteItemError) Error() string { return e.msg }
+
+// splitmix64 is the finalizer from Vigna's splitmix64 generator — the
+// same mixer internal/faultinject uses for deterministic probability
+// draws. It feeds backoff jitter and heartbeat phase without math/rand,
+// so test runs that pin a seed see identical schedules.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -45,3 +45,43 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeClusterRequest drives the cluster-admin ingestion path —
+// strict decode of the membership mutation body plus peer-URL
+// validation — with adversarial bodies. The contract matches the other
+// decoders: no input may panic, malformed bodies fail with an error,
+// and a URL that survives validation must round-trip through the
+// normalizer unchanged (propagation re-sends the normalized form).
+func FuzzDecodeClusterRequest(f *testing.F) {
+	f.Add([]byte(`{"peer": "http://10.0.0.4:8443"}`))
+	f.Add([]byte(`{"peer": "https://replica-3.internal", "local_only": true}`))
+	f.Add([]byte(`{"peer": "http://10.0.0.4:8443/"}`))
+	f.Add([]byte(`{"peer": ""}`))
+	f.Add([]byte(`{"peer": "ftp://nope"}`))
+	f.Add([]byte(`{"peer": "http://host/path?q=1#frag"}`))
+	f.Add([]byte(`{"peer": "http://[::1]:8443"}`))
+	f.Add([]byte(`{"peer": "://missing-scheme"}`))
+	f.Add([]byte(`{"peer": "http://a", "bogus": 1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req clusterRequest
+		if err := decodeStrict(data, &req); err != nil {
+			return // rejected at the door, as the handlers would
+		}
+		peer, err := validatePeerURL(req.Peer)
+		if err != nil {
+			return
+		}
+		// Normalization must be idempotent: the propagated body carries
+		// the normalized URL, and the receiving replica validates again.
+		again, err := validatePeerURL(peer)
+		if err != nil {
+			t.Fatalf("normalized peer %q failed re-validation: %v", peer, err)
+		}
+		if again != peer {
+			t.Fatalf("validatePeerURL not idempotent: %q -> %q", peer, again)
+		}
+	})
+}

@@ -49,6 +49,23 @@ type metrics struct {
 	// workerPanics counts analyses that failed because a worker task
 	// panicked (recovered to an error; the process survived).
 	workerPanics int64
+	// fleet relay resilience counters: retries walked to the next ring
+	// arc, hedged attempts launched and won, responses truncated
+	// mid-stream by a dying peer, and 429 throttles propagated instead
+	// of being treated as peer death.
+	relayRetries, relayHedges, relayHedgeWins int64
+	relayTruncations, relayThrottles          int64
+	// heartbeat prober counters: probes by result and up/down state
+	// transitions driven into the store.
+	heartbeatOK, heartbeatFail   int64
+	heartbeatUps, heartbeatDowns int64
+	// membership admin counters: applied mutations by endpoint and
+	// best-effort propagations that failed.
+	membershipChanges   map[string]int64
+	propagationFailures int64
+	// membership samples the store's versioned membership view at
+	// scrape time (nil on a single-node service).
+	membership func() store.Membership
 	// analysis duration histograms by kind ("dmm", "latency",
 	// "sensitivity").
 	durations map[string]*histogram
@@ -72,11 +89,12 @@ type metrics struct {
 
 func newMetrics(inflight func() int) *metrics {
 	return &metrics{
-		start:           time.Now(),
-		requests:        make(map[string]int64),
-		durations:       make(map[string]*histogram),
-		degradedResults: make(map[string]int64),
-		inflight:        inflight,
+		start:             time.Now(),
+		requests:          make(map[string]int64),
+		durations:         make(map[string]*histogram),
+		degradedResults:   make(map[string]int64),
+		membershipChanges: make(map[string]int64),
+		inflight:          inflight,
 	}
 }
 
@@ -189,6 +207,82 @@ func (m *metrics) workerPanic() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.workerPanics++
+}
+
+// relayRetry accounts one relay attempt retried onto the next ring arc.
+func (m *metrics) relayRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.relayRetries++
+}
+
+// relayHedge accounts hedging: launched (won=false) when the slow-peer
+// threshold fires a second attempt, won (won=true) when a hedged race
+// was resolved by the hedge rather than the primary finishing alone.
+func (m *metrics) relayHedge(won bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if won {
+		m.relayHedgeWins++
+	} else {
+		m.relayHedges++
+	}
+}
+
+// relayTruncated accounts one relayed response cut off mid-stream by a
+// dying peer (the bytes already sent are short; the peer is marked
+// down by the caller).
+func (m *metrics) relayTruncated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.relayTruncations++
+}
+
+// relayThrottle accounts one 429 answered by a peer — admission
+// control propagated, never counted as peer death.
+func (m *metrics) relayThrottle() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.relayThrottles++
+}
+
+// heartbeatProbe accounts one health probe round-trip.
+func (m *metrics) heartbeatProbe(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.heartbeatOK++
+	} else {
+		m.heartbeatFail++
+	}
+}
+
+// heartbeatTransition accounts one probe-driven peer state edge.
+func (m *metrics) heartbeatTransition(up bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if up {
+		m.heartbeatUps++
+	} else {
+		m.heartbeatDowns++
+	}
+}
+
+// membershipChange accounts one applied cluster mutation by endpoint
+// ("cluster_join"/"cluster_leave").
+func (m *metrics) membershipChange(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.membershipChanges[endpoint]++
+}
+
+// membershipPropagationFailure accounts one member that could not be
+// told about a mutation (best-effort; the loop guard keeps the stale
+// view safe).
+func (m *metrics) membershipPropagationFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.propagationFailures++
 }
 
 // degradedTotal reports the total degraded results across budgets.
@@ -326,6 +420,59 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP twca_worker_panics_total Analyses failed by a recovered worker-task panic.\n")
 	fmt.Fprintf(w, "# TYPE twca_worker_panics_total counter\n")
 	fmt.Fprintf(w, "twca_worker_panics_total %d\n", m.workerPanics)
+
+	fmt.Fprintf(w, "# HELP twca_fleet_relay_retries_total Relay attempts retried onto the next ring arc.\n")
+	fmt.Fprintf(w, "# TYPE twca_fleet_relay_retries_total counter\n")
+	fmt.Fprintf(w, "twca_fleet_relay_retries_total %d\n", m.relayRetries)
+
+	fmt.Fprintf(w, "# HELP twca_fleet_relay_hedges_total Hedged relay attempts by outcome.\n")
+	fmt.Fprintf(w, "# TYPE twca_fleet_relay_hedges_total counter\n")
+	fmt.Fprintf(w, "twca_fleet_relay_hedges_total{outcome=\"launched\"} %d\n", m.relayHedges)
+	fmt.Fprintf(w, "twca_fleet_relay_hedges_total{outcome=\"won\"} %d\n", m.relayHedgeWins)
+
+	fmt.Fprintf(w, "# HELP twca_fleet_relay_truncated_total Relayed responses cut off mid-stream by a dying peer.\n")
+	fmt.Fprintf(w, "# TYPE twca_fleet_relay_truncated_total counter\n")
+	fmt.Fprintf(w, "twca_fleet_relay_truncated_total %d\n", m.relayTruncations)
+
+	fmt.Fprintf(w, "# HELP twca_fleet_relay_throttled_total Relays answered 429 by a live peer (propagated, not a failure).\n")
+	fmt.Fprintf(w, "# TYPE twca_fleet_relay_throttled_total counter\n")
+	fmt.Fprintf(w, "twca_fleet_relay_throttled_total %d\n", m.relayThrottles)
+
+	fmt.Fprintf(w, "# HELP twca_heartbeat_probes_total Peer health probes by result.\n")
+	fmt.Fprintf(w, "# TYPE twca_heartbeat_probes_total counter\n")
+	fmt.Fprintf(w, "twca_heartbeat_probes_total{result=\"ok\"} %d\n", m.heartbeatOK)
+	fmt.Fprintf(w, "twca_heartbeat_probes_total{result=\"fail\"} %d\n", m.heartbeatFail)
+
+	fmt.Fprintf(w, "# HELP twca_heartbeat_transitions_total Probe-driven peer state transitions.\n")
+	fmt.Fprintf(w, "# TYPE twca_heartbeat_transitions_total counter\n")
+	fmt.Fprintf(w, "twca_heartbeat_transitions_total{to=\"up\"} %d\n", m.heartbeatUps)
+	fmt.Fprintf(w, "twca_heartbeat_transitions_total{to=\"down\"} %d\n", m.heartbeatDowns)
+
+	fmt.Fprintf(w, "# HELP twca_cluster_membership_changes_total Applied cluster membership mutations by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE twca_cluster_membership_changes_total counter\n")
+	endpoints := make([]string, 0, len(m.membershipChanges))
+	for e := range m.membershipChanges {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "twca_cluster_membership_changes_total{endpoint=%q} %d\n", e, m.membershipChanges[e])
+	}
+
+	fmt.Fprintf(w, "# HELP twca_cluster_propagation_failures_total Members unreachable during best-effort mutation propagation.\n")
+	fmt.Fprintf(w, "# TYPE twca_cluster_propagation_failures_total counter\n")
+	fmt.Fprintf(w, "twca_cluster_propagation_failures_total %d\n", m.propagationFailures)
+
+	if m.membership != nil {
+		mb := m.membership()
+		fmt.Fprintf(w, "# HELP twca_cluster_membership_version Monotonic version of this replica's membership view.\n")
+		fmt.Fprintf(w, "# TYPE twca_cluster_membership_version gauge\n")
+		fmt.Fprintf(w, "twca_cluster_membership_version %d\n", mb.Version)
+		fmt.Fprintf(w, "# HELP twca_cluster_peers Members of this replica's ring view by state.\n")
+		fmt.Fprintf(w, "# TYPE twca_cluster_peers gauge\n")
+		fmt.Fprintf(w, "twca_cluster_peers{state=\"up\"} %d\n", len(mb.Peers)-len(mb.Down))
+		fmt.Fprintf(w, "twca_cluster_peers{state=\"down\"} %d\n", len(mb.Down))
+	}
 
 	if m.breakerTrips != nil {
 		fmt.Fprintf(w, "# HELP twca_breaker_trips_total Budget-tripped analyses recorded by the per-system circuit breaker.\n")

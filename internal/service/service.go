@@ -82,14 +82,40 @@ type Config struct {
 	// healthy instance).
 	DrainTimeout time.Duration
 	// Self and Peers configure the sharded analysis tier: Peers is the
-	// static set of replica base URLs (e.g. "http://10.0.0.1:8443"),
+	// initial set of replica base URLs (e.g. "http://10.0.0.1:8443"),
 	// Self this replica's own entry in it. Artifact ownership is
-	// consistent-hashed on the model hash across Peers; requests for
-	// models owned elsewhere are relayed to the owner, with local
-	// fallback when it is unreachable. Fewer than two peers disables
-	// routing entirely.
+	// consistent-hashed on the model hash across the membership;
+	// requests for models owned elsewhere are relayed to the owner,
+	// with local fallback when it is unreachable. Fewer than two peers
+	// disables routing until /v1/cluster/join grows the membership at
+	// runtime (see docs/SERVICE.md, "Cluster operations").
 	Self  string
 	Peers []string
+	// HeartbeatInterval is the period of the active peer health probe
+	// (jittered ±20% per round). Zero selects the default (2s) when the
+	// fleet tier is enabled; negative disables active probing, leaving
+	// only per-request failure detection. Probe outcomes drive the
+	// store's MarkDown/MarkUp through a per-peer state machine:
+	// HeartbeatDownAfter consecutive failures evict a peer from routing
+	// (default 2), HeartbeatUpAfter consecutive successes restore it
+	// (default 1).
+	HeartbeatInterval  time.Duration
+	HeartbeatDownAfter int
+	HeartbeatUpAfter   int
+	// RelayRetries bounds the additional relay attempts after the first
+	// (walking the next ring arcs, decorrelated-jitter backoff between
+	// attempts, never past the request's deadline budget). Zero selects
+	// the default (2); negative disables retries.
+	RelayRetries int
+	// RelayBackoff is the base backoff before the first relay retry
+	// (default 25ms); subsequent sleeps are drawn from [base, 3·prev).
+	RelayBackoff time.Duration
+	// HedgeDelay is the slow-peer threshold: a relay still pending
+	// after it races one hedged attempt against the next ring arc
+	// (first complete response wins, loser canceled — safe because
+	// replicas produce byte-identical documents). Zero selects the
+	// default (150ms); negative disables hedging.
+	HedgeDelay time.Duration
 	// MaxCampaignItems bounds the items of one /v1/campaign request
 	// (default 1024).
 	MaxCampaignItems int
@@ -116,11 +142,42 @@ func (c Config) withDefaults() Config {
 	if c.MaxCampaignItems <= 0 {
 		c.MaxCampaignItems = 1024
 	}
+	// For the resilience knobs, zero means "default" and negative means
+	// "disabled" (normalized to 0 here so use sites test > 0).
+	c.HeartbeatInterval = defaultOrOff(c.HeartbeatInterval, 2*time.Second)
+	if c.HeartbeatDownAfter <= 0 {
+		c.HeartbeatDownAfter = 2
+	}
+	if c.HeartbeatUpAfter <= 0 {
+		c.HeartbeatUpAfter = 1
+	}
+	switch {
+	case c.RelayRetries == 0:
+		c.RelayRetries = 2
+	case c.RelayRetries < 0:
+		c.RelayRetries = 0
+	}
+	if c.RelayBackoff <= 0 {
+		c.RelayBackoff = 25 * time.Millisecond
+	}
+	c.HedgeDelay = defaultOrOff(c.HedgeDelay, 150*time.Millisecond)
 	c.Self = strings.TrimRight(c.Self, "/")
 	for i, p := range c.Peers {
 		c.Peers[i] = strings.TrimRight(p, "/")
 	}
 	return c
+}
+
+// defaultOrOff resolves a duration knob where zero selects def and a
+// negative value means disabled (0).
+func defaultOrOff(v, def time.Duration) time.Duration {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // Validate rejects nonsensical configurations (negative sizes or
@@ -182,6 +239,13 @@ type Server struct {
 	root     context.Context
 	stop     context.CancelFunc
 	draining atomic.Bool
+	// relaySeq feeds the deterministic splitmix64 stream behind relay
+	// backoff jitter.
+	relaySeq atomic.Uint64
+	// hb is the peer health prober (nil when disabled); hbStopped is
+	// closed when its loop has exited, so Close can wait for it.
+	hb        *heartbeat
+	hbStopped chan struct{}
 }
 
 // New builds a Server from cfg (zero value is fine).
@@ -205,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 		Self:     cfg.Self,
 		Peers:    cfg.Peers,
 	})
+	s.relaySeq.Store(splitmix64(hashSeed(cfg.Self)))
 	s.breaker = newBreaker(breakerThreshold, breakerCooldown)
 	// One process-wide warm store: sensitivity queries across requests
 	// warm-start each other's probes (purely an optimization — responses
@@ -214,6 +279,7 @@ func New(cfg Config) (*Server, error) {
 	s.met.breakerOpen = s.breaker.openCount
 	s.met.breakerTrips = s.breaker.tripCount
 	s.met.storeStats = s.store.Stats
+	s.met.membership = s.store.Membership
 	s.met.warmStats = func() (hits, misses, injected int64) {
 		st := s.warm.Stats()
 		return st.Hits, st.Misses, st.Injected
@@ -224,6 +290,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/analyze/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /v1/cluster/leave", s.handleClusterLeave)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -233,7 +302,29 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	// Active health checking runs whenever this replica has a fleet
+	// identity, even if the initial membership is single-node — a later
+	// /v1/cluster/join must get probing without a restart.
+	if cfg.Self != "" && cfg.HeartbeatInterval > 0 {
+		s.hb = newHeartbeat(s.store, s.met, cfg.HeartbeatInterval,
+			cfg.HeartbeatDownAfter, cfg.HeartbeatUpAfter, hashSeed(cfg.Self))
+		s.hb.probe = s.probePeer
+		s.hbStopped = make(chan struct{})
+		go s.heartbeatLoop()
+	}
 	return s, nil
+}
+
+// hashSeed derives a stable per-identity seed for the jitter streams
+// (FNV-1a 64 over the replica's name).
+func hashSeed(name string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
 }
 
 // Handler returns the service's HTTP handler. While draining, new
@@ -275,8 +366,16 @@ func (s *Server) refuseDraining(w http.ResponseWriter, endpoint string) {
 
 // Close cancels the server's root context: in-flight analyses stop at
 // their next cooperative check and their requests fail with the
-// cancellation mapping (or 503 when draining). Idempotent.
-func (s *Server) Close() { s.stop() }
+// cancellation mapping (or 503 when draining). It then waits for the
+// heartbeat loop to exit and cancels the store's pending down-cooldown
+// timers. Idempotent.
+func (s *Server) Close() {
+	s.stop()
+	if s.hbStopped != nil {
+		<-s.hbStopped
+	}
+	s.store.Close()
+}
 
 // requestCtx derives the analysis context for one request: the client's
 // context (canceled on disconnect) bounded by the per-request deadline.

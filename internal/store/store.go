@@ -4,23 +4,30 @@
 // Tier 1 is a per-node LRU of completed artifacts with single-flight
 // request coalescing — the in-process cache the service has always had
 // (promoted here from internal/service). Tier 2 is the fleet: artifact
-// keys are consistent-hashed onto a static peer set (Ring), each
-// replica is the authority for the keys it owns, and non-owners route
-// requests to the owner instead of computing cold. Together the owned
-// shards form a shared, content-addressed backend; combined with each
-// owner's single-flight coalescing, an artifact is computed at most
-// once fleet-wide no matter how many replicas receive the same query
+// keys are consistent-hashed onto a peer set (Ring), each replica is
+// the authority for the keys it owns, and non-owners route requests to
+// the owner instead of computing cold. Together the owned shards form
+// a shared, content-addressed backend; combined with each owner's
+// single-flight coalescing, an artifact is computed at most once
+// fleet-wide no matter how many replicas receive the same query
 // concurrently.
 //
-// The store itself holds live Go values and never serializes them; the
+// Membership is dynamic: AddPeer and RemovePeer swap the immutable
+// ring for a rebuilt one under a versioned membership view, moving
+// only the joining or leaving peer's keys (the consistent-hashing
+// property the ring tests pin). The service layer drives those
+// mutations from its cluster admin surface and its heartbeat prober;
+// the store itself stays a pure data structure: LRU + flights + ring +
+// peer-health bookkeeping.
+//
+// The store holds live Go values and never serializes them; the
 // transport between replicas is the service's own HTTP API (a
 // non-owner forwards the original request to the owner and relays the
-// response), so this package stays a pure data structure: LRU +
-// flights + ring + peer-health bookkeeping. Peer failures are
-// strictly a performance event, never a correctness one — a requester
-// that cannot reach an owner marks it down for a cooldown, re-hashes
-// to the next arc on the ring, and in the worst case computes locally,
-// which is exactly the pre-fleet behavior.
+// response). Peer failures are strictly a performance event, never a
+// correctness one — a requester that cannot reach an owner marks it
+// down for a cooldown, re-hashes to the next arc on the ring, and in
+// the worst case computes locally, which is exactly the pre-fleet
+// behavior.
 package store
 
 import (
@@ -29,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,9 +73,9 @@ type Config struct {
 	Base context.Context
 	// Capacity bounds retained artifacts (default 128).
 	Capacity int
-	// Self is this node's name on the ring; Peers is the full static
-	// peer set (including Self). Fewer than two peers disables routing:
-	// every key is owned locally.
+	// Self is this node's name on the ring; Peers is the initial peer
+	// set (including Self). Fewer than two peers disables routing until
+	// AddPeer grows the membership; every key is owned locally.
 	Self  string
 	Peers []string
 	// Replicas is the virtual-node count per peer (≤ 0 selects the
@@ -83,7 +91,7 @@ type Config struct {
 type Store struct {
 	base     context.Context
 	self     string
-	ring     *Ring
+	replicas int
 	cooldown time.Duration
 
 	mu      sync.Mutex
@@ -91,10 +99,20 @@ type Store struct {
 	ll      *list.List // front = most recently used
 	items   map[string]*list.Element
 	flights map[string]*flight
+	// ring is the current consistent-hash view over members (nil when
+	// membership routes everything locally); members is the mutable
+	// peer set the ring is rebuilt from, version its mutation counter.
+	ring    *Ring
+	members map[string]bool
+	version uint64
 	// down holds the peers currently routed around; each entry is
 	// cleared by a timer after the cooldown (no clock comparisons, so
 	// routing stays a pure function of the peer set and this set).
-	down map[string]bool
+	// downTimers tracks the pending expiries so Close and MarkUp can
+	// cancel them instead of leaking timers past the store's life.
+	down       map[string]bool
+	downTimers map[string]*time.Timer
+	closed     bool
 
 	// Counters are atomics so the fleet layer can account outcomes
 	// without taking the LRU lock.
@@ -116,6 +134,18 @@ type Stats struct {
 	// LocalFallbacks counts requests that ended up computed locally
 	// because no owner was reachable.
 	PeerUnavailable, LocalFallbacks int64
+}
+
+// Membership is a versioned snapshot of this node's view of the fleet:
+// the peer set the ring is built over and the peers currently routed
+// around. Version increments on every AddPeer/RemovePeer mutation, so
+// operators (and tests) can tell two views apart without diffing peer
+// lists.
+type Membership struct {
+	Version uint64
+	Self    string
+	Peers   []string // sorted
+	Down    []string // sorted subset of Peers
 }
 
 type lruEntry struct {
@@ -148,33 +178,118 @@ func New(cfg Config) *Store {
 		cfg.DownCooldown = 5 * time.Second
 	}
 	s := &Store{
-		base:     cfg.Base,
-		self:     cfg.Self,
-		cooldown: cfg.DownCooldown,
-		max:      cfg.Capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		flights:  make(map[string]*flight),
-		down:     make(map[string]bool),
+		base:       cfg.Base,
+		self:       cfg.Self,
+		replicas:   cfg.Replicas,
+		cooldown:   cfg.DownCooldown,
+		max:        cfg.Capacity,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
+		members:    make(map[string]bool),
+		down:       make(map[string]bool),
+		downTimers: make(map[string]*time.Timer),
 	}
-	if len(cfg.Peers) > 1 {
-		s.ring = NewRing(cfg.Peers, cfg.Replicas)
+	for _, p := range cfg.Peers {
+		if p != "" {
+			s.members[p] = true
+		}
 	}
+	s.rebuildRingLocked()
 	return s
+}
+
+// rebuildRingLocked recomputes the ring from the member set. A
+// membership of fewer than two peers — or of exactly the self node —
+// disables routing: every key is owned locally. Caller holds s.mu.
+func (s *Store) rebuildRingLocked() {
+	if len(s.members) < 2 && (len(s.members) == 0 || s.members[s.self]) {
+		s.ring = nil
+		return
+	}
+	peers := make([]string, 0, len(s.members))
+	for p := range s.members {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	s.ring = NewRing(peers, s.replicas)
 }
 
 // Self returns this node's ring name ("" on a single-node store).
 func (s *Store) Self() string { return s.self }
 
 // Fleet reports whether the store routes across a multi-peer ring.
-func (s *Store) Fleet() bool { return s.ring != nil }
+func (s *Store) Fleet() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring != nil
+}
 
 // Peers returns the ring's peer set (nil on a single-node store).
 func (s *Store) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.ring == nil {
 		return nil
 	}
 	return s.ring.Peers()
+}
+
+// Membership snapshots the versioned membership view.
+func (s *Store) Membership() Membership {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Membership{Version: s.version, Self: s.self}
+	if s.ring != nil {
+		m.Peers = append(m.Peers, s.ring.Peers()...)
+	}
+	down := make([]string, 0, len(s.down))
+	for p := range s.down {
+		down = append(down, p)
+	}
+	sort.Strings(down)
+	m.Down = down
+	return m
+}
+
+// AddPeer joins peer to the membership, rebuilding the ring so that
+// only keys on the joining peer's arcs change owner. It reports
+// whether the membership changed (an empty name or an existing member
+// is a no-op); any change bumps the membership version.
+func (s *Store) AddPeer(peer string) bool {
+	if peer == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.members[peer] {
+		return false
+	}
+	s.members[peer] = true
+	s.version++
+	s.rebuildRingLocked()
+	return true
+}
+
+// RemovePeer drops peer from the membership, rebuilding the ring so
+// that only the leaving peer's keys re-home (to the next arcs over).
+// Removing the self node is allowed and means this replica owns
+// nothing — the ownership-handoff half of a drain — while it keeps
+// serving relayed requests. Reports whether the membership changed.
+func (s *Store) RemovePeer(peer string) bool {
+	if peer == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.members[peer] {
+		return false
+	}
+	delete(s.members, peer)
+	s.version++
+	s.clearDownLocked(peer)
+	s.rebuildRingLocked()
+	return true
 }
 
 // Route returns the peer that should serve key and whether that is
@@ -182,11 +297,11 @@ func (s *Store) Peers() []string {
 // re-hash: the next arc over takes the key); when every remote owner
 // is down — or the store is single-node — the answer is local.
 func (s *Store) Route(key string) (owner string, local bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.ring == nil {
 		return s.self, true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, p := range s.ring.Owners(key) {
 		if p == s.self {
 			return p, true
@@ -198,27 +313,100 @@ func (s *Store) Route(key string) (owner string, local bool) {
 	return s.self, true
 }
 
+// RemoteCandidates returns the remote peers that may serve key, in
+// ring preference order, stopping at this node's own arc and skipping
+// downed peers. An empty slice means the key is served locally. The
+// first candidate is the owner; the rest are the arcs a resilient
+// relay walks on retry or hedges onto when the owner is slow.
+func (s *Store) RemoteCandidates(key string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return nil
+	}
+	var out []string
+	for _, p := range s.ring.Owners(key) {
+		if p == s.self {
+			break
+		}
+		if !s.down[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // MarkDown routes requests around peer for the configured cooldown.
-// Call it when the peer refused or failed a relay; after the cooldown
-// the peer is automatically retried (no explicit MarkUp — a live peer
-// proves itself by answering). Repeated marks while down extend
-// nothing: the first expiry retries the peer, and a failed retry marks
-// it down again.
+// Call it when the peer refused or failed a relay, or when the health
+// prober sees consecutive probe failures; after the cooldown the peer
+// is automatically retried (a live peer proves itself by answering, or
+// MarkUp restores it early). Repeated marks while down extend nothing:
+// the first expiry retries the peer, and a failed retry marks it down
+// again.
 func (s *Store) MarkDown(peer string) {
 	if peer == "" || peer == s.self {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.down[peer] {
+	if s.down[peer] || s.closed {
 		return
 	}
 	s.down[peer] = true
-	time.AfterFunc(s.cooldown, func() {
+	s.downTimers[peer] = time.AfterFunc(s.cooldown, func() {
 		s.mu.Lock()
 		delete(s.down, peer)
+		delete(s.downTimers, peer)
 		s.mu.Unlock()
 	})
+}
+
+// MarkUp restores peer to routing immediately, canceling the pending
+// cooldown expiry. The health prober calls it when a downed peer
+// answers probes again, so recovery does not wait out the cooldown.
+func (s *Store) MarkUp(peer string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clearDownLocked(peer)
+}
+
+// clearDownLocked drops peer's down state and stops its cooldown
+// timer. Caller holds s.mu.
+func (s *Store) clearDownLocked(peer string) {
+	if t, ok := s.downTimers[peer]; ok {
+		t.Stop()
+		delete(s.downTimers, peer)
+	}
+	delete(s.down, peer)
+}
+
+// Down reports whether peer is currently routed around.
+func (s *Store) Down(peer string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down[peer]
+}
+
+// Close cancels the pending down-cooldown timers and stops accepting
+// new marks. Call it during node shutdown: without it every MarkDown
+// leaves a timer running to the end of its cooldown, which tests (and
+// any embedder cycling stores) observe as a leak. Idempotent. The LRU
+// and in-flight computations are unaffected — flights die with the
+// Base context.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	pending := make([]string, 0, len(s.downTimers))
+	for p := range s.downTimers {
+		pending = append(pending, p)
+	}
+	sort.Strings(pending)
+	for _, p := range pending {
+		s.downTimers[p].Stop()
+	}
+	s.downTimers = make(map[string]*time.Timer)
+	s.down = make(map[string]bool)
 }
 
 // CountPeerHit accounts one request answered by relaying the owning

@@ -335,3 +335,162 @@ func TestRingDeterminism(t *testing.T) {
 		t.Error("empty ring Owner != \"\"")
 	}
 }
+
+// TestMembershipMutations: AddPeer/RemovePeer reshape the ring behind
+// the versioned membership view, and each mutation moves only the
+// joining or leaving peer's keys — every other key keeps its owner, so
+// warm artifacts stay warm across churn.
+func TestMembershipMutations(t *testing.T) {
+	s := New(Config{Self: "n1", Peers: []string{"n1", "n2", "n3"}})
+	if v := s.Membership().Version; v != 0 {
+		t.Fatalf("fresh membership version = %d, want 0", v)
+	}
+
+	before := map[string]string{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("artifact-%d", i)
+		before[key], _ = s.Route(key)
+	}
+
+	if !s.AddPeer("n4") {
+		t.Fatal("AddPeer(n4) reported no change")
+	}
+	if s.AddPeer("n4") {
+		t.Error("re-adding an existing peer reported a change")
+	}
+	if s.AddPeer("") {
+		t.Error("AddPeer(\"\") reported a change")
+	}
+	m := s.Membership()
+	if m.Version != 1 {
+		t.Errorf("version after join = %d, want 1", m.Version)
+	}
+	if len(m.Peers) != 4 {
+		t.Errorf("peers after join = %v, want 4", m.Peers)
+	}
+
+	// Join stability: a key either keeps its owner or moved to the
+	// joining peer, and the joiner took a non-degenerate share.
+	moved := 0
+	for key, old := range before {
+		now, _ := s.Route(key)
+		if now == old {
+			continue
+		}
+		if now != "n4" {
+			t.Fatalf("key %q moved %q -> %q on join of n4", key, old, now)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Error("joining peer took no keys out of 500 — ring is degenerate")
+	}
+
+	// Leave stability: removing the joiner restores every original owner.
+	if !s.RemovePeer("n4") {
+		t.Fatal("RemovePeer(n4) reported no change")
+	}
+	if s.RemovePeer("n4") {
+		t.Error("removing a non-member reported a change")
+	}
+	if v := s.Membership().Version; v != 2 {
+		t.Errorf("version after leave = %d, want 2", v)
+	}
+	for key, old := range before {
+		if now, _ := s.Route(key); now != old {
+			t.Errorf("key %q owned by %q after join+leave round trip, want %q", key, now, old)
+		}
+	}
+}
+
+// TestRemoveSelfDrains: removing the self node keeps the replica in the
+// fleet as a pure relay — it owns nothing, every key routes remote.
+func TestRemoveSelfDrains(t *testing.T) {
+	s := New(Config{Self: "n1", Peers: []string{"n1", "n2", "n3"}})
+	if !s.RemovePeer("n1") {
+		t.Fatal("RemovePeer(self) reported no change")
+	}
+	if !s.Fleet() {
+		t.Fatal("drained replica left the fleet entirely")
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if owner, local := s.Route(key); local || owner == "n1" {
+			t.Fatalf("drained replica still owns %q (owner %q, local %v)", key, owner, local)
+		}
+		if cands := s.RemoteCandidates(key); len(cands) != 2 {
+			t.Fatalf("drained RemoteCandidates(%q) = %v, want both survivors", key, cands)
+		}
+	}
+	// Removing the last remote collapses routing back to local-only.
+	s.RemovePeer("n2")
+	s.RemovePeer("n3")
+	if s.Fleet() {
+		t.Error("empty membership still reports Fleet() = true")
+	}
+	if _, local := s.Route("k"); !local {
+		t.Error("empty membership routes remote")
+	}
+}
+
+// TestMarkUpRestoresImmediately: MarkUp cancels the cooldown, so a
+// recovered peer rejoins routing without waiting the cooldown out.
+func TestMarkUpRestoresImmediately(t *testing.T) {
+	s := New(Config{Self: "n1", Peers: []string{"n1", "n2", "n3"}, DownCooldown: time.Hour})
+	key, owner := "", ""
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("k%d", i)
+		if o, local := s.Route(key); !local {
+			owner = o
+			break
+		}
+	}
+	s.MarkDown(owner)
+	if !s.Down(owner) {
+		t.Fatal("MarkDown did not take")
+	}
+	if got := s.Membership().Down; len(got) != 1 || got[0] != owner {
+		t.Errorf("Membership().Down = %v, want [%s]", got, owner)
+	}
+	s.MarkUp(owner)
+	if s.Down(owner) {
+		t.Fatal("MarkUp left the peer down")
+	}
+	if o, _ := s.Route(key); o != owner {
+		t.Errorf("Route(%q) = %q after MarkUp, want %q", key, o, owner)
+	}
+	s.mu.Lock()
+	timers := len(s.downTimers)
+	s.mu.Unlock()
+	if timers != 0 {
+		t.Errorf("%d cooldown timers still pending after MarkUp", timers)
+	}
+}
+
+// TestCloseCancelsDownTimers: Close stops every pending cooldown timer
+// (the satellite leak fix) and refuses later marks, so cycling stores
+// in tests or embedders leaks nothing.
+func TestCloseCancelsDownTimers(t *testing.T) {
+	s := New(Config{Self: "n1", Peers: []string{"n1", "n2", "n3"}, DownCooldown: time.Hour})
+	s.MarkDown("n2")
+	s.MarkDown("n3")
+	s.mu.Lock()
+	timers := len(s.downTimers)
+	s.mu.Unlock()
+	if timers != 2 {
+		t.Fatalf("%d cooldown timers pending, want 2", timers)
+	}
+	s.Close()
+	s.Close() // idempotent
+	s.mu.Lock()
+	timers = len(s.downTimers)
+	down := len(s.down)
+	s.mu.Unlock()
+	if timers != 0 || down != 0 {
+		t.Fatalf("after Close: %d timers, %d down entries, want 0/0", timers, down)
+	}
+	s.MarkDown("n2")
+	if s.Down("n2") {
+		t.Error("MarkDown after Close took effect")
+	}
+}
