@@ -6,7 +6,7 @@
 // Usage:
 //
 //	twca-serve [-addr :8443] [-cache 128] [-inflight 0] [-timeout 30s] [-drain 30s] [-faults spec] [-pprof]
-//	           [-self URL -peers URL,URL,...]
+//	           [-self URL -peers URL,URL,...] [-cluster-secret S]
 //	           [-heartbeat 2s] [-hedge-after 150ms] [-relay-retries 2] [-relay-backoff 25ms]
 //
 // Endpoints (see docs/SERVICE.md for the full reference and a worked
@@ -17,8 +17,8 @@
 //	POST /v1/analyze/sensitivity  sensitivity queries (slack, jitter, frontiers)
 //	POST /v1/verify               weakly-hard (m, k) constraints
 //	POST /v1/campaign             many systems, NDJSON-streamed results
-//	POST /v1/cluster/join         admit a replica to the fleet (loopback only)
-//	POST /v1/cluster/leave        remove a replica from the fleet (loopback only)
+//	POST /v1/cluster/join         admit a replica (loopback or -cluster-secret)
+//	POST /v1/cluster/leave        remove a replica (loopback or -cluster-secret)
 //	GET  /v1/cluster              versioned membership view with peer health
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus text exposition
@@ -34,8 +34,12 @@
 // system's canonical hash: the replica owning a system computes and
 // caches its artifacts exactly once fleet-wide while the others relay.
 // The fleet self-heals: membership is dynamic (POST /v1/cluster/join
-// and /v1/cluster/leave from loopback reshape the ring at runtime, one
-// call propagating fleet-wide), a jittered -heartbeat loop probes peer
+// and /v1/cluster/leave reshape the ring at runtime, one call
+// propagating fleet-wide; mutations are accepted only from loopback or
+// with the shared -cluster-secret credential, which every replica of a
+// multi-host fleet must set — the cluster decides whose responses are
+// served verbatim, so admission is never authenticated by a spoofable
+// relay header), a jittered -heartbeat loop probes peer
 // /healthz and evicts dead or draining replicas from routing, and
 // relays retry the next ring arc with backoff (-relay-retries,
 // -relay-backoff), hedge a second attempt when the owner is slower
@@ -90,6 +94,8 @@ func run(args []string, stdout io.Writer) error {
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	self := fs.String("self", "", "this replica's base URL in -peers (enables the sharded fleet tier)")
 	peers := fs.String("peers", "", "comma-separated replica base URLs, including -self")
+	clusterSecret := fs.String("cluster-secret", os.Getenv("TWCA_CLUSTER_SECRET"),
+		"shared credential authorizing off-host /v1/cluster mutations (default $TWCA_CLUSTER_SECRET; empty = loopback-only)")
 	maxCampaign := fs.Int("max-campaign-items", 0, "max systems per /v1/campaign request (0 = 1024)")
 	heartbeat := fs.Duration("heartbeat", 0, "peer health-probe interval (0 = 2s, negative disables)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "slow-peer threshold before a hedged relay attempt (0 = 150ms, negative disables)")
@@ -126,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 		DrainTimeout:      *drain,
 		Self:              *self,
 		Peers:             peerList,
+		ClusterSecret:     *clusterSecret,
 		MaxCampaignItems:  *maxCampaign,
 		HeartbeatInterval: *heartbeat,
 		HedgeDelay:        *hedgeAfter,

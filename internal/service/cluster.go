@@ -1,6 +1,7 @@
 package service
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"net"
 	"net/http"
@@ -16,12 +17,20 @@ import (
 //	POST /v1/cluster/leave  {"peer": "http://10.0.0.2:8443"}
 //	GET  /v1/cluster
 //
-// Mutations are authenticated by loopback: they are accepted only from
-// 127.0.0.1/::1 — an operator (or init system) on the replica's own
-// host — or as a propagated relay from a peer, which carries the same
-// forward header (and therefore the same trust model) as every other
-// fleet relay. The membership view (GET) is read-only observability
-// and is served to anyone who can reach the port, like /healthz.
+// Mutations require a real credential: a request is authorized when it
+// arrives over loopback (127.0.0.1/::1 — an operator or init system on
+// the replica's own host) or when it carries the fleet's shared
+// Config.ClusterSecret in the X-Twca-Cluster-Secret header, which is
+// how propagated mutations between replicas authenticate themselves.
+// The relay forward header is deliberately NOT a credential — any
+// client that can reach the port can set a header, and membership
+// mutations change who is trusted to answer analyses verbatim, so they
+// are held to a stricter standard than relays. With no secret
+// configured, mutations are loopback-only: cross-host propagation is
+// rejected at the receivers, and a multi-host fleet must either share
+// a secret or be scripted per-replica with "local_only": true. The
+// membership view (GET) is read-only observability and is served to
+// anyone who can reach the port, like /healthz.
 //
 // A mutation applies to the receiving replica's own view and is then
 // propagated best-effort to every other member, so one loopback POST
@@ -44,8 +53,9 @@ type clusterRequest struct {
 // clusterPeerView is one member in the GET /v1/cluster response.
 type clusterPeerView struct {
 	URL string `json:"url"`
-	// State is "self", "up" or "down" (down per this replica's store —
-	// marked by failed relays or the heartbeat prober).
+	// State is "self", "up" or "down" (down per this replica's view:
+	// routed around by the store after failed relays, or still
+	// considered dead by the heartbeat prober's state machine).
 	State string `json:"state"`
 }
 
@@ -82,12 +92,23 @@ func validatePeerURL(raw string) (string, error) {
 	return raw, nil
 }
 
+// clusterSecretHeader carries Config.ClusterSecret on cluster
+// membership mutations. Propagated mutations between replicas set it
+// automatically (see forward); operators POSTing from off-host set it
+// by hand.
+const clusterSecretHeader = "X-Twca-Cluster-Secret"
+
 // adminAuthorized reports whether r may mutate membership: it arrived
-// over loopback, or it is a propagated relay from a peer (forward
-// header — the fleet's existing intra-cluster trust model).
-func adminAuthorized(r *http.Request) bool {
-	if relayed(r) {
-		return true
+// over loopback, or it presented the fleet's shared cluster secret.
+// The relay forward header is never sufficient — it is a spoofable
+// marker any client can set, and admitting a peer URL decides whose
+// responses the fleet streams back as authoritative documents.
+func (s *Server) adminAuthorized(r *http.Request) bool {
+	if sec := s.cfg.ClusterSecret; sec != "" {
+		got := r.Header.Get(clusterSecretHeader)
+		if got != "" && subtle.ConstantTimeCompare([]byte(got), []byte(sec)) == 1 {
+			return true
+		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
@@ -113,12 +134,26 @@ func (s *Server) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
 // handleClusterMutation decodes, authorizes, applies and propagates
 // one membership mutation.
 func (s *Server) handleClusterMutation(w http.ResponseWriter, r *http.Request, endpoint string, apply func(string) bool) {
-	if !adminAuthorized(r) {
+	if !s.adminAuthorized(r) {
 		s.met.request(endpoint, http.StatusForbidden)
 		s.writeJSON(w, http.StatusForbidden, errorResponse{
 			SchemaVersion: schema.Version,
-			Error:         "cluster membership mutations are accepted only from loopback or a fleet peer",
+			Error:         "cluster membership mutations are accepted only from loopback or with the cluster secret",
 			Kind:          "forbidden",
+		})
+		return
+	}
+	if s.store.Self() == "" {
+		// A server started without -self has no name on the ring.
+		// Admitting peers anyway would build a ring that excludes self —
+		// every request relayed out, with an empty forward header that
+		// voids the one-hop loop guard at the receivers — so membership
+		// is frozen until the process is restarted with an identity.
+		s.met.request(endpoint, http.StatusConflict)
+		s.writeJSON(w, http.StatusConflict, errorResponse{
+			SchemaVersion: schema.Version,
+			Error:         "this replica has no fleet identity (started without -self); restart it with -self before mutating membership",
+			Kind:          "no_fleet_identity",
 		})
 		return
 	}
@@ -207,7 +242,11 @@ func (s *Server) handleClusterGet(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.clusterView())
 }
 
-// clusterView assembles the current membership snapshot.
+// clusterView assembles the current membership snapshot. A peer is
+// reported "down" when the store routes around it (cooldown-bounded,
+// marked by failed relays) or when the heartbeat state machine still
+// considers it dead — the latter so an expired store cooldown does not
+// hide a still-dead peer from operators between probe rounds.
 func (s *Server) clusterView() clusterResponse {
 	m := s.store.Membership()
 	resp := clusterResponse{
@@ -219,6 +258,11 @@ func (s *Server) clusterView() clusterResponse {
 	down := make(map[string]bool, len(m.Down))
 	for _, p := range m.Down {
 		down[p] = true
+	}
+	if s.hb != nil {
+		for _, p := range s.hb.downPeers() {
+			down[p] = true
+		}
 	}
 	for _, p := range m.Peers {
 		state := "up"

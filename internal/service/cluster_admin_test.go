@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -58,12 +59,14 @@ func getCluster(t testing.TB, url string) clusterResponse {
 	return view
 }
 
-// TestClusterAdminAuth: membership mutations are loopback-or-relay
-// only; the read-only view is open like /healthz.
+// TestClusterAdminAuth: membership mutations require loopback or the
+// shared cluster secret; the spoofable relay forward header is never
+// sufficient. The read-only view is open like /healthz.
 func TestClusterAdminAuth(t *testing.T) {
 	svc, err := New(Config{
 		Self:              "http://a",
 		Peers:             []string{"http://a", "http://b"},
+		ClusterSecret:     "fleet-credential",
 		HeartbeatInterval: -1,
 	})
 	if err != nil {
@@ -72,7 +75,7 @@ func TestClusterAdminAuth(t *testing.T) {
 	t.Cleanup(svc.Close)
 	h := svc.Handler()
 
-	do := func(remoteAddr, relayFrom, peer string) *httptest.ResponseRecorder {
+	do := func(h http.Handler, remoteAddr, relayFrom, secret, peer string) *httptest.ResponseRecorder {
 		body, err := json.Marshal(clusterRequest{Peer: peer, LocalOnly: true})
 		if err != nil {
 			t.Fatal(err)
@@ -85,29 +88,58 @@ func TestClusterAdminAuth(t *testing.T) {
 		if relayFrom != "" {
 			req.Header.Set(forwardHeader, relayFrom)
 		}
+		if secret != "" {
+			req.Header.Set(clusterSecretHeader, secret)
+		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
 		return rec
 	}
 
 	// httptest.NewRequest's default RemoteAddr is 192.0.2.1 -- off-host.
-	if rec := do("", "", "http://c"); rec.Code != http.StatusForbidden {
+	if rec := do(h, "", "", "", "http://c"); rec.Code != http.StatusForbidden {
 		t.Errorf("off-host mutation = %d, want 403", rec.Code)
+	}
+	// The relay forward header is a loop guard any client can set, not
+	// a credential: an off-host "relay" must NOT authorize a mutation.
+	if rec := do(h, "198.51.100.7:4", "http://b", "", "http://c"); rec.Code != http.StatusForbidden {
+		t.Errorf("off-host mutation with spoofed forward header = %d, want 403", rec.Code)
+	}
+	if rec := do(h, "198.51.100.7:4", "", "wrong-credential", "http://c"); rec.Code != http.StatusForbidden {
+		t.Errorf("off-host mutation with wrong secret = %d, want 403", rec.Code)
 	}
 	if got := len(svc.store.Membership().Peers); got != 2 {
 		t.Error("forbidden mutation still changed the membership")
 	}
-	if rec := do("127.0.0.1:9999", "", "http://c"); rec.Code != http.StatusOK {
+	if rec := do(h, "127.0.0.1:9999", "", "", "http://c"); rec.Code != http.StatusOK {
 		t.Errorf("loopback mutation = %d, want 200: %s", rec.Code, rec.Body)
 	}
-	if rec := do("[::1]:9999", "", "http://d"); rec.Code != http.StatusOK {
+	if rec := do(h, "[::1]:9999", "", "", "http://d"); rec.Code != http.StatusOK {
 		t.Errorf("IPv6 loopback mutation = %d, want 200: %s", rec.Code, rec.Body)
 	}
-	if rec := do("198.51.100.7:4", "http://b", "http://e"); rec.Code != http.StatusOK {
-		t.Errorf("relayed mutation = %d, want 200: %s", rec.Code, rec.Body)
+	if rec := do(h, "198.51.100.7:4", "", "fleet-credential", "http://e"); rec.Code != http.StatusOK {
+		t.Errorf("off-host mutation with the cluster secret = %d, want 200: %s", rec.Code, rec.Body)
 	}
 	if got := len(svc.store.Membership().Peers); got != 5 {
 		t.Errorf("membership has %d peers after three joins, want 5", got)
+	}
+
+	// With no secret configured, mutations are loopback-only: a secret
+	// header (any value) must not open the door.
+	bare, err := New(Config{
+		Self:              "http://a",
+		Peers:             []string{"http://a", "http://b"},
+		HeartbeatInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bare.Close)
+	if rec := do(bare.Handler(), "198.51.100.7:4", "", "anything", "http://c"); rec.Code != http.StatusForbidden {
+		t.Errorf("secretless server accepted an off-host mutation: %d, want 403", rec.Code)
+	}
+	if got := len(bare.store.Membership().Peers); got != 2 {
+		t.Error("secretless server's membership changed off-host")
 	}
 
 	// The read-only view is served to anyone who can reach the port.
@@ -116,6 +148,125 @@ func TestClusterAdminAuth(t *testing.T) {
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Errorf("off-host GET /v1/cluster = %d, want 200", rec.Code)
+	}
+}
+
+// TestClusterNoIdentityMutationRejected: a server started without a
+// fleet identity (no -self) refuses membership mutations with 409 --
+// joining peers anyway would build a ring that excludes self and void
+// the one-hop relay loop guard (the forward header would be empty).
+func TestClusterNoIdentityMutationRejected(t *testing.T) {
+	svc, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	body, err := json.Marshal(clusterRequest{Peer: "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/cluster/join", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.RemoteAddr = "127.0.0.1:9" // even a local operator is refused
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("identity-less join = %d, want 409: %s", rec.Code, rec.Body)
+	}
+	var e map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e["kind"] != "no_fleet_identity" {
+		t.Errorf("error kind = %v, want no_fleet_identity", e["kind"])
+	}
+	if m := svc.store.Membership(); len(m.Peers) != 0 || m.Version != 0 {
+		t.Errorf("rejected mutation changed membership: %+v", m)
+	}
+}
+
+// TestClusterPropagationCarriesSecret: propagated membership mutations
+// authenticate themselves with the cluster secret; ordinary analysis
+// relays never carry it.
+func TestClusterPropagationCarriesSecret(t *testing.T) {
+	var mu sync.Mutex
+	headers := map[string]string{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers[r.URL.Path] = r.Header.Get(clusterSecretHeader)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	svc, err := New(Config{
+		Self:              "http://a",
+		Peers:             []string{"http://a", "http://b"},
+		ClusterSecret:     "fleet-credential",
+		HeartbeatInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	for _, path := range []string{"/v1/cluster/join", "/v1/analyze/dmm"} {
+		resp, err := svc.forward(context.Background(), ts.URL, path, []byte(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got := headers["/v1/cluster/join"]; got != "fleet-credential" {
+		t.Errorf("propagated mutation carried secret %q, want the configured credential", got)
+	}
+	if got := headers["/v1/analyze/dmm"]; got != "" {
+		t.Errorf("analysis relay leaked the cluster secret %q", got)
+	}
+}
+
+// TestClusterViewMergesProberDown: a peer the heartbeat state machine
+// still considers dead shows as "down" in GET /v1/cluster even after
+// the store's cooldown-bounded down mark has been cleared -- the view
+// merges both sources, as the runbook promises.
+func TestClusterViewMergesProberDown(t *testing.T) {
+	svc, err := New(Config{
+		Self:              "http://a",
+		Peers:             []string{"http://a", "http://b"},
+		HeartbeatInterval: -1, // prober driven by hand below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	svc.hb = newHeartbeat(svc.store, svc.met, time.Hour, 1, 1, 1)
+
+	svc.hb.record("http://b", errors.New("probe failed"))
+	if !svc.store.Down("http://b") {
+		t.Fatal("probe failure did not mark the peer down")
+	}
+	// Simulate the store's cooldown expiring between probe rounds: the
+	// store forgets, the prober still knows.
+	svc.store.MarkUp("http://b")
+	states := map[string]string{}
+	for _, p := range svc.clusterView().Peers {
+		states[p.URL] = p.State
+	}
+	if states["http://b"] != "down" {
+		t.Errorf(`prober-dead peer state = %q, want "down" (store cooldown expired)`, states["http://b"])
+	}
+
+	// Recovery clears both sources.
+	svc.hb.record("http://b", nil)
+	states = map[string]string{}
+	for _, p := range svc.clusterView().Peers {
+		states[p.URL] = p.State
+	}
+	if states["http://b"] != "up" {
+		t.Errorf(`recovered peer state = %q, want "up"`, states["http://b"])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/faultinject"
@@ -314,6 +315,13 @@ func (s *Server) forward(ctx context.Context, peer, path string, body []byte) (*
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardHeader, s.store.Self())
+	// Membership mutations need a real credential at the receiver; the
+	// forward header alone is a loop guard, not authorization. Analysis
+	// relays never carry the secret — they don't need it, and keeping it
+	// off them narrows where the credential travels.
+	if s.cfg.ClusterSecret != "" && strings.HasPrefix(path, "/v1/cluster/") {
+		req.Header.Set(clusterSecretHeader, s.cfg.ClusterSecret)
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, peer, err)

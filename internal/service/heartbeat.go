@@ -178,9 +178,10 @@ func (h *heartbeat) prune(remotes []string) {
 	h.mu.Unlock()
 }
 
-// down reports whether the state machine currently considers peer
-// down (the /v1/cluster view shows it alongside the store's own down
-// set).
+// downPeers lists the peers the state machine currently considers
+// down. clusterView merges it into the /v1/cluster peer states, so a
+// peer whose store cooldown expired between probe rounds still shows
+// as down while the prober sees it dead.
 func (h *heartbeat) downPeers() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -91,6 +91,18 @@ type Config struct {
 	// runtime (see docs/SERVICE.md, "Cluster operations").
 	Self  string
 	Peers []string
+	// ClusterSecret authenticates cluster membership mutations
+	// (POST /v1/cluster/join|leave) from off-host callers: a request
+	// carrying it in the X-Twca-Cluster-Secret header is authorized,
+	// and propagated mutations between replicas attach it
+	// automatically. Requests from loopback are always authorized, so
+	// an operator on the replica's own host needs no credential. Empty
+	// (the default) means mutations are loopback-only: a multi-host
+	// fleet must then configure the same secret on every replica for
+	// one POST to propagate fleet-wide — otherwise receivers reject
+	// the propagation and each replica must be scripted individually
+	// over loopback with "local_only": true.
+	ClusterSecret string
 	// HeartbeatInterval is the period of the active peer health probe
 	// (jittered ±20% per round). Zero selects the default (2s) when the
 	// fleet tier is enabled; negative disables active probing, leaving

@@ -342,14 +342,17 @@ func (s *Store) RemoteCandidates(key string) []string {
 // is automatically retried (a live peer proves itself by answering, or
 // MarkUp restores it early). Repeated marks while down extend nothing:
 // the first expiry retries the peer, and a failed retry marks it down
-// again.
+// again. Non-members are ignored — a relay attempt or probe that was
+// already in flight when its peer left the membership must not
+// re-insert it into the down set (Membership.Down stays a subset of
+// Peers; RemovePeer already cleared any existing down state).
 func (s *Store) MarkDown(peer string) {
 	if peer == "" || peer == s.self {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.down[peer] || s.closed {
+	if s.down[peer] || s.closed || !s.members[peer] {
 		return
 	}
 	s.down[peer] = true

@@ -467,6 +467,47 @@ func TestMarkUpRestoresImmediately(t *testing.T) {
 	}
 }
 
+// TestMarkDownIgnoresNonMembers: a relay attempt or heartbeat probe
+// that was already in flight when its peer left the membership must
+// not re-insert the peer into the down set -- Membership.Down stays a
+// subset of Peers, and no orphan cooldown timer is created.
+func TestMarkDownIgnoresNonMembers(t *testing.T) {
+	s := New(Config{Self: "n1", Peers: []string{"n1", "n2", "n3"}, DownCooldown: time.Hour})
+	t.Cleanup(s.Close)
+
+	s.MarkDown("n2")
+	if !s.Down("n2") {
+		t.Fatal("MarkDown on a member did not take")
+	}
+	s.RemovePeer("n2")
+	if s.Down("n2") {
+		t.Fatal("RemovePeer left the leaver's down state behind")
+	}
+
+	// The late failure of a relay launched before the leave.
+	s.MarkDown("n2")
+	if s.Down("n2") {
+		t.Error("MarkDown re-inserted a removed peer into the down set")
+	}
+	s.MarkDown("http://stranger") // never a member at all
+	m := s.Membership()
+	members := map[string]bool{}
+	for _, p := range m.Peers {
+		members[p] = true
+	}
+	for _, p := range m.Down {
+		if !members[p] {
+			t.Errorf("Membership().Down contains non-member %q", p)
+		}
+	}
+	s.mu.Lock()
+	timers := len(s.downTimers)
+	s.mu.Unlock()
+	if timers != 0 {
+		t.Errorf("%d cooldown timers pending for non-members, want 0", timers)
+	}
+}
+
 // TestCloseCancelsDownTimers: Close stops every pending cooldown timer
 // (the satellite leak fix) and refuses later marks, so cycling stores
 // in tests or embedders leaks nothing.
